@@ -1,0 +1,278 @@
+// Ablation study of SRDA's design choices (beyond the paper's tables, but
+// directly motivated by its Section III analysis):
+//
+//  A. LSQR iteration budget: the paper fixes 15-20 iterations; sweep k and
+//     show the error plateaus by then.
+//  B. Bias absorption: the append-a-constant-feature trick vs explicitly
+//     centering the sparse data (which densifies it). Same accuracy, very
+//     different cost.
+//  C. Primal vs dual normal equations: the n <= m / n > m switch; both sides
+//     must produce the same accuracy while the cheap side is chosen.
+//  D. RLDA solver path: the faithful full n x n eigendecomposition (whose
+//     cost the paper's tables reflect) vs the rank-(c-1) shortcut this
+//     library also offers — same answer, very different cost.
+//  E. Classifier protocol: the paper does not state which classifier its
+//     error rates use; verify the method ranking is robust to the choice
+//     (nearest centroid vs 1-NN vs 5-NN in the embedded space).
+
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "classify/classifiers.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "common/table_printer.h"
+#include "core/idr_qr.h"
+#include "core/rlda.h"
+#include "core/srda.h"
+#include "dataset/face_generator.h"
+#include "dataset/split.h"
+#include "dataset/spoken_letter_generator.h"
+#include "dataset/text_generator.h"
+#include "matrix/blas.h"
+
+namespace srda {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  const bool full = HasFlag(argc, argv, "--full");
+  std::cout << "Experiment: SRDA ablations (design choices from Section III)\n"
+            << "Profile: " << (full ? "full" : "small (use --full)") << "\n";
+
+  // ----- A: LSQR iteration budget -----
+  TextGeneratorOptions text_options;
+  text_options.num_topics = 10;
+  text_options.docs_per_topic = full ? 400 : 150;
+  text_options.vocabulary_size = full ? 26214 : 8000;
+  text_options.topic_vocabulary_size = full ? 1500 : 500;
+  const SparseDataset text = GenerateTextDataset(text_options);
+  Rng rng(707);
+  const TrainTestSplit split = StratifiedSplitByFraction(
+      text.labels, text.num_classes, 0.2, &rng);
+  const SparseDataset train = Subset(text, split.train);
+  const SparseDataset test = Subset(text, split.test);
+
+  std::cout << "\n== A. LSQR iteration budget (sparse text, 20% train) ==\n";
+  TablePrinter iteration_table({"iterations", "error %", "train s"});
+  std::vector<double> iteration_errors;
+  for (int k : {2, 5, 10, 15, 20, 30, 50}) {
+    const RunResult run = RunSparseSrda(train, test, 1.0, k);
+    iteration_errors.push_back(run.error_percent);
+    iteration_table.AddRow({std::to_string(k),
+                            FormatDouble(run.error_percent, 2),
+                            FormatDouble(run.seconds, 4)});
+  }
+  iteration_table.Print(std::cout);
+
+  // ----- B: bias absorption vs explicit centering -----
+  std::cout << "\n== B. Bias absorption vs explicit centering ==\n";
+  double absorbed_seconds = 0.0;
+  double absorbed_error = 0.0;
+  {
+    Stopwatch watch;
+    const RunResult run = RunSparseSrda(train, test, 1.0, 15);
+    absorbed_seconds = run.seconds;
+    absorbed_error = run.error_percent;
+  }
+  // Explicit centering: densify, subtract the mean, run dense LSQR.
+  double centered_seconds = 0.0;
+  double centered_error = 0.0;
+  {
+    DenseDataset dense_train = Densify(train);
+    Stopwatch watch;
+    Matrix centered = dense_train.features;
+    SubtractRowVector(ColumnMeans(centered), &centered);
+    SrdaOptions options;
+    options.solver = SrdaSolver::kLsqr;
+    options.lsqr_iterations = 15;
+    const SrdaModel model =
+        FitSrda(centered, dense_train.labels, dense_train.num_classes,
+                options);
+    centered_seconds = watch.ElapsedSeconds();
+    // Evaluate: the model was trained on centered data, so embed test data
+    // after subtracting the training mean.
+    const Vector mean = ColumnMeans(dense_train.features);
+    Matrix dense_test = test.features.ToDense();
+    SubtractRowVector(mean, &dense_test);
+    const Matrix train_embedded = model.embedding.Transform(centered);
+    const Matrix test_embedded = model.embedding.Transform(dense_test);
+    CentroidClassifier classifier;
+    classifier.Fit(train_embedded, dense_train.labels, text.num_classes);
+    centered_error =
+        100.0 * ErrorRate(classifier.Predict(test_embedded), test.labels);
+  }
+  TablePrinter bias_table({"variant", "error %", "train s", "data form"});
+  bias_table.AddRow({"append-ones (paper)", FormatDouble(absorbed_error, 2),
+                     FormatDouble(absorbed_seconds, 4), "sparse CSR"});
+  bias_table.AddRow({"explicit centering", FormatDouble(centered_error, 2),
+                     FormatDouble(centered_seconds, 4), "dense (densified)"});
+  bias_table.Print(std::cout);
+
+  // ----- C: primal vs dual normal equations -----
+  std::cout << "\n== C. Primal (n<=m) vs dual (n>m) normal equations ==\n";
+  TablePrinter pd_table({"shape", "path", "error %", "train s"});
+  {
+    SpokenLetterGeneratorOptions options;
+    options.num_classes = 10;
+    options.examples_per_class = full ? 200 : 80;
+    options.num_features = 150;  // n < m -> primal
+    const DenseDataset data = GenerateSpokenLetterDataset(options);
+    Rng split_rng(11);
+    const TrainTestSplit s = StratifiedSplitByCount(
+        data.labels, 10, options.examples_per_class / 2, &split_rng);
+    const RunResult run = RunDense(Algorithm::kSrda, Subset(data, s.train),
+                                   Subset(data, s.test));
+    pd_table.AddRow({"m > n", "primal", FormatDouble(run.error_percent, 2),
+                     FormatDouble(run.seconds, 4)});
+  }
+  {
+    SpokenLetterGeneratorOptions options;
+    options.num_classes = 10;
+    options.examples_per_class = full ? 60 : 30;
+    options.num_features = full ? 2000 : 800;  // n > m -> dual
+    const DenseDataset data = GenerateSpokenLetterDataset(options);
+    Rng split_rng(12);
+    const TrainTestSplit s = StratifiedSplitByCount(
+        data.labels, 10, options.examples_per_class / 2, &split_rng);
+    const RunResult run = RunDense(Algorithm::kSrda, Subset(data, s.train),
+                                   Subset(data, s.test));
+    pd_table.AddRow({"n > m", "dual", FormatDouble(run.error_percent, 2),
+                     FormatDouble(run.seconds, 4)});
+  }
+  pd_table.Print(std::cout);
+
+  // ----- D: RLDA faithful vs low-rank path -----
+  std::cout << "\n== D. RLDA eigensolver path (faithful n^3 vs rank-c) ==\n";
+  double faithful_seconds = 0.0;
+  double lowrank_seconds = 0.0;
+  double faithful_error = 0.0;
+  double lowrank_error = 0.0;
+  {
+    SpokenLetterGeneratorOptions data_options;
+    data_options.num_classes = 12;
+    data_options.examples_per_class = full ? 120 : 60;
+    data_options.num_features = full ? 617 : 300;
+    const DenseDataset data = GenerateSpokenLetterDataset(data_options);
+    Rng split_rng(21);
+    const TrainTestSplit s2 = StratifiedSplitByCount(
+        data.labels, 12, data_options.examples_per_class / 2, &split_rng);
+    const DenseDataset train = Subset(data, s2.train);
+    const DenseDataset test = Subset(data, s2.test);
+    auto evaluate = [&](const RldaModel& model) {
+      CentroidClassifier classifier;
+      classifier.Fit(model.embedding.Transform(train.features), train.labels,
+                     12);
+      return 100.0 * ErrorRate(classifier.Predict(model.embedding.Transform(
+                                   test.features)),
+                               test.labels);
+    };
+    {
+      RldaOptions rlda_options;  // faithful path (default)
+      Stopwatch watch;
+      const RldaModel model =
+          FitRlda(train.features, train.labels, 12, rlda_options);
+      faithful_seconds = watch.ElapsedSeconds();
+      faithful_error = evaluate(model);
+    }
+    {
+      RldaOptions rlda_options;
+      rlda_options.exploit_low_rank = true;
+      Stopwatch watch;
+      const RldaModel model =
+          FitRlda(train.features, train.labels, 12, rlda_options);
+      lowrank_seconds = watch.ElapsedSeconds();
+      lowrank_error = evaluate(model);
+    }
+    TablePrinter rlda_table({"path", "error %", "train s"});
+    rlda_table.AddRow({"faithful (paper cost)", FormatDouble(faithful_error, 2),
+                       FormatDouble(faithful_seconds, 4)});
+    rlda_table.AddRow({"rank-(c-1) shortcut", FormatDouble(lowrank_error, 2),
+                       FormatDouble(lowrank_seconds, 4)});
+    rlda_table.Print(std::cout);
+  }
+
+  // ----- E: classifier protocol -----
+  std::cout << "\n== E. Classifier in the embedded space ==\n";
+  double centroid_gap = 0.0;  // IDR/QR error - SRDA error per classifier
+  double knn_gap = 0.0;
+  {
+    FaceGeneratorOptions face_options;
+    face_options.num_subjects = 40;
+    face_options.images_per_subject = full ? 60 : 40;
+    face_options.image_size = 16;
+    const DenseDataset faces = GenerateFaceDataset(face_options);
+    Rng face_rng(77);
+    const TrainTestSplit fs = StratifiedSplitByCount(
+        faces.labels, 40, 20, &face_rng);
+    const DenseDataset ftrain = Subset(faces, fs.train);
+    const DenseDataset ftest = Subset(faces, fs.test);
+    const SrdaModel srda_model =
+        FitSrda(ftrain.features, ftrain.labels, 40);
+    const IdrQrModel idr_model =
+        FitIdrQr(ftrain.features, ftrain.labels, 40);
+
+    TablePrinter protocol_table(
+        {"classifier", "SRDA error %", "IDR/QR error %"});
+    auto evaluate = [&](auto&& make_classifier) {
+      const Matrix srda_train =
+          srda_model.embedding.Transform(ftrain.features);
+      const Matrix srda_test = srda_model.embedding.Transform(ftest.features);
+      auto c1 = make_classifier();
+      c1.Fit(srda_train, ftrain.labels, 40);
+      const double srda_error =
+          100.0 * ErrorRate(c1.Predict(srda_test), ftest.labels);
+      const Matrix idr_train = idr_model.embedding.Transform(ftrain.features);
+      const Matrix idr_test = idr_model.embedding.Transform(ftest.features);
+      auto c2 = make_classifier();
+      c2.Fit(idr_train, ftrain.labels, 40);
+      const double idr_error =
+          100.0 * ErrorRate(c2.Predict(idr_test), ftest.labels);
+      return std::make_pair(srda_error, idr_error);
+    };
+    const auto [centroid_srda, centroid_idr] =
+        evaluate([] { return CentroidClassifier(); });
+    protocol_table.AddRow({"nearest centroid", FormatDouble(centroid_srda, 2),
+                           FormatDouble(centroid_idr, 2)});
+    const auto [knn1_srda, knn1_idr] =
+        evaluate([] { return KnnClassifier(1); });
+    protocol_table.AddRow({"1-NN", FormatDouble(knn1_srda, 2),
+                           FormatDouble(knn1_idr, 2)});
+    const auto [knn5_srda, knn5_idr] =
+        evaluate([] { return KnnClassifier(5); });
+    protocol_table.AddRow({"5-NN", FormatDouble(knn5_srda, 2),
+                           FormatDouble(knn5_idr, 2)});
+    protocol_table.Print(std::cout);
+    centroid_gap = centroid_idr - centroid_srda;
+    knn_gap = knn1_idr - knn1_srda;
+  }
+
+  std::cout << "\n== Shape checks ==\n";
+  bool ok = true;
+  // Error at 15 iterations within 1.5 points of the 50-iteration error.
+  ok &= ShapeCheck(
+      iteration_errors[3] <= iteration_errors.back() + 1.5,
+      "15 LSQR iterations match the converged error (paper Section IV-B)");
+  ok &= ShapeCheck(iteration_errors[0] >= iteration_errors.back() - 0.5,
+                   "very few iterations (2) do not beat converged accuracy");
+  ok &= ShapeCheck(absorbed_seconds < centered_seconds,
+                   "bias absorption is faster than explicit centering");
+  ok &= ShapeCheck(std::abs(absorbed_error - centered_error) < 3.0,
+                   "bias absorption matches explicit centering accuracy");
+  ok &= ShapeCheck(std::abs(faithful_error - lowrank_error) < 0.5,
+                   "RLDA paths agree in accuracy");
+  ok &= ShapeCheck(lowrank_seconds < faithful_seconds,
+                   "rank-(c-1) shortcut is faster than the full "
+                   "eigendecomposition");
+  ok &= ShapeCheck(centroid_gap > -1.0 && knn_gap > -1.0,
+                   "SRDA's advantage over IDR/QR is classifier-agnostic "
+                   "(centroid and 1-NN)");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace srda
+
+int main(int argc, char** argv) { return srda::bench::Main(argc, argv); }

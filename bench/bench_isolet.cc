@@ -1,0 +1,72 @@
+// Reproduces Tables V & VI and Figure 2: error rate and training time on the
+// Isolet-like spoken-letter dataset for LDA / RLDA / SRDA / IDR-QR.
+//
+// Pass --full for the paper-scale profile (617 features, 6 training sizes,
+// 10 splits).
+
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "dataset/spoken_letter_generator.h"
+
+namespace srda {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  const bool full = HasFlag(argc, argv, "--full");
+
+  SpokenLetterGeneratorOptions options;
+  options.num_classes = 26;
+  options.examples_per_class = full ? 240 : 130;
+  options.num_features = full ? 617 : 200;
+  const std::vector<int> train_sizes =
+      full ? std::vector<int>{20, 30, 50, 70, 90, 110}
+           : std::vector<int>{20, 50, 110};
+  const int num_splits = full ? 10 : 3;
+
+  std::cout << "Experiment: Tables V & VI / Figure 2 (Isolet-like)\n"
+            << "Profile: " << (full ? "full" : "small (use --full)")
+            << "  m=" << options.num_classes * options.examples_per_class
+            << " n=" << options.num_features << " c=" << options.num_classes
+            << " splits=" << num_splits << "\n";
+
+  const DenseDataset dataset = GenerateSpokenLetterDataset(options);
+  const std::vector<Algorithm> algorithms = {
+      Algorithm::kLda, Algorithm::kRlda, Algorithm::kSrda,
+      Algorithm::kIdrQr};
+  const auto cells = RunCountSweep(dataset, train_sizes, algorithms,
+                                   num_splits, /*seed=*/202, "Isolet-like");
+
+  std::cout << "\n== Shape checks vs the paper ==\n";
+  bool ok = true;
+  const size_t first = 0;
+  const size_t last = cells.size() - 1;
+  ok &= ShapeCheck(
+      cells[first][0].error_mean > cells[first][1].error_mean,
+      "plain LDA much worse than RLDA at 20/class (Table V: 54.1 vs 9.4)");
+  ok &= ShapeCheck(
+      cells[first][2].error_mean < cells[first][0].error_mean,
+      "SRDA beats plain LDA at the smallest size (Table V)");
+  ok &= ShapeCheck(
+      std::fabs(cells[last][2].error_mean - cells[last][1].error_mean) < 3.0,
+      "SRDA tracks RLDA at the largest size (Table V: 6.6 vs 6.5)");
+  ok &= ShapeCheck(
+      cells[last][2].error_mean < cells[last][3].error_mean,
+      "SRDA beats IDR/QR (Table V)");
+  ok &= ShapeCheck(
+      cells[last][2].seconds_mean < cells[last][0].seconds_mean,
+      "SRDA trains faster than LDA (Table VI)");
+  ok &= ShapeCheck(
+      cells[last][0].error_mean < cells[first][0].error_mean,
+      "LDA error falls as training size grows (Figure 2 left)");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace srda
+
+int main(int argc, char** argv) { return srda::bench::Main(argc, argv); }

@@ -1,0 +1,67 @@
+// Reproduces Tables VII & VIII and Figure 3: error rate and training time on
+// the MNIST-like digit dataset for LDA / RLDA / SRDA / IDR-QR.
+//
+// Pass --full for the paper-scale profile (28x28 images, 6 training sizes,
+// 10 splits).
+
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "dataset/digit_generator.h"
+
+namespace srda {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  const bool full = HasFlag(argc, argv, "--full");
+
+  DigitGeneratorOptions options;
+  options.examples_per_class = full ? 400 : 250;
+  options.image_size = full ? 28 : 16;
+  const std::vector<int> train_sizes =
+      full ? std::vector<int>{30, 50, 70, 100, 130, 170}
+           : std::vector<int>{30, 100, 170};
+  const int num_splits = full ? 10 : 3;
+
+  std::cout << "Experiment: Tables VII & VIII / Figure 3 (MNIST-like)\n"
+            << "Profile: " << (full ? "full" : "small (use --full)")
+            << "  m=" << 10 * options.examples_per_class
+            << " n=" << options.image_size * options.image_size
+            << " c=10 splits=" << num_splits << "\n";
+
+  const DenseDataset dataset = GenerateDigitDataset(options);
+  const std::vector<Algorithm> algorithms = {
+      Algorithm::kLda, Algorithm::kRlda, Algorithm::kSrda,
+      Algorithm::kIdrQr};
+  const auto cells = RunCountSweep(dataset, train_sizes, algorithms,
+                                   num_splits, /*seed=*/303, "MNIST-like");
+
+  std::cout << "\n== Shape checks vs the paper ==\n";
+  bool ok = true;
+  const size_t first = 0;
+  const size_t last = cells.size() - 1;
+  ok &= ShapeCheck(
+      cells[first][0].error_mean > cells[first][2].error_mean,
+      "plain LDA worse than SRDA on digits (Table VII: 48.1 vs 23.6)");
+  ok &= ShapeCheck(
+      cells[last][0].error_mean > cells[last][1].error_mean,
+      "plain LDA stays worse than RLDA even at 170/class (Table VII)");
+  ok &= ShapeCheck(
+      cells[last][2].error_mean < cells[last][3].error_mean + 1.0,
+      "SRDA at least matches IDR/QR (Table VII)");
+  ok &= ShapeCheck(
+      cells[last][2].seconds_mean < cells[last][0].seconds_mean,
+      "SRDA trains faster than LDA (Table VIII)");
+  ok &= ShapeCheck(
+      cells[last][2].seconds_mean < cells[last][1].seconds_mean,
+      "SRDA trains faster than RLDA (Table VIII)");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace srda
+
+int main(int argc, char** argv) { return srda::bench::Main(argc, argv); }

@@ -1,0 +1,75 @@
+// Reproduces Tables III & IV and Figure 1: error rate and training time on
+// the PIE-like face dataset as functions of the number of labeled samples
+// per class, for LDA / RLDA / SRDA / IDR-QR.
+//
+// Default profile is scaled down (16x16 images, 3 splits) to finish quickly
+// on one core; pass --full for the paper-scale 32x32 / 170-images / 6-sizes
+// sweep.
+
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "dataset/face_generator.h"
+
+namespace srda {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  const bool full = HasFlag(argc, argv, "--full");
+
+  FaceGeneratorOptions options;
+  options.num_subjects = 68;
+  options.images_per_subject = full ? 170 : 40;
+  options.image_size = full ? 32 : 16;
+  const std::vector<int> train_sizes =
+      full ? std::vector<int>{10, 20, 30, 40, 50, 60}
+           : std::vector<int>{10, 20, 30};
+  const int num_splits = full ? 10 : 3;
+
+  std::cout << "Experiment: Tables III & IV / Figure 1 (PIE-like faces)\n"
+            << "Profile: " << (full ? "full" : "small (use --full)")
+            << "  m=" << options.num_subjects * options.images_per_subject
+            << " n=" << options.image_size * options.image_size
+            << " c=" << options.num_subjects << " splits=" << num_splits
+            << "\n";
+
+  const DenseDataset dataset = GenerateFaceDataset(options);
+  const std::vector<Algorithm> algorithms = {
+      Algorithm::kLda, Algorithm::kRlda, Algorithm::kSrda,
+      Algorithm::kIdrQr};
+  const auto cells = RunCountSweep(dataset, train_sizes, algorithms,
+                                   num_splits, /*seed=*/101, "PIE-like");
+
+  // Qualitative claims from the paper's Tables III/IV.
+  std::cout << "\n== Shape checks vs the paper ==\n";
+  bool ok = true;
+  const size_t first = 0;
+  const size_t last = cells.size() - 1;
+  ok &= ShapeCheck(
+      cells[first][2].error_mean <= cells[first][0].error_mean + 1.0,
+      "SRDA error <= LDA error at the smallest training size (Table III)");
+  ok &= ShapeCheck(
+      cells[first][2].error_mean < cells[first][3].error_mean + 1.0,
+      "SRDA error <= IDR/QR error (Table III)");
+  ok &= ShapeCheck(
+      std::abs(cells[last][2].error_mean - cells[last][1].error_mean) < 5.0,
+      "SRDA and RLDA within a few points of each other (Table III)");
+  ok &= ShapeCheck(
+      cells[last][2].seconds_mean < cells[last][0].seconds_mean,
+      "SRDA trains faster than LDA (Table IV)");
+  ok &= ShapeCheck(
+      cells[last][2].seconds_mean < cells[last][1].seconds_mean,
+      "SRDA trains faster than RLDA (Table IV)");
+  ok &= ShapeCheck(
+      cells[last][0].error_mean > cells[last - 1][0].error_mean - 20.0,
+      "error decreases (or stays flat) with more training data (Figure 1)");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace srda
+
+int main(int argc, char** argv) { return srda::bench::Main(argc, argv); }

@@ -1,0 +1,185 @@
+// Reproduces Table I: the asymptotic cost comparison between LDA and SRDA.
+//
+// Two empirical verifications:
+//  1. Square dense problems (m == n, where the paper predicts the maximum
+//     normal-equations speedup of 9x): measure LDA vs SRDA wall time over a
+//     grid of sizes, fit the growth exponent, and check LDA grows ~cubically
+//     in min(m, n) while SRDA grows more slowly with a large constant
+//     advantage.
+//  2. Sparse LSQR scaling: training time must grow ~linearly in the number
+//     of samples m at fixed density (the "linear time" of the title).
+//
+// The analytic flam model (common/flops.h) is printed next to the measured
+// times so the predicted 9x ratio can be compared with the observed one.
+
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/flops.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "common/table_printer.h"
+#include "core/lda.h"
+#include "core/srda.h"
+#include "dataset/dataset.h"
+#include "sparse/sparse_matrix.h"
+
+namespace srda {
+namespace bench {
+namespace {
+
+constexpr int kNumClasses = 10;
+
+DenseDataset RandomDense(int m, int n, Rng* rng) {
+  DenseDataset dataset;
+  dataset.num_classes = kNumClasses;
+  dataset.features = Matrix(m, n);
+  for (int i = 0; i < m; ++i) {
+    const int label = i % kNumClasses;
+    dataset.labels.push_back(label);
+    for (int j = 0; j < n; ++j) {
+      dataset.features(i, j) =
+          (j % kNumClasses == label ? 1.0 : 0.0) + rng->NextGaussian();
+    }
+  }
+  return dataset;
+}
+
+SparseDataset RandomSparse(int m, int n, int nnz_per_row, Rng* rng) {
+  SparseDataset dataset;
+  dataset.num_classes = kNumClasses;
+  SparseMatrixBuilder builder(m, n);
+  for (int i = 0; i < m; ++i) {
+    const int label = i % kNumClasses;
+    dataset.labels.push_back(label);
+    for (int k = 0; k < nnz_per_row; ++k) {
+      const int col = static_cast<int>(rng->NextUint64Bounded(n));
+      builder.Add(i, col, rng->NextGaussian() + (col % kNumClasses == label));
+    }
+  }
+  dataset.features = std::move(builder).Build();
+  return dataset;
+}
+
+double MedianOfThree(double a, double b, double c) {
+  return std::max(std::min(a, b), std::min(std::max(a, b), c));
+}
+
+template <typename Fn>
+double TimeMedian(Fn&& fn) {
+  double samples[3];
+  for (double& sample : samples) {
+    Stopwatch watch;
+    fn();
+    sample = watch.ElapsedSeconds();
+  }
+  return MedianOfThree(samples[0], samples[1], samples[2]);
+}
+
+// Least-squares slope of log(time) vs log(size).
+double FitExponent(const std::vector<double>& sizes,
+                   const std::vector<double>& times) {
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  const int count = static_cast<int>(sizes.size());
+  for (int i = 0; i < count; ++i) {
+    const double x = std::log(sizes[static_cast<size_t>(i)]);
+    const double y = std::log(times[static_cast<size_t>(i)]);
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+  }
+  return (count * sxy - sx * sy) / (count * sxx - sx * sx);
+}
+
+int Main(int argc, char** argv) {
+  const bool full = HasFlag(argc, argv, "--full");
+  Rng rng(606);
+
+  std::cout << "Experiment: Table I (complexity of LDA vs SRDA)\n"
+            << "Profile: " << (full ? "full" : "small (use --full)") << "\n";
+
+  // Part 1: dense square problems, the maximum-speedup point of Table I.
+  const std::vector<int> sizes =
+      full ? std::vector<int>{128, 256, 384, 512, 768}
+           : std::vector<int>{96, 160, 256, 384};
+  std::cout << "\n== Dense square problems (m == n) ==\n";
+  TablePrinter table({"m = n", "LDA s", "SRDA s", "speedup",
+                      "flam-predicted speedup"});
+  std::vector<double> lda_times;
+  std::vector<double> srda_times;
+  std::vector<double> dsizes;
+  for (int size : sizes) {
+    const DenseDataset data = RandomDense(size, size, &rng);
+    const double lda_time = TimeMedian(
+        [&] { FitLda(data.features, data.labels, kNumClasses); });
+    const double srda_time = TimeMedian(
+        [&] { FitSrda(data.features, data.labels, kNumClasses); });
+    lda_times.push_back(lda_time);
+    srda_times.push_back(srda_time);
+    dsizes.push_back(size);
+    const double predicted =
+        LdaCost(size, size, kNumClasses).flam /
+        SrdaNormalEquationsCost(size, size, kNumClasses).flam;
+    table.AddRow({std::to_string(size), FormatDouble(lda_time, 4),
+                  FormatDouble(srda_time, 4),
+                  FormatDouble(lda_time / srda_time, 2),
+                  FormatDouble(predicted, 2)});
+  }
+  table.Print(std::cout);
+
+  const double lda_exponent = FitExponent(dsizes, lda_times);
+  const double srda_exponent = FitExponent(dsizes, srda_times);
+  std::cout << "growth exponents: LDA " << FormatDouble(lda_exponent, 2)
+            << ", SRDA " << FormatDouble(srda_exponent, 2) << "\n";
+
+  // Part 2: sparse LSQR, linear in m.
+  std::cout << "\n== Sparse SRDA with LSQR (n = "
+            << (full ? 26214 : 8000) << ", ~60 nnz/doc) ==\n";
+  const int vocab = full ? 26214 : 8000;
+  const std::vector<int> doc_counts =
+      full ? std::vector<int>{2000, 4000, 8000, 16000}
+           : std::vector<int>{1000, 2000, 4000, 8000};
+  TablePrinter sparse_table({"m", "SRDA-LSQR s", "s per 1k docs"});
+  std::vector<double> sparse_sizes;
+  std::vector<double> sparse_times;
+  SrdaOptions lsqr_options;
+  lsqr_options.solver = SrdaSolver::kLsqr;
+  lsqr_options.lsqr_iterations = 15;
+  for (int docs : doc_counts) {
+    const SparseDataset data = RandomSparse(docs, vocab, 60, &rng);
+    const double time = TimeMedian([&] {
+      FitSrda(data.features, data.labels, kNumClasses, lsqr_options);
+    });
+    sparse_sizes.push_back(docs);
+    sparse_times.push_back(time);
+    sparse_table.AddRow({std::to_string(docs), FormatDouble(time, 4),
+                         FormatDouble(1000.0 * time / docs, 4)});
+  }
+  sparse_table.Print(std::cout);
+  const double sparse_exponent = FitExponent(sparse_sizes, sparse_times);
+  std::cout << "growth exponent in m: " << FormatDouble(sparse_exponent, 2)
+            << "\n";
+
+  std::cout << "\n== Shape checks vs the paper ==\n";
+  bool ok = true;
+  ok &= ShapeCheck(lda_exponent > 2.2,
+                   "LDA wall time grows superquadratically in min(m,n) "
+                   "(Table I: cubic)");
+  ok &= ShapeCheck(srda_exponent < lda_exponent,
+                   "SRDA grows more slowly than LDA");
+  ok &= ShapeCheck(lda_times.back() / srda_times.back() > 3.0,
+                   "SRDA at least 3x faster at the largest square size "
+                   "(Table I predicts up to 9x)");
+  ok &= ShapeCheck(sparse_exponent < 1.3,
+                   "sparse SRDA-LSQR ~linear in m (the paper's title claim)");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace srda
+
+int main(int argc, char** argv) { return srda::bench::Main(argc, argv); }

@@ -1,0 +1,85 @@
+// Reproduces Table II: the statistics of the four evaluation datasets.
+//
+// Prints size (m), dimensionality (n), class count (c) and — for the sparse
+// corpus — the average number of non-zero features per sample, side by side
+// with the paper's reference values. The full profile generates the
+// paper-scale datasets; the default scales them down.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "dataset/digit_generator.h"
+#include "dataset/face_generator.h"
+#include "dataset/spoken_letter_generator.h"
+#include "dataset/text_generator.h"
+
+namespace srda {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  const bool full = HasFlag(argc, argv, "--full");
+  std::cout << "Experiment: Table II (statistics of the data sets)\n"
+            << "Profile: " << (full ? "full" : "small (use --full)") << "\n\n";
+
+  TablePrinter table({"dataset", "size (m)", "dim (n)", "# classes (c)",
+                      "paper m/n/c"});
+
+  {
+    FaceGeneratorOptions options;
+    options.images_per_subject = full ? 170 : 40;
+    options.image_size = full ? 32 : 16;
+    const DenseDataset d = GenerateFaceDataset(options);
+    table.AddRow({"PIE-like", std::to_string(d.features.rows()),
+                  std::to_string(d.features.cols()),
+                  std::to_string(d.num_classes), "11560/1024/68"});
+  }
+  {
+    SpokenLetterGeneratorOptions options;
+    options.examples_per_class = full ? 240 : 130;
+    options.num_features = full ? 617 : 200;
+    const DenseDataset d = GenerateSpokenLetterDataset(options);
+    table.AddRow({"Isolet-like", std::to_string(d.features.rows()),
+                  std::to_string(d.features.cols()),
+                  std::to_string(d.num_classes), "6237/617/26"});
+  }
+  {
+    DigitGeneratorOptions options;
+    options.examples_per_class = full ? 400 : 250;
+    options.image_size = full ? 28 : 16;
+    const DenseDataset d = GenerateDigitDataset(options);
+    table.AddRow({"MNIST-like", std::to_string(d.features.rows()),
+                  std::to_string(d.features.cols()),
+                  std::to_string(d.num_classes), "4000/784/10"});
+  }
+  double avg_nnz = 0.0;
+  {
+    TextGeneratorOptions options;
+    options.docs_per_topic = full ? 947 : 250;
+    const SparseDataset d = GenerateTextDataset(options);
+    avg_nnz = d.features.AvgNonZerosPerRow();
+    table.AddRow({"20News-like", std::to_string(d.features.rows()),
+                  std::to_string(d.features.cols()),
+                  std::to_string(d.num_classes), "18941/26214/20"});
+    table.Print(std::cout);
+    std::cout << "\n20News-like sparsity: avg "
+              << FormatDouble(avg_nnz, 1)
+              << " non-zero terms per document ("
+              << FormatDouble(100.0 * avg_nnz / d.features.cols(), 2)
+              << "% density)\n";
+  }
+
+  std::cout << "\n== Shape checks vs the paper ==\n";
+  bool ok = true;
+  ok &= ShapeCheck(avg_nnz > 30.0 && avg_nnz < 300.0,
+                   "text corpus lands in the ~100 nnz/doc regime the paper's "
+                   "sparse analysis assumes");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace srda
+
+int main(int argc, char** argv) { return srda::bench::Main(argc, argv); }

@@ -1,0 +1,226 @@
+#include "bench/bench_util.h"
+
+#include <cstdio>
+#include <iostream>
+
+#include "classify/classifiers.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "common/table_printer.h"
+#include "core/idr_qr.h"
+#include "core/lda.h"
+#include "core/rlda.h"
+#include "core/srda.h"
+#include "dataset/split.h"
+
+namespace srda {
+namespace bench {
+
+std::string AlgorithmName(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kLda:
+      return "LDA";
+    case Algorithm::kRlda:
+      return "RLDA";
+    case Algorithm::kSrda:
+      return "SRDA";
+    case Algorithm::kIdrQr:
+      return "IDR/QR";
+  }
+  return "unknown";
+}
+
+namespace {
+
+double Evaluate(const LinearEmbedding& embedding, const DenseDataset& train,
+                const DenseDataset& test) {
+  const Matrix train_embedded = embedding.Transform(train.features);
+  const Matrix test_embedded = embedding.Transform(test.features);
+  CentroidClassifier classifier;
+  classifier.Fit(train_embedded, train.labels, train.num_classes);
+  return 100.0 * ErrorRate(classifier.Predict(test_embedded), test.labels);
+}
+
+}  // namespace
+
+RunResult RunDense(Algorithm algorithm, const DenseDataset& train,
+                   const DenseDataset& test, double alpha) {
+  RunResult result;
+  Stopwatch watch;
+  LinearEmbedding embedding;
+  switch (algorithm) {
+    case Algorithm::kLda: {
+      const LdaModel model =
+          FitLda(train.features, train.labels, train.num_classes);
+      SRDA_CHECK(model.converged) << "LDA failed to converge";
+      embedding = model.embedding;
+      break;
+    }
+    case Algorithm::kRlda: {
+      RldaOptions options;
+      options.alpha = alpha;
+      const RldaModel model =
+          FitRlda(train.features, train.labels, train.num_classes, options);
+      SRDA_CHECK(model.converged) << "RLDA failed to converge";
+      embedding = model.embedding;
+      break;
+    }
+    case Algorithm::kSrda: {
+      SrdaOptions options;
+      options.alpha = alpha;
+      const SrdaModel model =
+          FitSrda(train.features, train.labels, train.num_classes, options);
+      SRDA_CHECK(model.converged) << "SRDA failed to converge";
+      embedding = model.embedding;
+      break;
+    }
+    case Algorithm::kIdrQr: {
+      const IdrQrModel model =
+          FitIdrQr(train.features, train.labels, train.num_classes);
+      SRDA_CHECK(model.converged) << "IDR/QR failed to converge";
+      embedding = model.embedding;
+      break;
+    }
+  }
+  result.seconds = watch.ElapsedSeconds();
+  result.error_percent = Evaluate(embedding, train, test);
+  return result;
+}
+
+RunResult RunSparseSrda(const SparseDataset& train, const SparseDataset& test,
+                        double alpha, int lsqr_iterations) {
+  RunResult result;
+  Stopwatch watch;
+  SrdaOptions options;
+  options.alpha = alpha;
+  options.solver = SrdaSolver::kLsqr;
+  options.lsqr_iterations = lsqr_iterations;
+  const SrdaModel model =
+      FitSrda(train.features, train.labels, train.num_classes, options);
+  SRDA_CHECK(model.converged) << "sparse SRDA failed to converge";
+  result.seconds = watch.ElapsedSeconds();
+
+  const Matrix train_embedded = model.embedding.Transform(train.features);
+  const Matrix test_embedded = model.embedding.Transform(test.features);
+  CentroidClassifier classifier;
+  classifier.Fit(train_embedded, train.labels, train.num_classes);
+  result.error_percent =
+      100.0 * ErrorRate(classifier.Predict(test_embedded), test.labels);
+  return result;
+}
+
+DenseDataset Densify(const SparseDataset& dataset) {
+  DenseDataset dense;
+  dense.features = dataset.features.ToDense();
+  dense.labels = dataset.labels;
+  dense.num_classes = dataset.num_classes;
+  return dense;
+}
+
+std::vector<std::vector<SweepCell>> RunCountSweep(
+    const DenseDataset& dataset, const std::vector<int>& train_sizes,
+    const std::vector<Algorithm>& algorithms, int num_splits,
+    uint64_t seed, const std::string& dataset_name) {
+  Rng rng(seed);
+  std::vector<std::vector<SweepCell>> cells(
+      train_sizes.size(), std::vector<SweepCell>(algorithms.size()));
+
+  for (size_t s = 0; s < train_sizes.size(); ++s) {
+    std::vector<std::vector<double>> errors(algorithms.size());
+    std::vector<std::vector<double>> times(algorithms.size());
+    for (int split_index = 0; split_index < num_splits; ++split_index) {
+      const TrainTestSplit split = StratifiedSplitByCount(
+          dataset.labels, dataset.num_classes, train_sizes[s], &rng);
+      const DenseDataset train = Subset(dataset, split.train);
+      const DenseDataset test = Subset(dataset, split.test);
+      for (size_t a = 0; a < algorithms.size(); ++a) {
+        const RunResult run = RunDense(algorithms[a], train, test);
+        errors[a].push_back(run.error_percent);
+        times[a].push_back(run.seconds);
+      }
+    }
+    for (size_t a = 0; a < algorithms.size(); ++a) {
+      const MeanStd error_stats = ComputeMeanStd(errors[a]);
+      const MeanStd time_stats = ComputeMeanStd(times[a]);
+      cells[s][a].error_mean = error_stats.mean;
+      cells[s][a].error_std = error_stats.stddev;
+      cells[s][a].seconds_mean = time_stats.mean;
+      cells[s][a].ran = true;
+    }
+  }
+
+  std::vector<std::string> row_labels;
+  for (int size : train_sizes) {
+    row_labels.push_back(std::to_string(size) + " x " +
+                         std::to_string(dataset.num_classes));
+  }
+  PrintSweepTables(dataset_name, row_labels, algorithms, cells);
+  return cells;
+}
+
+void PrintSweepTables(const std::string& dataset_name,
+                      const std::vector<std::string>& row_labels,
+                      const std::vector<Algorithm>& algorithms,
+                      const std::vector<std::vector<SweepCell>>& cells) {
+  std::vector<std::string> header = {"Train Size"};
+  for (Algorithm algorithm : algorithms) {
+    header.push_back(AlgorithmName(algorithm));
+  }
+
+  std::cout << "\n== Classification error rates on " << dataset_name
+            << " (mean +- std-dev, %) ==\n";
+  TablePrinter error_table(header);
+  for (size_t s = 0; s < cells.size(); ++s) {
+    std::vector<std::string> row = {row_labels[s]};
+    for (const SweepCell& cell : cells[s]) {
+      row.push_back(cell.ran
+                        ? FormatMeanStd(cell.error_mean, cell.error_std)
+                        : "-");
+    }
+    error_table.AddRow(row);
+  }
+  error_table.Print(std::cout);
+
+  std::cout << "\n== Computational time on " << dataset_name << " (s) ==\n";
+  TablePrinter time_table(header);
+  for (size_t s = 0; s < cells.size(); ++s) {
+    std::vector<std::string> row = {row_labels[s]};
+    for (const SweepCell& cell : cells[s]) {
+      row.push_back(cell.ran ? FormatDouble(cell.seconds_mean, 4) : "-");
+    }
+    time_table.AddRow(row);
+  }
+  time_table.Print(std::cout);
+
+  // Figure series: one line per algorithm, usable to regenerate the plots.
+  std::cout << "\n== Figure series (error %, then time s, per algorithm) ==\n";
+  for (size_t a = 0; a < algorithms.size(); ++a) {
+    std::cout << AlgorithmName(algorithms[a]) << " error:";
+    for (const auto& row : cells) {
+      std::cout << " "
+                << (row[a].ran ? FormatDouble(row[a].error_mean, 2) : "-");
+    }
+    std::cout << "\n" << AlgorithmName(algorithms[a]) << " time:";
+    for (const auto& row : cells) {
+      std::cout << " "
+                << (row[a].ran ? FormatDouble(row[a].seconds_mean, 4) : "-");
+    }
+    std::cout << "\n";
+  }
+}
+
+bool ShapeCheck(bool condition, const std::string& description) {
+  std::cout << (condition ? "[PASS] " : "[FAIL] ") << description << "\n";
+  return condition;
+}
+
+bool HasFlag(int argc, char** argv, const std::string& flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
+}
+
+}  // namespace bench
+}  // namespace srda

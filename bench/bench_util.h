@@ -1,0 +1,85 @@
+// Shared harness for the table/figure reproduction benchmarks.
+//
+// Each bench binary reproduces one of the paper's tables/figures: it sweeps
+// the training-set size, runs the four algorithms over several random
+// stratified splits, and prints error-rate and training-time tables in the
+// paper's layout, followed by automated "shape checks" that assert the
+// qualitative findings (who wins, by what factor) rather than absolute
+// numbers, since the substrate is synthetic data on different hardware.
+
+#ifndef SRDA_BENCH_BENCH_UTIL_H_
+#define SRDA_BENCH_BENCH_UTIL_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dataset/dataset.h"
+
+namespace srda {
+namespace bench {
+
+enum class Algorithm {
+  kLda,
+  kRlda,
+  kSrda,       // normal equations on dense data, LSQR on sparse
+  kIdrQr,
+};
+
+std::string AlgorithmName(Algorithm algorithm);
+
+// One train+evaluate run. `error` is the test error rate in percent;
+// `seconds` is the training (projection-learning) time only, matching the
+// paper's "computational time" tables.
+struct RunResult {
+  double error_percent = 0.0;
+  double seconds = 0.0;
+};
+
+// Trains `algorithm` on the dense train split and evaluates on the test
+// split with a nearest-centroid classifier. `alpha` applies to RLDA/SRDA.
+RunResult RunDense(Algorithm algorithm, const DenseDataset& train,
+                   const DenseDataset& test, double alpha = 1.0);
+
+// Sparse path: SRDA with LSQR (the only algorithm that never densifies).
+// `lsqr_iterations` mirrors the paper's fixed iteration count.
+RunResult RunSparseSrda(const SparseDataset& train, const SparseDataset& test,
+                        double alpha = 1.0, int lsqr_iterations = 15);
+
+// Densifies a sparse dataset (for running the dense baselines on text data
+// at small training fractions, as the paper does before memory runs out).
+DenseDataset Densify(const SparseDataset& dataset);
+
+// Aggregated sweep cell: mean +- std over splits.
+struct SweepCell {
+  double error_mean = 0.0;
+  double error_std = 0.0;
+  double seconds_mean = 0.0;
+  bool ran = false;
+};
+
+// Runs `algorithms` over `num_splits` stratified splits at each
+// train-per-class size, printing the paper-style error and time tables and
+// per-algorithm figure series. Returns cells[size_index][algorithm_index].
+std::vector<std::vector<SweepCell>> RunCountSweep(
+    const DenseDataset& dataset, const std::vector<int>& train_sizes,
+    const std::vector<Algorithm>& algorithms, int num_splits,
+    uint64_t seed, const std::string& dataset_name);
+
+// Prints the two tables (error, time) and figure series for precomputed
+// cells; row_labels name the sweep points (e.g. "10 x 68" or "5%").
+void PrintSweepTables(const std::string& dataset_name,
+                      const std::vector<std::string>& row_labels,
+                      const std::vector<Algorithm>& algorithms,
+                      const std::vector<std::vector<SweepCell>>& cells);
+
+// Emits "[PASS]"/"[FAIL]" for a qualitative claim; returns `condition`.
+bool ShapeCheck(bool condition, const std::string& description);
+
+// True if "--full" appears among the CLI arguments.
+bool HasFlag(int argc, char** argv, const std::string& flag);
+
+}  // namespace bench
+}  // namespace srda
+
+#endif  // SRDA_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,40 @@
+// Model selection example: pick SRDA's ridge parameter by stratified
+// cross-validation, reproducing the paper's Figure 5 finding that a wide
+// range of alpha works.
+//
+// Run: ./build/examples/alpha_selection
+
+#include <iostream>
+#include <vector>
+
+#include "common/table_printer.h"
+#include "dataset/spoken_letter_generator.h"
+#include "select/model_selection.h"
+
+int main() {
+  using namespace srda;
+
+  SpokenLetterGeneratorOptions options;
+  options.num_classes = 10;
+  options.examples_per_class = 40;
+  options.num_features = 120;
+  const DenseDataset dataset = GenerateSpokenLetterDataset(options);
+  std::cout << "Dataset: " << dataset.features.rows() << " samples, "
+            << dataset.features.cols() << " features, "
+            << dataset.num_classes << " classes\n\n";
+
+  const std::vector<double> alphas = {1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0, 100.0};
+  const AlphaSearchResult result =
+      SelectSrdaAlpha(dataset, alphas, /*num_folds=*/5, /*seed=*/2024);
+
+  TablePrinter table({"alpha", "5-fold CV error %"});
+  for (size_t i = 0; i < alphas.size(); ++i) {
+    table.AddRow({FormatDouble(alphas[i], 4),
+                  FormatDouble(100.0 * result.errors[i], 2)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nSelected alpha = " << result.best_alpha
+            << " (the paper's Figure 5 observes SRDA is robust over a wide "
+               "range,\nso close errors across the grid are expected).\n";
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Incremental SRDA example: stream digit images one at a time, re-solving
+// the discriminant embedding periodically. The paper's IDR/QR baseline is
+// motivated by exactly this setting; SRDA's normal-equations form supports
+// it through O(n^2) Cholesky rank-1 updates per sample.
+//
+// Run: ./build/examples/incremental_stream
+
+#include <iostream>
+#include <vector>
+
+#include "classify/classifiers.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "core/incremental_srda.h"
+#include "dataset/digit_generator.h"
+#include "dataset/split.h"
+
+int main() {
+  using namespace srda;
+
+  DigitGeneratorOptions options;
+  options.examples_per_class = 80;
+  options.image_size = 12;  // 144 features
+  const DenseDataset dataset = GenerateDigitDataset(options);
+  const int n = dataset.features.cols();
+
+  Rng rng(17);
+  const TrainTestSplit split =
+      StratifiedSplitByCount(dataset.labels, 10, 50, &rng);
+  const DenseDataset stream = Subset(dataset, split.train);
+  const DenseDataset test = Subset(dataset, split.test);
+
+  // Shuffle the stream order.
+  std::vector<int> order;
+  for (int i = 0; i < stream.features.rows(); ++i) order.push_back(i);
+  rng.Shuffle(&order);
+
+  IncrementalSrda trainer(n, 10, /*alpha=*/1.0);
+  Stopwatch total;
+  int streamed = 0;
+  std::cout << "streamed  test-error%  cumulative-train-s\n";
+  for (int index : order) {
+    trainer.AddSample(stream.features.Row(index),
+                      stream.labels[static_cast<size_t>(index)]);
+    ++streamed;
+    const bool report = trainer.ready() &&
+                        (streamed % 100 == 0 || streamed == 20 ||
+                         streamed == static_cast<int>(order.size()));
+    if (!report) continue;
+    const LinearEmbedding embedding = trainer.Solve();
+    // Evaluate with centroids from everything streamed so far.
+    DenseDataset seen;
+    seen.num_classes = 10;
+    std::vector<int> seen_indices(order.begin(), order.begin() + streamed);
+    seen = Subset(stream, seen_indices);
+    CentroidClassifier classifier;
+    classifier.Fit(embedding.Transform(seen.features), seen.labels, 10);
+    const double error = ErrorRate(
+        classifier.Predict(embedding.Transform(test.features)), test.labels);
+    std::cout << streamed << "  " << 100.0 * error << "  "
+              << total.ElapsedSeconds() << "\n";
+  }
+  std::cout << "\nEach AddSample costs O(n^2); no pass over past samples is "
+               "ever made.\n";
+  return 0;
+}

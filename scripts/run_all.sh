@@ -1,0 +1,11 @@
+#!/bin/sh
+# Builds everything, runs the full test suite and every benchmark, and
+# records the outputs the repository's deliverables reference.
+set -e
+cd "$(dirname "$0")/.."
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+for b in build/bench/*; do
+  [ -x "$b" ] && [ -f "$b" ] && "$b"
+done 2>&1 | tee bench_output.txt

@@ -1,0 +1,154 @@
+#include "classify/classifiers.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/check.h"
+#include "dataset/dataset.h"
+
+namespace srda {
+namespace {
+
+double SquaredDistance(const double* a, const double* b, int dim) {
+  double sum = 0.0;
+  for (int j = 0; j < dim; ++j) {
+    const double diff = a[j] - b[j];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+}  // namespace
+
+void CentroidClassifier::Fit(const Matrix& embedded,
+                             const std::vector<int>& labels, int num_classes) {
+  SRDA_CHECK_EQ(static_cast<int>(labels.size()), embedded.rows())
+      << "label count mismatch";
+  SRDA_CHECK_GT(embedded.rows(), 0) << "cannot fit on an empty set";
+  const std::vector<int> counts = ClassCounts(labels, num_classes);
+  for (int k = 0; k < num_classes; ++k) {
+    SRDA_CHECK_GT(counts[static_cast<size_t>(k)], 0)
+        << "class " << k << " has no training samples";
+  }
+  centroids_ = Matrix(num_classes, embedded.cols());
+  for (int i = 0; i < embedded.rows(); ++i) {
+    const double* row = embedded.RowPtr(i);
+    double* centroid = centroids_.RowPtr(labels[static_cast<size_t>(i)]);
+    for (int j = 0; j < embedded.cols(); ++j) centroid[j] += row[j];
+  }
+  for (int k = 0; k < num_classes; ++k) {
+    const double inv = 1.0 / counts[static_cast<size_t>(k)];
+    double* centroid = centroids_.RowPtr(k);
+    for (int j = 0; j < embedded.cols(); ++j) centroid[j] *= inv;
+  }
+  fitted_ = true;
+}
+
+std::vector<int> CentroidClassifier::Predict(const Matrix& embedded) const {
+  SRDA_CHECK(fitted_) << "Predict before Fit";
+  SRDA_CHECK_EQ(embedded.cols(), centroids_.cols())
+      << "embedding dimension mismatch";
+  std::vector<int> predictions;
+  predictions.reserve(static_cast<size_t>(embedded.rows()));
+  for (int i = 0; i < embedded.rows(); ++i) {
+    const double* row = embedded.RowPtr(i);
+    int best_class = 0;
+    double best_distance = std::numeric_limits<double>::infinity();
+    for (int k = 0; k < centroids_.rows(); ++k) {
+      const double distance =
+          SquaredDistance(row, centroids_.RowPtr(k), embedded.cols());
+      if (distance < best_distance) {
+        best_distance = distance;
+        best_class = k;
+      }
+    }
+    predictions.push_back(best_class);
+  }
+  return predictions;
+}
+
+KnnClassifier::KnnClassifier(int k) : k_(k) {
+  SRDA_CHECK_GT(k, 0) << "k must be positive";
+}
+
+void KnnClassifier::Fit(const Matrix& embedded, const std::vector<int>& labels,
+                        int num_classes) {
+  SRDA_CHECK_EQ(static_cast<int>(labels.size()), embedded.rows())
+      << "label count mismatch";
+  SRDA_CHECK_GT(embedded.rows(), 0) << "cannot fit on an empty set";
+  ClassCounts(labels, num_classes);  // Validates the labels.
+  train_ = embedded;
+  labels_ = labels;
+  num_classes_ = num_classes;
+  fitted_ = true;
+}
+
+std::vector<int> KnnClassifier::Predict(const Matrix& embedded) const {
+  SRDA_CHECK(fitted_) << "Predict before Fit";
+  SRDA_CHECK_EQ(embedded.cols(), train_.cols())
+      << "embedding dimension mismatch";
+  const int k = std::min(k_, train_.rows());
+  std::vector<int> predictions;
+  predictions.reserve(static_cast<size_t>(embedded.rows()));
+  std::vector<std::pair<double, int>> distances(
+      static_cast<size_t>(train_.rows()));
+  for (int i = 0; i < embedded.rows(); ++i) {
+    const double* row = embedded.RowPtr(i);
+    for (int t = 0; t < train_.rows(); ++t) {
+      distances[static_cast<size_t>(t)] = {
+          SquaredDistance(row, train_.RowPtr(t), embedded.cols()),
+          labels_[static_cast<size_t>(t)]};
+    }
+    std::partial_sort(distances.begin(), distances.begin() + k,
+                      distances.end());
+    // Majority vote among the k nearest; ties go to the class whose nearest
+    // member is closest (i.e. the first encountered in sorted order).
+    std::vector<int> votes(static_cast<size_t>(num_classes_), 0);
+    for (int j = 0; j < k; ++j) {
+      ++votes[static_cast<size_t>(distances[static_cast<size_t>(j)].second)];
+    }
+    int best_class = -1;
+    int best_votes = 0;
+    for (int j = 0; j < k; ++j) {
+      const int label = distances[static_cast<size_t>(j)].second;
+      if (votes[static_cast<size_t>(label)] > best_votes) {
+        best_votes = votes[static_cast<size_t>(label)];
+        best_class = label;
+      }
+    }
+    predictions.push_back(best_class);
+  }
+  return predictions;
+}
+
+double ErrorRate(const std::vector<int>& predicted,
+                 const std::vector<int>& actual) {
+  SRDA_CHECK_EQ(predicted.size(), actual.size()) << "size mismatch";
+  SRDA_CHECK(!predicted.empty()) << "empty prediction set";
+  int errors = 0;
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    if (predicted[i] != actual[i]) ++errors;
+  }
+  return static_cast<double>(errors) / static_cast<double>(predicted.size());
+}
+
+MeanStd ComputeMeanStd(const std::vector<double>& values) {
+  SRDA_CHECK(!values.empty()) << "no measurements";
+  MeanStd result;
+  for (double value : values) result.mean += value;
+  result.mean /= static_cast<double>(values.size());
+  if (values.size() > 1) {
+    double sum_sq = 0.0;
+    for (double value : values) {
+      const double diff = value - result.mean;
+      sum_sq += diff * diff;
+    }
+    result.stddev =
+        std::sqrt(sum_sq / (static_cast<double>(values.size()) - 1.0));
+  }
+  return result;
+}
+
+}  // namespace srda

@@ -1,0 +1,67 @@
+// Classifiers operating in the embedded (post-projection) space, plus error
+// evaluation helpers. These close the loop for the paper's experiments: each
+// discriminant method produces an embedding, a simple classifier measures the
+// test error rate in that space.
+
+#ifndef SRDA_CLASSIFY_CLASSIFIERS_H_
+#define SRDA_CLASSIFY_CLASSIFIERS_H_
+
+#include <vector>
+
+#include "matrix/matrix.h"
+
+namespace srda {
+
+// Nearest-centroid classifier: stores one mean vector per class and assigns
+// each query to the class with the closest (Euclidean) centroid.
+class CentroidClassifier {
+ public:
+  // Fits centroids from embedded training data (one row per sample).
+  void Fit(const Matrix& embedded, const std::vector<int>& labels,
+           int num_classes);
+
+  // Predicts the class of each row of `embedded`.
+  std::vector<int> Predict(const Matrix& embedded) const;
+
+  const Matrix& centroids() const { return centroids_; }
+
+ private:
+  Matrix centroids_;  // num_classes x dim
+  bool fitted_ = false;
+};
+
+// k-nearest-neighbor classifier with majority vote (ties broken by the
+// nearest member of the tied classes). Brute force: fine in the low-
+// dimensional embedded space.
+class KnnClassifier {
+ public:
+  explicit KnnClassifier(int k = 1);
+
+  void Fit(const Matrix& embedded, const std::vector<int>& labels,
+           int num_classes);
+
+  std::vector<int> Predict(const Matrix& embedded) const;
+
+ private:
+  int k_;
+  Matrix train_;
+  std::vector<int> labels_;
+  int num_classes_ = 0;
+  bool fitted_ = false;
+};
+
+// Fraction of mismatches between `predicted` and `actual` (same length,
+// non-empty), in [0, 1].
+double ErrorRate(const std::vector<int>& predicted,
+                 const std::vector<int>& actual);
+
+// Mean and sample standard deviation of a set of measurements.
+struct MeanStd {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+MeanStd ComputeMeanStd(const std::vector<double>& values);
+
+}  // namespace srda
+
+#endif  // SRDA_CLASSIFY_CLASSIFIERS_H_

@@ -1,0 +1,85 @@
+#include "common/arg_parser.h"
+
+#include <cstdlib>
+
+#include "common/check.h"
+
+namespace srda {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const size_t equals = body.find('=');
+    if (equals == std::string::npos) {
+      values_[body] = "";
+      read_[body] = false;
+    } else {
+      values_[body.substr(0, equals)] = body.substr(equals + 1);
+      read_[body.substr(0, equals)] = false;
+    }
+  }
+}
+
+bool ArgParser::Has(const std::string& name) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return false;
+  read_[name] = true;
+  return true;
+}
+
+std::string ArgParser::GetString(const std::string& name,
+                                 const std::string& default_value) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  read_[name] = true;
+  return it->second;
+}
+
+int ArgParser::GetInt(const std::string& name, int default_value) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  read_[name] = true;
+  char* end = nullptr;
+  const long value = std::strtol(it->second.c_str(), &end, 10);
+  SRDA_CHECK(end != it->second.c_str() && *end == '\0')
+      << "--" << name << "=" << it->second << " is not an integer";
+  return static_cast<int>(value);
+}
+
+double ArgParser::GetDouble(const std::string& name,
+                            double default_value) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  read_[name] = true;
+  char* end = nullptr;
+  const double value = std::strtod(it->second.c_str(), &end);
+  SRDA_CHECK(end != it->second.c_str() && *end == '\0')
+      << "--" << name << "=" << it->second << " is not a number";
+  return value;
+}
+
+bool ArgParser::GetBool(const std::string& name, bool default_value) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  read_[name] = true;
+  const std::string& value = it->second;
+  if (value.empty() || value == "true" || value == "1") return true;
+  if (value == "false" || value == "0") return false;
+  SRDA_CHECK(false) << "--" << name << "=" << value << " is not a boolean";
+  return default_value;
+}
+
+std::vector<std::string> ArgParser::UnusedFlags() const {
+  std::vector<std::string> unused;
+  for (const auto& [name, was_read] : read_) {
+    if (!was_read) unused.push_back(name);
+  }
+  return unused;
+}
+
+}  // namespace srda

@@ -1,0 +1,54 @@
+// Minimal command-line flag parsing for the tools/ binaries.
+//
+// Supports "--key=value" and boolean "--flag" arguments. Unknown or
+// positional arguments are collected and can be rejected by the caller.
+
+#ifndef SRDA_COMMON_ARG_PARSER_H_
+#define SRDA_COMMON_ARG_PARSER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace srda {
+
+// Parses argv into a key/value map.
+//
+// Example:
+//   ArgParser args(argc, argv);
+//   const std::string path = args.GetString("data", "");
+//   const double alpha = args.GetDouble("alpha", 1.0);
+//   if (args.GetBool("help")) { ... }
+//   SRDA_CHECK(args.UnusedFlags().empty());
+class ArgParser {
+ public:
+  ArgParser(int argc, const char* const* argv);
+
+  // True if "--name" or "--name=..." was passed.
+  bool Has(const std::string& name) const;
+
+  // Typed getters; return the default when absent. Abort (via SRDA_CHECK)
+  // on malformed numeric values.
+  std::string GetString(const std::string& name,
+                        const std::string& default_value) const;
+  int GetInt(const std::string& name, int default_value) const;
+  double GetDouble(const std::string& name, double default_value) const;
+  // "--name" or "--name=true/1" is true; "--name=false/0" is false.
+  bool GetBool(const std::string& name, bool default_value = false) const;
+
+  // Positional (non --) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  // Flags present on the command line but never read by any getter; use to
+  // reject typos.
+  std::vector<std::string> UnusedFlags() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+  mutable std::map<std::string, bool> read_;
+};
+
+}  // namespace srda
+
+#endif  // SRDA_COMMON_ARG_PARSER_H_

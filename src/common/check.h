@@ -1,0 +1,73 @@
+// Lightweight runtime assertion macros used throughout the SRDA library.
+//
+// SRDA_CHECK remains active in all build modes (including release): the
+// library validates caller-supplied shapes and options with it, and silent
+// corruption in a numerics library is far worse than an abort. On failure the
+// macro prints the failing condition, an optional streamed message, and the
+// source location, then calls std::abort().
+//
+// Example:
+//   SRDA_CHECK(a.cols() == b.rows()) << "gemm shape mismatch: " << a.cols()
+//                                    << " vs " << b.rows();
+
+#ifndef SRDA_COMMON_CHECK_H_
+#define SRDA_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace srda {
+namespace internal_check {
+
+// Accumulates the streamed message for a failed check and aborts when
+// destroyed. Constructed only on the failure path, so the fast path costs a
+// single branch.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* condition, const char* file, int line) {
+    stream_ << "SRDA_CHECK failed: " << condition << " at " << file << ":"
+            << line << " ";
+  }
+
+  CheckFailureStream(const CheckFailureStream&) = delete;
+  CheckFailureStream& operator=(const CheckFailureStream&) = delete;
+
+  [[noreturn]] ~CheckFailureStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailureStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_check
+}  // namespace srda
+
+// The switch wrapper makes the macro a single statement immune to dangling
+// else; the message stream is only evaluated on failure.
+#define SRDA_CHECK(condition)                            \
+  switch (0)                                             \
+  case 0:                                                \
+  default:                                               \
+    if (condition) {                                     \
+    } else /* NOLINT */                                  \
+      ::srda::internal_check::CheckFailureStream(        \
+          #condition, __FILE__, __LINE__)
+
+#define SRDA_CHECK_EQ(a, b) SRDA_CHECK((a) == (b))
+#define SRDA_CHECK_NE(a, b) SRDA_CHECK((a) != (b))
+#define SRDA_CHECK_LT(a, b) SRDA_CHECK((a) < (b))
+#define SRDA_CHECK_LE(a, b) SRDA_CHECK((a) <= (b))
+#define SRDA_CHECK_GT(a, b) SRDA_CHECK((a) > (b))
+#define SRDA_CHECK_GE(a, b) SRDA_CHECK((a) >= (b))
+
+#endif  // SRDA_COMMON_CHECK_H_

@@ -1,0 +1,66 @@
+#include "common/flops.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace srda {
+namespace {
+
+double Min3(double a, double b) { return std::min(a, b); }
+
+}  // namespace
+
+CostEstimate LdaCost(int64_t m, int64_t n, int64_t c) {
+  SRDA_CHECK(m > 0 && n > 0 && c > 0);
+  const double dm = static_cast<double>(m);
+  const double dn = static_cast<double>(n);
+  const double dc = static_cast<double>(c);
+  const double t = Min3(dm, dn);
+  CostEstimate cost;
+  cost.flam = 1.5 * dm * dn * t + 4.5 * t * t * t + dm * dn * dc;
+  cost.memory_doubles = dm * dn + dn * t + dm * t;
+  return cost;
+}
+
+CostEstimate SrdaNormalEquationsCost(int64_t m, int64_t n, int64_t c) {
+  SRDA_CHECK(m > 0 && n > 0 && c > 0);
+  const double dm = static_cast<double>(m);
+  const double dn = static_cast<double>(n);
+  const double dc = static_cast<double>(c);
+  const double t = Min3(dm, dn);
+  CostEstimate cost;
+  cost.flam = 0.5 * dm * dn * t + t * t * t / 6.0 + dc * dm * dn + dm * dc * dc;
+  cost.memory_doubles = dm * dn + t * t + dc * dn;
+  return cost;
+}
+
+CostEstimate SrdaLsqrDenseCost(int64_t m, int64_t n, int64_t c, int64_t k) {
+  SRDA_CHECK(m > 0 && n > 0 && c > 0 && k > 0);
+  const double dm = static_cast<double>(m);
+  const double dn = static_cast<double>(n);
+  const double dc = static_cast<double>(c);
+  const double dk = static_cast<double>(k);
+  CostEstimate cost;
+  cost.flam = (dc - 1.0) * dk * (2.0 * dm * dn + 3.0 * dn + 5.0 * dm) +
+              dm * dc * dc;
+  cost.memory_doubles = dm * dn + (2.0 * dc + 3.0) * dn;
+  return cost;
+}
+
+CostEstimate SrdaLsqrSparseCost(int64_t m, int64_t n, int64_t c, int64_t k,
+                                double s) {
+  SRDA_CHECK(m > 0 && n > 0 && c > 0 && k > 0);
+  SRDA_CHECK(s >= 0.0);
+  const double dm = static_cast<double>(m);
+  const double dn = static_cast<double>(n);
+  const double dc = static_cast<double>(c);
+  const double dk = static_cast<double>(k);
+  CostEstimate cost;
+  cost.flam = (dc - 1.0) * dk * (2.0 * dm * s + 3.0 * dn + 5.0 * dm) +
+              dm * dc * dc;
+  cost.memory_doubles = dm * s + (2.0 * dc + 3.0) * dn;
+  return cost;
+}
+
+}  // namespace srda

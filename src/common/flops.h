@@ -1,0 +1,49 @@
+// Analytic operation-count (flam) model from Table I of the paper.
+//
+// The paper measures cost in "flam" (one floating-point addition plus one
+// multiplication, Stewart 1998). These functions evaluate the paper's
+// dominant-term formulas so benchmarks can print predicted cost next to
+// measured wall time and verify the predicted LDA/SRDA speedup (maximum 9x
+// at m == n for the normal-equations solver) and SRDA's linearity in m and n.
+//
+// Notation follows the paper: m samples, n features, c classes,
+// t = min(m, n), k LSQR iterations, s average non-zeros per sample.
+
+#ifndef SRDA_COMMON_FLOPS_H_
+#define SRDA_COMMON_FLOPS_H_
+
+#include <cstdint>
+
+namespace srda {
+
+// Predicted flam and memory (in doubles) for one training run.
+struct CostEstimate {
+  double flam = 0.0;
+  double memory_doubles = 0.0;
+};
+
+// LDA via cross-product SVD (Section II-B):
+//   time  = (3/2) m n t + (9/2) t^3   (dominant terms)
+//   memory = m n + n t + m t
+CostEstimate LdaCost(int64_t m, int64_t n, int64_t c);
+
+// SRDA solving the regularized normal equations (Section III-C1):
+//   time  = (1/2) m n t + (1/6) t^3 + c m n   (plus lower-order m c^2)
+//   memory = m n + t^2 + c n
+// At m == n this is 9x cheaper than LDA, matching the paper's claim.
+CostEstimate SrdaNormalEquationsCost(int64_t m, int64_t n, int64_t c);
+
+// SRDA with LSQR on dense data (Section III-C2):
+//   time  = (c-1) k (2 m n + 3 n + 5 m) + m c^2
+//   memory = m n + (2 c + 3) n
+CostEstimate SrdaLsqrDenseCost(int64_t m, int64_t n, int64_t c, int64_t k);
+
+// SRDA with LSQR on sparse data with s non-zeros per sample on average:
+//   time  = (c-1) k (2 m s + 3 n + 5 m) + m c^2
+//   memory = m s + (2 c + 3) n
+CostEstimate SrdaLsqrSparseCost(int64_t m, int64_t n, int64_t c, int64_t k,
+                                double s);
+
+}  // namespace srda
+
+#endif  // SRDA_COMMON_FLOPS_H_

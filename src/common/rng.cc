@@ -1,0 +1,121 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace srda {
+namespace {
+
+// splitmix64: expands a 64-bit seed into well-mixed state words.
+uint64_t SplitMix64(uint64_t* x) {
+  uint64_t z = (*x += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t s = seed;
+  for (uint64_t& word : state_) word = SplitMix64(&s);
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 high bits give a uniform dyadic rational in [0, 1).
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextUniform(double lo, double hi) {
+  SRDA_CHECK(lo <= hi) << "invalid uniform range [" << lo << ", " << hi << ")";
+  return lo + (hi - lo) * NextDouble();
+}
+
+double Rng::NextGaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  // Box–Muller; reject u1 == 0 to keep log() finite.
+  double u1 = 0.0;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 0.0);
+  const double u2 = NextDouble();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * M_PI * u2;
+  cached_gaussian_ = radius * std::sin(angle);
+  has_cached_gaussian_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::NextGaussian(double mean, double stddev) {
+  SRDA_CHECK(stddev >= 0.0) << "negative stddev " << stddev;
+  return mean + stddev * NextGaussian();
+}
+
+uint64_t Rng::NextUint64Bounded(uint64_t bound) {
+  SRDA_CHECK(bound > 0) << "bound must be positive";
+  // Rejection sampling over the largest multiple of `bound`.
+  const uint64_t threshold = (0 - bound) % bound;
+  while (true) {
+    const uint64_t draw = NextUint64();
+    if (draw >= threshold) return draw % bound;
+  }
+}
+
+int Rng::NextInt(int lo, int hi) {
+  SRDA_CHECK(lo <= hi) << "invalid int range [" << lo << ", " << hi << "]";
+  const uint64_t span =
+      static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
+  return lo + static_cast<int>(NextUint64Bounded(span));
+}
+
+Rng Rng::Split() { return Rng(NextUint64()); }
+
+ZipfTable::ZipfTable(int n, double s) {
+  SRDA_CHECK(n > 0) << "ZipfTable needs at least one item";
+  SRDA_CHECK(s > 0.0) << "Zipf exponent must be positive, got " << s;
+  cdf_.resize(static_cast<size_t>(n));
+  double total = 0.0;
+  for (int k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_[static_cast<size_t>(k)] = total;
+  }
+  for (double& value : cdf_) value /= total;
+  cdf_.back() = 1.0;  // Guard against round-off at the top end.
+}
+
+int ZipfTable::Sample(Rng* rng) const {
+  SRDA_CHECK(rng != nullptr);
+  const double u = rng->NextDouble();
+  // Binary search for the first CDF entry >= u.
+  int lo = 0;
+  int hi = static_cast<int>(cdf_.size()) - 1;
+  while (lo < hi) {
+    const int mid = lo + (hi - lo) / 2;
+    if (cdf_[static_cast<size_t>(mid)] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace srda

@@ -1,0 +1,93 @@
+// Deterministic pseudo-random number generation for the SRDA library.
+//
+// Every stochastic component (dataset generators, train/test splits,
+// algorithm tie-breaking) draws from an explicitly seeded Rng so experiments
+// reproduce bit-for-bit across runs and platforms. The generator is
+// xoshiro256** seeded through splitmix64, a well-studied combination with
+// 256 bits of state and no observable linear artifacts at the sizes we use.
+
+#ifndef SRDA_COMMON_RNG_H_
+#define SRDA_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace srda {
+
+// A small, fast, deterministic PRNG (xoshiro256**).
+//
+// Not thread-safe: use one Rng per thread. Copyable, so a generator can be
+// forked to create reproducible independent sub-streams via Split().
+class Rng {
+ public:
+  // Seeds the full 256-bit state from `seed` using splitmix64.
+  explicit Rng(uint64_t seed);
+
+  // Next raw 64-bit draw.
+  uint64_t NextUint64();
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Uniform double in [lo, hi).
+  double NextUniform(double lo, double hi);
+
+  // Standard normal draw (Box–Muller with caching of the second variate).
+  double NextGaussian();
+
+  // Normal with the given mean and standard deviation (`stddev` >= 0).
+  double NextGaussian(double mean, double stddev);
+
+  // Uniform integer in [0, bound), `bound` > 0. Uses rejection sampling, so
+  // there is no modulo bias.
+  uint64_t NextUint64Bounded(uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive, lo <= hi.
+  int NextInt(int lo, int hi);
+
+  // Draws from a Zipf distribution over {0, .., n-1} with exponent `s` > 0
+  // (rank-frequency: P(k) proportional to 1/(k+1)^s). Used by the text
+  // generator. O(log n) per draw after O(n) setup done by the caller via
+  // ZipfTable.
+  // (See ZipfTable below.)
+
+  // Fisher–Yates shuffles `values` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>* values) {
+    if (values->empty()) return;
+    for (std::size_t i = values->size() - 1; i > 0; --i) {
+      std::size_t j = static_cast<std::size_t>(NextUint64Bounded(i + 1));
+      std::swap((*values)[i], (*values)[j]);
+    }
+  }
+
+  // Returns a new generator seeded from this one; the parent stream advances.
+  // Sub-streams are independent for practical purposes.
+  Rng Split();
+
+ private:
+  uint64_t state_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+// Precomputed cumulative table for Zipf-distributed draws over n items with
+// exponent s. Sampling is a binary search over the CDF: O(log n).
+class ZipfTable {
+ public:
+  ZipfTable(int n, double s);
+
+  // Draws an item index in [0, n) with Zipf(s) rank probabilities.
+  int Sample(Rng* rng) const;
+
+  int size() const { return static_cast<int>(cdf_.size()); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace srda
+
+#endif  // SRDA_COMMON_RNG_H_

@@ -1,0 +1,36 @@
+// Wall-clock timing used by the benchmark harnesses.
+
+#ifndef SRDA_COMMON_STOPWATCH_H_
+#define SRDA_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace srda {
+
+// Measures elapsed wall time in seconds. Starts running on construction.
+//
+// Example:
+//   Stopwatch watch;
+//   TrainModel();
+//   double seconds = watch.ElapsedSeconds();
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  // Restarts the measurement from now.
+  void Reset() { start_ = Clock::now(); }
+
+  // Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    const auto delta = Clock::now() - start_;
+    return std::chrono::duration<double>(delta).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace srda
+
+#endif  // SRDA_COMMON_STOPWATCH_H_

@@ -1,0 +1,52 @@
+#include "common/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace srda {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  SRDA_CHECK(!header_.empty()) << "table needs at least one column";
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  SRDA_CHECK_EQ(row.size(), header_.size())
+      << "row width does not match header";
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::Print(std::ostream& out) const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t j = 0; j < header_.size(); ++j) widths[j] = header_[j].size();
+  for (const auto& row : rows_) {
+    for (size_t j = 0; j < row.size(); ++j) {
+      widths[j] = std::max(widths[j], row[j].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t j = 0; j < row.size(); ++j) {
+      out << row[j] << std::string(widths[j] - row[j].size(), ' ');
+      out << (j + 1 == row.size() ? "\n" : "  ");
+    }
+  };
+  print_row(header_);
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  out << std::string(total - 2, '-') << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string FormatDouble(double value, int decimals) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", decimals, value);
+  return buffer;
+}
+
+std::string FormatMeanStd(double mean, double stddev) {
+  return FormatDouble(mean, 1) + " +- " + FormatDouble(stddev, 1);
+}
+
+}  // namespace srda

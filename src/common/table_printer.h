@@ -1,0 +1,46 @@
+// Plain-text table formatting for the benchmark harnesses.
+//
+// The bench binaries print results in the same row/column layout as the
+// paper's tables (e.g. "Train Size | LDA | RLDA | SRDA | IDR/QR"); this class
+// handles alignment so each harness focuses on the numbers.
+
+#ifndef SRDA_COMMON_TABLE_PRINTER_H_
+#define SRDA_COMMON_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace srda {
+
+// Accumulates a header row and data rows of strings, then prints them with
+// columns padded to the widest cell.
+//
+// Example:
+//   TablePrinter table({"Train Size", "LDA", "SRDA"});
+//   table.AddRow({"10 x 68", "31.8 +- 1.1", "19.5 +- 1.3"});
+//   table.Print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  // Appends a data row; must have the same number of cells as the header.
+  void AddRow(std::vector<std::string> row);
+
+  // Writes the table with a separator line under the header.
+  void Print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats "mean +- std" with one decimal place, e.g. "31.8 +- 1.1".
+std::string FormatMeanStd(double mean, double stddev);
+
+// Formats a double with the given number of decimal places.
+std::string FormatDouble(double value, int decimals);
+
+}  // namespace srda
+
+#endif  // SRDA_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,38 @@
+#include "core/embedding.h"
+
+#include "common/check.h"
+#include "matrix/blas.h"
+
+namespace srda {
+
+LinearEmbedding::LinearEmbedding(Matrix projection, Vector bias)
+    : projection_(std::move(projection)), bias_(std::move(bias)) {
+  SRDA_CHECK_EQ(bias_.size(), projection_.cols())
+      << "bias dimension must match the number of projection columns";
+}
+
+Matrix LinearEmbedding::Transform(const Matrix& x) const {
+  SRDA_CHECK_EQ(x.cols(), projection_.rows())
+      << "input dimension " << x.cols() << " does not match embedding "
+      << projection_.rows();
+  Matrix embedded = Multiply(x, projection_);
+  for (int i = 0; i < embedded.rows(); ++i) {
+    double* row = embedded.RowPtr(i);
+    for (int j = 0; j < embedded.cols(); ++j) row[j] += bias_[j];
+  }
+  return embedded;
+}
+
+Matrix LinearEmbedding::Transform(const SparseMatrix& x) const {
+  SRDA_CHECK_EQ(x.cols(), projection_.rows())
+      << "input dimension " << x.cols() << " does not match embedding "
+      << projection_.rows();
+  Matrix embedded = x.MultiplyDense(projection_);
+  for (int i = 0; i < embedded.rows(); ++i) {
+    double* row = embedded.RowPtr(i);
+    for (int j = 0; j < embedded.cols(); ++j) row[j] += bias_[j];
+  }
+  return embedded;
+}
+
+}  // namespace srda

@@ -1,0 +1,43 @@
+// The result of training any discriminant method: an affine map from the
+// input feature space to the low-dimensional discriminant space.
+
+#ifndef SRDA_CORE_EMBEDDING_H_
+#define SRDA_CORE_EMBEDDING_H_
+
+#include "matrix/matrix.h"
+#include "matrix/vector.h"
+#include "sparse/sparse_matrix.h"
+
+namespace srda {
+
+// An affine embedding y = W^T x + b with W (n x d) and b (d). All four
+// algorithms in this library (LDA, RLDA, SRDA, IDR/QR) produce one of these;
+// downstream classification is identical regardless of the trainer.
+class LinearEmbedding {
+ public:
+  LinearEmbedding() = default;
+
+  // `projection` is n x d (one column per discriminant direction); `bias`
+  // has d entries.
+  LinearEmbedding(Matrix projection, Vector bias);
+
+  int input_dim() const { return projection_.rows(); }
+  int output_dim() const { return projection_.cols(); }
+
+  // Embeds each row of `x` (m x n) into the discriminant space (m x d).
+  Matrix Transform(const Matrix& x) const;
+
+  // Same for sparse inputs; never densifies `x`.
+  Matrix Transform(const SparseMatrix& x) const;
+
+  const Matrix& projection() const { return projection_; }
+  const Vector& bias() const { return bias_; }
+
+ private:
+  Matrix projection_;
+  Vector bias_;
+};
+
+}  // namespace srda
+
+#endif  // SRDA_CORE_EMBEDDING_H_

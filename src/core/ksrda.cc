@@ -1,0 +1,45 @@
+#include "core/ksrda.h"
+
+#include "common/check.h"
+#include "core/responses.h"
+#include "linalg/cholesky.h"
+#include "matrix/blas.h"
+
+namespace srda {
+
+Matrix KsrdaModel::Transform(const Matrix& queries) const {
+  SRDA_CHECK(converged_) << "Transform on an untrained KSRDA model";
+  SRDA_CHECK_EQ(queries.cols(), train_points_.cols())
+      << "query dimension mismatch";
+  // K_q (queries x m) times the dual coefficients.
+  const Matrix cross = KernelCrossMatrix(*kernel_, queries, train_points_);
+  return Multiply(cross, coefficients_);
+}
+
+KsrdaModel FitKsrda(const Matrix& x, const std::vector<int>& labels,
+                    int num_classes, std::shared_ptr<const Kernel> kernel,
+                    const KsrdaOptions& options) {
+  SRDA_CHECK(kernel != nullptr) << "null kernel";
+  SRDA_CHECK_GT(options.alpha, 0.0)
+      << "KSRDA requires alpha > 0 (the kernel matrix is dense and easily "
+         "singular)";
+  SRDA_CHECK_EQ(static_cast<int>(labels.size()), x.rows())
+      << "label count mismatch";
+
+  KsrdaModel model;
+  const Matrix responses = GenerateSrdaResponses(labels, num_classes);
+
+  Matrix gram = KernelMatrix(*kernel, x);
+  AddDiagonal(options.alpha, &gram);
+  Cholesky chol;
+  if (!chol.Factor(gram)) {
+    return model;  // converged_ stays false.
+  }
+  model.coefficients_ = chol.SolveMatrix(responses);
+  model.train_points_ = x;
+  model.kernel_ = std::move(kernel);
+  model.converged_ = true;
+  return model;
+}
+
+}  // namespace srda

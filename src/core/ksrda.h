@@ -1,0 +1,62 @@
+// Kernel Spectral Regression Discriminant Analysis (the paper's cited
+// extension [14], Cai et al., "Efficient kernel discriminant analysis via
+// spectral regression", ICDM'07).
+//
+// Same two steps as SRDA, with the ridge regression replaced by kernel ridge
+// regression: generate the c-1 spectral responses from the labels, then
+// solve (K + alpha I) a_k = ybar_k once per response after one Cholesky
+// factorization of the m x m kernel matrix. Embedding a query x evaluates
+// y_d(x) = sum_i a_d(i) k(x_i, x).
+
+#ifndef SRDA_CORE_KSRDA_H_
+#define SRDA_CORE_KSRDA_H_
+
+#include <memory>
+#include <vector>
+
+#include "kernel/kernel.h"
+#include "matrix/matrix.h"
+
+namespace srda {
+
+struct KsrdaOptions {
+  // Ridge penalty on the kernel coefficients.
+  double alpha = 0.01;
+};
+
+// A trained kernel discriminant model. Holds the training points (needed to
+// evaluate the kernel against queries) and the dual coefficients.
+class KsrdaModel {
+ public:
+  KsrdaModel() = default;
+
+  // True if training succeeded.
+  bool converged() const { return converged_; }
+
+  // Number of discriminant coordinates (c - 1).
+  int output_dim() const { return coefficients_.cols(); }
+
+  // Embeds each row of `queries` into the discriminant space.
+  Matrix Transform(const Matrix& queries) const;
+
+  const Matrix& coefficients() const { return coefficients_; }
+
+ private:
+  friend KsrdaModel FitKsrda(const Matrix&, const std::vector<int>&, int,
+                             std::shared_ptr<const Kernel>,
+                             const KsrdaOptions&);
+
+  std::shared_ptr<const Kernel> kernel_;
+  Matrix train_points_;
+  Matrix coefficients_;  // m x (c-1)
+  bool converged_ = false;
+};
+
+// Trains KSRDA on dense data (rows are samples) with the given kernel.
+KsrdaModel FitKsrda(const Matrix& x, const std::vector<int>& labels,
+                    int num_classes, std::shared_ptr<const Kernel> kernel,
+                    const KsrdaOptions& options = {});
+
+}  // namespace srda
+
+#endif  // SRDA_CORE_KSRDA_H_

@@ -1,0 +1,39 @@
+#include "core/responses.h"
+
+#include "common/check.h"
+#include "dataset/dataset.h"
+#include "linalg/gram_schmidt.h"
+
+namespace srda {
+
+Matrix GenerateSrdaResponses(const std::vector<int>& labels, int num_classes) {
+  const int m = static_cast<int>(labels.size());
+  SRDA_CHECK_GT(num_classes, 1) << "need at least two classes";
+  const std::vector<int> counts = ClassCounts(labels, num_classes);
+  for (int k = 0; k < num_classes; ++k) {
+    SRDA_CHECK_GT(counts[static_cast<size_t>(k)], 0)
+        << "class " << k << " has no samples";
+  }
+
+  // Columns: [all-ones, indicator of class 0, ..., indicator of class c-1].
+  Matrix basis(m, num_classes + 1);
+  for (int i = 0; i < m; ++i) {
+    basis(i, 0) = 1.0;
+    basis(i, 1 + labels[static_cast<size_t>(i)]) = 1.0;
+  }
+
+  // The indicators sum to the ones vector, so exactly one column is dropped
+  // and c orthonormal vectors remain, the first being ones/sqrt(m).
+  const int kept = ModifiedGramSchmidt(&basis);
+  SRDA_CHECK_EQ(kept, num_classes)
+      << "unexpected rank from response orthogonalization";
+
+  // Remove the ones vector; the remaining c-1 columns are the responses.
+  Matrix responses(m, num_classes - 1);
+  for (int j = 0; j < num_classes - 1; ++j) {
+    for (int i = 0; i < m; ++i) responses(i, j) = basis(i, j + 1);
+  }
+  return responses;
+}
+
+}  // namespace srda

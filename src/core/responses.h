@@ -1,0 +1,24 @@
+// SRDA step 1: responses generation (Section III-B of the paper).
+//
+// The graph matrix W of LDA has c eigenvectors with eigenvalue 1 — the
+// class-indicator vectors. Taking the all-ones vector first and Gram-Schmidt
+// orthogonalizing the indicators against it yields exactly c-1 response
+// vectors, each orthogonal to the ones vector (so the later regressions have
+// zero optimal bias on centered data) and constant within each class.
+
+#ifndef SRDA_CORE_RESPONSES_H_
+#define SRDA_CORE_RESPONSES_H_
+
+#include <vector>
+
+#include "matrix/matrix.h"
+
+namespace srda {
+
+// Returns the m x (c-1) matrix of orthonormal SRDA response vectors for the
+// given labels. Every class in [0, num_classes) must appear at least once.
+Matrix GenerateSrdaResponses(const std::vector<int>& labels, int num_classes);
+
+}  // namespace srda
+
+#endif  // SRDA_CORE_RESPONSES_H_

@@ -1,0 +1,203 @@
+#include "core/semi_supervised_srda.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "linalg/cholesky.h"
+#include "linalg/gram_schmidt.h"
+#include "linalg/linear_operator.h"
+#include "linalg/lsqr.h"
+#include "linalg/symmetric_eigen.h"
+#include "matrix/blas.h"
+
+namespace srda {
+namespace {
+
+// The label-block graph of the paper's Eqn. 6, restricted to labeled
+// samples: w_ij = 1/m_k when i and j are both labeled with class k.
+Matrix LabelGraph(const std::vector<int>& labels, int num_classes) {
+  const int m = static_cast<int>(labels.size());
+  std::vector<int> counts(static_cast<size_t>(num_classes), 0);
+  for (int label : labels) {
+    if (label == kUnlabeled) continue;
+    SRDA_CHECK(label >= 0 && label < num_classes)
+        << "label " << label << " outside [0, " << num_classes << ")";
+    ++counts[static_cast<size_t>(label)];
+  }
+  for (int k = 0; k < num_classes; ++k) {
+    SRDA_CHECK_GT(counts[static_cast<size_t>(k)], 0)
+        << "class " << k << " has no labeled samples";
+  }
+  Matrix w(m, m);
+  for (int i = 0; i < m; ++i) {
+    if (labels[static_cast<size_t>(i)] == kUnlabeled) continue;
+    const int k = labels[static_cast<size_t>(i)];
+    const double weight = 1.0 / counts[static_cast<size_t>(k)];
+    for (int j = 0; j < m; ++j) {
+      if (labels[static_cast<size_t>(j)] == k) w(i, j) = weight;
+    }
+  }
+  return w;
+}
+
+// Adds a weighted sparse affinity graph into the dense combined graph.
+void AccumulateGraph(const SparseMatrix& affinity, double weight, Matrix* w) {
+  for (int i = 0; i < affinity.rows(); ++i) {
+    const int* cols = affinity.RowIndices(i);
+    const double* values = affinity.RowValues(i);
+    for (int e = 0; e < affinity.RowNonZeros(i); ++e) {
+      (*w)(i, cols[e]) += weight * values[e];
+    }
+  }
+}
+
+// Spectral step shared by both data layouts: solves W y = lambda D y on the
+// combined graph and returns up to c-1 response vectors orthogonal to the
+// ones vector (empty matrix on failure).
+Matrix SpectralResponses(Matrix w, int num_classes, double eigen_tolerance) {
+  const int m = w.rows();
+  Vector degrees(m);
+  for (int i = 0; i < m; ++i) {
+    double sum = 0.0;
+    const double* row = w.RowPtr(i);
+    for (int j = 0; j < m; ++j) sum += row[j];
+    // Isolated vertices get a unit degree so normalization stays defined.
+    degrees[i] = sum > 0.0 ? sum : 1.0;
+  }
+  Matrix normalized(m, m);
+  for (int i = 0; i < m; ++i) {
+    const double di = 1.0 / std::sqrt(degrees[i]);
+    for (int j = 0; j < m; ++j) {
+      normalized(i, j) = di * w(i, j) / std::sqrt(degrees[j]);
+    }
+  }
+
+  const SymmetricEigenResult eigen = SymmetricEigen(normalized);
+  if (!eigen.converged) return Matrix();
+
+  // Top eigenvectors; the very top one is the trivial constant-like vector
+  // (D^{1/2} 1 direction), so request c vectors and remove the span of ones
+  // afterwards with Gram-Schmidt, exactly as the supervised recipe does.
+  const int take = std::min(num_classes, m);
+  Matrix responses(m, take + 1);
+  for (int i = 0; i < m; ++i) responses(i, 0) = 1.0;  // ones first
+  for (int r = 0; r < take; ++r) {
+    const int src = m - 1 - r;
+    if (eigen.eigenvalues[src] <= eigen_tolerance) break;
+    for (int i = 0; i < m; ++i) {
+      responses(i, r + 1) =
+          eigen.eigenvectors(i, src) / std::sqrt(degrees[i]);
+    }
+  }
+  const int kept = ModifiedGramSchmidt(&responses);
+  if (kept <= 1) return Matrix();  // Only the trivial vector survived.
+  const int num_responses = std::min(kept - 1, num_classes - 1);
+  Matrix result(m, num_responses);
+  for (int j = 0; j < num_responses; ++j) {
+    for (int i = 0; i < m; ++i) result(i, j) = responses(i, j + 1);
+  }
+  return result;
+}
+
+}  // namespace
+
+SemiSupervisedSrdaModel FitSemiSupervisedSrda(
+    const Matrix& x, const std::vector<int>& labels, int num_classes,
+    const SemiSupervisedSrdaOptions& options) {
+  const int m = x.rows();
+  const int n = x.cols();
+  SRDA_CHECK_GT(num_classes, 1) << "need at least two classes";
+  SRDA_CHECK_EQ(static_cast<int>(labels.size()), m) << "label count mismatch";
+  SRDA_CHECK_GT(m, 1) << "need at least two samples";
+  SRDA_CHECK_GT(options.alpha, 0.0) << "alpha must be positive";
+  SRDA_CHECK_GE(options.graph_weight, 0.0);
+
+  SemiSupervisedSrdaModel model;
+
+  // Combined graph: label blocks + weighted kNN affinity.
+  Matrix w = LabelGraph(labels, num_classes);
+  if (options.graph_weight > 0.0) {
+    AccumulateGraph(BuildKnnGraph(x, options.graph), options.graph_weight,
+                    &w);
+  }
+  const Matrix responses =
+      SpectralResponses(std::move(w), num_classes, options.eigen_tolerance);
+  if (responses.cols() == 0) return model;
+  model.num_directions = responses.cols();
+
+  // Regression step on centered data (identical to supervised SRDA's normal
+  // equations path).
+  const Vector mean = ColumnMeans(x);
+  Matrix centered = x;
+  SubtractRowVector(mean, &centered);
+
+  Matrix projection;
+  Cholesky chol;
+  if (n <= m) {
+    Matrix gram = Gram(centered);
+    AddDiagonal(options.alpha, &gram);
+    if (!chol.Factor(gram)) return model;
+    projection =
+        chol.SolveMatrix(MultiplyTransposedA(centered, responses));
+  } else {
+    Matrix gram = OuterGram(centered);
+    AddDiagonal(options.alpha, &gram);
+    if (!chol.Factor(gram)) return model;
+    projection = MultiplyTransposedA(centered, chol.SolveMatrix(responses));
+  }
+
+  Vector bias(model.num_directions);
+  const Vector mean_projected = MultiplyTransposed(projection, mean);
+  for (int d = 0; d < model.num_directions; ++d) {
+    bias[d] = -mean_projected[d];
+  }
+  model.embedding = LinearEmbedding(std::move(projection), std::move(bias));
+  model.converged = true;
+  return model;
+}
+
+SemiSupervisedSrdaModel FitSemiSupervisedSrda(
+    const SparseMatrix& x, const std::vector<int>& labels, int num_classes,
+    const SemiSupervisedSrdaOptions& options) {
+  const int m = x.rows();
+  const int n = x.cols();
+  SRDA_CHECK_GT(num_classes, 1) << "need at least two classes";
+  SRDA_CHECK_EQ(static_cast<int>(labels.size()), m) << "label count mismatch";
+  SRDA_CHECK_GT(m, 1) << "need at least two samples";
+  SRDA_CHECK_GT(options.alpha, 0.0) << "alpha must be positive";
+  SRDA_CHECK_GE(options.graph_weight, 0.0);
+  SRDA_CHECK_GT(options.lsqr_iterations, 0);
+
+  SemiSupervisedSrdaModel model;
+
+  Matrix w = LabelGraph(labels, num_classes);
+  if (options.graph_weight > 0.0) {
+    AccumulateGraph(BuildCosineKnnGraph(x, options.graph.num_neighbors),
+                    options.graph_weight, &w);
+  }
+  const Matrix responses =
+      SpectralResponses(std::move(w), num_classes, options.eigen_tolerance);
+  if (responses.cols() == 0) return model;
+  model.num_directions = responses.cols();
+
+  // Regression step by damped LSQR against [X 1]: bias absorbed, the sparse
+  // matrix never centered or densified (the paper's Section III-B trick).
+  const SparseOperator data(&x);
+  const AppendOnesColumnOperator augmented(&data);
+  LsqrOptions lsqr_options;
+  lsqr_options.max_iterations = options.lsqr_iterations;
+  lsqr_options.damp = std::sqrt(options.alpha);
+
+  Matrix projection(n, model.num_directions);
+  Vector bias(model.num_directions);
+  for (int j = 0; j < model.num_directions; ++j) {
+    const LsqrResult result = Lsqr(augmented, responses.Col(j), lsqr_options);
+    for (int i = 0; i < n; ++i) projection(i, j) = result.x[i];
+    bias[j] = result.x[n];
+  }
+  model.embedding = LinearEmbedding(std::move(projection), std::move(bias));
+  model.converged = true;
+  return model;
+}
+
+}  // namespace srda

@@ -1,0 +1,134 @@
+#include "core/srda.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "core/responses.h"
+#include "linalg/cholesky.h"
+#include "linalg/linear_operator.h"
+#include "linalg/lsqr.h"
+#include "matrix/blas.h"
+
+namespace srda {
+namespace {
+
+void ValidateOptions(const SrdaOptions& options) {
+  SRDA_CHECK_GE(options.alpha, 0.0) << "alpha must be non-negative";
+  SRDA_CHECK_GT(options.lsqr_iterations, 0);
+}
+
+// Dense normal-equations path (Section III-C1). Returns false only if the
+// Cholesky factorization fails (alpha == 0 on rank-deficient data).
+bool SolveNormalEquations(const Matrix& x, const Matrix& responses,
+                          double alpha, Matrix* projection, Vector* bias) {
+  const int m = x.rows();
+  const int n = x.cols();
+  const int d = responses.cols();
+
+  // With responses orthogonal to the ones vector, centering the data makes
+  // the optimal regression bias zero, so we solve on the centered matrix and
+  // fold the mean into the embedding bias afterwards.
+  const Vector mean = ColumnMeans(x);
+  Matrix centered = x;
+  SubtractRowVector(mean, &centered);
+
+  Cholesky chol;
+  if (n <= m) {
+    // Primal: (X^T X + alpha I) A = X^T Y.
+    Matrix gram = Gram(centered);
+    AddDiagonal(alpha, &gram);
+    if (!chol.Factor(gram)) return false;
+    *projection = chol.SolveMatrix(MultiplyTransposedA(centered, responses));
+  } else {
+    // Dual (the paper's Eqn. 21, exact for ridge at any alpha > 0):
+    // A = X^T (X X^T + alpha I)^{-1} Y.
+    Matrix gram = OuterGram(centered);
+    AddDiagonal(alpha, &gram);
+    if (!chol.Factor(gram)) return false;
+    const Matrix dual = chol.SolveMatrix(responses);  // m x d
+    *projection = MultiplyTransposedA(centered, dual);
+  }
+
+  *bias = Vector(d);
+  const Vector mean_projected = MultiplyTransposed(*projection, mean);
+  for (int j = 0; j < d; ++j) (*bias)[j] = -mean_projected[j];
+  return true;
+}
+
+// LSQR path shared by dense and sparse data (Section III-C2): regress each
+// response against [X 1] with damping sqrt(alpha).
+void SolveWithLsqr(const LinearOperator& data, const Matrix& responses,
+                   const SrdaOptions& options, Matrix* projection,
+                   Vector* bias, int* total_iterations) {
+  const int n = data.cols();
+  const int d = responses.cols();
+  const AppendOnesColumnOperator augmented(&data);
+
+  LsqrOptions lsqr_options;
+  lsqr_options.max_iterations = options.lsqr_iterations;
+  lsqr_options.damp = std::sqrt(options.alpha);
+  lsqr_options.atol = options.lsqr_atol;
+  lsqr_options.btol = options.lsqr_btol;
+
+  *projection = Matrix(n, d);
+  *bias = Vector(d);
+  *total_iterations = 0;
+  for (int j = 0; j < d; ++j) {
+    const LsqrResult result = Lsqr(augmented, responses.Col(j), lsqr_options);
+    *total_iterations += result.iterations;
+    for (int i = 0; i < n; ++i) (*projection)(i, j) = result.x[i];
+    (*bias)[j] = result.x[n];
+  }
+}
+
+}  // namespace
+
+SrdaModel FitSrda(const Matrix& x, const std::vector<int>& labels,
+                  int num_classes, const SrdaOptions& options) {
+  ValidateOptions(options);
+  SRDA_CHECK_EQ(static_cast<int>(labels.size()), x.rows())
+      << "label count mismatch";
+
+  SrdaModel model;
+  const Matrix responses = GenerateSrdaResponses(labels, num_classes);
+  model.num_responses = responses.cols();
+
+  Matrix projection;
+  Vector bias;
+  if (options.solver == SrdaSolver::kNormalEquations) {
+    if (!SolveNormalEquations(x, responses, options.alpha, &projection,
+                              &bias)) {
+      model.converged = false;
+      return model;
+    }
+  } else {
+    const DenseOperator data(&x);
+    SolveWithLsqr(data, responses, options, &projection, &bias,
+                  &model.total_lsqr_iterations);
+  }
+  model.embedding = LinearEmbedding(std::move(projection), std::move(bias));
+  model.converged = true;
+  return model;
+}
+
+SrdaModel FitSrda(const SparseMatrix& x, const std::vector<int>& labels,
+                  int num_classes, const SrdaOptions& options) {
+  ValidateOptions(options);
+  SRDA_CHECK_EQ(static_cast<int>(labels.size()), x.rows())
+      << "label count mismatch";
+
+  SrdaModel model;
+  const Matrix responses = GenerateSrdaResponses(labels, num_classes);
+  model.num_responses = responses.cols();
+
+  Matrix projection;
+  Vector bias;
+  const SparseOperator data(&x);
+  SolveWithLsqr(data, responses, options, &projection, &bias,
+                &model.total_lsqr_iterations);
+  model.embedding = LinearEmbedding(std::move(projection), std::move(bias));
+  model.converged = true;
+  return model;
+}
+
+}  // namespace srda

@@ -1,0 +1,60 @@
+// SRDA regularization path: solutions for a whole grid of ridge parameters
+// from a single SVD.
+//
+// Figure 5 of the paper sweeps alpha over a grid and retrains SRDA at every
+// point. With the thin SVD Xc = U S V^T computed once, the ridge solution
+// for ANY alpha is
+//
+//   A(alpha) = V diag(s_k / (s_k^2 + alpha)) U^T Ybar,
+//
+// so each additional alpha costs only O(t * (c-1)) after the O(m n t)
+// factorization — the whole Figure 5 curve for roughly the price of one
+// training run.
+
+#ifndef SRDA_CORE_SRDA_PATH_H_
+#define SRDA_CORE_SRDA_PATH_H_
+
+#include <vector>
+
+#include "core/embedding.h"
+#include "matrix/matrix.h"
+
+namespace srda {
+
+struct SrdaPathOptions {
+  // Relative truncation threshold for the data SVD.
+  double svd_rank_tolerance = 1e-10;
+};
+
+// Precomputes the SVD of the centered data and the projected responses, then
+// produces the exact primal-ridge SRDA embedding for any alpha on demand.
+class SrdaRegularizationPath {
+ public:
+  SrdaRegularizationPath() = default;
+
+  // Factorizes the problem. Returns false if the SVD fails (practically
+  // never) — the object is unusable then.
+  bool Fit(const Matrix& x, const std::vector<int>& labels, int num_classes,
+           const SrdaPathOptions& options = {});
+
+  bool fitted() const { return fitted_; }
+
+  // The embedding at ridge parameter `alpha` > 0 (or alpha == 0 if the data
+  // has full column rank). Equal to FitSrda's normal-equations solution.
+  LinearEmbedding EmbeddingAt(double alpha) const;
+
+  // Rank of the centered data used by the factorization.
+  int data_rank() const { return rank_; }
+
+ private:
+  Matrix v_;                 // n x r right singular vectors
+  Vector singular_values_;   // r
+  Matrix projected_;         // r x (c-1): U^T Ybar
+  Vector mean_;              // feature means
+  int rank_ = 0;
+  bool fitted_ = false;
+};
+
+}  // namespace srda
+
+#endif  // SRDA_CORE_SRDA_PATH_H_

@@ -1,0 +1,84 @@
+#include "dataset/dataset.h"
+
+#include "common/check.h"
+
+namespace srda {
+namespace {
+
+void ValidateLabels(const std::vector<int>& labels, int rows,
+                    int num_classes) {
+  SRDA_CHECK_EQ(static_cast<int>(labels.size()), rows)
+      << "label count does not match sample count";
+  SRDA_CHECK_GT(num_classes, 0) << "dataset needs at least one class";
+  for (int label : labels) {
+    SRDA_CHECK(label >= 0 && label < num_classes)
+        << "label " << label << " outside [0, " << num_classes << ")";
+  }
+}
+
+}  // namespace
+
+void ValidateDataset(const DenseDataset& dataset) {
+  ValidateLabels(dataset.labels, dataset.features.rows(),
+                 dataset.num_classes);
+}
+
+void ValidateDataset(const SparseDataset& dataset) {
+  ValidateLabels(dataset.labels, dataset.features.rows(),
+                 dataset.num_classes);
+}
+
+std::vector<int> ClassCounts(const std::vector<int>& labels, int num_classes) {
+  SRDA_CHECK_GT(num_classes, 0);
+  std::vector<int> counts(static_cast<size_t>(num_classes), 0);
+  for (int label : labels) {
+    SRDA_CHECK(label >= 0 && label < num_classes)
+        << "label " << label << " outside [0, " << num_classes << ")";
+    ++counts[static_cast<size_t>(label)];
+  }
+  return counts;
+}
+
+DenseDataset Subset(const DenseDataset& dataset,
+                    const std::vector<int>& indices) {
+  DenseDataset out;
+  out.num_classes = dataset.num_classes;
+  out.features = Matrix(static_cast<int>(indices.size()),
+                        dataset.features.cols());
+  out.labels.reserve(indices.size());
+  int row = 0;
+  for (int index : indices) {
+    SRDA_CHECK(index >= 0 && index < dataset.features.rows())
+        << "subset index " << index << " out of range";
+    const double* src = dataset.features.RowPtr(index);
+    double* dst = out.features.RowPtr(row);
+    for (int j = 0; j < dataset.features.cols(); ++j) dst[j] = src[j];
+    out.labels.push_back(dataset.labels[static_cast<size_t>(index)]);
+    ++row;
+  }
+  return out;
+}
+
+SparseDataset Subset(const SparseDataset& dataset,
+                     const std::vector<int>& indices) {
+  SparseDataset out;
+  out.num_classes = dataset.num_classes;
+  SparseMatrixBuilder builder(static_cast<int>(indices.size()),
+                              dataset.features.cols());
+  out.labels.reserve(indices.size());
+  int row = 0;
+  for (int index : indices) {
+    SRDA_CHECK(index >= 0 && index < dataset.features.rows())
+        << "subset index " << index << " out of range";
+    const int nnz = dataset.features.RowNonZeros(index);
+    const int* cols = dataset.features.RowIndices(index);
+    const double* values = dataset.features.RowValues(index);
+    for (int k = 0; k < nnz; ++k) builder.Add(row, cols[k], values[k]);
+    out.labels.push_back(dataset.labels[static_cast<size_t>(index)]);
+    ++row;
+  }
+  out.features = std::move(builder).Build();
+  return out;
+}
+
+}  // namespace srda

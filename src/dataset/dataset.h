@@ -1,0 +1,44 @@
+// Labeled dataset containers (dense and sparse) and shared helpers.
+//
+// Rows are samples. Labels are class ids in [0, num_classes).
+
+#ifndef SRDA_DATASET_DATASET_H_
+#define SRDA_DATASET_DATASET_H_
+
+#include <vector>
+
+#include "matrix/matrix.h"
+#include "sparse/sparse_matrix.h"
+
+namespace srda {
+
+// Dense features with one label per row.
+struct DenseDataset {
+  Matrix features;          // m x n
+  std::vector<int> labels;  // size m, values in [0, num_classes)
+  int num_classes = 0;
+};
+
+// Sparse (CSR) features with one label per row.
+struct SparseDataset {
+  SparseMatrix features;
+  std::vector<int> labels;
+  int num_classes = 0;
+};
+
+// Aborts if labels/shape/num_classes are inconsistent.
+void ValidateDataset(const DenseDataset& dataset);
+void ValidateDataset(const SparseDataset& dataset);
+
+// Number of samples per class; aborts on out-of-range labels.
+std::vector<int> ClassCounts(const std::vector<int>& labels, int num_classes);
+
+// Extracts the sub-dataset given by `indices` (row order preserved).
+DenseDataset Subset(const DenseDataset& dataset,
+                    const std::vector<int>& indices);
+SparseDataset Subset(const SparseDataset& dataset,
+                     const std::vector<int>& indices);
+
+}  // namespace srda
+
+#endif  // SRDA_DATASET_DATASET_H_

@@ -1,0 +1,157 @@
+#include "dataset/digit_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace srda {
+namespace {
+
+// A stroke segment in the canonical unit frame ([0,1]^2, y pointing down).
+struct Segment {
+  double x0, y0, x1, y1;
+};
+
+// Stroke skeletons for the ten digits (seven-segment style with diagonals).
+const std::vector<std::vector<Segment>>& DigitSkeletons() {
+  static const auto* kSkeletons = new std::vector<std::vector<Segment>>{
+      // 0
+      {{0.28, 0.15, 0.72, 0.15},
+       {0.28, 0.85, 0.72, 0.85},
+       {0.28, 0.15, 0.28, 0.85},
+       {0.72, 0.15, 0.72, 0.85}},
+      // 1
+      {{0.52, 0.15, 0.52, 0.85}, {0.36, 0.32, 0.52, 0.15}},
+      // 2
+      {{0.28, 0.22, 0.72, 0.22},
+       {0.72, 0.22, 0.72, 0.50},
+       {0.72, 0.50, 0.28, 0.85},
+       {0.28, 0.85, 0.72, 0.85}},
+      // 3
+      {{0.28, 0.15, 0.72, 0.15},
+       {0.34, 0.50, 0.72, 0.50},
+       {0.28, 0.85, 0.72, 0.85},
+       {0.72, 0.15, 0.72, 0.85}},
+      // 4
+      {{0.32, 0.15, 0.32, 0.52},
+       {0.32, 0.52, 0.78, 0.52},
+       {0.64, 0.15, 0.64, 0.85}},
+      // 5
+      {{0.28, 0.15, 0.72, 0.15},
+       {0.28, 0.15, 0.28, 0.50},
+       {0.28, 0.50, 0.72, 0.50},
+       {0.72, 0.50, 0.72, 0.85},
+       {0.28, 0.85, 0.72, 0.85}},
+      // 6
+      {{0.28, 0.15, 0.28, 0.85},
+       {0.28, 0.15, 0.68, 0.15},
+       {0.28, 0.85, 0.72, 0.85},
+       {0.72, 0.50, 0.72, 0.85},
+       {0.28, 0.50, 0.72, 0.50}},
+      // 7
+      {{0.26, 0.15, 0.74, 0.15}, {0.74, 0.15, 0.42, 0.85}},
+      // 8
+      {{0.28, 0.15, 0.72, 0.15},
+       {0.28, 0.85, 0.72, 0.85},
+       {0.28, 0.15, 0.28, 0.85},
+       {0.72, 0.15, 0.72, 0.85},
+       {0.28, 0.50, 0.72, 0.50}},
+      // 9
+      {{0.28, 0.15, 0.72, 0.15},
+       {0.28, 0.15, 0.28, 0.50},
+       {0.28, 0.50, 0.72, 0.50},
+       {0.72, 0.15, 0.72, 0.85},
+       {0.32, 0.85, 0.72, 0.85}},
+  };
+  return *kSkeletons;
+}
+
+double DistanceToSegment(double px, double py, const Segment& s) {
+  const double dx = s.x1 - s.x0;
+  const double dy = s.y1 - s.y0;
+  const double length_sq = dx * dx + dy * dy;
+  double t = 0.0;
+  if (length_sq > 0.0) {
+    t = ((px - s.x0) * dx + (py - s.y0) * dy) / length_sq;
+    t = std::clamp(t, 0.0, 1.0);
+  }
+  const double cx = s.x0 + t * dx;
+  const double cy = s.y0 + t * dy;
+  return std::hypot(px - cx, py - cy);
+}
+
+}  // namespace
+
+DenseDataset GenerateDigitDataset(const DigitGeneratorOptions& options) {
+  SRDA_CHECK_GT(options.examples_per_class, 0);
+  SRDA_CHECK_GE(options.image_size, 8);
+  SRDA_CHECK_GT(options.stroke_width, 0.0);
+
+  Rng rng(options.seed);
+  const int size = options.image_size;
+  const int n = size * size;
+  const auto& skeletons = DigitSkeletons();
+  const int c = static_cast<int>(skeletons.size());
+  const int m = c * options.examples_per_class;
+
+  DenseDataset dataset;
+  dataset.num_classes = c;
+  dataset.features = Matrix(m, n);
+  dataset.labels.reserve(static_cast<size_t>(m));
+
+  // Stroke width expressed in canonical units.
+  const double base_width = options.stroke_width / size;
+
+  int row = 0;
+  for (int digit = 0; digit < c; ++digit) {
+    for (int example = 0; example < options.examples_per_class; ++example) {
+      // Random similarity transform for this instance. Shifts are expressed
+      // in canonical 28-pixel MNIST units so that lower-resolution renders
+      // keep the same proportional jitter.
+      constexpr double kCanonicalSize = 28.0;
+      const double shift_x =
+          rng.NextUniform(-options.max_shift_pixels, options.max_shift_pixels) /
+          kCanonicalSize;
+      const double shift_y =
+          rng.NextUniform(-options.max_shift_pixels, options.max_shift_pixels) /
+          kCanonicalSize;
+      const double angle = rng.NextUniform(-options.max_rotation_radians,
+                                           options.max_rotation_radians);
+      const double scale =
+          1.0 + rng.NextUniform(-options.scale_jitter, options.scale_jitter);
+      const double width =
+          base_width * (1.0 + rng.NextUniform(-0.3, 0.3));
+      const double cos_a = std::cos(angle);
+      const double sin_a = std::sin(angle);
+
+      double* pixels = dataset.features.RowPtr(row);
+      for (int y = 0; y < size; ++y) {
+        for (int x = 0; x < size; ++x) {
+          // Map the pixel center back into the canonical frame.
+          const double ux = (x + 0.5) / size - 0.5 - shift_x;
+          const double uy = (y + 0.5) / size - 0.5 - shift_y;
+          const double rx = (cos_a * ux + sin_a * uy) / scale + 0.5;
+          const double ry = (-sin_a * ux + cos_a * uy) / scale + 0.5;
+          double min_distance = 1e9;
+          for (const Segment& segment : skeletons[static_cast<size_t>(digit)]) {
+            min_distance =
+                std::min(min_distance, DistanceToSegment(rx, ry, segment));
+          }
+          const double ratio = min_distance / width;
+          double intensity = std::exp(-0.5 * ratio * ratio);
+          intensity += rng.NextGaussian() * options.noise_stddev;
+          pixels[static_cast<size_t>(y) * size + x] =
+              options.intensity_scale * std::clamp(intensity, 0.0, 1.0);
+        }
+      }
+      dataset.labels.push_back(digit);
+      ++row;
+    }
+  }
+  return dataset;
+}
+
+}  // namespace srda

@@ -1,0 +1,40 @@
+// Synthetic handwritten-digit dataset standing in for MNIST (Table II: 4000
+// samples, 784 features, 10 classes).
+//
+// Digits are rendered procedurally from per-class stroke skeletons (line
+// segments in a canonical frame) with random translation, rotation, scale
+// and stroke-width jitter, plus pixel noise. The geometric jitter makes the
+// class-conditional distributions strongly non-Gaussian — the regime where
+// the paper's Table VII shows plain LDA behaving erratically on small
+// training sets while the regularized variants stay stable.
+
+#ifndef SRDA_DATASET_DIGIT_GENERATOR_H_
+#define SRDA_DATASET_DIGIT_GENERATOR_H_
+
+#include <cstdint>
+
+#include "dataset/dataset.h"
+
+namespace srda {
+
+struct DigitGeneratorOptions {
+  int examples_per_class = 400;  // paper: ~200 train + ~200 test per digit
+  int image_size = 28;           // features = image_size^2
+  double max_shift_pixels = 3.5;
+  double max_rotation_radians = 0.30;
+  double scale_jitter = 0.22;
+  double stroke_width = 1.6;   // in pixels of the canonical frame
+  double noise_stddev = 0.10;
+  // Final intensity scaling applied to all pixels (feature preprocessing;
+  // places the paper's fixed alpha = 1 ridge in its effective range).
+  double intensity_scale = 0.25;
+  uint64_t seed = 3;
+};
+
+// Generates the dataset (classes are the digits 0-9); deterministic in
+// `options.seed`.
+DenseDataset GenerateDigitDataset(const DigitGeneratorOptions& options);
+
+}  // namespace srda
+
+#endif  // SRDA_DATASET_DIGIT_GENERATOR_H_

@@ -1,0 +1,47 @@
+// Synthetic face-image dataset standing in for CMU PIE (Table II: 11560
+// samples, 1024 features, 68 classes).
+//
+// Each subject has a smooth prototype face (a low-frequency random field on
+// top of a shared base face); each image adds random combinations of shared
+// smooth "illumination" basis fields plus pixel noise, then clamps to [0, 1]
+// like the paper's 8-bit pixels scaled by 1/256. The regime that matters for
+// the paper is preserved: n = image_size^2 far exceeds the per-class training
+// count, so the within-class scatter is singular and plain LDA overfits,
+// while strong identity structure keeps the classes separable.
+
+#ifndef SRDA_DATASET_FACE_GENERATOR_H_
+#define SRDA_DATASET_FACE_GENERATOR_H_
+
+#include <cstdint>
+
+#include "dataset/dataset.h"
+
+namespace srda {
+
+struct FaceGeneratorOptions {
+  int num_subjects = 68;        // classes
+  int images_per_subject = 170;
+  int image_size = 32;          // features = image_size^2
+  int num_lighting_bases = 10;  // shared smooth variation fields
+  double identity_strength = 0.30;
+  double lighting_strength = 0.55;
+  // Resolution of the per-subject identity fields as a fraction of the
+  // image size: identity detail is much finer than the smooth lighting
+  // fields, so discriminant directions must leave the low-frequency subspace
+  // (what makes the centroid-span shortcut of IDR/QR lossy on real faces).
+  double identity_detail = 0.5;
+  // Each lighting basis mixes this many identity fields with the given
+  // relative weight, coupling within-class variation to the identity
+  // (centroid) subspace as in real face images.
+  int lighting_identity_mixes = 4;
+  double lighting_identity_weight = 0.30;
+  double noise_stddev = 0.08;
+  uint64_t seed = 1;
+};
+
+// Generates the dataset; deterministic in `options.seed`.
+DenseDataset GenerateFaceDataset(const FaceGeneratorOptions& options);
+
+}  // namespace srda
+
+#endif  // SRDA_DATASET_FACE_GENERATOR_H_

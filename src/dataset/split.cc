@@ -1,0 +1,82 @@
+#include "dataset/split.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace srda {
+namespace {
+
+// Shuffled per-class index lists.
+std::vector<std::vector<int>> ShuffledClassIndices(
+    const std::vector<int>& labels, int num_classes, Rng* rng) {
+  std::vector<std::vector<int>> by_class(static_cast<size_t>(num_classes));
+  for (int i = 0; i < static_cast<int>(labels.size()); ++i) {
+    const int label = labels[static_cast<size_t>(i)];
+    SRDA_CHECK(label >= 0 && label < num_classes)
+        << "label " << label << " outside [0, " << num_classes << ")";
+    by_class[static_cast<size_t>(label)].push_back(i);
+  }
+  for (auto& indices : by_class) rng->Shuffle(&indices);
+  return by_class;
+}
+
+TrainTestSplit SplitWithCounts(
+    const std::vector<std::vector<int>>& by_class,
+    const std::vector<int>& train_counts) {
+  TrainTestSplit split;
+  for (size_t k = 0; k < by_class.size(); ++k) {
+    const auto& indices = by_class[k];
+    const int take = train_counts[k];
+    for (int i = 0; i < static_cast<int>(indices.size()); ++i) {
+      if (i < take) {
+        split.train.push_back(indices[static_cast<size_t>(i)]);
+      } else {
+        split.test.push_back(indices[static_cast<size_t>(i)]);
+      }
+    }
+  }
+  // Keep deterministic row order independent of class traversal order.
+  std::sort(split.train.begin(), split.train.end());
+  std::sort(split.test.begin(), split.test.end());
+  return split;
+}
+
+}  // namespace
+
+TrainTestSplit StratifiedSplitByCount(const std::vector<int>& labels,
+                                      int num_classes, int train_per_class,
+                                      Rng* rng) {
+  SRDA_CHECK(rng != nullptr);
+  SRDA_CHECK_GT(train_per_class, 0);
+  const auto by_class = ShuffledClassIndices(labels, num_classes, rng);
+  std::vector<int> counts(static_cast<size_t>(num_classes), train_per_class);
+  for (int k = 0; k < num_classes; ++k) {
+    SRDA_CHECK_GT(static_cast<int>(by_class[static_cast<size_t>(k)].size()),
+                  train_per_class)
+        << "class " << k << " too small for " << train_per_class
+        << " training samples plus a non-empty test set";
+  }
+  return SplitWithCounts(by_class, counts);
+}
+
+TrainTestSplit StratifiedSplitByFraction(const std::vector<int>& labels,
+                                         int num_classes, double fraction,
+                                         Rng* rng) {
+  SRDA_CHECK(rng != nullptr);
+  SRDA_CHECK(fraction > 0.0 && fraction < 1.0)
+      << "fraction " << fraction << " outside (0, 1)";
+  const auto by_class = ShuffledClassIndices(labels, num_classes, rng);
+  std::vector<int> counts(static_cast<size_t>(num_classes), 0);
+  for (int k = 0; k < num_classes; ++k) {
+    const int size = static_cast<int>(by_class[static_cast<size_t>(k)].size());
+    SRDA_CHECK_GE(size, 2) << "class " << k << " needs at least 2 samples";
+    int take = static_cast<int>(fraction * size);
+    take = std::max(take, 1);
+    take = std::min(take, size - 1);
+    counts[static_cast<size_t>(k)] = take;
+  }
+  return SplitWithCounts(by_class, counts);
+}
+
+}  // namespace srda

@@ -1,0 +1,35 @@
+// Stratified train/test splits, matching the paper's experimental protocol:
+// "p images per class are randomly selected for training and the rest are
+// used for testing", averaged over random splits.
+
+#ifndef SRDA_DATASET_SPLIT_H_
+#define SRDA_DATASET_SPLIT_H_
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace srda {
+
+// Row indices of the training and test partitions.
+struct TrainTestSplit {
+  std::vector<int> train;
+  std::vector<int> test;
+};
+
+// Picks `train_per_class` random samples from every class for training; all
+// remaining samples become the test set. Every class must have more than
+// `train_per_class` samples.
+TrainTestSplit StratifiedSplitByCount(const std::vector<int>& labels,
+                                      int num_classes, int train_per_class,
+                                      Rng* rng);
+
+// Picks floor(fraction * class_size) samples per class for training
+// (at least 1). `fraction` in (0, 1).
+TrainTestSplit StratifiedSplitByFraction(const std::vector<int>& labels,
+                                         int num_classes, double fraction,
+                                         Rng* rng);
+
+}  // namespace srda
+
+#endif  // SRDA_DATASET_SPLIT_H_

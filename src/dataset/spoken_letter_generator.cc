@@ -1,0 +1,103 @@
+#include "dataset/spoken_letter_generator.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "matrix/matrix.h"
+
+namespace srda {
+
+DenseDataset GenerateSpokenLetterDataset(
+    const SpokenLetterGeneratorOptions& options) {
+  SRDA_CHECK_GT(options.num_classes, 1);
+  SRDA_CHECK_GT(options.examples_per_class, 1);
+  SRDA_CHECK_GT(options.num_features, 0);
+  SRDA_CHECK_GT(options.phoneme_rank, 0);
+  SRDA_CHECK_GT(options.speaker_rank, 0);
+
+  Rng rng(options.seed);
+  const int n = options.num_features;
+  const int c = options.num_classes;
+  const int m = c * options.examples_per_class;
+
+  // Shared loading matrices, scaled so feature variance is O(1).
+  const double phoneme_scale = 1.0 / std::sqrt(options.phoneme_rank);
+  Matrix phoneme_loadings(options.phoneme_rank, n);
+  for (int i = 0; i < options.phoneme_rank; ++i) {
+    for (int j = 0; j < n; ++j) {
+      phoneme_loadings(i, j) = rng.NextGaussian() * phoneme_scale;
+    }
+  }
+  const double speaker_scale = 1.0 / std::sqrt(options.speaker_rank);
+  Matrix speaker_loadings(options.speaker_rank, n);
+  for (int i = 0; i < options.speaker_rank; ++i) {
+    for (int j = 0; j < n; ++j) {
+      speaker_loadings(i, j) = rng.NextGaussian() * speaker_scale;
+    }
+    // Oblique coupling: leak a random phoneme-space component into this
+    // nuisance direction so within-class noise is correlated across the
+    // centroid span and its complement.
+    for (int r = 0; r < options.phoneme_rank; ++r) {
+      const double leak = rng.NextGaussian() *
+                          options.speaker_phoneme_coupling /
+                          std::sqrt(options.phoneme_rank);
+      const double* phoneme_row = phoneme_loadings.RowPtr(r);
+      for (int j = 0; j < n; ++j) {
+        speaker_loadings(i, j) += leak * phoneme_row[j];
+      }
+    }
+  }
+
+  // Class means in the phoneme subspace.
+  Matrix class_means(c, n);
+  for (int k = 0; k < c; ++k) {
+    std::vector<double> latent(static_cast<size_t>(options.phoneme_rank));
+    for (double& value : latent) {
+      value = rng.NextGaussian() * options.class_separation;
+    }
+    double* mean = class_means.RowPtr(k);
+    for (int r = 0; r < options.phoneme_rank; ++r) {
+      const double weight = latent[static_cast<size_t>(r)];
+      const double* row = phoneme_loadings.RowPtr(r);
+      for (int j = 0; j < n; ++j) mean[j] += weight * row[j];
+    }
+  }
+
+  DenseDataset dataset;
+  dataset.num_classes = c;
+  dataset.features = Matrix(m, n);
+  dataset.labels.reserve(static_cast<size_t>(m));
+
+  int row = 0;
+  for (int k = 0; k < c; ++k) {
+    for (int example = 0; example < options.examples_per_class; ++example) {
+      double* x = dataset.features.RowPtr(row);
+      const double* mean = class_means.RowPtr(k);
+      for (int j = 0; j < n; ++j) x[j] = mean[j];
+      // In-subspace speaker variation: collides with the class means in the
+      // phoneme space, so classes genuinely overlap there.
+      for (int r = 0; r < options.phoneme_rank; ++r) {
+        const double weight = rng.NextGaussian() * options.speaker_strength;
+        const double* loadings = phoneme_loadings.RowPtr(r);
+        for (int j = 0; j < n; ++j) x[j] += weight * loadings[j];
+      }
+      // Extra nuisance speaker subspace outside the phoneme space.
+      for (int r = 0; r < options.speaker_rank; ++r) {
+        const double weight = rng.NextGaussian() * options.speaker_strength;
+        const double* loadings = speaker_loadings.RowPtr(r);
+        for (int j = 0; j < n; ++j) x[j] += weight * loadings[j];
+      }
+      for (int j = 0; j < n; ++j) {
+        x[j] += rng.NextGaussian() * options.noise_stddev;
+        x[j] *= options.output_scale;
+      }
+      dataset.labels.push_back(k);
+      ++row;
+    }
+  }
+  return dataset;
+}
+
+}  // namespace srda

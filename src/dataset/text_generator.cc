@@ -1,0 +1,116 @@
+#include "dataset/text_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace srda {
+namespace {
+
+// Poisson draw via inversion for small means and a normal approximation for
+// large ones (document lengths are ~130, well inside the normal regime).
+int SamplePoisson(double mean, Rng* rng) {
+  if (mean <= 0.0) return 0;
+  if (mean < 30.0) {
+    const double limit = std::exp(-mean);
+    int count = 0;
+    double product = rng->NextDouble();
+    while (product > limit) {
+      ++count;
+      product *= rng->NextDouble();
+    }
+    return count;
+  }
+  const double draw = rng->NextGaussian(mean, std::sqrt(mean));
+  return std::max(1, static_cast<int>(std::lround(draw)));
+}
+
+}  // namespace
+
+SparseDataset GenerateTextDataset(const TextGeneratorOptions& options) {
+  SRDA_CHECK_GT(options.num_topics, 1);
+  SRDA_CHECK_GT(options.docs_per_topic, 1);
+  SRDA_CHECK_GT(options.vocabulary_size, options.topic_vocabulary_size);
+  SRDA_CHECK_GT(options.topic_vocabulary_size, 0);
+  SRDA_CHECK(options.topic_word_fraction > 0.0 &&
+             options.topic_word_fraction < 1.0);
+  SRDA_CHECK(options.contamination_fraction >= 0.0 &&
+             options.contamination_fraction +
+                     options.topic_word_fraction < 1.0);
+  SRDA_CHECK(options.topic_overlap_stride > 0.0);
+  SRDA_CHECK_GT(options.mean_document_length, 1.0);
+
+  Rng rng(options.seed);
+  const int c = options.num_topics;
+  const int vocab = options.vocabulary_size;
+  const int m = c * options.docs_per_topic;
+
+  // A random permutation of the vocabulary assigns each topic its own block
+  // of "boosted" terms; blocks may be smaller than the permutation allows if
+  // c * topic_vocabulary_size > vocab, so wrap around (topics then share some
+  // terms, which only makes classification harder, not easier).
+  std::vector<int> permutation(static_cast<size_t>(vocab));
+  std::iota(permutation.begin(), permutation.end(), 0);
+  rng.Shuffle(&permutation);
+
+  const ZipfTable background_zipf(vocab, options.zipf_exponent);
+  const ZipfTable topic_zipf(options.topic_vocabulary_size,
+                             options.zipf_exponent);
+
+  SparseDataset dataset;
+  dataset.num_classes = c;
+  dataset.labels.reserve(static_cast<size_t>(m));
+  SparseMatrixBuilder builder(m, vocab);
+
+  const int stride = std::max(
+      1, static_cast<int>(options.topic_overlap_stride *
+                          options.topic_vocabulary_size));
+  auto block_start_of = [&](int topic) { return (topic * stride) % vocab; };
+  int row = 0;
+  for (int topic = 0; topic < c; ++topic) {
+    for (int doc = 0; doc < options.docs_per_topic; ++doc) {
+      const int length = SamplePoisson(options.mean_document_length, &rng);
+      std::map<int, int> counts;
+      for (int token = 0; token < length; ++token) {
+        int term = 0;
+        const double u = rng.NextDouble();
+        if (u < options.topic_word_fraction) {
+          const int local = topic_zipf.Sample(&rng);
+          term = permutation[static_cast<size_t>(
+              (block_start_of(topic) + local) % vocab)];
+        } else if (u < options.topic_word_fraction +
+                           options.contamination_fraction) {
+          // A token quoted from a random other topic.
+          const int other = static_cast<int>(rng.NextUint64Bounded(
+              static_cast<uint64_t>(c)));
+          const int local = topic_zipf.Sample(&rng);
+          term = permutation[static_cast<size_t>(
+              (block_start_of(other) + local) % vocab)];
+        } else {
+          term = background_zipf.Sample(&rng);
+        }
+        ++counts[term];
+      }
+      // Term-frequency vector normalized to unit L2 norm.
+      double norm_sq = 0.0;
+      for (const auto& [term, count] : counts) {
+        norm_sq += static_cast<double>(count) * count;
+      }
+      const double inv_norm = 1.0 / std::sqrt(norm_sq);
+      for (const auto& [term, count] : counts) {
+        builder.Add(row, term, count * inv_norm);
+      }
+      dataset.labels.push_back(topic);
+      ++row;
+    }
+  }
+  dataset.features = std::move(builder).Build();
+  return dataset;
+}
+
+}  // namespace srda

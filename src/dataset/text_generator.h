@@ -1,0 +1,42 @@
+// Synthetic sparse text dataset standing in for 20Newsgroups (Table II:
+// 18941 documents, 26214 terms, 20 classes).
+//
+// Documents mix a global Zipf-distributed background vocabulary with a
+// topic-specific Zipf vocabulary, are converted to term-frequency vectors,
+// and L2-normalized to 1 like the paper's preprocessing. Average non-zeros
+// per document land in the ~100 range, reproducing the huge-sparse regime
+// where only SRDA with LSQR is feasible (the paper's Tables IX/X leave the
+// dense algorithms blank there once memory runs out).
+
+#ifndef SRDA_DATASET_TEXT_GENERATOR_H_
+#define SRDA_DATASET_TEXT_GENERATOR_H_
+
+#include <cstdint>
+
+#include "dataset/dataset.h"
+
+namespace srda {
+
+struct TextGeneratorOptions {
+  int num_topics = 20;
+  int docs_per_topic = 947;      // 20 x 947 = 18940 ~ the paper's 18941
+  int vocabulary_size = 26214;
+  int topic_vocabulary_size = 1500;  // topic-boosted terms per class
+  double topic_word_fraction = 0.08;  // fraction of tokens from the topic
+  // Fraction of tokens drawn from a random *other* topic's vocabulary
+  // (newsgroup posts quote and cross-post heavily).
+  double contamination_fraction = 0.65;
+  // Spacing of consecutive topic vocabulary blocks as a fraction of the
+  // block size; below 1.0 adjacent topics share boosted terms.
+  double topic_overlap_stride = 0.5;
+  double mean_document_length = 130.0;
+  double zipf_exponent = 1.45;
+  uint64_t seed = 4;
+};
+
+// Generates the sparse dataset; deterministic in `options.seed`.
+SparseDataset GenerateTextDataset(const TextGeneratorOptions& options);
+
+}  // namespace srda
+
+#endif  // SRDA_DATASET_TEXT_GENERATOR_H_

@@ -1,0 +1,273 @@
+#include "io/dataset_io.h"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "common/check.h"
+
+namespace srda {
+namespace {
+
+std::ofstream OpenForWrite(const std::string& path) {
+  std::ofstream out(path);
+  SRDA_CHECK(out.good()) << "cannot open " << path << " for writing";
+  out.precision(17);  // Round-trip doubles exactly.
+  return out;
+}
+
+std::ifstream OpenForRead(const std::string& path) {
+  std::ifstream in(path);
+  SRDA_CHECK(in.good()) << "cannot open " << path << " for reading";
+  return in;
+}
+
+}  // namespace
+
+void WriteLibSvmFile(const SparseDataset& dataset, const std::string& path) {
+  ValidateDataset(dataset);
+  std::ofstream out = OpenForWrite(path);
+  for (int i = 0; i < dataset.features.rows(); ++i) {
+    out << dataset.labels[static_cast<size_t>(i)] + 1;
+    const int* cols = dataset.features.RowIndices(i);
+    const double* values = dataset.features.RowValues(i);
+    for (int e = 0; e < dataset.features.RowNonZeros(i); ++e) {
+      out << ' ' << cols[e] + 1 << ':' << values[e];
+    }
+    out << '\n';
+  }
+  SRDA_CHECK(out.good()) << "write failure on " << path;
+}
+
+SparseDataset ReadLibSvmFile(const std::string& path, int num_features) {
+  SRDA_CHECK_GE(num_features, 0);
+  std::ifstream in = OpenForRead(path);
+
+  struct Entry {
+    int column;
+    double value;
+  };
+  std::vector<std::vector<Entry>> rows;
+  std::vector<int> raw_labels;
+  int max_column = -1;
+
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream tokens(line);
+    int raw_label = 0;
+    SRDA_CHECK(static_cast<bool>(tokens >> raw_label))
+        << path << ":" << line_number << ": missing label";
+    raw_labels.push_back(raw_label);
+    rows.emplace_back();
+    std::string pair;
+    while (tokens >> pair) {
+      const size_t colon = pair.find(':');
+      SRDA_CHECK_NE(colon, std::string::npos)
+          << path << ":" << line_number << ": malformed pair '" << pair << "'";
+      const int index = std::stoi(pair.substr(0, colon));
+      const double value = std::stod(pair.substr(colon + 1));
+      SRDA_CHECK_GE(index, 1)
+          << path << ":" << line_number << ": indices are 1-based";
+      rows.back().push_back({index - 1, value});
+      max_column = std::max(max_column, index - 1);
+    }
+  }
+  SRDA_CHECK(!rows.empty()) << path << ": no samples";
+
+  // Compact raw labels to [0, c) in order of first appearance.
+  std::map<int, int> label_map;
+  SparseDataset dataset;
+  for (int raw : raw_labels) {
+    const auto [it, inserted] =
+        label_map.insert({raw, static_cast<int>(label_map.size())});
+    dataset.labels.push_back(it->second);
+  }
+  dataset.num_classes = static_cast<int>(label_map.size());
+
+  const int width = num_features > 0 ? num_features : max_column + 1;
+  SRDA_CHECK_GT(width, 0) << path << ": no features";
+  SRDA_CHECK_GT(width, max_column)
+      << path << ": feature index " << max_column + 1 << " exceeds width "
+      << width;
+  SparseMatrixBuilder builder(static_cast<int>(rows.size()), width);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    for (const Entry& entry : rows[i]) {
+      builder.Add(static_cast<int>(i), entry.column, entry.value);
+    }
+  }
+  dataset.features = std::move(builder).Build();
+  return dataset;
+}
+
+void WriteDenseCsvFile(const DenseDataset& dataset, const std::string& path) {
+  ValidateDataset(dataset);
+  std::ofstream out = OpenForWrite(path);
+  for (int i = 0; i < dataset.features.rows(); ++i) {
+    out << dataset.labels[static_cast<size_t>(i)];
+    const double* row = dataset.features.RowPtr(i);
+    for (int j = 0; j < dataset.features.cols(); ++j) out << ',' << row[j];
+    out << '\n';
+  }
+  SRDA_CHECK(out.good()) << "write failure on " << path;
+}
+
+DenseDataset ReadDenseCsvFile(const std::string& path) {
+  std::ifstream in = OpenForRead(path);
+  std::vector<std::vector<double>> rows;
+  std::vector<int> labels;
+  int width = -1;
+  std::string line;
+  int line_number = 0;
+  int max_label = -1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream cells(line);
+    std::string cell;
+    SRDA_CHECK(static_cast<bool>(std::getline(cells, cell, ',')))
+        << path << ":" << line_number << ": empty line";
+    const int label = std::stoi(cell);
+    SRDA_CHECK_GE(label, 0) << path << ":" << line_number
+                            << ": negative label";
+    labels.push_back(label);
+    max_label = std::max(max_label, label);
+    rows.emplace_back();
+    while (std::getline(cells, cell, ',')) {
+      rows.back().push_back(std::stod(cell));
+    }
+    if (width < 0) {
+      width = static_cast<int>(rows.back().size());
+      SRDA_CHECK_GT(width, 0) << path << ": no feature columns";
+    }
+    SRDA_CHECK_EQ(static_cast<int>(rows.back().size()), width)
+        << path << ":" << line_number << ": ragged row";
+  }
+  SRDA_CHECK(!rows.empty()) << path << ": no samples";
+
+  DenseDataset dataset;
+  dataset.num_classes = max_label + 1;
+  dataset.labels = std::move(labels);
+  dataset.features = Matrix(static_cast<int>(rows.size()), width);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    double* dst = dataset.features.RowPtr(static_cast<int>(i));
+    for (int j = 0; j < width; ++j) dst[j] = rows[i][static_cast<size_t>(j)];
+  }
+  return dataset;
+}
+
+void SaveClassifierModel(const ClassifierModel& model,
+                         const std::string& path) {
+  SRDA_CHECK_EQ(model.centroids.cols(), model.embedding.output_dim())
+      << "centroid dimension must match the embedding output";
+  std::ofstream out = OpenForWrite(path);
+  out << "srda-classifier 1\n";
+  out << model.embedding.input_dim() << ' ' << model.embedding.output_dim()
+      << ' ' << model.centroids.rows() << '\n';
+  const Matrix& projection = model.embedding.projection();
+  for (int i = 0; i < projection.rows(); ++i) {
+    const double* row = projection.RowPtr(i);
+    for (int j = 0; j < projection.cols(); ++j) {
+      out << row[j] << (j + 1 == projection.cols() ? '\n' : ' ');
+    }
+  }
+  const Vector& bias = model.embedding.bias();
+  for (int j = 0; j < bias.size(); ++j) {
+    out << bias[j] << (j + 1 == bias.size() ? '\n' : ' ');
+  }
+  for (int i = 0; i < model.centroids.rows(); ++i) {
+    const double* row = model.centroids.RowPtr(i);
+    for (int j = 0; j < model.centroids.cols(); ++j) {
+      out << row[j] << (j + 1 == model.centroids.cols() ? '\n' : ' ');
+    }
+  }
+  SRDA_CHECK(out.good()) << "write failure on " << path;
+}
+
+ClassifierModel LoadClassifierModel(const std::string& path) {
+  std::ifstream in = OpenForRead(path);
+  std::string magic;
+  int version = 0;
+  SRDA_CHECK(static_cast<bool>(in >> magic >> version) &&
+             magic == "srda-classifier" && version == 1)
+      << path << ": not an srda-classifier v1 file";
+  int input_dim = 0;
+  int output_dim = 0;
+  int num_classes = 0;
+  SRDA_CHECK(static_cast<bool>(in >> input_dim >> output_dim >> num_classes))
+      << path << ": missing dimensions";
+  SRDA_CHECK(input_dim > 0 && output_dim > 0 && num_classes > 1)
+      << path << ": invalid dimensions";
+  Matrix projection(input_dim, output_dim);
+  for (int i = 0; i < input_dim; ++i) {
+    for (int j = 0; j < output_dim; ++j) {
+      SRDA_CHECK(static_cast<bool>(in >> projection(i, j)))
+          << path << ": truncated projection";
+    }
+  }
+  Vector bias(output_dim);
+  for (int j = 0; j < output_dim; ++j) {
+    SRDA_CHECK(static_cast<bool>(in >> bias[j])) << path << ": truncated bias";
+  }
+  ClassifierModel model;
+  model.centroids = Matrix(num_classes, output_dim);
+  for (int i = 0; i < num_classes; ++i) {
+    for (int j = 0; j < output_dim; ++j) {
+      SRDA_CHECK(static_cast<bool>(in >> model.centroids(i, j)))
+          << path << ": truncated centroids";
+    }
+  }
+  model.embedding = LinearEmbedding(std::move(projection), std::move(bias));
+  return model;
+}
+
+void SaveEmbedding(const LinearEmbedding& embedding, const std::string& path) {
+  std::ofstream out = OpenForWrite(path);
+  out << "srda-embedding 1\n";
+  out << embedding.input_dim() << ' ' << embedding.output_dim() << '\n';
+  const Matrix& projection = embedding.projection();
+  for (int i = 0; i < projection.rows(); ++i) {
+    const double* row = projection.RowPtr(i);
+    for (int j = 0; j < projection.cols(); ++j) {
+      out << row[j] << (j + 1 == projection.cols() ? '\n' : ' ');
+    }
+  }
+  const Vector& bias = embedding.bias();
+  for (int j = 0; j < bias.size(); ++j) {
+    out << bias[j] << (j + 1 == bias.size() ? '\n' : ' ');
+  }
+  SRDA_CHECK(out.good()) << "write failure on " << path;
+}
+
+LinearEmbedding LoadEmbedding(const std::string& path) {
+  std::ifstream in = OpenForRead(path);
+  std::string magic;
+  int version = 0;
+  SRDA_CHECK(static_cast<bool>(in >> magic >> version) &&
+             magic == "srda-embedding" && version == 1)
+      << path << ": not an srda-embedding v1 file";
+  int input_dim = 0;
+  int output_dim = 0;
+  SRDA_CHECK(static_cast<bool>(in >> input_dim >> output_dim))
+      << path << ": missing dimensions";
+  SRDA_CHECK(input_dim > 0 && output_dim > 0)
+      << path << ": invalid dimensions " << input_dim << " x " << output_dim;
+  Matrix projection(input_dim, output_dim);
+  for (int i = 0; i < input_dim; ++i) {
+    for (int j = 0; j < output_dim; ++j) {
+      SRDA_CHECK(static_cast<bool>(in >> projection(i, j)))
+          << path << ": truncated projection";
+    }
+  }
+  Vector bias(output_dim);
+  for (int j = 0; j < output_dim; ++j) {
+    SRDA_CHECK(static_cast<bool>(in >> bias[j])) << path << ": truncated bias";
+  }
+  return LinearEmbedding(std::move(projection), std::move(bias));
+}
+
+}  // namespace srda

@@ -1,0 +1,58 @@
+// Dataset and model file I/O.
+//
+// Lets downstream users run the library on real data: sparse datasets in
+// the LibSVM text format (the de-facto standard for sparse classification
+// data, including the real 20Newsgroups distribution), dense datasets as
+// label-first CSV, and trained embeddings as a plain-text model file.
+
+#ifndef SRDA_IO_DATASET_IO_H_
+#define SRDA_IO_DATASET_IO_H_
+
+#include <string>
+
+#include "core/embedding.h"
+#include "dataset/dataset.h"
+
+namespace srda {
+
+// --- LibSVM sparse format: "<label> <index>:<value> ..." per line. ---
+//
+// Labels in the file are 1-based class ids (or arbitrary non-negative ints);
+// they are compacted to [0, num_classes) in first-appearance order on read.
+// Feature indices are 1-based in the file, 0-based in memory.
+
+// Writes the dataset; labels are stored as (label + 1), indices as
+// (column + 1). Aborts on I/O failure.
+void WriteLibSvmFile(const SparseDataset& dataset, const std::string& path);
+
+// Reads a LibSVM file. `num_features` fixes the feature-space width; pass 0
+// to infer it from the largest index present. Aborts on parse or I/O errors.
+SparseDataset ReadLibSvmFile(const std::string& path, int num_features = 0);
+
+// --- Dense CSV: "label,x_1,x_2,...,x_n" per line. ---
+
+void WriteDenseCsvFile(const DenseDataset& dataset, const std::string& path);
+
+DenseDataset ReadDenseCsvFile(const std::string& path);
+
+// --- Trained embedding (projection + bias) as a plain-text model file. ---
+
+void SaveEmbedding(const LinearEmbedding& embedding, const std::string& path);
+
+LinearEmbedding LoadEmbedding(const std::string& path);
+
+// --- Complete classifier (embedding + class centroids), used by tools/. ---
+
+struct ClassifierModel {
+  LinearEmbedding embedding;
+  Matrix centroids;  // num_classes x output_dim, in the embedded space
+};
+
+void SaveClassifierModel(const ClassifierModel& model,
+                         const std::string& path);
+
+ClassifierModel LoadClassifierModel(const std::string& path);
+
+}  // namespace srda
+
+#endif  // SRDA_IO_DATASET_IO_H_

@@ -1,0 +1,101 @@
+#include "kernel/kernel.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace srda {
+
+double LinearKernel::Evaluate(const double* x, const double* y,
+                              int dim) const {
+  double sum = 0.0;
+  for (int j = 0; j < dim; ++j) sum += x[j] * y[j];
+  return sum;
+}
+
+RbfKernel::RbfKernel(double gamma) : gamma_(gamma) {
+  SRDA_CHECK_GT(gamma, 0.0) << "RBF gamma must be positive";
+}
+
+double RbfKernel::Evaluate(const double* x, const double* y, int dim) const {
+  double distance_sq = 0.0;
+  for (int j = 0; j < dim; ++j) {
+    const double diff = x[j] - y[j];
+    distance_sq += diff * diff;
+  }
+  return std::exp(-gamma_ * distance_sq);
+}
+
+PolynomialKernel::PolynomialKernel(int degree, double coef)
+    : degree_(degree), coef_(coef) {
+  SRDA_CHECK_GT(degree, 0) << "polynomial degree must be positive";
+  SRDA_CHECK_GE(coef, 0.0) << "polynomial coef must be non-negative";
+}
+
+double PolynomialKernel::Evaluate(const double* x, const double* y,
+                                  int dim) const {
+  double dot = coef_;
+  for (int j = 0; j < dim; ++j) dot += x[j] * y[j];
+  double result = 1.0;
+  for (int p = 0; p < degree_; ++p) result *= dot;
+  return result;
+}
+
+Matrix KernelMatrix(const Kernel& kernel, const Matrix& a) {
+  const int m = a.rows();
+  Matrix k(m, m);
+  for (int i = 0; i < m; ++i) {
+    const double* row_i = a.RowPtr(i);
+    for (int j = i; j < m; ++j) {
+      const double value = kernel.Evaluate(row_i, a.RowPtr(j), a.cols());
+      k(i, j) = value;
+      k(j, i) = value;
+    }
+  }
+  return k;
+}
+
+Matrix KernelCrossMatrix(const Kernel& kernel, const Matrix& a,
+                         const Matrix& b) {
+  SRDA_CHECK_EQ(a.cols(), b.cols()) << "kernel operands dimension mismatch";
+  Matrix k(a.rows(), b.rows());
+  for (int i = 0; i < a.rows(); ++i) {
+    const double* row_i = a.RowPtr(i);
+    for (int j = 0; j < b.rows(); ++j) {
+      k(i, j) = kernel.Evaluate(row_i, b.RowPtr(j), a.cols());
+    }
+  }
+  return k;
+}
+
+double RbfGammaMedianHeuristic(const Matrix& a, int max_pairs) {
+  SRDA_CHECK_GT(a.rows(), 1) << "need at least two rows";
+  SRDA_CHECK_GT(max_pairs, 0);
+  Rng rng(12345);
+  std::vector<double> distances;
+  distances.reserve(static_cast<size_t>(max_pairs));
+  for (int p = 0; p < max_pairs; ++p) {
+    const int i = static_cast<int>(rng.NextUint64Bounded(a.rows()));
+    int j = static_cast<int>(rng.NextUint64Bounded(a.rows()));
+    if (i == j) j = (j + 1) % a.rows();
+    const double* x = a.RowPtr(i);
+    const double* y = a.RowPtr(j);
+    double distance_sq = 0.0;
+    for (int d = 0; d < a.cols(); ++d) {
+      const double diff = x[d] - y[d];
+      distance_sq += diff * diff;
+    }
+    distances.push_back(distance_sq);
+  }
+  std::nth_element(distances.begin(),
+                   distances.begin() + distances.size() / 2,
+                   distances.end());
+  const double median_sq = distances[distances.size() / 2];
+  SRDA_CHECK_GT(median_sq, 0.0) << "degenerate data for median heuristic";
+  return 1.0 / (2.0 * median_sq);
+}
+
+}  // namespace srda

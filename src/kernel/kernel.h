@@ -1,0 +1,75 @@
+// Kernel functions and kernel-matrix computation.
+//
+// Substrate for Kernel SRDA (the paper's reference [14], "Efficient kernel
+// discriminant analysis via spectral regression"): the same two-step
+// responses-then-regression recipe with the ridge regression replaced by
+// kernel ridge regression.
+
+#ifndef SRDA_KERNEL_KERNEL_H_
+#define SRDA_KERNEL_KERNEL_H_
+
+#include <memory>
+
+#include "matrix/matrix.h"
+
+namespace srda {
+
+// A positive (semi-)definite kernel k(x, y) on dense vectors.
+class Kernel {
+ public:
+  virtual ~Kernel() = default;
+
+  // Evaluates k(x, y) for two vectors of length `dim`.
+  virtual double Evaluate(const double* x, const double* y,
+                          int dim) const = 0;
+
+  // Human-readable name for logs and tables.
+  virtual const char* name() const = 0;
+};
+
+// k(x, y) = x . y
+class LinearKernel final : public Kernel {
+ public:
+  double Evaluate(const double* x, const double* y, int dim) const override;
+  const char* name() const override { return "linear"; }
+};
+
+// k(x, y) = exp(-gamma ||x - y||^2)
+class RbfKernel final : public Kernel {
+ public:
+  explicit RbfKernel(double gamma);
+  double Evaluate(const double* x, const double* y, int dim) const override;
+  const char* name() const override { return "rbf"; }
+  double gamma() const { return gamma_; }
+
+ private:
+  double gamma_;
+};
+
+// k(x, y) = (x . y + coef)^degree
+class PolynomialKernel final : public Kernel {
+ public:
+  PolynomialKernel(int degree, double coef);
+  double Evaluate(const double* x, const double* y, int dim) const override;
+  const char* name() const override { return "polynomial"; }
+
+ private:
+  int degree_;
+  double coef_;
+};
+
+// Gram matrix K(i, j) = k(a_i, a_j) over the rows of `a` (symmetric).
+Matrix KernelMatrix(const Kernel& kernel, const Matrix& a);
+
+// Cross-kernel matrix K(i, j) = k(a_i, b_j) over rows of `a` and `b`
+// (a.rows() x b.rows()); column dimensions must match.
+Matrix KernelCrossMatrix(const Kernel& kernel, const Matrix& a,
+                         const Matrix& b);
+
+// Median-heuristic gamma for the RBF kernel: 1 / (2 * median^2) of the
+// pairwise squared distances over a sample of rows.
+double RbfGammaMedianHeuristic(const Matrix& a, int max_pairs = 2000);
+
+}  // namespace srda
+
+#endif  // SRDA_KERNEL_KERNEL_H_

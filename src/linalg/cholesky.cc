@@ -1,0 +1,131 @@
+#include "linalg/cholesky.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace srda {
+
+bool Cholesky::Factor(const Matrix& a) {
+  SRDA_CHECK_EQ(a.rows(), a.cols()) << "Cholesky needs a square matrix";
+  const int n = a.rows();
+  ok_ = false;
+  l_ = Matrix(n, n);
+  // Pivots below this relative threshold indicate a numerically singular
+  // matrix; round-off can leave them slightly positive, so an exact <= 0
+  // test would let garbage factors through.
+  double max_diag = 0.0;
+  for (int j = 0; j < n; ++j) {
+    if (!std::isfinite(a(j, j))) return false;
+    max_diag = std::max(max_diag, std::fabs(a(j, j)));
+  }
+  const double pivot_floor = 1e-14 * max_diag;
+  for (int j = 0; j < n; ++j) {
+    // Diagonal element.
+    double diag = a(j, j);
+    const double* lrow_j = l_.RowPtr(j);
+    for (int k = 0; k < j; ++k) diag -= lrow_j[k] * lrow_j[k];
+    if (diag <= pivot_floor || !std::isfinite(diag)) return false;
+    const double ljj = std::sqrt(diag);
+    l_(j, j) = ljj;
+    // Column below the diagonal.
+    const double inv = 1.0 / ljj;
+    for (int i = j + 1; i < n; ++i) {
+      double sum = a(i, j);
+      const double* lrow_i = l_.RowPtr(i);
+      for (int k = 0; k < j; ++k) sum -= lrow_i[k] * lrow_j[k];
+      l_(i, j) = sum * inv;
+    }
+  }
+  ok_ = true;
+  return true;
+}
+
+Vector Cholesky::Solve(const Vector& b) const {
+  SRDA_CHECK(ok_) << "Cholesky::Solve called without a successful Factor()";
+  Vector y = ForwardSubstitute(l_, b);
+  return BackSubstituteTransposed(l_, y);
+}
+
+Matrix Cholesky::SolveMatrix(const Matrix& b) const {
+  SRDA_CHECK(ok_) << "Cholesky::SolveMatrix without a successful Factor()";
+  SRDA_CHECK_EQ(b.rows(), l_.rows()) << "SolveMatrix shape mismatch";
+  Matrix x(b.rows(), b.cols());
+  for (int j = 0; j < b.cols(); ++j) {
+    x.SetCol(j, Solve(b.Col(j)));
+  }
+  return x;
+}
+
+const Matrix& Cholesky::factor() const {
+  SRDA_CHECK(ok_) << "Cholesky::factor without a successful Factor()";
+  return l_;
+}
+
+void CholeskyRank1Update(Matrix* l, Vector v) {
+  SRDA_CHECK(l != nullptr);
+  SRDA_CHECK_EQ(l->rows(), l->cols()) << "factor must be square";
+  SRDA_CHECK_EQ(v.size(), l->rows()) << "update vector size mismatch";
+  Matrix& factor = *l;
+  const int n = factor.rows();
+  // Sequence of Givens rotations zeroing v against the diagonal.
+  for (int k = 0; k < n; ++k) {
+    const double lkk = factor(k, k);
+    SRDA_CHECK_GT(lkk, 0.0) << "invalid Cholesky factor at " << k;
+    const double r = std::hypot(lkk, v[k]);
+    const double c = r / lkk;
+    const double s = v[k] / lkk;
+    factor(k, k) = r;
+    for (int i = k + 1; i < n; ++i) {
+      factor(i, k) = (factor(i, k) + s * v[i]) / c;
+      v[i] = c * v[i] - s * factor(i, k);
+    }
+  }
+}
+
+Vector ForwardSubstitute(const Matrix& l, const Vector& b) {
+  SRDA_CHECK_EQ(l.rows(), l.cols()) << "triangular solve needs square matrix";
+  SRDA_CHECK_EQ(b.size(), l.rows()) << "triangular solve shape mismatch";
+  const int n = l.rows();
+  Vector x(n);
+  for (int i = 0; i < n; ++i) {
+    double sum = b[i];
+    const double* row = l.RowPtr(i);
+    for (int k = 0; k < i; ++k) sum -= row[k] * x[k];
+    SRDA_CHECK_NE(row[i], 0.0) << "singular triangular matrix at " << i;
+    x[i] = sum / row[i];
+  }
+  return x;
+}
+
+Vector BackSubstituteTransposed(const Matrix& l, const Vector& b) {
+  SRDA_CHECK_EQ(l.rows(), l.cols()) << "triangular solve needs square matrix";
+  SRDA_CHECK_EQ(b.size(), l.rows()) << "triangular solve shape mismatch";
+  const int n = l.rows();
+  Vector x(n);
+  for (int i = n - 1; i >= 0; --i) {
+    double sum = b[i];
+    // L^T(i, k) = L(k, i) for k > i.
+    for (int k = i + 1; k < n; ++k) sum -= l(k, i) * x[k];
+    SRDA_CHECK_NE(l(i, i), 0.0) << "singular triangular matrix at " << i;
+    x[i] = sum / l(i, i);
+  }
+  return x;
+}
+
+Vector BackSubstitute(const Matrix& r, const Vector& b) {
+  SRDA_CHECK_EQ(r.rows(), r.cols()) << "triangular solve needs square matrix";
+  SRDA_CHECK_EQ(b.size(), r.rows()) << "triangular solve shape mismatch";
+  const int n = r.rows();
+  Vector x(n);
+  for (int i = n - 1; i >= 0; --i) {
+    double sum = b[i];
+    const double* row = r.RowPtr(i);
+    for (int k = i + 1; k < n; ++k) sum -= row[k] * x[k];
+    SRDA_CHECK_NE(row[i], 0.0) << "singular triangular matrix at " << i;
+    x[i] = sum / row[i];
+  }
+  return x;
+}
+
+}  // namespace srda

@@ -1,0 +1,65 @@
+// Cholesky factorization and triangular solves.
+//
+// SRDA's normal-equations path factors the symmetric positive-definite
+// matrix X^T X + alpha*I once and back-solves for each of the c-1 responses
+// (Section III-C1 of the paper).
+
+#ifndef SRDA_LINALG_CHOLESKY_H_
+#define SRDA_LINALG_CHOLESKY_H_
+
+#include "matrix/matrix.h"
+#include "matrix/vector.h"
+
+namespace srda {
+
+// Lower-triangular Cholesky factor of a symmetric positive-definite matrix:
+// A = L L^T.
+//
+// Example:
+//   Cholesky chol;
+//   SRDA_CHECK(chol.Factor(gram)) << "matrix not positive definite";
+//   Vector x = chol.Solve(rhs);
+class Cholesky {
+ public:
+  Cholesky() = default;
+
+  // Factors `a` (square, symmetric; only the lower triangle is read).
+  // Returns false if a non-positive pivot is met, i.e. `a` is not numerically
+  // positive definite; the object is then unusable until the next Factor().
+  bool Factor(const Matrix& a);
+
+  // Solves A x = b using the stored factor. Requires a successful Factor().
+  Vector Solve(const Vector& b) const;
+
+  // Solves A X = B column-wise; B is n x k.
+  Matrix SolveMatrix(const Matrix& b) const;
+
+  // The lower-triangular factor L. Requires a successful Factor().
+  const Matrix& factor() const;
+
+  bool ok() const { return ok_; }
+
+ private:
+  Matrix l_;
+  bool ok_ = false;
+};
+
+// Rank-1 update of a lower-triangular Cholesky factor, in place:
+// given L with A = L L^T, computes L' with L' L'^T = A + v v^T.
+// O(n^2) — the building block of incremental SRDA training.
+void CholeskyRank1Update(Matrix* l, Vector v);
+
+// Solves L x = b for lower-triangular L (forward substitution).
+Vector ForwardSubstitute(const Matrix& l, const Vector& b);
+
+// Solves L^T x = b for lower-triangular L (back substitution on the
+// transpose).
+Vector BackSubstituteTransposed(const Matrix& l, const Vector& b);
+
+// Solves R x = b for upper-triangular R (back substitution). Used by the QR
+// based IDR/QR baseline.
+Vector BackSubstitute(const Matrix& r, const Vector& b);
+
+}  // namespace srda
+
+#endif  // SRDA_LINALG_CHOLESKY_H_

@@ -1,0 +1,27 @@
+// Full-accuracy thin SVD via Golub-Reinsch bidiagonalization.
+//
+// The cross-product SVD (svd.h) is what the paper's LDA analysis assumes and
+// what the cost model measures, but it resolves singular values only down to
+// ~sqrt(eps) * sigma_max. This alternative path — Householder
+// bidiagonalization followed by implicit-shift QR on the bidiagonal — is the
+// classical backward-stable algorithm, accurate to ~eps * sigma_max. LDA can
+// opt into it (LdaOptions::svd_method) when trustworthy small singular
+// values matter more than speed.
+
+#ifndef SRDA_LINALG_GOLUB_REINSCH_SVD_H_
+#define SRDA_LINALG_GOLUB_REINSCH_SVD_H_
+
+#include "linalg/svd.h"
+#include "matrix/matrix.h"
+
+namespace srda {
+
+// Computes the thin, rank-truncated SVD of `a` with the Golub-Reinsch
+// algorithm. Result layout matches ThinSvd: U (m x r), singular values
+// descending, V (n x r), singular values at or below
+// sigma_max * rank_tolerance truncated.
+SvdResult ThinSvdGolubReinsch(const Matrix& a, double rank_tolerance = 1e-12);
+
+}  // namespace srda
+
+#endif  // SRDA_LINALG_GOLUB_REINSCH_SVD_H_

@@ -1,0 +1,63 @@
+#include "linalg/gram_schmidt.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+
+namespace srda {
+namespace {
+
+double ColumnNorm(const Matrix& m, int j) {
+  double sum = 0.0;
+  for (int i = 0; i < m.rows(); ++i) sum += m(i, j) * m(i, j);
+  return std::sqrt(sum);
+}
+
+double ColumnDot(const Matrix& m, int a, int b) {
+  double sum = 0.0;
+  for (int i = 0; i < m.rows(); ++i) sum += m(i, a) * m(i, b);
+  return sum;
+}
+
+}  // namespace
+
+int ModifiedGramSchmidt(Matrix* basis, double tolerance) {
+  SRDA_CHECK(basis != nullptr);
+  SRDA_CHECK(tolerance >= 0.0);
+  Matrix& b = *basis;
+  const int rows = b.rows();
+  const int cols = b.cols();
+
+  std::vector<int> kept;
+  for (int j = 0; j < cols; ++j) {
+    const double original_norm = ColumnNorm(b, j);
+    // Two orthogonalization passes against the columns kept so far; the
+    // second pass removes the round-off reintroduced by the first.
+    for (int pass = 0; pass < 2; ++pass) {
+      for (int kept_col : kept) {
+        const double proj = ColumnDot(b, kept_col, j);
+        for (int i = 0; i < rows; ++i) b(i, j) -= proj * b(i, kept_col);
+      }
+    }
+    const double residual_norm = ColumnNorm(b, j);
+    if (original_norm == 0.0 || residual_norm <= tolerance * original_norm) {
+      continue;  // Linearly dependent on the kept columns; drop.
+    }
+    const double inv = 1.0 / residual_norm;
+    for (int i = 0; i < rows; ++i) b(i, j) *= inv;
+    kept.push_back(j);
+  }
+
+  // Compact surviving columns to the left.
+  Matrix compacted(rows, static_cast<int>(kept.size()));
+  for (size_t out = 0; out < kept.size(); ++out) {
+    for (int i = 0; i < rows; ++i) {
+      compacted(i, static_cast<int>(out)) = b(i, kept[out]);
+    }
+  }
+  *basis = std::move(compacted);
+  return basis->cols();
+}
+
+}  // namespace srda

@@ -1,0 +1,26 @@
+// Modified Gram-Schmidt orthonormalization.
+//
+// SRDA's "responses generation" step (Section III-B, step 1) orthogonalizes
+// the class-indicator vectors against the all-ones vector; modified
+// Gram-Schmidt with re-orthogonalization keeps the result orthogonal to
+// working precision.
+
+#ifndef SRDA_LINALG_GRAM_SCHMIDT_H_
+#define SRDA_LINALG_GRAM_SCHMIDT_H_
+
+#include "matrix/matrix.h"
+
+namespace srda {
+
+// Orthonormalizes the columns of `basis` in place, left to right, using
+// modified Gram-Schmidt with one re-orthogonalization pass. Columns whose
+// residual norm drops below `tolerance` times their original norm are deemed
+// linearly dependent and dropped; surviving columns are compacted leftwards
+// and `basis` is shrunk to the new column count.
+//
+// Returns the number of orthonormal columns kept.
+int ModifiedGramSchmidt(Matrix* basis, double tolerance = 1e-10);
+
+}  // namespace srda
+
+#endif  // SRDA_LINALG_GRAM_SCHMIDT_H_

@@ -1,0 +1,68 @@
+#include "linalg/linear_operator.h"
+
+#include "common/check.h"
+#include "matrix/blas.h"
+
+namespace srda {
+
+DenseOperator::DenseOperator(const Matrix* matrix) : matrix_(matrix) {
+  SRDA_CHECK(matrix != nullptr);
+}
+
+int DenseOperator::rows() const { return matrix_->rows(); }
+int DenseOperator::cols() const { return matrix_->cols(); }
+
+Vector DenseOperator::Apply(const Vector& x) const {
+  return Multiply(*matrix_, x);
+}
+
+Vector DenseOperator::ApplyTransposed(const Vector& x) const {
+  return MultiplyTransposed(*matrix_, x);
+}
+
+SparseOperator::SparseOperator(const SparseMatrix* matrix) : matrix_(matrix) {
+  SRDA_CHECK(matrix != nullptr);
+}
+
+int SparseOperator::rows() const { return matrix_->rows(); }
+int SparseOperator::cols() const { return matrix_->cols(); }
+
+Vector SparseOperator::Apply(const Vector& x) const {
+  return matrix_->Multiply(x);
+}
+
+Vector SparseOperator::ApplyTransposed(const Vector& x) const {
+  return matrix_->MultiplyTransposed(x);
+}
+
+AppendOnesColumnOperator::AppendOnesColumnOperator(const LinearOperator* base)
+    : base_(base) {
+  SRDA_CHECK(base != nullptr);
+}
+
+int AppendOnesColumnOperator::rows() const { return base_->rows(); }
+int AppendOnesColumnOperator::cols() const { return base_->cols() + 1; }
+
+Vector AppendOnesColumnOperator::Apply(const Vector& x) const {
+  SRDA_CHECK_EQ(x.size(), cols()) << "[A 1]*x shape mismatch";
+  // Split x into the base part and the bias coefficient.
+  Vector base_x(base_->cols());
+  for (int j = 0; j < base_->cols(); ++j) base_x[j] = x[j];
+  const double bias = x[base_->cols()];
+  Vector y = base_->Apply(base_x);
+  for (int i = 0; i < y.size(); ++i) y[i] += bias;
+  return y;
+}
+
+Vector AppendOnesColumnOperator::ApplyTransposed(const Vector& x) const {
+  SRDA_CHECK_EQ(x.size(), rows()) << "[A 1]^T*x shape mismatch";
+  Vector base_y = base_->ApplyTransposed(x);
+  double ones_dot = 0.0;
+  for (int i = 0; i < x.size(); ++i) ones_dot += x[i];
+  Vector y(cols());
+  for (int j = 0; j < base_y.size(); ++j) y[j] = base_y[j];
+  y[base_->cols()] = ones_dot;
+  return y;
+}
+
+}  // namespace srda

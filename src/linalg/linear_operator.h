@@ -1,0 +1,80 @@
+// Abstract matrix-free linear operator.
+//
+// LSQR (and any other iterative solver) only needs the two products A*x and
+// A^T*y. Expressing that as an interface lets the same solver run on dense
+// matrices, CSR matrices, and the paper's "append a constant 1 feature"
+// bias-absorption trick (Section III-B) without ever materializing an
+// augmented or centered matrix.
+
+#ifndef SRDA_LINALG_LINEAR_OPERATOR_H_
+#define SRDA_LINALG_LINEAR_OPERATOR_H_
+
+#include "matrix/matrix.h"
+#include "matrix/vector.h"
+#include "sparse/sparse_matrix.h"
+
+namespace srda {
+
+// Interface for an m x n linear map. Implementations must be thread-
+// compatible (const methods only read).
+class LinearOperator {
+ public:
+  virtual ~LinearOperator() = default;
+
+  virtual int rows() const = 0;
+  virtual int cols() const = 0;
+
+  // y = A * x; x.size() == cols(), result.size() == rows().
+  virtual Vector Apply(const Vector& x) const = 0;
+
+  // y = A^T * x; x.size() == rows(), result.size() == cols().
+  virtual Vector ApplyTransposed(const Vector& x) const = 0;
+};
+
+// Wraps a dense matrix (not owned; must outlive the operator).
+class DenseOperator final : public LinearOperator {
+ public:
+  explicit DenseOperator(const Matrix* matrix);
+
+  int rows() const override;
+  int cols() const override;
+  Vector Apply(const Vector& x) const override;
+  Vector ApplyTransposed(const Vector& x) const override;
+
+ private:
+  const Matrix* matrix_;
+};
+
+// Wraps a CSR matrix (not owned; must outlive the operator).
+class SparseOperator final : public LinearOperator {
+ public:
+  explicit SparseOperator(const SparseMatrix* matrix);
+
+  int rows() const override;
+  int cols() const override;
+  Vector Apply(const Vector& x) const override;
+  Vector ApplyTransposed(const Vector& x) const override;
+
+ private:
+  const SparseMatrix* matrix_;
+};
+
+// Augments a base operator with one trailing all-ones column: [A 1]. This is
+// the paper's trick for absorbing the regression bias so sparse data never
+// needs explicit centering. The base operator is not owned.
+class AppendOnesColumnOperator final : public LinearOperator {
+ public:
+  explicit AppendOnesColumnOperator(const LinearOperator* base);
+
+  int rows() const override;
+  int cols() const override;  // base->cols() + 1
+  Vector Apply(const Vector& x) const override;
+  Vector ApplyTransposed(const Vector& x) const override;
+
+ private:
+  const LinearOperator* base_;
+};
+
+}  // namespace srda
+
+#endif  // SRDA_LINALG_LINEAR_OPERATOR_H_

@@ -1,0 +1,114 @@
+#include "linalg/lsqr.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "matrix/blas.h"
+
+namespace srda {
+
+LsqrResult Lsqr(const LinearOperator& a, const Vector& b,
+                const LsqrOptions& options) {
+  SRDA_CHECK_EQ(b.size(), a.rows()) << "LSQR rhs size mismatch";
+  SRDA_CHECK_GT(options.max_iterations, 0);
+  SRDA_CHECK_GE(options.damp, 0.0);
+
+  const int n = a.cols();
+  LsqrResult result;
+  result.x = Vector(n);
+
+  // Golub-Kahan bidiagonalization starting vectors.
+  Vector u = b;
+  double beta = Norm2(u);
+  if (beta == 0.0) {
+    // b == 0: the minimizer is x == 0.
+    result.converged = true;
+    return result;
+  }
+  Scale(1.0 / beta, &u);
+  Vector v = a.ApplyTransposed(u);
+  double alpha = Norm2(v);
+  if (alpha == 0.0) {
+    // A^T b == 0: x == 0 is already the normal-equations solution.
+    result.residual_norm = beta;
+    result.converged = true;
+    return result;
+  }
+  Scale(1.0 / alpha, &v);
+
+  Vector w = v;
+  double phibar = beta;
+  double rhobar = alpha;
+  const double bnorm = beta;
+  double anorm_sq = 0.0;  // Frobenius-norm estimate of [A; damp I].
+  double res_normal = alpha * beta;
+
+  for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    // Continue the bidiagonalization: beta_{k+1} u_{k+1} = A v_k - alpha_k u_k.
+    Vector au = a.Apply(v);
+    for (int i = 0; i < au.size(); ++i) au[i] -= alpha * u[i];
+    u = std::move(au);
+    beta = Norm2(u);
+    if (beta > 0.0) {
+      Scale(1.0 / beta, &u);
+      Vector atv = a.ApplyTransposed(u);
+      for (int i = 0; i < n; ++i) atv[i] -= beta * v[i];
+      v = std::move(atv);
+      alpha = Norm2(v);
+      if (alpha > 0.0) Scale(1.0 / alpha, &v);
+    } else {
+      alpha = 0.0;
+    }
+    anorm_sq += alpha * alpha + beta * beta + options.damp * options.damp;
+
+    // Eliminate the damping entry with a first rotation.
+    const double rhobar1 = std::hypot(rhobar, options.damp);
+    const double c1 = rhobar / rhobar1;
+    const double s1 = options.damp / rhobar1;
+    const double psi = s1 * phibar;
+    phibar = c1 * phibar;
+
+    // Plane rotation annihilating beta.
+    const double rho = std::hypot(rhobar1, beta);
+    const double c = rhobar1 / rho;
+    const double s = beta / rho;
+    const double theta = s * alpha;
+    rhobar = -c * alpha;
+    const double phi = c * phibar;
+    phibar = s * phibar;
+
+    // Update the iterate and the search direction.
+    const double t1 = phi / rho;
+    const double t2 = -theta / rho;
+    for (int i = 0; i < n; ++i) {
+      result.x[i] += t1 * w[i];
+      w[i] = v[i] + t2 * w[i];
+    }
+
+    result.iterations = iter;
+    result.residual_norm = std::hypot(phibar, psi);
+    res_normal = std::fabs(phibar) * alpha * std::fabs(c);
+    result.normal_residual_norm = res_normal;
+
+    // Paige-Saunders stopping rules 1 and 2.
+    const double anorm = std::sqrt(anorm_sq);
+    const double xnorm = Norm2(result.x);
+    if (result.residual_norm <=
+        options.btol * bnorm + options.atol * anorm * xnorm) {
+      result.converged = true;
+      break;
+    }
+    if (anorm > 0.0 && result.residual_norm > 0.0 &&
+        res_normal / (anorm * result.residual_norm) <= options.atol) {
+      result.converged = true;
+      break;
+    }
+    if (alpha == 0.0) {  // Exact breakdown: solution reached.
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace srda

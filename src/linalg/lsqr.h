@@ -1,0 +1,45 @@
+// LSQR iterative solver for sparse least squares (Paige & Saunders, 1982).
+//
+// Solves min_x ||A x - b||^2 + damp^2 ||x||^2 using only the products A*x
+// and A^T*y, which is what gives SRDA its linear-time sparse path (Section
+// III-C2 of the paper: each iteration costs 2*nnz + O(m + n) flam, and 15-20
+// iterations suffice in the paper's experiments).
+
+#ifndef SRDA_LINALG_LSQR_H_
+#define SRDA_LINALG_LSQR_H_
+
+#include "linalg/linear_operator.h"
+#include "matrix/vector.h"
+
+namespace srda {
+
+struct LsqrOptions {
+  // Hard iteration cap. The paper fixes 15-20 iterations for SRDA.
+  int max_iterations = 20;
+  // Tikhonov damping: solves the ridge problem with penalty damp^2.
+  double damp = 0.0;
+  // Relative tolerances for the Paige-Saunders stopping rules; iteration
+  // also stops early when the estimated residual is compatible with these.
+  double atol = 1e-10;
+  double btol = 1e-10;
+};
+
+struct LsqrResult {
+  Vector x;
+  int iterations = 0;
+  // Estimated ||[A; damp*I] x - [b; 0]||.
+  double residual_norm = 0.0;
+  // Estimated ||A^T r - damp^2 x|| (normal-equations residual).
+  double normal_residual_norm = 0.0;
+  // True if a stopping rule fired before the iteration cap.
+  bool converged = false;
+};
+
+// Runs LSQR on the (possibly damped) least-squares problem.
+// b.size() must equal a.rows(); the solution has a.cols() entries.
+LsqrResult Lsqr(const LinearOperator& a, const Vector& b,
+                const LsqrOptions& options = {});
+
+}  // namespace srda
+
+#endif  // SRDA_LINALG_LSQR_H_

@@ -1,0 +1,75 @@
+#include "linalg/qr.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+
+namespace srda {
+
+QrResult ThinQr(const Matrix& a) {
+  const int m = a.rows();
+  const int n = a.cols();
+  SRDA_CHECK_GE(m, n) << "ThinQr requires rows >= cols";
+  SRDA_CHECK_GT(n, 0) << "ThinQr of an empty matrix";
+
+  // Work on a copy. After the loop, column k of `work` below (and including)
+  // the diagonal stores the Householder vector v_k; the R diagonal is kept in
+  // `r_diag` and the strictly upper triangle of `work` is R's off-diagonal.
+  Matrix work = a;
+  std::vector<double> betas(static_cast<size_t>(n), 0.0);
+  std::vector<double> r_diag(static_cast<size_t>(n), 0.0);
+
+  for (int k = 0; k < n; ++k) {
+    double norm_sq = 0.0;
+    for (int i = k; i < m; ++i) norm_sq += work(i, k) * work(i, k);
+    const double norm = std::sqrt(norm_sq);
+    if (norm == 0.0) {
+      // Column already zero below the diagonal; no reflector needed.
+      r_diag[static_cast<size_t>(k)] = 0.0;
+      continue;
+    }
+    const double alpha = work(k, k) >= 0.0 ? -norm : norm;
+    r_diag[static_cast<size_t>(k)] = alpha;
+    const double vk = work(k, k) - alpha;
+    double v_norm_sq = vk * vk;
+    for (int i = k + 1; i < m; ++i) v_norm_sq += work(i, k) * work(i, k);
+    if (v_norm_sq == 0.0) continue;  // x was already alpha * e_k.
+    const double beta = 2.0 / v_norm_sq;
+    betas[static_cast<size_t>(k)] = beta;
+    work(k, k) = vk;
+
+    // Apply (I - beta v v^T) to the remaining columns.
+    for (int j = k + 1; j < n; ++j) {
+      double dot = 0.0;
+      for (int i = k; i < m; ++i) dot += work(i, k) * work(i, j);
+      const double scale = beta * dot;
+      for (int i = k; i < m; ++i) work(i, j) -= scale * work(i, k);
+    }
+  }
+
+  QrResult result;
+  result.r = Matrix(n, n);
+  for (int i = 0; i < n; ++i) {
+    result.r(i, i) = r_diag[static_cast<size_t>(i)];
+    for (int j = i + 1; j < n; ++j) result.r(i, j) = work(i, j);
+  }
+
+  // Accumulate thin Q = H_0 H_1 ... H_{n-1} * [I_n; 0] by applying the
+  // reflectors to the identity columns in reverse order.
+  result.q = Matrix(m, n);
+  for (int j = 0; j < n; ++j) result.q(j, j) = 1.0;
+  for (int k = n - 1; k >= 0; --k) {
+    const double beta = betas[static_cast<size_t>(k)];
+    if (beta == 0.0) continue;
+    for (int j = 0; j < n; ++j) {
+      double dot = 0.0;
+      for (int i = k; i < m; ++i) dot += work(i, k) * result.q(i, j);
+      const double scale = beta * dot;
+      for (int i = k; i < m; ++i) result.q(i, j) -= scale * work(i, k);
+    }
+  }
+  return result;
+}
+
+}  // namespace srda

@@ -1,0 +1,25 @@
+// Thin Householder QR decomposition.
+//
+// Needed by the IDR/QR baseline (Ye et al., KDD'04), which replaces LDA's
+// SVD with a QR decomposition of the small class-centroid matrix.
+
+#ifndef SRDA_LINALG_QR_H_
+#define SRDA_LINALG_QR_H_
+
+#include "matrix/matrix.h"
+
+namespace srda {
+
+// A = Q R with Q (m x n) having orthonormal columns and R (n x n) upper
+// triangular. Requires m >= n.
+struct QrResult {
+  Matrix q;
+  Matrix r;
+};
+
+// Householder QR of `a` (m x n, m >= n).
+QrResult ThinQr(const Matrix& a);
+
+}  // namespace srda
+
+#endif  // SRDA_LINALG_QR_H_

@@ -1,0 +1,37 @@
+// Thin singular value decomposition via the cross-product trick.
+//
+// Section II of the paper analyses LDA's cost assuming exactly this SVD
+// strategy: form the Gram matrix of the smaller side (A^T A if m >= n, A A^T
+// otherwise), eigendecompose it, and recover the other singular factor with
+// one extra multiplication (U = A V Sigma^{-1} or V = A^T U Sigma^{-1}).
+// Accuracy degrades for singular values near sqrt(eps) * sigma_max, which is
+// acceptable here because LDA only consumes the numerically significant part
+// of the spectrum (rank truncation below).
+
+#ifndef SRDA_LINALG_SVD_H_
+#define SRDA_LINALG_SVD_H_
+
+#include "matrix/matrix.h"
+#include "matrix/vector.h"
+
+namespace srda {
+
+// A = U diag(s) V^T with U (m x r), s (r, descending, positive), V (n x r),
+// where r is the numerical rank: singular values below
+// `rank_tolerance` * s_max are truncated.
+struct SvdResult {
+  Matrix u;
+  Vector singular_values;
+  Matrix v;
+  int rank = 0;
+  bool converged = false;
+};
+
+// Computes the thin, rank-truncated SVD of `a`.
+// `rank_tolerance` is relative to the largest singular value; values at or
+// below s_max * rank_tolerance are treated as zero.
+SvdResult ThinSvd(const Matrix& a, double rank_tolerance = 1e-10);
+
+}  // namespace srda
+
+#endif  // SRDA_LINALG_SVD_H_

@@ -1,0 +1,219 @@
+#include "matrix/blas.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace srda {
+
+double Dot(const Vector& x, const Vector& y) {
+  SRDA_CHECK_EQ(x.size(), y.size()) << "Dot size mismatch";
+  const double* px = x.data();
+  const double* py = y.data();
+  double sum = 0.0;
+  for (int i = 0; i < x.size(); ++i) sum += px[i] * py[i];
+  return sum;
+}
+
+void Axpy(double alpha, const Vector& x, Vector* y) {
+  SRDA_CHECK(y != nullptr);
+  SRDA_CHECK_EQ(x.size(), y->size()) << "Axpy size mismatch";
+  const double* px = x.data();
+  double* py = y->data();
+  for (int i = 0; i < x.size(); ++i) py[i] += alpha * px[i];
+}
+
+void Scale(double alpha, Vector* x) {
+  SRDA_CHECK(x != nullptr);
+  double* px = x->data();
+  for (int i = 0; i < x->size(); ++i) px[i] *= alpha;
+}
+
+double Norm2(const Vector& x) {
+  // Two-pass scaled norm: immune to overflow/underflow for the magnitudes
+  // seen in practice.
+  const double max_abs = NormInf(x);
+  if (max_abs == 0.0) return 0.0;
+  const double* px = x.data();
+  double sum = 0.0;
+  for (int i = 0; i < x.size(); ++i) {
+    const double scaled = px[i] / max_abs;
+    sum += scaled * scaled;
+  }
+  return max_abs * std::sqrt(sum);
+}
+
+double NormInf(const Vector& x) {
+  const double* px = x.data();
+  double max_abs = 0.0;
+  for (int i = 0; i < x.size(); ++i) {
+    max_abs = std::max(max_abs, std::fabs(px[i]));
+  }
+  return max_abs;
+}
+
+Vector Multiply(const Matrix& a, const Vector& x) {
+  SRDA_CHECK_EQ(a.cols(), x.size()) << "A*x shape mismatch";
+  Vector y(a.rows());
+  const double* px = x.data();
+  for (int i = 0; i < a.rows(); ++i) {
+    const double* row = a.RowPtr(i);
+    double sum = 0.0;
+    for (int j = 0; j < a.cols(); ++j) sum += row[j] * px[j];
+    y[i] = sum;
+  }
+  return y;
+}
+
+Vector MultiplyTransposed(const Matrix& a, const Vector& x) {
+  SRDA_CHECK_EQ(a.rows(), x.size()) << "A^T*x shape mismatch";
+  Vector y(a.cols());
+  double* py = y.data();
+  for (int i = 0; i < a.rows(); ++i) {
+    const double* row = a.RowPtr(i);
+    const double xi = x[i];
+    if (xi == 0.0) continue;
+    for (int j = 0; j < a.cols(); ++j) py[j] += xi * row[j];
+  }
+  return y;
+}
+
+Matrix Multiply(const Matrix& a, const Matrix& b) {
+  SRDA_CHECK_EQ(a.cols(), b.rows()) << "A*B shape mismatch";
+  Matrix c(a.rows(), b.cols());
+  // i-k-j ordering streams through rows of B and C.
+  for (int i = 0; i < a.rows(); ++i) {
+    const double* arow = a.RowPtr(i);
+    double* crow = c.RowPtr(i);
+    for (int k = 0; k < a.cols(); ++k) {
+      const double aik = arow[k];
+      if (aik == 0.0) continue;
+      const double* brow = b.RowPtr(k);
+      for (int j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix MultiplyTransposedA(const Matrix& a, const Matrix& b) {
+  SRDA_CHECK_EQ(a.rows(), b.rows()) << "A^T*B shape mismatch";
+  Matrix c(a.cols(), b.cols());
+  for (int k = 0; k < a.rows(); ++k) {
+    const double* arow = a.RowPtr(k);
+    const double* brow = b.RowPtr(k);
+    for (int i = 0; i < a.cols(); ++i) {
+      const double aki = arow[i];
+      if (aki == 0.0) continue;
+      double* crow = c.RowPtr(i);
+      for (int j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix MultiplyTransposedB(const Matrix& a, const Matrix& b) {
+  SRDA_CHECK_EQ(a.cols(), b.cols()) << "A*B^T shape mismatch";
+  Matrix c(a.rows(), b.rows());
+  for (int i = 0; i < a.rows(); ++i) {
+    const double* arow = a.RowPtr(i);
+    double* crow = c.RowPtr(i);
+    for (int j = 0; j < b.rows(); ++j) {
+      const double* brow = b.RowPtr(j);
+      double sum = 0.0;
+      for (int k = 0; k < a.cols(); ++k) sum += arow[k] * brow[k];
+      crow[j] = sum;
+    }
+  }
+  return c;
+}
+
+Matrix Gram(const Matrix& a) {
+  // Computes only the upper triangle, then mirrors.
+  const int n = a.cols();
+  Matrix c(n, n);
+  for (int k = 0; k < a.rows(); ++k) {
+    const double* arow = a.RowPtr(k);
+    for (int i = 0; i < n; ++i) {
+      const double aki = arow[i];
+      if (aki == 0.0) continue;
+      double* crow = c.RowPtr(i);
+      for (int j = i; j < n; ++j) crow[j] += aki * arow[j];
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) c(j, i) = c(i, j);
+  }
+  return c;
+}
+
+Matrix OuterGram(const Matrix& a) {
+  const int m = a.rows();
+  Matrix c(m, m);
+  for (int i = 0; i < m; ++i) {
+    const double* rowi = a.RowPtr(i);
+    double* crow = c.RowPtr(i);
+    for (int j = i; j < m; ++j) {
+      const double* rowj = a.RowPtr(j);
+      double sum = 0.0;
+      for (int k = 0; k < a.cols(); ++k) sum += rowi[k] * rowj[k];
+      crow[j] = sum;
+    }
+  }
+  for (int i = 0; i < m; ++i) {
+    for (int j = i + 1; j < m; ++j) c(j, i) = c(i, j);
+  }
+  return c;
+}
+
+void AddDiagonal(double alpha, Matrix* m) {
+  SRDA_CHECK(m != nullptr);
+  SRDA_CHECK_EQ(m->rows(), m->cols()) << "AddDiagonal needs a square matrix";
+  for (int i = 0; i < m->rows(); ++i) (*m)(i, i) += alpha;
+}
+
+Vector ColumnMeans(const Matrix& a) {
+  SRDA_CHECK(a.rows() > 0) << "ColumnMeans of an empty matrix";
+  Vector mean(a.cols());
+  double* pm = mean.data();
+  for (int i = 0; i < a.rows(); ++i) {
+    const double* row = a.RowPtr(i);
+    for (int j = 0; j < a.cols(); ++j) pm[j] += row[j];
+  }
+  const double inv = 1.0 / a.rows();
+  for (int j = 0; j < a.cols(); ++j) pm[j] *= inv;
+  return mean;
+}
+
+void SubtractRowVector(const Vector& center, Matrix* a) {
+  SRDA_CHECK(a != nullptr);
+  SRDA_CHECK_EQ(center.size(), a->cols()) << "SubtractRowVector size mismatch";
+  const double* pc = center.data();
+  for (int i = 0; i < a->rows(); ++i) {
+    double* row = a->RowPtr(i);
+    for (int j = 0; j < a->cols(); ++j) row[j] -= pc[j];
+  }
+}
+
+double MaxAbsDiff(const Matrix& a, const Matrix& b) {
+  SRDA_CHECK(a.rows() == b.rows() && a.cols() == b.cols())
+      << "MaxAbsDiff shape mismatch";
+  double max_diff = 0.0;
+  const double* pa = a.data();
+  const double* pb = b.data();
+  const size_t total = static_cast<size_t>(a.rows()) * a.cols();
+  for (size_t i = 0; i < total; ++i) {
+    max_diff = std::max(max_diff, std::fabs(pa[i] - pb[i]));
+  }
+  return max_diff;
+}
+
+double MaxAbsDiff(const Vector& x, const Vector& y) {
+  SRDA_CHECK_EQ(x.size(), y.size()) << "MaxAbsDiff size mismatch";
+  double max_diff = 0.0;
+  for (int i = 0; i < x.size(); ++i) {
+    max_diff = std::max(max_diff, std::fabs(x[i] - y[i]));
+  }
+  return max_diff;
+}
+
+}  // namespace srda

@@ -1,0 +1,72 @@
+// Dense double-precision vector used throughout the SRDA library.
+
+#ifndef SRDA_MATRIX_VECTOR_H_
+#define SRDA_MATRIX_VECTOR_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "common/check.h"
+
+namespace srda {
+
+// A contiguous vector of doubles with bounds-checked element access.
+//
+// Copyable and movable. Sizes use int (all dimensions in this library fit
+// comfortably; the style guide prefers signed arithmetic).
+class Vector {
+ public:
+  Vector() = default;
+
+  // A vector of `size` zeros.
+  explicit Vector(int size) : values_(Checked(size), 0.0) {}
+
+  // A vector of `size` copies of `fill`.
+  Vector(int size, double fill) : values_(Checked(size), fill) {}
+
+  // Conversion from a brace list, e.g. Vector v{1.0, 2.0, 3.0}.
+  Vector(std::initializer_list<double> values) : values_(values) {}
+
+  Vector(const Vector&) = default;
+  Vector& operator=(const Vector&) = default;
+  Vector(Vector&&) = default;
+  Vector& operator=(Vector&&) = default;
+
+  int size() const { return static_cast<int>(values_.size()); }
+  bool empty() const { return values_.empty(); }
+
+  double& operator[](int i) {
+    SRDA_CHECK(i >= 0 && i < size()) << "vector index " << i << " out of "
+                                     << size();
+    return values_[static_cast<size_t>(i)];
+  }
+  double operator[](int i) const {
+    SRDA_CHECK(i >= 0 && i < size()) << "vector index " << i << " out of "
+                                     << size();
+    return values_[static_cast<size_t>(i)];
+  }
+
+  double* data() { return values_.data(); }
+  const double* data() const { return values_.data(); }
+
+  // Sets every element to `value`.
+  void Fill(double value) {
+    for (double& x : values_) x = value;
+  }
+
+  // Grows or shrinks to `size`, zero-filling new elements.
+  void Resize(int size) { values_.resize(Checked(size), 0.0); }
+
+ private:
+  static size_t Checked(int size) {
+    SRDA_CHECK(size >= 0) << "negative vector size " << size;
+    return static_cast<size_t>(size);
+  }
+
+  std::vector<double> values_;
+};
+
+}  // namespace srda
+
+#endif  // SRDA_MATRIX_VECTOR_H_

@@ -1,0 +1,97 @@
+#include "select/model_selection.h"
+
+#include <algorithm>
+
+#include "classify/classifiers.h"
+#include "common/check.h"
+#include "core/srda.h"
+
+namespace srda {
+
+std::vector<std::vector<int>> StratifiedFolds(const std::vector<int>& labels,
+                                              int num_classes, int num_folds,
+                                              Rng* rng) {
+  SRDA_CHECK(rng != nullptr);
+  SRDA_CHECK_GT(num_folds, 1) << "need at least two folds";
+  const std::vector<int> counts = ClassCounts(labels, num_classes);
+  for (int k = 0; k < num_classes; ++k) {
+    SRDA_CHECK_GE(counts[static_cast<size_t>(k)], num_folds)
+        << "class " << k << " has fewer samples than folds";
+  }
+
+  std::vector<std::vector<int>> by_class(static_cast<size_t>(num_classes));
+  for (int i = 0; i < static_cast<int>(labels.size()); ++i) {
+    by_class[static_cast<size_t>(labels[static_cast<size_t>(i)])].push_back(i);
+  }
+  for (auto& indices : by_class) rng->Shuffle(&indices);
+
+  std::vector<std::vector<int>> folds(static_cast<size_t>(num_folds));
+  for (const auto& indices : by_class) {
+    for (size_t position = 0; position < indices.size(); ++position) {
+      folds[position % static_cast<size_t>(num_folds)].push_back(
+          indices[position]);
+    }
+  }
+  for (auto& fold : folds) std::sort(fold.begin(), fold.end());
+  return folds;
+}
+
+double CrossValidate(
+    const DenseDataset& dataset, int num_folds, Rng* rng,
+    const std::function<double(const DenseDataset& train,
+                               const DenseDataset& validation)>& evaluate) {
+  SRDA_CHECK(evaluate != nullptr);
+  const std::vector<std::vector<int>> folds =
+      StratifiedFolds(dataset.labels, dataset.num_classes, num_folds, rng);
+  double total = 0.0;
+  for (int f = 0; f < num_folds; ++f) {
+    std::vector<int> train_indices;
+    for (int other = 0; other < num_folds; ++other) {
+      if (other == f) continue;
+      train_indices.insert(train_indices.end(),
+                           folds[static_cast<size_t>(other)].begin(),
+                           folds[static_cast<size_t>(other)].end());
+    }
+    std::sort(train_indices.begin(), train_indices.end());
+    const DenseDataset train = Subset(dataset, train_indices);
+    const DenseDataset validation =
+        Subset(dataset, folds[static_cast<size_t>(f)]);
+    total += evaluate(train, validation);
+  }
+  return total / num_folds;
+}
+
+AlphaSearchResult SelectSrdaAlpha(const DenseDataset& dataset,
+                                  const std::vector<double>& alphas,
+                                  int num_folds, uint64_t seed) {
+  SRDA_CHECK(!alphas.empty()) << "no alpha candidates";
+  AlphaSearchResult result;
+  result.errors.reserve(alphas.size());
+  for (double alpha : alphas) {
+    Rng rng(seed);  // Same folds for every candidate: paired comparison.
+    const double error = CrossValidate(
+        dataset, num_folds, &rng,
+        [&](const DenseDataset& train, const DenseDataset& validation) {
+          SrdaOptions options;
+          options.alpha = alpha;
+          const SrdaModel model = FitSrda(train.features, train.labels,
+                                          train.num_classes, options);
+          SRDA_CHECK(model.converged) << "SRDA failed during CV";
+          CentroidClassifier classifier;
+          classifier.Fit(model.embedding.Transform(train.features),
+                         train.labels, train.num_classes);
+          return ErrorRate(
+              classifier.Predict(model.embedding.Transform(
+                  validation.features)),
+              validation.labels);
+        });
+    result.errors.push_back(error);
+  }
+  result.best_index = static_cast<int>(
+      std::min_element(result.errors.begin(), result.errors.end()) -
+      result.errors.begin());
+  result.best_alpha = alphas[static_cast<size_t>(result.best_index)];
+  return result;
+}
+
+}  // namespace srda

@@ -1,0 +1,148 @@
+#include "sparse/sparse_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace srda {
+
+double SparseMatrix::AvgNonZerosPerRow() const {
+  if (rows_ == 0) return 0.0;
+  return static_cast<double>(NumNonZeros()) / rows_;
+}
+
+int SparseMatrix::RowNonZeros(int i) const {
+  SRDA_CHECK(i >= 0 && i < rows_) << "row " << i << " out of " << rows_;
+  return static_cast<int>(row_offsets_[static_cast<size_t>(i) + 1] -
+                          row_offsets_[static_cast<size_t>(i)]);
+}
+
+Vector SparseMatrix::Multiply(const Vector& x) const {
+  SRDA_CHECK_EQ(x.size(), cols_) << "sparse A*x shape mismatch";
+  Vector y(rows_);
+  const double* px = x.data();
+  for (int i = 0; i < rows_; ++i) {
+    const int64_t begin = row_offsets_[static_cast<size_t>(i)];
+    const int64_t end = row_offsets_[static_cast<size_t>(i) + 1];
+    double sum = 0.0;
+    for (int64_t k = begin; k < end; ++k) {
+      sum += values_[static_cast<size_t>(k)] *
+             px[col_indices_[static_cast<size_t>(k)]];
+    }
+    y[i] = sum;
+  }
+  return y;
+}
+
+Vector SparseMatrix::MultiplyTransposed(const Vector& x) const {
+  SRDA_CHECK_EQ(x.size(), rows_) << "sparse A^T*x shape mismatch";
+  Vector y(cols_);
+  double* py = y.data();
+  for (int i = 0; i < rows_; ++i) {
+    const double xi = x[i];
+    if (xi == 0.0) continue;
+    const int64_t begin = row_offsets_[static_cast<size_t>(i)];
+    const int64_t end = row_offsets_[static_cast<size_t>(i) + 1];
+    for (int64_t k = begin; k < end; ++k) {
+      py[col_indices_[static_cast<size_t>(k)]] +=
+          xi * values_[static_cast<size_t>(k)];
+    }
+  }
+  return y;
+}
+
+Matrix SparseMatrix::MultiplyDense(const Matrix& b) const {
+  SRDA_CHECK_EQ(b.rows(), cols_) << "sparse A*B shape mismatch";
+  Matrix c(rows_, b.cols());
+  for (int i = 0; i < rows_; ++i) {
+    const int64_t begin = row_offsets_[static_cast<size_t>(i)];
+    const int64_t end = row_offsets_[static_cast<size_t>(i) + 1];
+    double* crow = c.RowPtr(i);
+    for (int64_t k = begin; k < end; ++k) {
+      const double value = values_[static_cast<size_t>(k)];
+      const double* brow = b.RowPtr(col_indices_[static_cast<size_t>(k)]);
+      for (int j = 0; j < b.cols(); ++j) crow[j] += value * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix SparseMatrix::ToDense() const {
+  Matrix dense(rows_, cols_);
+  for (int i = 0; i < rows_; ++i) {
+    const int64_t begin = row_offsets_[static_cast<size_t>(i)];
+    const int64_t end = row_offsets_[static_cast<size_t>(i) + 1];
+    double* row = dense.RowPtr(i);
+    for (int64_t k = begin; k < end; ++k) {
+      row[col_indices_[static_cast<size_t>(k)]] =
+          values_[static_cast<size_t>(k)];
+    }
+  }
+  return dense;
+}
+
+SparseMatrixBuilder::SparseMatrixBuilder(int rows, int cols)
+    : rows_(rows), cols_(cols) {
+  SRDA_CHECK(rows >= 0 && cols >= 0)
+      << "negative sparse shape " << rows << " x " << cols;
+}
+
+void SparseMatrixBuilder::Add(int row, int col, double value) {
+  SRDA_CHECK(row >= 0 && row < rows_ && col >= 0 && col < cols_)
+      << "triplet (" << row << ", " << col << ") out of " << rows_ << " x "
+      << cols_;
+  if (value == 0.0) return;
+  triplets_.push_back({row, col, value});
+}
+
+SparseMatrix SparseMatrixBuilder::Build() && {
+  std::sort(triplets_.begin(), triplets_.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+
+  SparseMatrix result;
+  result.rows_ = rows_;
+  result.cols_ = cols_;
+  result.row_offsets_.assign(static_cast<size_t>(rows_) + 1, 0);
+  result.col_indices_.reserve(triplets_.size());
+  result.values_.reserve(triplets_.size());
+
+  size_t i = 0;
+  while (i < triplets_.size()) {
+    // Merge duplicates at the same coordinate.
+    double sum = triplets_[i].value;
+    size_t j = i + 1;
+    while (j < triplets_.size() && triplets_[j].row == triplets_[i].row &&
+           triplets_[j].col == triplets_[i].col) {
+      sum += triplets_[j].value;
+      ++j;
+    }
+    if (sum != 0.0) {
+      result.col_indices_.push_back(triplets_[i].col);
+      result.values_.push_back(sum);
+      ++result.row_offsets_[static_cast<size_t>(triplets_[i].row) + 1];
+    }
+    i = j;
+  }
+  for (size_t r = 0; r < static_cast<size_t>(rows_); ++r) {
+    result.row_offsets_[r + 1] += result.row_offsets_[r];
+  }
+  triplets_.clear();
+  return result;
+}
+
+SparseMatrix SparseFromDense(const Matrix& dense, double tolerance) {
+  SRDA_CHECK(tolerance >= 0.0);
+  SparseMatrixBuilder builder(dense.rows(), dense.cols());
+  for (int i = 0; i < dense.rows(); ++i) {
+    const double* row = dense.RowPtr(i);
+    for (int j = 0; j < dense.cols(); ++j) {
+      if (std::fabs(row[j]) > tolerance) builder.Add(i, j, row[j]);
+    }
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace srda

@@ -1,0 +1,96 @@
+// Compressed sparse row (CSR) matrix and its builder.
+//
+// The sparse path of SRDA (Section III-C2 of the paper) only needs
+// matrix-vector products A*x and A^T*x plus row access; CSR provides both in
+// O(nnz). Rows are samples, as in the dense Matrix.
+
+#ifndef SRDA_SPARSE_SPARSE_MATRIX_H_
+#define SRDA_SPARSE_SPARSE_MATRIX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "matrix/matrix.h"
+#include "matrix/vector.h"
+
+namespace srda {
+
+class SparseMatrixBuilder;
+
+// An immutable CSR matrix of doubles.
+class SparseMatrix {
+ public:
+  SparseMatrix() = default;
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int64_t NumNonZeros() const { return static_cast<int64_t>(values_.size()); }
+
+  // Average non-zeros per row (the paper's `s`); 0 for an empty matrix.
+  double AvgNonZerosPerRow() const;
+
+  // Number of stored entries in row `i`.
+  int RowNonZeros(int i) const;
+
+  // Unchecked spans over row `i`'s column indices and values.
+  const int* RowIndices(int i) const {
+    return col_indices_.data() + row_offsets_[static_cast<size_t>(i)];
+  }
+  const double* RowValues(int i) const {
+    return values_.data() + row_offsets_[static_cast<size_t>(i)];
+  }
+
+  // y = A * x  (x has cols() entries, result has rows()).
+  Vector Multiply(const Vector& x) const;
+
+  // y = A^T * x  (x has rows() entries, result has cols()).
+  Vector MultiplyTransposed(const Vector& x) const;
+
+  // C = A * B where B is dense cols() x k; result is rows() x k. Used to
+  // embed sparse samples with a dense projection matrix.
+  Matrix MultiplyDense(const Matrix& b) const;
+
+  // Densifies (tests and small examples only).
+  Matrix ToDense() const;
+
+ private:
+  friend class SparseMatrixBuilder;
+
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<int64_t> row_offsets_;  // size rows_ + 1
+  std::vector<int> col_indices_;      // size nnz, sorted within each row
+  std::vector<double> values_;        // size nnz
+};
+
+// Accumulates (row, col, value) triplets and assembles a CSR matrix.
+// Duplicate coordinates are summed; explicit zeros are dropped.
+class SparseMatrixBuilder {
+ public:
+  SparseMatrixBuilder(int rows, int cols);
+
+  // Records `value` at (row, col). O(1); assembly happens in Build().
+  void Add(int row, int col, double value);
+
+  // Assembles the CSR matrix. The builder may not be reused afterwards.
+  SparseMatrix Build() &&;
+
+ private:
+  struct Triplet {
+    int row;
+    int col;
+    double value;
+  };
+
+  int rows_;
+  int cols_;
+  std::vector<Triplet> triplets_;
+};
+
+// Builds a CSR copy of a dense matrix, dropping entries with
+// |value| <= tolerance.
+SparseMatrix SparseFromDense(const Matrix& dense, double tolerance = 0.0);
+
+}  // namespace srda
+
+#endif  // SRDA_SPARSE_SPARSE_MATRIX_H_

@@ -1,0 +1,75 @@
+// Tests for the command-line flag parser used by the tools.
+
+#include <gtest/gtest.h>
+
+#include "common/arg_parser.h"
+
+namespace srda {
+namespace {
+
+ArgParser Parse(std::initializer_list<const char*> arguments) {
+  std::vector<const char*> argv = {"binary"};
+  argv.insert(argv.end(), arguments.begin(), arguments.end());
+  return ArgParser(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(ArgParserTest, StringFlags) {
+  const ArgParser args = Parse({"--data=/tmp/x.csv", "--format=libsvm"});
+  EXPECT_EQ(args.GetString("data", ""), "/tmp/x.csv");
+  EXPECT_EQ(args.GetString("format", "csv"), "libsvm");
+  EXPECT_EQ(args.GetString("missing", "fallback"), "fallback");
+}
+
+TEST(ArgParserTest, NumericFlags) {
+  const ArgParser args = Parse({"--alpha=0.25", "--iterations=17"});
+  EXPECT_DOUBLE_EQ(args.GetDouble("alpha", 1.0), 0.25);
+  EXPECT_EQ(args.GetInt("iterations", 20), 17);
+  EXPECT_EQ(args.GetInt("missing", 42), 42);
+}
+
+TEST(ArgParserTest, BooleanFlags) {
+  const ArgParser args =
+      Parse({"--full", "--verbose=true", "--quiet=false", "--flag=0"});
+  EXPECT_TRUE(args.GetBool("full"));
+  EXPECT_TRUE(args.GetBool("verbose"));
+  EXPECT_FALSE(args.GetBool("quiet"));
+  EXPECT_FALSE(args.GetBool("flag"));
+  EXPECT_FALSE(args.GetBool("missing"));
+  EXPECT_TRUE(args.GetBool("missing2", true));
+}
+
+TEST(ArgParserTest, PositionalArguments) {
+  const ArgParser args = Parse({"first", "--flag", "second"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "first");
+  EXPECT_EQ(args.positional()[1], "second");
+}
+
+TEST(ArgParserTest, UnusedFlagsTracked) {
+  const ArgParser args = Parse({"--used=1", "--typo=2"});
+  EXPECT_EQ(args.GetInt("used", 0), 1);
+  const std::vector<std::string> unused = args.UnusedFlags();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(ArgParserTest, HasMarksFlagsUsed) {
+  const ArgParser args = Parse({"--present"});
+  EXPECT_TRUE(args.Has("present"));
+  EXPECT_FALSE(args.Has("absent"));
+  EXPECT_TRUE(args.UnusedFlags().empty());
+}
+
+TEST(ArgParserDeathTest, MalformedNumbersAbort) {
+  const ArgParser args = Parse({"--alpha=abc", "--count=1.5x"});
+  EXPECT_DEATH(args.GetDouble("alpha", 0.0), "not a number");
+  EXPECT_DEATH(args.GetInt("count", 0), "not an integer");
+}
+
+TEST(ArgParserDeathTest, MalformedBoolAborts) {
+  const ArgParser args = Parse({"--flag=maybe"});
+  EXPECT_DEATH(args.GetBool("flag"), "not a boolean");
+}
+
+}  // namespace
+}  // namespace srda

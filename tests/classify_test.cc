@@ -1,0 +1,136 @@
+// Tests for classifiers and evaluation helpers.
+
+#include <gtest/gtest.h>
+
+#include "classify/classifiers.h"
+#include "common/rng.h"
+#include "matrix/matrix.h"
+
+namespace srda {
+namespace {
+
+TEST(CentroidClassifierTest, SeparatedClusters) {
+  Matrix train = Matrix::FromRows({{0.0, 0.0},
+                                   {0.2, -0.1},
+                                   {5.0, 5.0},
+                                   {5.1, 4.9}});
+  CentroidClassifier classifier;
+  classifier.Fit(train, {0, 0, 1, 1}, 2);
+  const Matrix test = Matrix::FromRows({{0.1, 0.1}, {4.8, 5.2}});
+  const std::vector<int> predictions = classifier.Predict(test);
+  EXPECT_EQ(predictions[0], 0);
+  EXPECT_EQ(predictions[1], 1);
+}
+
+TEST(CentroidClassifierTest, CentroidsAreClassMeans) {
+  Matrix train = Matrix::FromRows({{0.0, 2.0}, {2.0, 0.0}, {10.0, 10.0}});
+  CentroidClassifier classifier;
+  classifier.Fit(train, {0, 0, 1}, 2);
+  EXPECT_DOUBLE_EQ(classifier.centroids()(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(classifier.centroids()(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(classifier.centroids()(1, 0), 10.0);
+}
+
+TEST(CentroidClassifierDeathTest, PredictBeforeFitAborts) {
+  CentroidClassifier classifier;
+  EXPECT_DEATH(classifier.Predict(Matrix(1, 2)), "before Fit");
+}
+
+TEST(CentroidClassifierDeathTest, MissingClassAborts) {
+  CentroidClassifier classifier;
+  Matrix train(2, 2);
+  EXPECT_DEATH(classifier.Fit(train, {0, 0}, 2), "no training samples");
+}
+
+TEST(CentroidClassifierDeathTest, DimensionMismatchAborts) {
+  CentroidClassifier classifier;
+  Matrix train(2, 3);
+  classifier.Fit(train, {0, 1}, 2);
+  EXPECT_DEATH(classifier.Predict(Matrix(1, 2)), "dimension mismatch");
+}
+
+TEST(KnnClassifierTest, OneNearestNeighbor) {
+  Matrix train = Matrix::FromRows({{0.0}, {1.0}, {10.0}});
+  KnnClassifier classifier(1);
+  classifier.Fit(train, {0, 0, 1}, 2);
+  const std::vector<int> predictions =
+      classifier.Predict(Matrix::FromRows({{0.4}, {9.0}}));
+  EXPECT_EQ(predictions[0], 0);
+  EXPECT_EQ(predictions[1], 1);
+}
+
+TEST(KnnClassifierTest, MajorityVote) {
+  Matrix train = Matrix::FromRows({{0.0}, {1.0}, {2.0}, {3.0}});
+  KnnClassifier classifier(3);
+  classifier.Fit(train, {0, 1, 1, 1}, 2);
+  // Query near 0: neighbors {0, 1, 2} have labels {0, 1, 1} -> class 1.
+  const std::vector<int> predictions =
+      classifier.Predict(Matrix::FromRows({{0.1}}));
+  EXPECT_EQ(predictions[0], 1);
+}
+
+TEST(KnnClassifierTest, KLargerThanTrainSetClamped) {
+  Matrix train = Matrix::FromRows({{0.0}, {5.0}});
+  KnnClassifier classifier(10);
+  classifier.Fit(train, {0, 1}, 2);
+  const std::vector<int> predictions =
+      classifier.Predict(Matrix::FromRows({{0.2}}));
+  EXPECT_EQ(predictions.size(), 1u);
+}
+
+TEST(KnnClassifierDeathTest, NonPositiveKAborts) {
+  EXPECT_DEATH(KnnClassifier(0), "positive");
+}
+
+TEST(ErrorRateTest, CountsMismatches) {
+  EXPECT_DOUBLE_EQ(ErrorRate({0, 1, 2, 0}, {0, 1, 0, 1}), 0.5);
+  EXPECT_DOUBLE_EQ(ErrorRate({1, 1}, {1, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(ErrorRate({0}, {1}), 1.0);
+}
+
+TEST(ErrorRateDeathTest, SizeMismatchAborts) {
+  EXPECT_DEATH(ErrorRate({0, 1}, {0}), "size mismatch");
+  EXPECT_DEATH(ErrorRate({}, {}), "empty");
+}
+
+TEST(MeanStdTest, KnownValues) {
+  const MeanStd stats = ComputeMeanStd({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_DOUBLE_EQ(stats.mean, 5.0);
+  EXPECT_NEAR(stats.stddev, 2.138, 1e-3);  // Sample stddev.
+}
+
+TEST(MeanStdTest, SingleValueZeroStddev) {
+  const MeanStd stats = ComputeMeanStd({3.5});
+  EXPECT_DOUBLE_EQ(stats.mean, 3.5);
+  EXPECT_DOUBLE_EQ(stats.stddev, 0.0);
+}
+
+TEST(ClassifierAgreementTest, KnnAndCentroidAgreeOnWellSeparatedData) {
+  Rng rng(7);
+  const int per_class = 30;
+  Matrix data(3 * per_class, 2);
+  std::vector<int> labels;
+  const double centers[3][2] = {{0, 0}, {8, 0}, {0, 8}};
+  for (int k = 0; k < 3; ++k) {
+    for (int i = 0; i < per_class; ++i) {
+      const int row = k * per_class + i;
+      data(row, 0) = centers[k][0] + rng.NextGaussian();
+      data(row, 1) = centers[k][1] + rng.NextGaussian();
+      labels.push_back(k);
+    }
+  }
+  CentroidClassifier centroid;
+  centroid.Fit(data, labels, 3);
+  KnnClassifier knn(5);
+  knn.Fit(data, labels, 3);
+  const std::vector<int> a = centroid.Predict(data);
+  const std::vector<int> b = knn.Predict(data);
+  int disagreements = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) ++disagreements;
+  }
+  EXPECT_LT(disagreements, 5);
+}
+
+}  // namespace
+}  // namespace srda

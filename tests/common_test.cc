@@ -1,0 +1,220 @@
+// Tests for src/common: checks, RNG, flam model, table printer.
+
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/flops.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "common/table_printer.h"
+
+namespace srda {
+namespace {
+
+TEST(CheckTest, PassingConditionDoesNothing) {
+  SRDA_CHECK(1 + 1 == 2) << "never printed";
+  SRDA_CHECK_EQ(3, 3);
+  SRDA_CHECK_LT(1, 2);
+  SRDA_CHECK_GE(2, 2);
+}
+
+TEST(CheckDeathTest, FailingConditionAborts) {
+  EXPECT_DEATH(SRDA_CHECK(false) << "boom message", "boom message");
+}
+
+TEST(CheckDeathTest, ComparisonMacroAborts) {
+  EXPECT_DEATH(SRDA_CHECK_EQ(1, 2), "SRDA_CHECK failed");
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(13);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.NextGaussian();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.02);
+}
+
+TEST(RngTest, GaussianWithMeanAndStddev) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.NextGaussian(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(RngDeathTest, NegativeStddevAborts) {
+  Rng rng(1);
+  EXPECT_DEATH(rng.NextGaussian(0.0, -1.0), "stddev");
+}
+
+TEST(RngTest, BoundedDrawsCoverRange) {
+  Rng rng(19);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t x = rng.NextUint64Bounded(7);
+    EXPECT_LT(x, 7u);
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, NextIntInclusiveRange) {
+  Rng rng(23);
+  std::set<int> seen;
+  for (int i = 0; i < 500; ++i) {
+    const int x = rng.NextInt(-2, 2);
+    EXPECT_GE(x, -2);
+    EXPECT_LE(x, 2);
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(29);
+  std::vector<int> values = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<int> shuffled = values;
+  rng.Shuffle(&shuffled);
+  std::multiset<int> a(values.begin(), values.end());
+  std::multiset<int> b(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(RngTest, SplitStreamsAreIndependent) {
+  Rng parent(31);
+  Rng child1 = parent.Split();
+  Rng child2 = parent.Split();
+  // Different sub-streams should not collide on first draws.
+  EXPECT_NE(child1.NextUint64(), child2.NextUint64());
+}
+
+TEST(ZipfTableTest, RankOneMostFrequent) {
+  Rng rng(37);
+  ZipfTable zipf(100, 1.1);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.Sample(&rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], counts[50]);
+}
+
+TEST(ZipfTableTest, SamplesInRange) {
+  Rng rng(41);
+  ZipfTable zipf(5, 1.0);
+  for (int i = 0; i < 1000; ++i) {
+    const int x = zipf.Sample(&rng);
+    EXPECT_GE(x, 0);
+    EXPECT_LT(x, 5);
+  }
+}
+
+TEST(FlopsTest, LdaCubicInMinDimension) {
+  // Doubling t = min(m, n) with huge other dimension should scale the cubic
+  // term by 8.
+  const CostEstimate small = LdaCost(1000, 1000, 10);
+  const CostEstimate large = LdaCost(2000, 2000, 10);
+  EXPECT_GT(large.flam / small.flam, 7.0);
+}
+
+TEST(FlopsTest, SrdaLsqrLinearInM) {
+  const CostEstimate small = SrdaLsqrSparseCost(10000, 100000, 20, 20, 100.0);
+  const CostEstimate large = SrdaLsqrSparseCost(20000, 100000, 20, 20, 100.0);
+  // Linear in m up to the additive n terms.
+  EXPECT_LT(large.flam / small.flam, 2.2);
+  EXPECT_GT(large.flam / small.flam, 1.5);
+}
+
+TEST(FlopsTest, MaximumSpeedupNineAtSquare) {
+  // Paper: when m == n the normal-equations SRDA is 9x cheaper than LDA.
+  const int64_t m = 4096;
+  const CostEstimate lda = LdaCost(m, m, 2);
+  const CostEstimate srda = SrdaNormalEquationsCost(m, m, 2);
+  EXPECT_NEAR(lda.flam / srda.flam, 9.0, 0.5);
+}
+
+TEST(FlopsTest, SparseCheaperThanDenseLsqr) {
+  const CostEstimate dense = SrdaLsqrDenseCost(10000, 26214, 20, 15);
+  const CostEstimate sparse = SrdaLsqrSparseCost(10000, 26214, 20, 15, 100.0);
+  EXPECT_LT(sparse.flam, dense.flam);
+  EXPECT_LT(sparse.memory_doubles, dense.memory_doubles);
+}
+
+TEST(StopwatchTest, MeasuresNonNegativeTime) {
+  Stopwatch watch;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    sink = sink + std::sqrt(static_cast<double>(i));
+  }
+  EXPECT_GE(watch.ElapsedSeconds(), 0.0);
+  watch.Reset();
+  EXPECT_LT(watch.ElapsedSeconds(), 1.0);
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"A", "LongHeader"});
+  table.AddRow({"wide-cell-value", "x"});
+  std::ostringstream out;
+  table.Print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("LongHeader"), std::string::npos);
+  EXPECT_NE(text.find("wide-cell-value"), std::string::npos);
+  EXPECT_NE(text.find("---"), std::string::npos);
+}
+
+TEST(TablePrinterDeathTest, RowWidthMismatchAborts) {
+  TablePrinter table({"A", "B"});
+  EXPECT_DEATH(table.AddRow({"only-one"}), "row width");
+}
+
+TEST(TablePrinterTest, FormatHelpers) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatMeanStd(31.84, 1.06), "31.8 +- 1.1");
+}
+
+}  // namespace
+}  // namespace srda

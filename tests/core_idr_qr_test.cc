@@ -1,0 +1,145 @@
+// Tests for the IDR/QR baseline.
+
+#include <gtest/gtest.h>
+
+#include "classify/classifiers.h"
+#include "common/rng.h"
+#include "core/idr_qr.h"
+#include "matrix/blas.h"
+
+namespace srda {
+namespace {
+
+void MakeBlobs(int num_classes, int per_class, int dim, double separation,
+               Rng* rng, Matrix* x, std::vector<int>* labels) {
+  *x = Matrix(num_classes * per_class, dim);
+  labels->clear();
+  Matrix centers(num_classes, dim);
+  for (int k = 0; k < num_classes; ++k) {
+    for (int j = 0; j < dim; ++j) {
+      centers(k, j) = rng->NextGaussian() * separation;
+    }
+  }
+  for (int k = 0; k < num_classes; ++k) {
+    for (int i = 0; i < per_class; ++i) {
+      const int row = k * per_class + i;
+      for (int j = 0; j < dim; ++j) {
+        (*x)(row, j) = centers(k, j) + rng->NextGaussian();
+      }
+      labels->push_back(k);
+    }
+  }
+}
+
+TEST(IdrQrTest, ProducesAtMostCMinusOneDirections) {
+  Rng rng(1);
+  Matrix x;
+  std::vector<int> labels;
+  MakeBlobs(4, 20, 12, 4.0, &rng, &x, &labels);
+  const IdrQrModel model = FitIdrQr(x, labels, 4);
+  ASSERT_TRUE(model.converged);
+  EXPECT_LE(model.num_directions, 3);
+  EXPECT_GE(model.num_directions, 1);
+}
+
+TEST(IdrQrTest, SeparatesBlobs) {
+  Rng rng(2);
+  Matrix x;
+  std::vector<int> labels;
+  MakeBlobs(3, 30, 10, 5.0, &rng, &x, &labels);
+  const IdrQrModel model = FitIdrQr(x, labels, 3);
+  ASSERT_TRUE(model.converged);
+  const Matrix embedded = model.embedding.Transform(x);
+  CentroidClassifier classifier;
+  classifier.Fit(embedded, labels, 3);
+  EXPECT_LT(ErrorRate(classifier.Predict(embedded), labels), 0.05);
+}
+
+TEST(IdrQrTest, ProjectionLiesInCentroidSpan) {
+  // IDR/QR directions live in the span of the class centroids by
+  // construction.
+  Rng rng(3);
+  Matrix x;
+  std::vector<int> labels;
+  MakeBlobs(3, 15, 20, 4.0, &rng, &x, &labels);
+  const IdrQrModel model = FitIdrQr(x, labels, 3);
+  ASSERT_TRUE(model.converged);
+
+  // Build centroid matrix and an orthonormal basis of its span.
+  Matrix centroids(3, 20);
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < x.rows(); ++i) {
+    ++counts[labels[i]];
+    for (int j = 0; j < 20; ++j) centroids(labels[i], j) += x(i, j);
+  }
+  for (int k = 0; k < 3; ++k) {
+    for (int j = 0; j < 20; ++j) centroids(k, j) /= counts[k];
+  }
+  // Project each direction onto the centroid span and verify zero residual.
+  const Matrix basis = centroids.Transposed();  // 20 x 3
+  // Orthonormalize with Gram: solve least squares via normal equations.
+  const Matrix gram = Gram(basis);
+  for (int d = 0; d < model.num_directions; ++d) {
+    const Vector direction = model.embedding.projection().Col(d);
+    // Residual after projecting onto span(basis): direction - basis * coef
+    // with coef = gram^{-1} basis^T direction. Use a crude solve via
+    // 3x3 Gaussian elimination through Cholesky-free approach: since gram is
+    // SPD 3x3, invert by adjugate is overkill; use iterative refinement via
+    // normal equations residual check instead:
+    const Vector rhs = MultiplyTransposed(basis, direction);
+    // Solve gram * coef = rhs by simple Gaussian elimination.
+    Matrix aug = gram;
+    Vector coef = rhs;
+    for (int col = 0; col < 3; ++col) {
+      const double pivot = aug(col, col);
+      ASSERT_NE(pivot, 0.0);
+      for (int row = col + 1; row < 3; ++row) {
+        const double factor = aug(row, col) / pivot;
+        for (int jj = col; jj < 3; ++jj) aug(row, jj) -= factor * aug(col, jj);
+        coef[row] -= factor * coef[col];
+      }
+    }
+    for (int row = 2; row >= 0; --row) {
+      double sum = coef[row];
+      for (int jj = row + 1; jj < 3; ++jj) sum -= aug(row, jj) * coef[jj];
+      coef[row] = sum / aug(row, row);
+    }
+    Vector residual = direction;
+    Axpy(-coef[0], basis.Col(0), &residual);
+    Axpy(-coef[1], basis.Col(1), &residual);
+    Axpy(-coef[2], basis.Col(2), &residual);
+    EXPECT_LT(Norm2(residual), 1e-8 * (1.0 + Norm2(direction)))
+        << "direction " << d;
+  }
+}
+
+TEST(IdrQrTest, HighDimensionalFastPath) {
+  // n >> m: IDR/QR must remain numerically stable and separate classes.
+  Rng rng(4);
+  const int n = 300;
+  Matrix x(15, n);
+  std::vector<int> labels;
+  for (int i = 0; i < 15; ++i) {
+    for (int j = 0; j < n; ++j) x(i, j) = (i / 5) * 1.0 + rng.NextGaussian();
+    labels.push_back(i / 5);
+  }
+  const IdrQrModel model = FitIdrQr(x, labels, 3);
+  ASSERT_TRUE(model.converged);
+  const Matrix embedded = model.embedding.Transform(x);
+  CentroidClassifier classifier;
+  classifier.Fit(embedded, labels, 3);
+  EXPECT_LT(ErrorRate(classifier.Predict(embedded), labels), 0.25);
+}
+
+TEST(IdrQrDeathTest, FewerFeaturesThanClassesAborts) {
+  Matrix x(6, 2);
+  EXPECT_DEATH(FitIdrQr(x, {0, 0, 1, 1, 2, 2}, 3), "at least c features");
+}
+
+TEST(IdrQrDeathTest, SingleClassAborts) {
+  Matrix x(4, 4);
+  EXPECT_DEATH(FitIdrQr(x, {0, 0, 0, 0}, 1), "two classes");
+}
+
+}  // namespace
+}  // namespace srda

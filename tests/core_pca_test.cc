@@ -1,0 +1,196 @@
+// Tests for PCA and the Fisherfaces (PCA+LDA) pipeline.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "classify/classifiers.h"
+#include "common/rng.h"
+#include "core/fisherfaces.h"
+#include "core/lda.h"
+#include "core/pca.h"
+#include "matrix/blas.h"
+
+namespace srda {
+namespace {
+
+Matrix RandomMatrix(int rows, int cols, Rng* rng) {
+  Matrix m(rows, cols);
+  for (int i = 0; i < rows; ++i) {
+    for (int j = 0; j < cols; ++j) m(i, j) = rng->NextGaussian();
+  }
+  return m;
+}
+
+TEST(PcaTest, RecoversDominantDirection) {
+  // Data spread mostly along (1, 1)/sqrt(2).
+  Rng rng(1);
+  Matrix x(200, 2);
+  for (int i = 0; i < 200; ++i) {
+    const double major = rng.NextGaussian() * 5.0;
+    const double minor = rng.NextGaussian() * 0.5;
+    x(i, 0) = (major + minor) / std::sqrt(2.0);
+    x(i, 1) = (major - minor) / std::sqrt(2.0);
+  }
+  PcaOptions options;
+  options.max_components = 1;
+  const PcaModel model = FitPca(x, options);
+  ASSERT_TRUE(model.converged);
+  const Vector direction = model.embedding.projection().Col(0);
+  EXPECT_NEAR(std::fabs(direction[0]), 1.0 / std::sqrt(2.0), 0.05);
+  EXPECT_NEAR(std::fabs(direction[1]), 1.0 / std::sqrt(2.0), 0.05);
+  EXPECT_GT(model.captured_variance_ratio, 0.95);
+}
+
+TEST(PcaTest, ComponentsOrthonormal) {
+  Rng rng(2);
+  const Matrix x = RandomMatrix(50, 8, &rng);
+  const PcaModel model = FitPca(x);
+  ASSERT_TRUE(model.converged);
+  const Matrix gram = Gram(model.embedding.projection());
+  EXPECT_LT(MaxAbsDiff(gram, Matrix::Identity(gram.rows())), 1e-8);
+}
+
+TEST(PcaTest, ExplainedVarianceDescendsAndSums) {
+  Rng rng(3);
+  const Matrix x = RandomMatrix(60, 6, &rng);
+  const PcaModel model = FitPca(x);
+  ASSERT_TRUE(model.converged);
+  double variance_sum = 0.0;
+  for (int k = 0; k < model.explained_variance.size(); ++k) {
+    if (k > 0) {
+      EXPECT_LE(model.explained_variance[k], model.explained_variance[k - 1]);
+    }
+    variance_sum += model.explained_variance[k];
+  }
+  // Total variance equals the trace of the sample covariance.
+  Matrix centered = x;
+  SubtractRowVector(ColumnMeans(x), &centered);
+  const Matrix cov = Gram(centered);
+  double trace = 0.0;
+  for (int j = 0; j < 6; ++j) trace += cov(j, j) / (x.rows() - 1);
+  EXPECT_NEAR(variance_sum, trace, 1e-8 * trace);
+  EXPECT_NEAR(model.captured_variance_ratio, 1.0, 1e-12);
+}
+
+TEST(PcaTest, VarianceToKeepTruncates) {
+  Rng rng(4);
+  Matrix x(100, 5);
+  for (int i = 0; i < 100; ++i) {
+    x(i, 0) = rng.NextGaussian() * 10.0;  // Dominant direction.
+    for (int j = 1; j < 5; ++j) x(i, j) = rng.NextGaussian() * 0.1;
+  }
+  PcaOptions options;
+  options.variance_to_keep = 0.95;
+  const PcaModel model = FitPca(x, options);
+  ASSERT_TRUE(model.converged);
+  EXPECT_EQ(model.embedding.output_dim(), 1);
+  EXPECT_GE(model.captured_variance_ratio, 0.95);
+}
+
+TEST(PcaTest, EmbeddingIsCentered) {
+  Rng rng(5);
+  Matrix x = RandomMatrix(40, 7, &rng);
+  for (int i = 0; i < 40; ++i) x(i, 2) += 100.0;  // Large offset.
+  const PcaModel model = FitPca(x);
+  const Matrix embedded = model.embedding.Transform(x);
+  const Vector mean = ColumnMeans(embedded);
+  for (int j = 0; j < mean.size(); ++j) EXPECT_NEAR(mean[j], 0.0, 1e-7);
+}
+
+TEST(PcaTest, MaxComponentsRespected) {
+  Rng rng(6);
+  const Matrix x = RandomMatrix(30, 10, &rng);
+  PcaOptions options;
+  options.max_components = 3;
+  const PcaModel model = FitPca(x, options);
+  EXPECT_EQ(model.embedding.output_dim(), 3);
+}
+
+TEST(PcaDeathTest, SingleSampleAborts) {
+  EXPECT_DEATH(FitPca(Matrix(1, 3)), "two samples");
+}
+
+TEST(FisherfacesTest, ClassifiesBlobs) {
+  Rng rng(7);
+  const int per_class = 20;
+  Matrix x(3 * per_class, 30);
+  std::vector<int> labels;
+  for (int k = 0; k < 3; ++k) {
+    for (int i = 0; i < per_class; ++i) {
+      const int row = k * per_class + i;
+      for (int j = 0; j < 30; ++j) {
+        x(row, j) = (j % 3 == k ? 2.0 : 0.0) + rng.NextGaussian();
+      }
+      labels.push_back(k);
+    }
+  }
+  const FisherfacesModel model = FitFisherfaces(x, labels, 3);
+  ASSERT_TRUE(model.converged);
+  EXPECT_EQ(model.num_directions, 2);
+  const Matrix embedded = model.embedding.Transform(x);
+  CentroidClassifier classifier;
+  classifier.Fit(embedded, labels, 3);
+  EXPECT_LT(ErrorRate(classifier.Predict(embedded), labels), 0.05);
+}
+
+TEST(FisherfacesTest, DefaultKeepsMMinusCComponents) {
+  Rng rng(8);
+  const int m = 24;
+  Matrix x = RandomMatrix(m, 50, &rng);
+  std::vector<int> labels;
+  for (int i = 0; i < m; ++i) labels.push_back(i % 3);
+  const FisherfacesModel model = FitFisherfaces(x, labels, 3);
+  ASSERT_TRUE(model.converged);
+  // PCA rank is at most m - 1; the classical recipe asks for m - c.
+  EXPECT_LE(model.pca_components_used, m - 3);
+  EXPECT_GT(model.pca_components_used, 0);
+}
+
+TEST(FisherfacesTest, ComposedEmbeddingMatchesTwoStage) {
+  Rng rng(9);
+  const int m = 30;
+  Matrix x = RandomMatrix(m, 12, &rng);
+  std::vector<int> labels;
+  for (int i = 0; i < m; ++i) {
+    labels.push_back(i % 2);
+    x(i, 0) += 3.0 * (i % 2);
+  }
+  FisherfacesOptions options;
+  options.pca_components = 6;
+  const FisherfacesModel composed = FitFisherfaces(x, labels, 2, options);
+  ASSERT_TRUE(composed.converged);
+
+  PcaOptions pca_options;
+  pca_options.max_components = 6;
+  const PcaModel pca = FitPca(x, pca_options);
+  const Matrix reduced = pca.embedding.Transform(x);
+  const LdaModel lda = FitLda(reduced, labels, 2);
+  const Matrix two_stage = lda.embedding.Transform(reduced);
+  const Matrix one_stage = composed.embedding.Transform(x);
+  EXPECT_LT(MaxAbsDiff(two_stage, one_stage), 1e-9);
+}
+
+TEST(FisherfacesTest, HighDimensionalSingularCase) {
+  // n >> m: direct LDA needs the SVD trick; PCA+LDA is the classical
+  // alternative and must behave equivalently well.
+  Rng rng(10);
+  const int n = 200;
+  Matrix x(18, n);
+  std::vector<int> labels;
+  for (int i = 0; i < 18; ++i) {
+    for (int j = 0; j < n; ++j) {
+      x(i, j) = 1.5 * (i / 6) + rng.NextGaussian();
+    }
+    labels.push_back(i / 6);
+  }
+  const FisherfacesModel model = FitFisherfaces(x, labels, 3);
+  ASSERT_TRUE(model.converged);
+  const Matrix embedded = model.embedding.Transform(x);
+  CentroidClassifier classifier;
+  classifier.Fit(embedded, labels, 3);
+  EXPECT_LT(ErrorRate(classifier.Predict(embedded), labels), 0.2);
+}
+
+}  // namespace
+}  // namespace srda

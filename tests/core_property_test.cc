@@ -1,0 +1,253 @@
+// Cross-cutting property tests for the discriminant trainers: solver
+// equivalences and invariances that must hold across random shapes, class
+// counts and regularization strengths.
+
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "classify/classifiers.h"
+#include "common/rng.h"
+#include "core/lda.h"
+#include "core/rlda.h"
+#include "core/srda.h"
+#include "linalg/qr.h"
+#include "matrix/blas.h"
+
+namespace srda {
+namespace {
+
+struct Problem {
+  Matrix x;
+  std::vector<int> labels;
+  int num_classes;
+};
+
+Problem MakeProblem(int num_classes, int per_class, int dim, double sep,
+                    Rng* rng) {
+  Problem problem;
+  problem.num_classes = num_classes;
+  problem.x = Matrix(num_classes * per_class, dim);
+  Matrix centers(num_classes, dim);
+  for (int k = 0; k < num_classes; ++k) {
+    for (int j = 0; j < dim; ++j) centers(k, j) = rng->NextGaussian() * sep;
+  }
+  for (int k = 0; k < num_classes; ++k) {
+    for (int i = 0; i < per_class; ++i) {
+      const int row = k * per_class + i;
+      for (int j = 0; j < dim; ++j) {
+        problem.x(row, j) = centers(k, j) + rng->NextGaussian();
+      }
+      problem.labels.push_back(k);
+    }
+  }
+  return problem;
+}
+
+// Random orthogonal matrix via QR of a Gaussian matrix.
+Matrix RandomOrthogonal(int n, Rng* rng) {
+  Matrix gaussian(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) gaussian(i, j) = rng->NextGaussian();
+  }
+  return ThinQr(gaussian).q;
+}
+
+// Pairwise embedded distances; invariant fingerprint of an embedding up to
+// rotation/reflection of the output space.
+Vector PairwiseDistances(const Matrix& embedded) {
+  const int m = embedded.rows();
+  Vector distances(m * (m - 1) / 2);
+  int out = 0;
+  for (int i = 0; i < m; ++i) {
+    for (int j = i + 1; j < m; ++j) {
+      double sum = 0.0;
+      for (int d = 0; d < embedded.cols(); ++d) {
+        const double diff = embedded(i, d) - embedded(j, d);
+        sum += diff * diff;
+      }
+      distances[out++] = std::sqrt(sum);
+    }
+  }
+  return distances;
+}
+
+class SolverEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+// SRDA's two solvers agree on the embedded geometry once LSQR converges.
+TEST_P(SolverEquivalenceTest, NormalEquationsMatchConvergedLsqr) {
+  Rng rng(2000 + GetParam());
+  const int c = 2 + GetParam() % 4;
+  const int dim = 4 + (GetParam() * 3) % 12;
+  const Problem problem = MakeProblem(c, 14, dim, 3.0, &rng);
+
+  SrdaOptions normal;
+  normal.alpha = 0.05 * (1 + GetParam() % 3);
+  SrdaOptions lsqr = normal;
+  lsqr.solver = SrdaSolver::kLsqr;
+  lsqr.lsqr_iterations = 500;
+  lsqr.lsqr_atol = 1e-14;
+  lsqr.lsqr_btol = 1e-14;
+
+  const SrdaModel a = FitSrda(problem.x, problem.labels, c, normal);
+  const SrdaModel b = FitSrda(problem.x, problem.labels, c, lsqr);
+  ASSERT_TRUE(a.converged && b.converged);
+  const Matrix ea = a.embedding.Transform(problem.x);
+  const Matrix eb = b.embedding.Transform(problem.x);
+  // The bias is damped slightly differently; compare embedded geometry.
+  EXPECT_LT(MaxAbsDiff(PairwiseDistances(ea), PairwiseDistances(eb)),
+            2e-2 * (1.0 + NormInf(PairwiseDistances(ea))));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SolverEquivalenceTest,
+                         ::testing::Range(0, 8));
+
+class RotationInvarianceTest : public ::testing::TestWithParam<int> {};
+
+// Orthogonally rotating the feature space must leave the embedded geometry
+// unchanged for SRDA (the ridge is rotation invariant) and RLDA.
+TEST_P(RotationInvarianceTest, SrdaEmbeddingInvariant) {
+  Rng rng(3000 + GetParam());
+  const int dim = 5 + GetParam() % 7;
+  const Problem problem = MakeProblem(3, 12, dim, 2.5, &rng);
+  const Matrix rotation = RandomOrthogonal(dim, &rng);
+  const Matrix rotated = Multiply(problem.x, rotation);
+
+  const SrdaModel original = FitSrda(problem.x, problem.labels, 3);
+  const SrdaModel transformed = FitSrda(rotated, problem.labels, 3);
+  ASSERT_TRUE(original.converged && transformed.converged);
+  const Vector d1 =
+      PairwiseDistances(original.embedding.Transform(problem.x));
+  const Vector d2 =
+      PairwiseDistances(transformed.embedding.Transform(rotated));
+  EXPECT_LT(MaxAbsDiff(d1, d2), 1e-8 * (1.0 + NormInf(d1)));
+}
+
+TEST_P(RotationInvarianceTest, RldaEmbeddingInvariant) {
+  Rng rng(4000 + GetParam());
+  const int dim = 5 + GetParam() % 7;
+  const Problem problem = MakeProblem(3, 12, dim, 2.5, &rng);
+  const Matrix rotation = RandomOrthogonal(dim, &rng);
+  const Matrix rotated = Multiply(problem.x, rotation);
+
+  const RldaModel original = FitRlda(problem.x, problem.labels, 3);
+  const RldaModel transformed = FitRlda(rotated, problem.labels, 3);
+  ASSERT_TRUE(original.converged && transformed.converged);
+  const Vector d1 =
+      PairwiseDistances(original.embedding.Transform(problem.x));
+  const Vector d2 =
+      PairwiseDistances(transformed.embedding.Transform(rotated));
+  EXPECT_LT(MaxAbsDiff(d1, d2), 1e-7 * (1.0 + NormInf(d1)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, RotationInvarianceTest,
+                         ::testing::Range(0, 6));
+
+class PermutationInvarianceTest : public ::testing::TestWithParam<int> {};
+
+// Reordering the training samples must not change the learned embedding.
+TEST_P(PermutationInvarianceTest, SampleOrderIrrelevant) {
+  Rng rng(5000 + GetParam());
+  const Problem problem = MakeProblem(3, 10, 6, 3.0, &rng);
+  const int m = problem.x.rows();
+  std::vector<int> order(static_cast<size_t>(m));
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(&order);
+  Matrix shuffled(m, 6);
+  std::vector<int> shuffled_labels(static_cast<size_t>(m));
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < 6; ++j) shuffled(i, j) = problem.x(order[i], j);
+    shuffled_labels[static_cast<size_t>(i)] =
+        problem.labels[static_cast<size_t>(order[i])];
+  }
+  const SrdaModel a = FitSrda(problem.x, problem.labels, 3);
+  const SrdaModel b = FitSrda(shuffled, shuffled_labels, 3);
+  ASSERT_TRUE(a.converged && b.converged);
+  // Compare embedded geometry of the SAME points (row i of the original).
+  const Matrix ea = a.embedding.Transform(problem.x);
+  const Matrix eb = b.embedding.Transform(problem.x);
+  EXPECT_LT(MaxAbsDiff(PairwiseDistances(ea), PairwiseDistances(eb)),
+            1e-8 * (1.0 + NormInf(PairwiseDistances(ea))));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PermutationInvarianceTest,
+                         ::testing::Range(0, 6));
+
+class TranslationInvarianceTest : public ::testing::TestWithParam<int> {};
+
+// Adding a constant offset to every feature must leave embeddings unchanged
+// (all trainers center, explicitly or via the bias).
+TEST_P(TranslationInvarianceTest, AllTrainersCentered) {
+  Rng rng(6000 + GetParam());
+  const Problem problem = MakeProblem(3, 12, 5, 3.0, &rng);
+  Matrix shifted = problem.x;
+  Vector offset(5);
+  for (int j = 0; j < 5; ++j) offset[j] = rng.NextUniform(-50.0, 50.0);
+  for (int i = 0; i < shifted.rows(); ++i) {
+    for (int j = 0; j < 5; ++j) shifted(i, j) += offset[j];
+  }
+
+  {
+    const SrdaModel a = FitSrda(problem.x, problem.labels, 3);
+    const SrdaModel b = FitSrda(shifted, problem.labels, 3);
+    EXPECT_LT(MaxAbsDiff(a.embedding.Transform(problem.x),
+                         b.embedding.Transform(shifted)),
+              1e-7);
+  }
+  {
+    const LdaModel a = FitLda(problem.x, problem.labels, 3);
+    const LdaModel b = FitLda(shifted, problem.labels, 3);
+    const Vector d1 = PairwiseDistances(a.embedding.Transform(problem.x));
+    const Vector d2 = PairwiseDistances(b.embedding.Transform(shifted));
+    EXPECT_LT(MaxAbsDiff(d1, d2), 1e-7 * (1.0 + NormInf(d1)));
+  }
+  {
+    const RldaModel a = FitRlda(problem.x, problem.labels, 3);
+    const RldaModel b = FitRlda(shifted, problem.labels, 3);
+    const Vector d1 = PairwiseDistances(a.embedding.Transform(problem.x));
+    const Vector d2 = PairwiseDistances(b.embedding.Transform(shifted));
+    EXPECT_LT(MaxAbsDiff(d1, d2), 1e-7 * (1.0 + NormInf(d1)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TranslationInvarianceTest,
+                         ::testing::Range(0, 6));
+
+class AlphaLimitTest : public ::testing::TestWithParam<int> {};
+
+// Theorem 2 sweep: as alpha -> 0 with linearly independent samples, SRDA's
+// training classification agrees with LDA's.
+TEST_P(AlphaLimitTest, SrdaApproachesLdaClassification) {
+  Rng rng(7000 + GetParam());
+  const int n = 70 + 5 * GetParam();
+  const int per_class = 4;
+  Matrix x(3 * per_class, n);
+  std::vector<int> labels;
+  for (int k = 0; k < 3; ++k) {
+    for (int i = 0; i < per_class; ++i) {
+      const int row = k * per_class + i;
+      for (int j = 0; j < n; ++j) {
+        x(row, j) = 1.2 * k + rng.NextGaussian();
+      }
+      labels.push_back(k);
+    }
+  }
+  const LdaModel lda = FitLda(x, labels, 3);
+  SrdaOptions options;
+  options.alpha = 1e-9;
+  const SrdaModel srda_model = FitSrda(x, labels, 3, options);
+  ASSERT_TRUE(lda.converged && srda_model.converged);
+
+  CentroidClassifier lda_classifier;
+  lda_classifier.Fit(lda.embedding.Transform(x), labels, 3);
+  CentroidClassifier srda_classifier;
+  srda_classifier.Fit(srda_model.embedding.Transform(x), labels, 3);
+  EXPECT_EQ(lda_classifier.Predict(lda.embedding.Transform(x)),
+            srda_classifier.Predict(srda_model.embedding.Transform(x)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AlphaLimitTest, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace srda

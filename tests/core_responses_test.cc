@@ -1,0 +1,135 @@
+// Tests for SRDA response generation (Section III-B step 1).
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/responses.h"
+#include "matrix/blas.h"
+
+namespace srda {
+namespace {
+
+std::vector<int> BalancedLabels(int num_classes, int per_class) {
+  std::vector<int> labels;
+  for (int k = 0; k < num_classes; ++k) {
+    for (int i = 0; i < per_class; ++i) labels.push_back(k);
+  }
+  return labels;
+}
+
+TEST(ResponsesTest, ShapeIsCMinusOne) {
+  const Matrix responses = GenerateSrdaResponses(BalancedLabels(4, 5), 4);
+  EXPECT_EQ(responses.rows(), 20);
+  EXPECT_EQ(responses.cols(), 3);
+}
+
+TEST(ResponsesTest, TwoClassesGiveOneResponse) {
+  const Matrix responses = GenerateSrdaResponses({0, 0, 1, 1, 1}, 2);
+  EXPECT_EQ(responses.cols(), 1);
+}
+
+TEST(ResponsesTest, ResponsesAreOrthonormal) {
+  const Matrix responses = GenerateSrdaResponses(BalancedLabels(5, 7), 5);
+  EXPECT_LT(MaxAbsDiff(Gram(responses), Matrix::Identity(4)), 1e-10);
+}
+
+TEST(ResponsesTest, OrthogonalToOnesVector) {
+  const Matrix responses = GenerateSrdaResponses(BalancedLabels(3, 6), 3);
+  for (int j = 0; j < responses.cols(); ++j) {
+    double sum = 0.0;
+    for (int i = 0; i < responses.rows(); ++i) sum += responses(i, j);
+    EXPECT_NEAR(sum, 0.0, 1e-10) << "response " << j;
+  }
+}
+
+TEST(ResponsesTest, ConstantWithinEachClass) {
+  // Eqn. (16) of the paper: responses take one value per class.
+  const std::vector<int> labels = {0, 1, 2, 0, 1, 2, 0, 2};
+  const Matrix responses = GenerateSrdaResponses(labels, 3);
+  for (int j = 0; j < responses.cols(); ++j) {
+    double value_per_class[3];
+    bool seen[3] = {false, false, false};
+    for (int i = 0; i < static_cast<int>(labels.size()); ++i) {
+      const int k = labels[static_cast<size_t>(i)];
+      if (!seen[k]) {
+        value_per_class[k] = responses(i, j);
+        seen[k] = true;
+      } else {
+        EXPECT_NEAR(responses(i, j), value_per_class[k], 1e-12)
+            << "row " << i << " response " << j;
+      }
+    }
+  }
+}
+
+TEST(ResponsesTest, UnbalancedClasses) {
+  const std::vector<int> labels = {0, 0, 0, 0, 0, 0, 0, 1, 2, 2};
+  const Matrix responses = GenerateSrdaResponses(labels, 3);
+  EXPECT_EQ(responses.cols(), 2);
+  EXPECT_LT(MaxAbsDiff(Gram(responses), Matrix::Identity(2)), 1e-10);
+  for (int j = 0; j < 2; ++j) {
+    double sum = 0.0;
+    for (int i = 0; i < 10; ++i) sum += responses(i, j);
+    EXPECT_NEAR(sum, 0.0, 1e-10);
+  }
+}
+
+TEST(ResponsesTest, SpanEqualsCenteredIndicatorSpan) {
+  // The responses span the same space as the centered class indicators.
+  const std::vector<int> labels = BalancedLabels(4, 3);
+  const int m = 12;
+  const Matrix responses = GenerateSrdaResponses(labels, 4);
+  // Centered indicator of class k must project entirely into the responses.
+  for (int k = 0; k < 4; ++k) {
+    Vector indicator(m);
+    for (int i = 0; i < m; ++i) {
+      indicator[i] = labels[static_cast<size_t>(i)] == k ? 1.0 : 0.0;
+    }
+    const double mean = 3.0 / 12.0;
+    for (int i = 0; i < m; ++i) indicator[i] -= mean;
+    Vector residual = indicator;
+    for (int j = 0; j < responses.cols(); ++j) {
+      const Vector response = responses.Col(j);
+      Axpy(-Dot(response, indicator), response, &residual);
+    }
+    EXPECT_LT(Norm2(residual), 1e-10) << "class " << k;
+  }
+}
+
+TEST(ResponsesDeathTest, SingleClassAborts) {
+  EXPECT_DEATH(GenerateSrdaResponses({0, 0, 0}, 1), "two classes");
+}
+
+TEST(ResponsesDeathTest, EmptyClassAborts) {
+  EXPECT_DEATH(GenerateSrdaResponses({0, 0, 2}, 3), "no samples");
+}
+
+// Property sweep over class counts and sizes.
+class ResponsesSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ResponsesSweepTest, OrthonormalAndCentered) {
+  const int c = 2 + GetParam();
+  Rng rng(600 + GetParam());
+  // Random class sizes in [1, 9].
+  std::vector<int> labels;
+  for (int k = 0; k < c; ++k) {
+    const int size = 1 + static_cast<int>(rng.NextUint64Bounded(9));
+    for (int i = 0; i < size; ++i) labels.push_back(k);
+  }
+  const Matrix responses = GenerateSrdaResponses(labels, c);
+  EXPECT_EQ(responses.cols(), c - 1);
+  EXPECT_LT(MaxAbsDiff(Gram(responses), Matrix::Identity(c - 1)), 1e-9);
+  for (int j = 0; j < c - 1; ++j) {
+    double sum = 0.0;
+    for (int i = 0; i < responses.rows(); ++i) sum += responses(i, j);
+    EXPECT_NEAR(sum, 0.0, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ClassCounts, ResponsesSweepTest,
+                         ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace srda

@@ -1,0 +1,196 @@
+// Tests for regularized LDA.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "classify/classifiers.h"
+#include "common/rng.h"
+#include "core/lda.h"
+#include "core/rlda.h"
+#include "matrix/blas.h"
+
+namespace srda {
+namespace {
+
+void MakeBlobs(int num_classes, int per_class, int dim, double separation,
+               Rng* rng, Matrix* x, std::vector<int>* labels) {
+  *x = Matrix(num_classes * per_class, dim);
+  labels->clear();
+  Matrix centers(num_classes, dim);
+  for (int k = 0; k < num_classes; ++k) {
+    for (int j = 0; j < dim; ++j) {
+      centers(k, j) = rng->NextGaussian() * separation;
+    }
+  }
+  for (int k = 0; k < num_classes; ++k) {
+    for (int i = 0; i < per_class; ++i) {
+      const int row = k * per_class + i;
+      for (int j = 0; j < dim; ++j) {
+        (*x)(row, j) = centers(k, j) + rng->NextGaussian();
+      }
+      labels->push_back(k);
+    }
+  }
+}
+
+TEST(RldaTest, ProducesAtMostCMinusOneDirections) {
+  Rng rng(1);
+  Matrix x;
+  std::vector<int> labels;
+  MakeBlobs(4, 15, 10, 4.0, &rng, &x, &labels);
+  const RldaModel model = FitRlda(x, labels, 4);
+  ASSERT_TRUE(model.converged);
+  EXPECT_EQ(model.num_directions, 3);
+}
+
+TEST(RldaTest, SeparatesBlobs) {
+  Rng rng(2);
+  Matrix x;
+  std::vector<int> labels;
+  MakeBlobs(3, 30, 8, 5.0, &rng, &x, &labels);
+  const RldaModel model = FitRlda(x, labels, 3);
+  ASSERT_TRUE(model.converged);
+  const Matrix embedded = model.embedding.Transform(x);
+  CentroidClassifier classifier;
+  classifier.Fit(embedded, labels, 3);
+  EXPECT_LT(ErrorRate(classifier.Predict(embedded), labels), 0.05);
+}
+
+TEST(RldaTest, WorksWhenScatterSingular) {
+  // n > m: S_t singular; LDA needs SVD preprocessing, RLDA just adds alpha.
+  Rng rng(3);
+  const int n = 40;
+  Matrix x(12, n);
+  std::vector<int> labels;
+  for (int i = 0; i < 12; ++i) {
+    for (int j = 0; j < n; ++j) x(i, j) = (i / 4) * 2.0 + rng.NextGaussian();
+    labels.push_back(i / 4);
+  }
+  const RldaModel model = FitRlda(x, labels, 3);
+  ASSERT_TRUE(model.converged);
+  const Matrix embedded = model.embedding.Transform(x);
+  CentroidClassifier classifier;
+  classifier.Fit(embedded, labels, 3);
+  EXPECT_LT(ErrorRate(classifier.Predict(embedded), labels), 0.2);
+}
+
+TEST(RldaTest, GeneralizedEigenNormalization) {
+  // Directions satisfy a^T (S_t + alpha I) a = lambda with lambda in (0, 1]:
+  // whitened directions carry a sqrt(lambda) length.
+  Rng rng(4);
+  Matrix x;
+  std::vector<int> labels;
+  MakeBlobs(3, 25, 6, 3.0, &rng, &x, &labels);
+  RldaOptions options;
+  options.alpha = 2.0;
+  const RldaModel model = FitRlda(x, labels, 3, options);
+  ASSERT_TRUE(model.converged);
+  Matrix centered = x;
+  SubtractRowVector(ColumnMeans(x), &centered);
+  Matrix st = Gram(centered);
+  AddDiagonal(options.alpha, &st);
+  double previous = 1.0 + 1e-9;
+  for (int d = 0; d < model.num_directions; ++d) {
+    const Vector a = model.embedding.projection().Col(d);
+    const double lambda = Dot(a, Multiply(st, a));
+    EXPECT_GT(lambda, 0.0) << "direction " << d;
+    EXPECT_LE(lambda, 1.0 + 1e-9) << "direction " << d;
+    // Directions come ordered by decreasing eigenvalue.
+    EXPECT_LE(lambda, previous + 1e-9) << "direction " << d;
+    previous = lambda;
+  }
+}
+
+TEST(RldaTest, GeneralizedEigenEquationHolds) {
+  // S_b a = lambda (S_t + alpha I) a for some lambda in (0, 1].
+  Rng rng(5);
+  Matrix x;
+  std::vector<int> labels;
+  MakeBlobs(3, 20, 5, 4.0, &rng, &x, &labels);
+  RldaOptions options;
+  options.alpha = 1.0;
+  const RldaModel model = FitRlda(x, labels, 3, options);
+  ASSERT_TRUE(model.converged);
+
+  Matrix centered = x;
+  SubtractRowVector(ColumnMeans(x), &centered);
+  Matrix st = Gram(centered);
+  AddDiagonal(options.alpha, &st);
+  // S_b from class structure.
+  const std::vector<int> counts = {20, 20, 20};
+  Matrix hd(3, 5);
+  for (int i = 0; i < 60; ++i) {
+    for (int j = 0; j < 5; ++j) hd(labels[i], j) += centered(i, j);
+  }
+  for (int k = 0; k < 3; ++k) {
+    for (int j = 0; j < 5; ++j) hd(k, j) /= std::sqrt(20.0);
+  }
+  const Matrix sb = Gram(hd);
+
+  for (int d = 0; d < model.num_directions; ++d) {
+    const Vector a = model.embedding.projection().Col(d);
+    const Vector sb_a = Multiply(sb, a);
+    const Vector st_a = Multiply(st, a);
+    // Scaling-independent Rayleigh quotient.
+    const double lambda = Dot(a, sb_a) / Dot(a, st_a);
+    EXPECT_GT(lambda, 0.0);
+    EXPECT_LE(lambda, 1.0 + 1e-9);
+    Vector residual = sb_a;
+    Axpy(-lambda, st_a, &residual);
+    EXPECT_LT(Norm2(residual), 1e-7 * (1.0 + Norm2(sb_a))) << "direction " << d;
+  }
+}
+
+TEST(RldaTest, LargeAlphaStillClassifiesSeparableData) {
+  Rng rng(6);
+  Matrix x;
+  std::vector<int> labels;
+  MakeBlobs(3, 30, 6, 8.0, &rng, &x, &labels);
+  RldaOptions options;
+  options.alpha = 1e4;
+  const RldaModel model = FitRlda(x, labels, 3, options);
+  ASSERT_TRUE(model.converged);
+  const Matrix embedded = model.embedding.Transform(x);
+  CentroidClassifier classifier;
+  classifier.Fit(embedded, labels, 3);
+  EXPECT_LT(ErrorRate(classifier.Predict(embedded), labels), 0.1);
+}
+
+TEST(RldaTest, ApproachesLdaAsAlphaVanishesOnFullRankData) {
+  // On full-rank (m >> n) data, RLDA with tiny alpha should classify like
+  // LDA (the regularizer becomes negligible).
+  Rng rng(7);
+  Matrix x;
+  std::vector<int> labels;
+  MakeBlobs(3, 50, 6, 3.0, &rng, &x, &labels);
+  const LdaModel lda = FitLda(x, labels, 3);
+  RldaOptions options;
+  options.alpha = 1e-8;
+  const RldaModel rlda = FitRlda(x, labels, 3, options);
+  ASSERT_TRUE(lda.converged);
+  ASSERT_TRUE(rlda.converged);
+  const Matrix lda_embedded = lda.embedding.Transform(x);
+  const Matrix rlda_embedded = rlda.embedding.Transform(x);
+  CentroidClassifier lda_classifier;
+  lda_classifier.Fit(lda_embedded, labels, 3);
+  CentroidClassifier rlda_classifier;
+  rlda_classifier.Fit(rlda_embedded, labels, 3);
+  const std::vector<int> a = lda_classifier.Predict(lda_embedded);
+  const std::vector<int> b = rlda_classifier.Predict(rlda_embedded);
+  int disagreements = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) ++disagreements;
+  }
+  EXPECT_LE(disagreements, 2);
+}
+
+TEST(RldaDeathTest, ZeroAlphaAborts) {
+  Matrix x(4, 2);
+  RldaOptions options;
+  options.alpha = 0.0;
+  EXPECT_DEATH(FitRlda(x, {0, 0, 1, 1}, 2, options), "alpha");
+}
+
+}  // namespace
+}  // namespace srda

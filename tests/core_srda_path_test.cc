@@ -1,0 +1,108 @@
+// Tests for the SRDA regularization path.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/srda.h"
+#include "core/srda_path.h"
+#include "matrix/blas.h"
+
+namespace srda {
+namespace {
+
+void MakeBlobs(int num_classes, int per_class, int dim, Rng* rng, Matrix* x,
+               std::vector<int>* labels) {
+  *x = Matrix(num_classes * per_class, dim);
+  labels->clear();
+  for (int k = 0; k < num_classes; ++k) {
+    for (int i = 0; i < per_class; ++i) {
+      const int row = k * per_class + i;
+      for (int j = 0; j < dim; ++j) {
+        (*x)(row, j) = 2.5 * (j % num_classes == k) + rng->NextGaussian();
+      }
+      labels->push_back(k);
+    }
+  }
+}
+
+TEST(SrdaPathTest, MatchesDirectTrainingAcrossAlphas) {
+  Rng rng(1);
+  Matrix x;
+  std::vector<int> labels;
+  MakeBlobs(3, 20, 8, &rng, &x, &labels);
+
+  SrdaRegularizationPath path;
+  ASSERT_TRUE(path.Fit(x, labels, 3));
+  for (double alpha : {1e-4, 0.01, 0.5, 1.0, 10.0, 500.0}) {
+    SrdaOptions options;
+    options.alpha = alpha;
+    const SrdaModel direct = FitSrda(x, labels, 3, options);
+    ASSERT_TRUE(direct.converged);
+    const LinearEmbedding from_path = path.EmbeddingAt(alpha);
+    EXPECT_LT(MaxAbsDiff(from_path.projection(),
+                         direct.embedding.projection()),
+              1e-8 * (1.0 + NormInf(direct.embedding.projection().Col(0))))
+        << "alpha " << alpha;
+    EXPECT_LT(MaxAbsDiff(from_path.bias(), direct.embedding.bias()), 1e-8)
+        << "alpha " << alpha;
+  }
+}
+
+TEST(SrdaPathTest, WorksInWideRegime) {
+  // n > m: the path uses the SVD, direct training uses the dual system;
+  // both are the same exact ridge solution.
+  Rng rng(2);
+  const int m = 15;
+  const int n = 40;
+  Matrix x(m, n);
+  std::vector<int> labels;
+  for (int i = 0; i < m; ++i) {
+    labels.push_back(i % 3);
+    for (int j = 0; j < n; ++j) {
+      x(i, j) = 1.5 * (i % 3) + rng.NextGaussian();
+    }
+  }
+  SrdaRegularizationPath path;
+  ASSERT_TRUE(path.Fit(x, labels, 3));
+  EXPECT_LE(path.data_rank(), m - 1);
+  SrdaOptions options;
+  options.alpha = 0.3;
+  const SrdaModel direct = FitSrda(x, labels, 3, options);
+  const LinearEmbedding from_path = path.EmbeddingAt(0.3);
+  EXPECT_LT(
+      MaxAbsDiff(from_path.projection(), direct.embedding.projection()),
+      1e-9);
+}
+
+TEST(SrdaPathTest, ManyAlphasCheaperThanRetraining) {
+  // Not a wall-clock assertion (too flaky on shared machines); verify the
+  // path evaluates a large grid and stays consistent/monotone in shrinkage.
+  Rng rng(3);
+  Matrix x;
+  std::vector<int> labels;
+  MakeBlobs(4, 15, 10, &rng, &x, &labels);
+  SrdaRegularizationPath path;
+  ASSERT_TRUE(path.Fit(x, labels, 4));
+  double previous_norm = 1e300;
+  for (int grid = 0; grid < 50; ++grid) {
+    const double alpha = std::pow(10.0, -3.0 + 0.12 * grid);
+    const LinearEmbedding embedding = path.EmbeddingAt(alpha);
+    double norm = 0.0;
+    for (int j = 0; j < embedding.output_dim(); ++j) {
+      norm += Norm2(embedding.projection().Col(j));
+    }
+    // Ridge shrinkage: total projection norm decreases as alpha grows.
+    EXPECT_LE(norm, previous_norm + 1e-12) << "alpha " << alpha;
+    previous_norm = norm;
+  }
+}
+
+TEST(SrdaPathDeathTest, UseBeforeFitAborts) {
+  SrdaRegularizationPath path;
+  EXPECT_DEATH(path.EmbeddingAt(1.0), "before a successful Fit");
+}
+
+}  // namespace
+}  // namespace srda

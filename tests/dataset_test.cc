@@ -1,0 +1,347 @@
+// Tests for dataset containers, splits, and the four synthetic generators.
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dataset/dataset.h"
+#include "dataset/digit_generator.h"
+#include "dataset/face_generator.h"
+#include "dataset/split.h"
+#include "dataset/spoken_letter_generator.h"
+#include "dataset/text_generator.h"
+#include "matrix/blas.h"
+
+namespace srda {
+namespace {
+
+TEST(DatasetTest, ClassCounts) {
+  const std::vector<int> labels = {0, 1, 1, 2, 2, 2};
+  const std::vector<int> counts = ClassCounts(labels, 3);
+  EXPECT_EQ(counts[0], 1);
+  EXPECT_EQ(counts[1], 2);
+  EXPECT_EQ(counts[2], 3);
+}
+
+TEST(DatasetDeathTest, OutOfRangeLabelAborts) {
+  EXPECT_DEATH(ClassCounts({0, 3}, 3), "outside");
+  EXPECT_DEATH(ClassCounts({-1}, 3), "outside");
+}
+
+TEST(DatasetTest, DenseSubset) {
+  DenseDataset dataset;
+  dataset.num_classes = 2;
+  dataset.features = Matrix::FromRows({{1, 2}, {3, 4}, {5, 6}});
+  dataset.labels = {0, 1, 0};
+  const DenseDataset subset = Subset(dataset, {2, 0});
+  EXPECT_EQ(subset.features.rows(), 2);
+  EXPECT_EQ(subset.features(0, 0), 5.0);
+  EXPECT_EQ(subset.features(1, 1), 2.0);
+  EXPECT_EQ(subset.labels[0], 0);
+}
+
+TEST(DatasetTest, SparseSubset) {
+  SparseDataset dataset;
+  dataset.num_classes = 2;
+  SparseMatrixBuilder builder(3, 4);
+  builder.Add(0, 1, 1.0);
+  builder.Add(2, 3, 2.0);
+  dataset.features = std::move(builder).Build();
+  dataset.labels = {0, 1, 1};
+  const SparseDataset subset = Subset(dataset, {2, 1});
+  EXPECT_EQ(subset.features.rows(), 2);
+  EXPECT_EQ(subset.features.ToDense()(0, 3), 2.0);
+  EXPECT_EQ(subset.features.RowNonZeros(1), 0);
+  EXPECT_EQ(subset.labels[0], 1);
+}
+
+TEST(SplitTest, StratifiedByCountSizes) {
+  std::vector<int> labels;
+  for (int k = 0; k < 4; ++k) {
+    for (int i = 0; i < 25; ++i) labels.push_back(k);
+  }
+  Rng rng(1);
+  const TrainTestSplit split = StratifiedSplitByCount(labels, 4, 10, &rng);
+  EXPECT_EQ(split.train.size(), 40u);
+  EXPECT_EQ(split.test.size(), 60u);
+  // Exactly 10 train per class.
+  std::vector<int> per_class(4, 0);
+  for (int index : split.train) ++per_class[labels[index]];
+  for (int k = 0; k < 4; ++k) EXPECT_EQ(per_class[k], 10);
+}
+
+TEST(SplitTest, PartitionIsDisjointAndComplete) {
+  std::vector<int> labels;
+  for (int k = 0; k < 3; ++k) {
+    for (int i = 0; i < 12; ++i) labels.push_back(k);
+  }
+  Rng rng(2);
+  const TrainTestSplit split = StratifiedSplitByCount(labels, 3, 5, &rng);
+  std::set<int> all(split.train.begin(), split.train.end());
+  all.insert(split.test.begin(), split.test.end());
+  EXPECT_EQ(all.size(), labels.size());
+  EXPECT_EQ(split.train.size() + split.test.size(), labels.size());
+}
+
+TEST(SplitTest, DifferentSeedsGiveDifferentSplits) {
+  std::vector<int> labels(40, 0);
+  Rng rng1(1);
+  Rng rng2(2);
+  const TrainTestSplit a = StratifiedSplitByCount(labels, 1, 20, &rng1);
+  const TrainTestSplit b = StratifiedSplitByCount(labels, 1, 20, &rng2);
+  EXPECT_NE(a.train, b.train);
+}
+
+TEST(SplitDeathTest, TooFewSamplesAborts) {
+  std::vector<int> labels = {0, 0, 1};
+  Rng rng(3);
+  EXPECT_DEATH(StratifiedSplitByCount(labels, 2, 1, &rng), "too small");
+}
+
+TEST(SplitTest, FractionSplit) {
+  std::vector<int> labels;
+  for (int k = 0; k < 5; ++k) {
+    for (int i = 0; i < 20; ++i) labels.push_back(k);
+  }
+  Rng rng(4);
+  const TrainTestSplit split =
+      StratifiedSplitByFraction(labels, 5, 0.3, &rng);
+  EXPECT_EQ(split.train.size(), 30u);  // 6 per class.
+  EXPECT_EQ(split.test.size(), 70u);
+}
+
+TEST(SplitTest, FractionAlwaysLeavesTestSamples) {
+  std::vector<int> labels = {0, 0, 1, 1};
+  Rng rng(5);
+  const TrainTestSplit split =
+      StratifiedSplitByFraction(labels, 2, 0.9, &rng);
+  EXPECT_EQ(split.train.size(), 2u);
+  EXPECT_EQ(split.test.size(), 2u);
+}
+
+TEST(FaceGeneratorTest, ShapeAndRange) {
+  FaceGeneratorOptions options;
+  options.num_subjects = 5;
+  options.images_per_subject = 8;
+  options.image_size = 16;
+  const DenseDataset dataset = GenerateFaceDataset(options);
+  ValidateDataset(dataset);
+  EXPECT_EQ(dataset.features.rows(), 40);
+  EXPECT_EQ(dataset.features.cols(), 256);
+  EXPECT_EQ(dataset.num_classes, 5);
+  for (int i = 0; i < dataset.features.rows(); ++i) {
+    for (int j = 0; j < dataset.features.cols(); ++j) {
+      EXPECT_GE(dataset.features(i, j), 0.0);
+      EXPECT_LE(dataset.features(i, j), 1.0);
+    }
+  }
+}
+
+TEST(FaceGeneratorTest, DeterministicInSeed) {
+  FaceGeneratorOptions options;
+  options.num_subjects = 3;
+  options.images_per_subject = 4;
+  options.image_size = 8;
+  const DenseDataset a = GenerateFaceDataset(options);
+  const DenseDataset b = GenerateFaceDataset(options);
+  EXPECT_EQ(MaxAbsDiff(a.features, b.features), 0.0);
+  options.seed = 99;
+  const DenseDataset c = GenerateFaceDataset(options);
+  EXPECT_GT(MaxAbsDiff(a.features, c.features), 0.0);
+}
+
+TEST(FaceGeneratorTest, WithinClassCloserThanBetweenClass) {
+  FaceGeneratorOptions options;
+  options.num_subjects = 6;
+  options.images_per_subject = 10;
+  options.image_size = 16;
+  const DenseDataset dataset = GenerateFaceDataset(options);
+  // Average distance to same-class samples should be below distance to
+  // other-class samples for a well-formed class structure.
+  double within = 0.0;
+  double between = 0.0;
+  int within_count = 0;
+  int between_count = 0;
+  for (int i = 0; i < dataset.features.rows(); i += 3) {
+    for (int j = i + 1; j < dataset.features.rows(); j += 3) {
+      Vector diff = dataset.features.Row(i);
+      Axpy(-1.0, dataset.features.Row(j), &diff);
+      const double distance = Norm2(diff);
+      if (dataset.labels[i] == dataset.labels[j]) {
+        within += distance;
+        ++within_count;
+      } else {
+        between += distance;
+        ++between_count;
+      }
+    }
+  }
+  ASSERT_GT(within_count, 0);
+  ASSERT_GT(between_count, 0);
+  EXPECT_LT(within / within_count, between / between_count);
+}
+
+TEST(SpokenLetterGeneratorTest, ShapeAndDeterminism) {
+  SpokenLetterGeneratorOptions options;
+  options.num_classes = 6;
+  options.examples_per_class = 10;
+  options.num_features = 50;
+  const DenseDataset a = GenerateSpokenLetterDataset(options);
+  ValidateDataset(a);
+  EXPECT_EQ(a.features.rows(), 60);
+  EXPECT_EQ(a.features.cols(), 50);
+  const DenseDataset b = GenerateSpokenLetterDataset(options);
+  EXPECT_EQ(MaxAbsDiff(a.features, b.features), 0.0);
+}
+
+TEST(SpokenLetterGeneratorTest, ClassesSeparable) {
+  SpokenLetterGeneratorOptions options;
+  options.num_classes = 4;
+  options.examples_per_class = 30;
+  options.num_features = 40;
+  options.output_scale = 1.0;  // Unit scale keeps the margin check simple.
+  const DenseDataset dataset = GenerateSpokenLetterDataset(options);
+  // Class means must be pairwise distinct by a margin above the noise.
+  Matrix means(4, 40);
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < dataset.features.rows(); ++i) {
+    const int label = dataset.labels[i];
+    ++counts[label];
+    for (int j = 0; j < 40; ++j) {
+      means(label, j) += dataset.features(i, j);
+    }
+  }
+  for (int k = 0; k < 4; ++k) {
+    for (int j = 0; j < 40; ++j) means(k, j) /= counts[k];
+  }
+  for (int k = 0; k < 4; ++k) {
+    for (int l = k + 1; l < 4; ++l) {
+      Vector diff = means.Row(k);
+      Axpy(-1.0, means.Row(l), &diff);
+      EXPECT_GT(Norm2(diff), 1.0) << "classes " << k << " and " << l;
+    }
+  }
+}
+
+TEST(DigitGeneratorTest, ShapeRangeDeterminism) {
+  DigitGeneratorOptions options;
+  options.examples_per_class = 5;
+  options.image_size = 16;
+  const DenseDataset a = GenerateDigitDataset(options);
+  ValidateDataset(a);
+  EXPECT_EQ(a.num_classes, 10);
+  EXPECT_EQ(a.features.rows(), 50);
+  EXPECT_EQ(a.features.cols(), 256);
+  for (int i = 0; i < a.features.rows(); ++i) {
+    for (int j = 0; j < a.features.cols(); ++j) {
+      EXPECT_GE(a.features(i, j), 0.0);
+      EXPECT_LE(a.features(i, j), 1.0);
+    }
+  }
+  const DenseDataset b = GenerateDigitDataset(options);
+  EXPECT_EQ(MaxAbsDiff(a.features, b.features), 0.0);
+}
+
+TEST(DigitGeneratorTest, DigitsHaveInk) {
+  DigitGeneratorOptions options;
+  options.examples_per_class = 2;
+  options.image_size = 20;
+  options.noise_stddev = 0.0;
+  const DenseDataset dataset = GenerateDigitDataset(options);
+  for (int i = 0; i < dataset.features.rows(); ++i) {
+    double total = 0.0;
+    for (int j = 0; j < dataset.features.cols(); ++j) {
+      total += dataset.features(i, j);
+    }
+    EXPECT_GT(total, 5.0) << "digit image " << i << " nearly blank";
+  }
+}
+
+TEST(DigitGeneratorTest, DistinctDigitsDiffer) {
+  DigitGeneratorOptions options;
+  options.examples_per_class = 1;
+  options.image_size = 20;
+  options.noise_stddev = 0.0;
+  options.max_shift_pixels = 0.0;
+  options.max_rotation_radians = 0.0;
+  options.scale_jitter = 0.0;
+  const DenseDataset dataset = GenerateDigitDataset(options);
+  // A 0 and a 1 should differ substantially.
+  Vector diff = dataset.features.Row(0);
+  Axpy(-1.0, dataset.features.Row(1), &diff);
+  EXPECT_GT(Norm2(diff), 2.0);
+}
+
+TEST(TextGeneratorTest, ShapeSparsityNormalization) {
+  TextGeneratorOptions options;
+  options.num_topics = 5;
+  options.docs_per_topic = 20;
+  options.vocabulary_size = 2000;
+  options.topic_vocabulary_size = 150;
+  options.mean_document_length = 80.0;
+  const SparseDataset dataset = GenerateTextDataset(options);
+  ValidateDataset(dataset);
+  EXPECT_EQ(dataset.features.rows(), 100);
+  EXPECT_EQ(dataset.features.cols(), 2000);
+  // Documents are sparse: far fewer than vocab non-zeros.
+  EXPECT_LT(dataset.features.AvgNonZerosPerRow(), 200.0);
+  EXPECT_GT(dataset.features.AvgNonZerosPerRow(), 10.0);
+  // Rows are L2-normalized.
+  for (int i = 0; i < dataset.features.rows(); ++i) {
+    const double* values = dataset.features.RowValues(i);
+    double norm_sq = 0.0;
+    for (int k = 0; k < dataset.features.RowNonZeros(i); ++k) {
+      norm_sq += values[k] * values[k];
+    }
+    EXPECT_NEAR(norm_sq, 1.0, 1e-9);
+  }
+}
+
+TEST(TextGeneratorTest, Deterministic) {
+  TextGeneratorOptions options;
+  options.num_topics = 3;
+  options.docs_per_topic = 5;
+  options.vocabulary_size = 500;
+  options.topic_vocabulary_size = 60;
+  const SparseDataset a = GenerateTextDataset(options);
+  const SparseDataset b = GenerateTextDataset(options);
+  EXPECT_EQ(a.features.NumNonZeros(), b.features.NumNonZeros());
+  EXPECT_EQ(MaxAbsDiff(a.features.ToDense(), b.features.ToDense()), 0.0);
+}
+
+TEST(TextGeneratorTest, TopicsUseDistinctVocabulary) {
+  TextGeneratorOptions options;
+  options.num_topics = 2;
+  options.docs_per_topic = 40;
+  options.vocabulary_size = 3000;
+  options.topic_vocabulary_size = 200;
+  options.topic_word_fraction = 0.6;
+  options.contamination_fraction = 0.2;
+  const SparseDataset dataset = GenerateTextDataset(options);
+  // Aggregate term usage per topic; overlap of top terms should be partial.
+  std::vector<double> topic0(3000, 0.0);
+  std::vector<double> topic1(3000, 0.0);
+  for (int i = 0; i < dataset.features.rows(); ++i) {
+    auto& target = dataset.labels[i] == 0 ? topic0 : topic1;
+    for (int k = 0; k < dataset.features.RowNonZeros(i); ++k) {
+      target[dataset.features.RowIndices(i)[k]] +=
+          dataset.features.RowValues(i)[k];
+    }
+  }
+  // Correlation between topic term profiles should be well below 1.
+  double dot = 0.0;
+  double n0 = 0.0;
+  double n1 = 0.0;
+  for (int t = 0; t < 3000; ++t) {
+    dot += topic0[t] * topic1[t];
+    n0 += topic0[t] * topic0[t];
+    n1 += topic1[t] * topic1[t];
+  }
+  EXPECT_LT(dot / std::sqrt(n0 * n1), 0.9);
+}
+
+}  // namespace
+}  // namespace srda

@@ -1,0 +1,211 @@
+// Integration tests: full generate -> split -> train -> embed -> classify
+// pipelines across all four algorithms and all four dataset generators,
+// mirroring the paper's experimental protocol at miniature scale.
+
+#include <gtest/gtest.h>
+
+#include "classify/classifiers.h"
+#include "common/rng.h"
+#include "core/idr_qr.h"
+#include "core/lda.h"
+#include "core/rlda.h"
+#include "core/srda.h"
+#include "dataset/digit_generator.h"
+#include "dataset/face_generator.h"
+#include "dataset/split.h"
+#include "dataset/spoken_letter_generator.h"
+#include "dataset/text_generator.h"
+
+namespace srda {
+namespace {
+
+// Trains, embeds and evaluates with a nearest-centroid classifier.
+double EvaluateEmbedding(const LinearEmbedding& embedding,
+                         const DenseDataset& train, const DenseDataset& test) {
+  const Matrix train_embedded = embedding.Transform(train.features);
+  const Matrix test_embedded = embedding.Transform(test.features);
+  CentroidClassifier classifier;
+  classifier.Fit(train_embedded, train.labels, train.num_classes);
+  return ErrorRate(classifier.Predict(test_embedded), test.labels);
+}
+
+class FacePipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    FaceGeneratorOptions options;
+    options.num_subjects = 10;
+    options.images_per_subject = 20;
+    options.image_size = 16;  // 256 features
+    dataset_ = new DenseDataset(GenerateFaceDataset(options));
+    Rng rng(42);
+    const TrainTestSplit split =
+        StratifiedSplitByCount(dataset_->labels, 10, 5, &rng);
+    train_ = new DenseDataset(Subset(*dataset_, split.train));
+    test_ = new DenseDataset(Subset(*dataset_, split.test));
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    delete train_;
+    delete test_;
+    dataset_ = nullptr;
+    train_ = nullptr;
+    test_ = nullptr;
+  }
+
+  static DenseDataset* dataset_;
+  static DenseDataset* train_;
+  static DenseDataset* test_;
+};
+
+DenseDataset* FacePipelineTest::dataset_ = nullptr;
+DenseDataset* FacePipelineTest::train_ = nullptr;
+DenseDataset* FacePipelineTest::test_ = nullptr;
+
+TEST_F(FacePipelineTest, LdaBeatsChance) {
+  const LdaModel model = FitLda(train_->features, train_->labels, 10);
+  ASSERT_TRUE(model.converged);
+  // Plain LDA overfits badly at 5 train/class in 256 dims (the paper's
+  // Table III shows the same effect); only require beating chance (90%).
+  EXPECT_LT(EvaluateEmbedding(model.embedding, *train_, *test_), 0.75);
+}
+
+TEST_F(FacePipelineTest, RldaBeatsChance) {
+  const RldaModel model = FitRlda(train_->features, train_->labels, 10);
+  ASSERT_TRUE(model.converged);
+  // Chance is 90% error on this deliberately hard miniature (5 train/class).
+  EXPECT_LT(EvaluateEmbedding(model.embedding, *train_, *test_), 0.7);
+}
+
+TEST_F(FacePipelineTest, SrdaBeatsChance) {
+  const SrdaModel model = FitSrda(train_->features, train_->labels, 10);
+  ASSERT_TRUE(model.converged);
+  EXPECT_LT(EvaluateEmbedding(model.embedding, *train_, *test_), 0.7);
+}
+
+TEST_F(FacePipelineTest, IdrQrBeatsChance) {
+  const IdrQrModel model = FitIdrQr(train_->features, train_->labels, 10);
+  ASSERT_TRUE(model.converged);
+  EXPECT_LT(EvaluateEmbedding(model.embedding, *train_, *test_), 0.88);
+}
+
+TEST_F(FacePipelineTest, RegularizedVariantsNotWorseThanPlainLda) {
+  // The paper's central empirical claim (Tables III/V/VII): RLDA and SRDA
+  // dominate plain LDA in the small-sample regime. Allow slack for the
+  // miniature scale.
+  const LdaModel lda = FitLda(train_->features, train_->labels, 10);
+  const RldaModel rlda = FitRlda(train_->features, train_->labels, 10);
+  const SrdaModel srda_model = FitSrda(train_->features, train_->labels, 10);
+  const double lda_error = EvaluateEmbedding(lda.embedding, *train_, *test_);
+  const double rlda_error =
+      EvaluateEmbedding(rlda.embedding, *train_, *test_);
+  const double srda_error =
+      EvaluateEmbedding(srda_model.embedding, *train_, *test_);
+  EXPECT_LE(rlda_error, lda_error + 0.05);
+  EXPECT_LE(srda_error, lda_error + 0.05);
+}
+
+TEST_F(FacePipelineTest, SrdaAndRldaTrackEachOther) {
+  // The paper reports RLDA and SRDA within ~1 point of each other
+  // everywhere.
+  const RldaModel rlda = FitRlda(train_->features, train_->labels, 10);
+  const SrdaModel srda_model = FitSrda(train_->features, train_->labels, 10);
+  const double rlda_error =
+      EvaluateEmbedding(rlda.embedding, *train_, *test_);
+  const double srda_error =
+      EvaluateEmbedding(srda_model.embedding, *train_, *test_);
+  EXPECT_NEAR(srda_error, rlda_error, 0.15);
+}
+
+TEST(SpokenLetterPipelineTest, AllAlgorithmsLearn) {
+  SpokenLetterGeneratorOptions options;
+  options.num_classes = 8;
+  options.examples_per_class = 40;
+  options.num_features = 60;
+  const DenseDataset dataset = GenerateSpokenLetterDataset(options);
+  Rng rng(7);
+  const TrainTestSplit split =
+      StratifiedSplitByCount(dataset.labels, 8, 20, &rng);
+  const DenseDataset train = Subset(dataset, split.train);
+  const DenseDataset test = Subset(dataset, split.test);
+
+  const LdaModel lda = FitLda(train.features, train.labels, 8);
+  const RldaModel rlda = FitRlda(train.features, train.labels, 8);
+  const SrdaModel srda_model = FitSrda(train.features, train.labels, 8);
+  const IdrQrModel idr = FitIdrQr(train.features, train.labels, 8);
+  ASSERT_TRUE(lda.converged && rlda.converged && srda_model.converged &&
+              idr.converged);
+  // Chance is 87.5% error; everything should do far better on this
+  // Gaussian-like data.
+  EXPECT_LT(EvaluateEmbedding(lda.embedding, train, test), 0.4);
+  EXPECT_LT(EvaluateEmbedding(rlda.embedding, train, test), 0.4);
+  EXPECT_LT(EvaluateEmbedding(srda_model.embedding, train, test), 0.4);
+  EXPECT_LT(EvaluateEmbedding(idr.embedding, train, test), 0.6);
+}
+
+TEST(DigitPipelineTest, SrdaLearnsDigits) {
+  DigitGeneratorOptions options;
+  options.examples_per_class = 30;
+  options.image_size = 16;
+  const DenseDataset dataset = GenerateDigitDataset(options);
+  Rng rng(11);
+  const TrainTestSplit split =
+      StratifiedSplitByCount(dataset.labels, 10, 15, &rng);
+  const DenseDataset train = Subset(dataset, split.train);
+  const DenseDataset test = Subset(dataset, split.test);
+  const SrdaModel model = FitSrda(train.features, train.labels, 10);
+  ASSERT_TRUE(model.converged);
+  // Chance is 90% error.
+  EXPECT_LT(EvaluateEmbedding(model.embedding, train, test), 0.55);
+}
+
+TEST(TextPipelineTest, SparseSrdaLearnsTopics) {
+  TextGeneratorOptions options;
+  options.num_topics = 6;
+  options.docs_per_topic = 60;
+  options.vocabulary_size = 3000;
+  options.topic_vocabulary_size = 200;
+  const SparseDataset dataset = GenerateTextDataset(options);
+  Rng rng(13);
+  const TrainTestSplit split =
+      StratifiedSplitByFraction(dataset.labels, 6, 0.5, &rng);
+  const SparseDataset train = Subset(dataset, split.train);
+  const SparseDataset test = Subset(dataset, split.test);
+
+  SrdaOptions srda_options;
+  srda_options.solver = SrdaSolver::kLsqr;
+  srda_options.lsqr_iterations = 15;  // The paper's setting for 20News.
+  srda_options.alpha = 1.0;
+  const SrdaModel model =
+      FitSrda(train.features, train.labels, 6, srda_options);
+  ASSERT_TRUE(model.converged);
+
+  const Matrix train_embedded = model.embedding.Transform(train.features);
+  const Matrix test_embedded = model.embedding.Transform(test.features);
+  CentroidClassifier classifier;
+  classifier.Fit(train_embedded, train.labels, 6);
+  const double error = ErrorRate(classifier.Predict(test_embedded),
+                                 test.labels);
+  // Chance is ~83% error.
+  EXPECT_LT(error, 0.35);
+}
+
+TEST(ReproducibilityTest, WholePipelineIsDeterministic) {
+  SpokenLetterGeneratorOptions options;
+  options.num_classes = 5;
+  options.examples_per_class = 20;
+  options.num_features = 30;
+  auto run = [&]() {
+    const DenseDataset dataset = GenerateSpokenLetterDataset(options);
+    Rng rng(99);
+    const TrainTestSplit split =
+        StratifiedSplitByCount(dataset.labels, 5, 8, &rng);
+    const DenseDataset train = Subset(dataset, split.train);
+    const DenseDataset test = Subset(dataset, split.test);
+    const SrdaModel model = FitSrda(train.features, train.labels, 5);
+    return EvaluateEmbedding(model.embedding, train, test);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace srda

@@ -1,0 +1,241 @@
+// Tests for dataset and model file I/O.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/srda.h"
+#include "io/dataset_io.h"
+#include "matrix/blas.h"
+
+namespace srda {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+SparseDataset MakeSparseDataset() {
+  SparseDataset dataset;
+  dataset.num_classes = 2;
+  SparseMatrixBuilder builder(3, 5);
+  builder.Add(0, 0, 1.5);
+  builder.Add(0, 4, -2.25);
+  builder.Add(1, 2, 0.125);
+  // Row 2 intentionally empty.
+  dataset.features = std::move(builder).Build();
+  dataset.labels = {0, 1, 0};
+  return dataset;
+}
+
+TEST(LibSvmIoTest, RoundTrip) {
+  const std::string path = TempPath("roundtrip.libsvm");
+  const SparseDataset original = MakeSparseDataset();
+  WriteLibSvmFile(original, path);
+  const SparseDataset loaded = ReadLibSvmFile(path, 5);
+  EXPECT_EQ(loaded.num_classes, 2);
+  EXPECT_EQ(loaded.labels, original.labels);
+  EXPECT_EQ(
+      MaxAbsDiff(loaded.features.ToDense(), original.features.ToDense()),
+      0.0);
+  std::remove(path.c_str());
+}
+
+TEST(LibSvmIoTest, InfersWidthFromIndices) {
+  const std::string path = TempPath("width.libsvm");
+  {
+    std::ofstream out(path);
+    out << "1 3:2.5\n2 7:1.0\n";
+  }
+  const SparseDataset loaded = ReadLibSvmFile(path);
+  EXPECT_EQ(loaded.features.cols(), 7);
+  EXPECT_EQ(loaded.features.rows(), 2);
+  EXPECT_EQ(loaded.num_classes, 2);
+  EXPECT_DOUBLE_EQ(loaded.features.ToDense()(0, 2), 2.5);
+  EXPECT_DOUBLE_EQ(loaded.features.ToDense()(1, 6), 1.0);
+  std::remove(path.c_str());
+}
+
+TEST(LibSvmIoTest, SkipsCommentsAndBlankLines) {
+  const std::string path = TempPath("comments.libsvm");
+  {
+    std::ofstream out(path);
+    out << "# header comment\n\n1 1:1.0\n\n2 2:2.0\n";
+  }
+  const SparseDataset loaded = ReadLibSvmFile(path);
+  EXPECT_EQ(loaded.features.rows(), 2);
+  std::remove(path.c_str());
+}
+
+TEST(LibSvmIoTest, LabelsCompactedInFirstAppearanceOrder) {
+  const std::string path = TempPath("labels.libsvm");
+  {
+    std::ofstream out(path);
+    out << "7 1:1\n3 1:1\n7 1:1\n9 1:1\n";
+  }
+  const SparseDataset loaded = ReadLibSvmFile(path);
+  EXPECT_EQ(loaded.num_classes, 3);
+  EXPECT_EQ(loaded.labels, (std::vector<int>{0, 1, 0, 2}));
+  std::remove(path.c_str());
+}
+
+TEST(LibSvmIoDeathTest, MalformedPairAborts) {
+  const std::string path = TempPath("bad.libsvm");
+  {
+    std::ofstream out(path);
+    out << "1 nonsense\n";
+  }
+  EXPECT_DEATH(ReadLibSvmFile(path), "malformed pair");
+  std::remove(path.c_str());
+}
+
+TEST(LibSvmIoDeathTest, MissingFileAborts) {
+  EXPECT_DEATH(ReadLibSvmFile(TempPath("does-not-exist.libsvm")),
+               "cannot open");
+}
+
+TEST(DenseCsvIoTest, RoundTrip) {
+  const std::string path = TempPath("dense.csv");
+  DenseDataset original;
+  original.num_classes = 3;
+  original.features = Matrix::FromRows({{1.5, -2.0}, {0.0, 3.25}, {7.0, 8.0}});
+  original.labels = {0, 2, 1};
+  WriteDenseCsvFile(original, path);
+  const DenseDataset loaded = ReadDenseCsvFile(path);
+  EXPECT_EQ(loaded.num_classes, 3);
+  EXPECT_EQ(loaded.labels, original.labels);
+  EXPECT_EQ(MaxAbsDiff(loaded.features, original.features), 0.0);
+  std::remove(path.c_str());
+}
+
+TEST(DenseCsvIoDeathTest, RaggedRowAborts) {
+  const std::string path = TempPath("ragged.csv");
+  {
+    std::ofstream out(path);
+    out << "0,1.0,2.0\n1,3.0\n";
+  }
+  EXPECT_DEATH(ReadDenseCsvFile(path), "ragged");
+  std::remove(path.c_str());
+}
+
+TEST(EmbeddingIoTest, RoundTripExact) {
+  const std::string path = TempPath("model.txt");
+  Rng rng(1);
+  Matrix projection(4, 2);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 2; ++j) projection(i, j) = rng.NextGaussian();
+  }
+  Vector bias{0.5, -1.25};
+  const LinearEmbedding original(projection, bias);
+  SaveEmbedding(original, path);
+  const LinearEmbedding loaded = LoadEmbedding(path);
+  EXPECT_EQ(loaded.input_dim(), 4);
+  EXPECT_EQ(loaded.output_dim(), 2);
+  EXPECT_EQ(MaxAbsDiff(loaded.projection(), original.projection()), 0.0);
+  EXPECT_EQ(MaxAbsDiff(loaded.bias(), original.bias()), 0.0);
+  std::remove(path.c_str());
+}
+
+TEST(EmbeddingIoTest, TrainedModelSurvivesRoundTrip) {
+  // Train SRDA, save, load, verify identical embeddings of new data.
+  Rng rng(2);
+  Matrix x(30, 5);
+  std::vector<int> labels;
+  for (int i = 0; i < 30; ++i) {
+    labels.push_back(i % 3);
+    for (int j = 0; j < 5; ++j) {
+      x(i, j) = 2.0 * (j == i % 3) + rng.NextGaussian();
+    }
+  }
+  const SrdaModel model = FitSrda(x, labels, 3);
+  const std::string path = TempPath("srda-model.txt");
+  SaveEmbedding(model.embedding, path);
+  const LinearEmbedding loaded = LoadEmbedding(path);
+  Matrix queries(4, 5);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 5; ++j) queries(i, j) = rng.NextGaussian();
+  }
+  EXPECT_EQ(MaxAbsDiff(model.embedding.Transform(queries),
+                       loaded.Transform(queries)),
+            0.0);
+  std::remove(path.c_str());
+}
+
+TEST(ClassifierModelIoTest, RoundTrip) {
+  const std::string path = TempPath("classifier.txt");
+  Rng rng(3);
+  Matrix projection(5, 2);
+  for (int i = 0; i < 5; ++i) {
+    for (int j = 0; j < 2; ++j) projection(i, j) = rng.NextGaussian();
+  }
+  ClassifierModel original;
+  original.embedding = LinearEmbedding(projection, Vector{0.25, -0.5});
+  original.centroids = Matrix::FromRows({{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}});
+  SaveClassifierModel(original, path);
+  const ClassifierModel loaded = LoadClassifierModel(path);
+  EXPECT_EQ(MaxAbsDiff(loaded.embedding.projection(),
+                       original.embedding.projection()),
+            0.0);
+  EXPECT_EQ(MaxAbsDiff(loaded.embedding.bias(), original.embedding.bias()),
+            0.0);
+  EXPECT_EQ(MaxAbsDiff(loaded.centroids, original.centroids), 0.0);
+  std::remove(path.c_str());
+}
+
+TEST(ClassifierModelIoDeathTest, DimensionMismatchAborts) {
+  ClassifierModel model;
+  model.embedding = LinearEmbedding(Matrix(3, 2), Vector(2));
+  model.centroids = Matrix(4, 3);  // Wrong width.
+  EXPECT_DEATH(SaveClassifierModel(model, TempPath("bad.txt")),
+               "centroid dimension");
+}
+
+TEST(EmbeddingIoDeathTest, WrongMagicAborts) {
+  const std::string path = TempPath("not-a-model.txt");
+  {
+    std::ofstream out(path);
+    out << "something else\n";
+  }
+  EXPECT_DEATH(LoadEmbedding(path), "not an srda-embedding");
+  std::remove(path.c_str());
+}
+
+// Property sweep: random sparse datasets survive the LibSVM round trip
+// bit-for-bit (values are written with 17 significant digits).
+class LibSvmRoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LibSvmRoundTripTest, RandomDatasetsExact) {
+  Rng rng(800 + GetParam());
+  const int rows = 3 + GetParam() * 2;
+  const int cols = 5 + GetParam() * 3;
+  const int classes = 2 + GetParam() % 3;
+  SparseDataset original;
+  original.num_classes = classes;
+  SparseMatrixBuilder builder(rows, cols);
+  for (int i = 0; i < rows; ++i) {
+    original.labels.push_back(i % classes);
+    for (int j = 0; j < cols; ++j) {
+      if (rng.NextDouble() < 0.3) builder.Add(i, j, rng.NextGaussian());
+    }
+  }
+  original.features = std::move(builder).Build();
+  // Guarantee every class appears (labels cycle) — required by validation.
+  const std::string path =
+      TempPath("sweep-" + std::to_string(GetParam()) + ".libsvm");
+  WriteLibSvmFile(original, path);
+  const SparseDataset loaded = ReadLibSvmFile(path, cols);
+  EXPECT_EQ(loaded.labels, original.labels);
+  EXPECT_EQ(loaded.features.NumNonZeros(), original.features.NumNonZeros());
+  EXPECT_EQ(
+      MaxAbsDiff(loaded.features.ToDense(), original.features.ToDense()),
+      0.0);
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, LibSvmRoundTripTest, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace srda

@@ -1,0 +1,296 @@
+// Tests for the kernel module and Kernel SRDA.
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "classify/classifiers.h"
+#include "common/rng.h"
+#include "core/kda.h"
+#include "core/ksrda.h"
+#include "core/srda.h"
+#include "kernel/kernel.h"
+#include "matrix/blas.h"
+
+namespace srda {
+namespace {
+
+Matrix RandomMatrix(int rows, int cols, Rng* rng) {
+  Matrix m(rows, cols);
+  for (int i = 0; i < rows; ++i) {
+    for (int j = 0; j < cols; ++j) m(i, j) = rng->NextGaussian();
+  }
+  return m;
+}
+
+TEST(KernelTest, LinearKernelIsDotProduct) {
+  LinearKernel kernel;
+  const double x[] = {1.0, 2.0, 3.0};
+  const double y[] = {4.0, 5.0, 6.0};
+  EXPECT_DOUBLE_EQ(kernel.Evaluate(x, y, 3), 32.0);
+}
+
+TEST(KernelTest, RbfKernelProperties) {
+  RbfKernel kernel(0.5);
+  const double x[] = {1.0, 2.0};
+  const double y[] = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(kernel.Evaluate(x, x, 2), 1.0);  // k(x, x) = 1.
+  const double z[] = {3.0, 4.0};
+  const double value = kernel.Evaluate(x, z, 2);
+  EXPECT_GT(value, 0.0);
+  EXPECT_LT(value, 1.0);
+  EXPECT_DOUBLE_EQ(value, std::exp(-0.5 * 8.0));
+  EXPECT_DOUBLE_EQ(kernel.Evaluate(y, z, 2), value);  // Symmetry.
+}
+
+TEST(KernelDeathTest, NonPositiveGammaAborts) {
+  EXPECT_DEATH(RbfKernel(0.0), "positive");
+}
+
+TEST(KernelTest, PolynomialKernel) {
+  PolynomialKernel kernel(2, 1.0);
+  const double x[] = {1.0, 1.0};
+  const double y[] = {2.0, 0.0};
+  // (x.y + 1)^2 = (2 + 1)^2 = 9.
+  EXPECT_DOUBLE_EQ(kernel.Evaluate(x, y, 2), 9.0);
+}
+
+TEST(KernelTest, KernelMatrixSymmetricPsd) {
+  Rng rng(1);
+  const Matrix x = RandomMatrix(15, 4, &rng);
+  RbfKernel kernel(0.3);
+  const Matrix k = KernelMatrix(kernel, x);
+  EXPECT_LT(MaxAbsDiff(k, k.Transposed()), 1e-15);
+  // PSD: v^T K v >= 0 for random v.
+  for (int trial = 0; trial < 5; ++trial) {
+    Vector v(15);
+    for (int i = 0; i < 15; ++i) v[i] = rng.NextGaussian();
+    EXPECT_GE(Dot(v, Multiply(k, v)), -1e-9);
+  }
+}
+
+TEST(KernelTest, CrossMatrixConsistentWithSquare) {
+  Rng rng(2);
+  const Matrix x = RandomMatrix(8, 3, &rng);
+  LinearKernel kernel;
+  const Matrix square = KernelMatrix(kernel, x);
+  const Matrix cross = KernelCrossMatrix(kernel, x, x);
+  EXPECT_LT(MaxAbsDiff(square, cross), 1e-14);
+}
+
+TEST(KernelTest, MedianHeuristicPositive) {
+  Rng rng(3);
+  const Matrix x = RandomMatrix(30, 5, &rng);
+  const double gamma = RbfGammaMedianHeuristic(x);
+  EXPECT_GT(gamma, 0.0);
+  // Median squared distance in 5-d standard normal data is around 2*5 = 10,
+  // so gamma should be around 1/20.
+  EXPECT_GT(gamma, 0.01);
+  EXPECT_LT(gamma, 0.5);
+}
+
+TEST(KsrdaTest, SeparatesLinearlySeparableBlobs) {
+  Rng rng(4);
+  const int per_class = 25;
+  Matrix x(3 * per_class, 5);
+  std::vector<int> labels;
+  for (int k = 0; k < 3; ++k) {
+    for (int i = 0; i < per_class; ++i) {
+      const int row = k * per_class + i;
+      for (int j = 0; j < 5; ++j) {
+        x(row, j) = 4.0 * (j == k) + rng.NextGaussian();
+      }
+      labels.push_back(k);
+    }
+  }
+  const KsrdaModel model =
+      FitKsrda(x, labels, 3, std::make_shared<RbfKernel>(0.1));
+  ASSERT_TRUE(model.converged());
+  EXPECT_EQ(model.output_dim(), 2);
+  const Matrix embedded = model.Transform(x);
+  CentroidClassifier classifier;
+  classifier.Fit(embedded, labels, 3);
+  EXPECT_LT(ErrorRate(classifier.Predict(embedded), labels), 0.05);
+}
+
+TEST(KsrdaTest, SolvesNonlinearProblemLinearSrdaCannot) {
+  // Concentric rings: no linear projection separates them, an RBF kernel
+  // does. This is the motivating case for the kernel extension [14].
+  Rng rng(5);
+  const int per_class = 60;
+  Matrix x(2 * per_class, 2);
+  std::vector<int> labels;
+  for (int k = 0; k < 2; ++k) {
+    const double radius = k == 0 ? 1.0 : 4.0;
+    for (int i = 0; i < per_class; ++i) {
+      const int row = k * per_class + i;
+      const double angle = rng.NextUniform(0.0, 2.0 * M_PI);
+      x(row, 0) = radius * std::cos(angle) + 0.15 * rng.NextGaussian();
+      x(row, 1) = radius * std::sin(angle) + 0.15 * rng.NextGaussian();
+      labels.push_back(k);
+    }
+  }
+
+  // Linear SRDA: near-chance.
+  const SrdaModel linear = FitSrda(x, labels, 2);
+  CentroidClassifier linear_classifier;
+  linear_classifier.Fit(linear.embedding.Transform(x), labels, 2);
+  const double linear_error =
+      ErrorRate(linear_classifier.Predict(linear.embedding.Transform(x)),
+                labels);
+  EXPECT_GT(linear_error, 0.3);
+
+  // Kernel SRDA: near-perfect.
+  const KsrdaModel kernel_model =
+      FitKsrda(x, labels, 2, std::make_shared<RbfKernel>(0.5));
+  ASSERT_TRUE(kernel_model.converged());
+  CentroidClassifier kernel_classifier;
+  kernel_classifier.Fit(kernel_model.Transform(x), labels, 2);
+  const double kernel_error =
+      ErrorRate(kernel_classifier.Predict(kernel_model.Transform(x)), labels);
+  EXPECT_LT(kernel_error, 0.05);
+}
+
+TEST(KsrdaTest, LinearKernelMatchesLinearSrdaAccuracy) {
+  Rng rng(6);
+  const int per_class = 30;
+  Matrix x(3 * per_class, 6);
+  std::vector<int> labels;
+  for (int k = 0; k < 3; ++k) {
+    for (int i = 0; i < per_class; ++i) {
+      const int row = k * per_class + i;
+      for (int j = 0; j < 6; ++j) {
+        x(row, j) = 3.0 * (j == k) + rng.NextGaussian();
+      }
+      labels.push_back(k);
+    }
+  }
+  const KsrdaModel kernel_model =
+      FitKsrda(x, labels, 3, std::make_shared<LinearKernel>());
+  const SrdaModel linear = FitSrda(x, labels, 3);
+  CentroidClassifier a;
+  a.Fit(kernel_model.Transform(x), labels, 3);
+  CentroidClassifier b;
+  b.Fit(linear.embedding.Transform(x), labels, 3);
+  const double kernel_error =
+      ErrorRate(a.Predict(kernel_model.Transform(x)), labels);
+  const double linear_error =
+      ErrorRate(b.Predict(linear.embedding.Transform(x)), labels);
+  EXPECT_NEAR(kernel_error, linear_error, 0.05);
+}
+
+TEST(KsrdaTest, GeneralizesToHeldOutPoints) {
+  Rng rng(7);
+  Matrix train(40, 3);
+  Matrix test(20, 3);
+  std::vector<int> train_labels;
+  std::vector<int> test_labels;
+  for (int i = 0; i < 40; ++i) {
+    const int k = i % 2;
+    train_labels.push_back(k);
+    for (int j = 0; j < 3; ++j) {
+      train(i, j) = 3.0 * k + rng.NextGaussian();
+    }
+  }
+  for (int i = 0; i < 20; ++i) {
+    const int k = i % 2;
+    test_labels.push_back(k);
+    for (int j = 0; j < 3; ++j) test(i, j) = 3.0 * k + rng.NextGaussian();
+  }
+  const KsrdaModel model =
+      FitKsrda(train, train_labels, 2, std::make_shared<RbfKernel>(0.2));
+  CentroidClassifier classifier;
+  classifier.Fit(model.Transform(train), train_labels, 2);
+  EXPECT_LT(ErrorRate(classifier.Predict(model.Transform(test)), test_labels),
+            0.15);
+}
+
+TEST(KdaTest, MatchesKsrdaOnRings) {
+  // The SR-KDA claim from the paper's reference [14]: the regression-based
+  // kernel method matches exact KDA's accuracy.
+  Rng rng(8);
+  const int per_class = 50;
+  Matrix x(2 * per_class, 2);
+  std::vector<int> labels;
+  for (int k = 0; k < 2; ++k) {
+    const double radius = k == 0 ? 1.0 : 3.5;
+    for (int i = 0; i < per_class; ++i) {
+      const int row = k * per_class + i;
+      const double angle = rng.NextUniform(0.0, 2.0 * M_PI);
+      x(row, 0) = radius * std::cos(angle) + 0.2 * rng.NextGaussian();
+      x(row, 1) = radius * std::sin(angle) + 0.2 * rng.NextGaussian();
+      labels.push_back(k);
+    }
+  }
+  auto kernel = std::make_shared<RbfKernel>(0.5);
+  const KdaModel kda = FitKda(x, labels, 2, kernel);
+  const KsrdaModel ksrda_model = FitKsrda(x, labels, 2, kernel);
+  ASSERT_TRUE(kda.converged());
+  ASSERT_TRUE(ksrda_model.converged());
+  CentroidClassifier kda_classifier;
+  kda_classifier.Fit(kda.Transform(x), labels, 2);
+  CentroidClassifier ksrda_classifier;
+  ksrda_classifier.Fit(ksrda_model.Transform(x), labels, 2);
+  const double kda_error = ErrorRate(kda_classifier.Predict(kda.Transform(x)),
+                                     labels);
+  const double ksrda_error = ErrorRate(
+      ksrda_classifier.Predict(ksrda_model.Transform(x)), labels);
+  EXPECT_LT(kda_error, 0.05);
+  EXPECT_NEAR(kda_error, ksrda_error, 0.05);
+}
+
+TEST(KdaTest, SeparatesBlobsWithLinearKernel) {
+  Rng rng(9);
+  const int per_class = 20;
+  Matrix x(3 * per_class, 4);
+  std::vector<int> labels;
+  for (int k = 0; k < 3; ++k) {
+    for (int i = 0; i < per_class; ++i) {
+      const int row = k * per_class + i;
+      for (int j = 0; j < 4; ++j) {
+        x(row, j) = 3.5 * (j == k) + rng.NextGaussian();
+      }
+      labels.push_back(k);
+    }
+  }
+  const KdaModel model =
+      FitKda(x, labels, 3, std::make_shared<LinearKernel>());
+  ASSERT_TRUE(model.converged());
+  EXPECT_EQ(model.output_dim(), 2);
+  CentroidClassifier classifier;
+  classifier.Fit(model.Transform(x), labels, 3);
+  EXPECT_LT(ErrorRate(classifier.Predict(model.Transform(x)), labels), 0.05);
+}
+
+TEST(KdaDeathTest, BadOptionsAbort) {
+  Matrix x(4, 2);
+  EXPECT_DEATH(FitKda(x, {0, 0, 1, 1}, 2, nullptr), "null kernel");
+  KdaOptions options;
+  options.alpha = 0.0;
+  EXPECT_DEATH(
+      FitKda(x, {0, 0, 1, 1}, 2, std::make_shared<LinearKernel>(), options),
+      "alpha");
+}
+
+TEST(KsrdaDeathTest, NullKernelAborts) {
+  Matrix x(4, 2);
+  EXPECT_DEATH(FitKsrda(x, {0, 0, 1, 1}, 2, nullptr), "null kernel");
+}
+
+TEST(KsrdaDeathTest, ZeroAlphaAborts) {
+  Matrix x(4, 2);
+  KsrdaOptions options;
+  options.alpha = 0.0;
+  EXPECT_DEATH(
+      FitKsrda(x, {0, 0, 1, 1}, 2, std::make_shared<LinearKernel>(), options),
+      "alpha");
+}
+
+TEST(KsrdaDeathTest, TransformBeforeFitAborts) {
+  KsrdaModel model;
+  EXPECT_DEATH(model.Transform(Matrix(1, 2)), "untrained");
+}
+
+}  // namespace
+}  // namespace srda

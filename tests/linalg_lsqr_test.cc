@@ -1,0 +1,257 @@
+// Tests for the LSQR solver and the linear-operator wrappers.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "linalg/cholesky.h"
+#include "linalg/linear_operator.h"
+#include "linalg/lsqr.h"
+#include "matrix/blas.h"
+#include "sparse/sparse_matrix.h"
+
+namespace srda {
+namespace {
+
+Matrix RandomMatrix(int rows, int cols, Rng* rng) {
+  Matrix m(rows, cols);
+  for (int i = 0; i < rows; ++i) {
+    for (int j = 0; j < cols; ++j) m(i, j) = rng->NextGaussian();
+  }
+  return m;
+}
+
+TEST(DenseOperatorTest, MatchesMatrixProducts) {
+  Rng rng(1);
+  const Matrix a = RandomMatrix(6, 4, &rng);
+  const DenseOperator op(&a);
+  EXPECT_EQ(op.rows(), 6);
+  EXPECT_EQ(op.cols(), 4);
+  Vector x(4);
+  for (int i = 0; i < 4; ++i) x[i] = rng.NextGaussian();
+  EXPECT_LT(MaxAbsDiff(op.Apply(x), Multiply(a, x)), 1e-14);
+  Vector y(6);
+  for (int i = 0; i < 6; ++i) y[i] = rng.NextGaussian();
+  EXPECT_LT(MaxAbsDiff(op.ApplyTransposed(y), MultiplyTransposed(a, y)),
+            1e-14);
+}
+
+TEST(SparseOperatorTest, MatchesSparseProducts) {
+  SparseMatrixBuilder builder(3, 2);
+  builder.Add(0, 0, 2.0);
+  builder.Add(2, 1, -1.0);
+  const SparseMatrix sparse = std::move(builder).Build();
+  const SparseOperator op(&sparse);
+  const Vector y = op.Apply(Vector{1.0, 1.0});
+  EXPECT_DOUBLE_EQ(y[0], 2.0);
+  EXPECT_DOUBLE_EQ(y[1], 0.0);
+  EXPECT_DOUBLE_EQ(y[2], -1.0);
+}
+
+TEST(AppendOnesColumnOperatorTest, AppendsBiasColumn) {
+  Rng rng(2);
+  const Matrix a = RandomMatrix(5, 3, &rng);
+  const DenseOperator base(&a);
+  const AppendOnesColumnOperator op(&base);
+  EXPECT_EQ(op.cols(), 4);
+  Vector x{1.0, 2.0, 3.0, 10.0};
+  const Vector y = op.Apply(x);
+  // Equivalent to A * x[0:3] + 10.
+  const Vector expected = Multiply(a, Vector{1.0, 2.0, 3.0});
+  for (int i = 0; i < 5; ++i) EXPECT_NEAR(y[i], expected[i] + 10.0, 1e-13);
+}
+
+TEST(AppendOnesColumnOperatorTest, TransposeSumsLastRow) {
+  Rng rng(3);
+  const Matrix a = RandomMatrix(4, 2, &rng);
+  const DenseOperator base(&a);
+  const AppendOnesColumnOperator op(&base);
+  Vector y{1.0, 2.0, 3.0, 4.0};
+  const Vector x = op.ApplyTransposed(y);
+  EXPECT_EQ(x.size(), 3);
+  EXPECT_NEAR(x[2], 10.0, 1e-13);  // Sum of y.
+}
+
+TEST(AppendOnesColumnOperatorTest, AdjointIdentity) {
+  Rng rng(4);
+  const Matrix a = RandomMatrix(7, 5, &rng);
+  const DenseOperator base(&a);
+  const AppendOnesColumnOperator op(&base);
+  Vector x(6);
+  Vector y(7);
+  for (int i = 0; i < 6; ++i) x[i] = rng.NextGaussian();
+  for (int i = 0; i < 7; ++i) y[i] = rng.NextGaussian();
+  EXPECT_NEAR(Dot(op.Apply(x), y), Dot(x, op.ApplyTransposed(y)), 1e-10);
+}
+
+TEST(LsqrTest, SolvesConsistentSquareSystem) {
+  Rng rng(5);
+  const Matrix a = RandomMatrix(6, 6, &rng);
+  Vector x_true(6);
+  for (int i = 0; i < 6; ++i) x_true[i] = rng.NextGaussian();
+  const Vector b = Multiply(a, x_true);
+  const DenseOperator op(&a);
+  LsqrOptions options;
+  options.max_iterations = 200;
+  options.atol = 1e-12;
+  options.btol = 1e-12;
+  const LsqrResult result = Lsqr(op, b, options);
+  EXPECT_LT(MaxAbsDiff(result.x, x_true), 1e-6);
+}
+
+TEST(LsqrTest, ZeroRhsGivesZeroSolution) {
+  Rng rng(6);
+  const Matrix a = RandomMatrix(4, 3, &rng);
+  const DenseOperator op(&a);
+  const LsqrResult result = Lsqr(op, Vector(4));
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.iterations, 0);
+  EXPECT_EQ(Norm2(result.x), 0.0);
+}
+
+TEST(LsqrTest, OverdeterminedMatchesNormalEquations) {
+  Rng rng(7);
+  const Matrix a = RandomMatrix(20, 5, &rng);
+  Vector b(20);
+  for (int i = 0; i < 20; ++i) b[i] = rng.NextGaussian();
+  // Reference: solve (A^T A) x = A^T b by Cholesky.
+  Matrix gram = Gram(a);
+  Cholesky chol;
+  ASSERT_TRUE(chol.Factor(gram));
+  const Vector reference = chol.Solve(MultiplyTransposed(a, b));
+
+  const DenseOperator op(&a);
+  LsqrOptions options;
+  options.max_iterations = 100;
+  const LsqrResult result = Lsqr(op, b, options);
+  EXPECT_LT(MaxAbsDiff(result.x, reference), 1e-6);
+}
+
+TEST(LsqrTest, DampedMatchesRidgeNormalEquations) {
+  Rng rng(8);
+  const Matrix a = RandomMatrix(15, 6, &rng);
+  Vector b(15);
+  for (int i = 0; i < 15; ++i) b[i] = rng.NextGaussian();
+  const double alpha = 0.7;
+  // Reference: (A^T A + alpha I) x = A^T b.
+  Matrix gram = Gram(a);
+  AddDiagonal(alpha, &gram);
+  Cholesky chol;
+  ASSERT_TRUE(chol.Factor(gram));
+  const Vector reference = chol.Solve(MultiplyTransposed(a, b));
+
+  const DenseOperator op(&a);
+  LsqrOptions options;
+  options.max_iterations = 200;
+  options.damp = std::sqrt(alpha);  // damp^2 == alpha
+  options.atol = 1e-12;
+  options.btol = 1e-12;
+  const LsqrResult result = Lsqr(op, b, options);
+  EXPECT_LT(MaxAbsDiff(result.x, reference), 1e-6);
+}
+
+TEST(LsqrTest, UnderdeterminedRidgeRegularized) {
+  // More unknowns than equations: damping selects the unique ridge solution.
+  Rng rng(9);
+  const Matrix a = RandomMatrix(4, 10, &rng);
+  Vector b(4);
+  for (int i = 0; i < 4; ++i) b[i] = rng.NextGaussian();
+  const double alpha = 0.5;
+  Matrix gram = Gram(a);  // 10x10, singular without the ridge
+  AddDiagonal(alpha, &gram);
+  Cholesky chol;
+  ASSERT_TRUE(chol.Factor(gram));
+  const Vector reference = chol.Solve(MultiplyTransposed(a, b));
+
+  const DenseOperator op(&a);
+  LsqrOptions options;
+  options.max_iterations = 300;
+  options.damp = std::sqrt(alpha);
+  options.atol = 1e-13;
+  options.btol = 1e-13;
+  const LsqrResult result = Lsqr(op, b, options);
+  EXPECT_LT(MaxAbsDiff(result.x, reference), 1e-6);
+}
+
+TEST(LsqrTest, SparseOperatorPath) {
+  Rng rng(10);
+  SparseMatrixBuilder builder(30, 12);
+  for (int i = 0; i < 30; ++i) {
+    for (int j = 0; j < 12; ++j) {
+      if (rng.NextDouble() < 0.25) builder.Add(i, j, rng.NextGaussian());
+    }
+  }
+  const SparseMatrix sparse = std::move(builder).Build();
+  const Matrix dense = sparse.ToDense();
+  Vector b(30);
+  for (int i = 0; i < 30; ++i) b[i] = rng.NextGaussian();
+
+  LsqrOptions options;
+  options.max_iterations = 150;
+  const SparseOperator sparse_op(&sparse);
+  const DenseOperator dense_op(&dense);
+  const LsqrResult sparse_result = Lsqr(sparse_op, b, options);
+  const LsqrResult dense_result = Lsqr(dense_op, b, options);
+  EXPECT_LT(MaxAbsDiff(sparse_result.x, dense_result.x), 1e-9);
+}
+
+TEST(LsqrTest, IterationCapRespected) {
+  Rng rng(11);
+  const Matrix a = RandomMatrix(50, 40, &rng);
+  Vector b(50);
+  for (int i = 0; i < 50; ++i) b[i] = rng.NextGaussian();
+  const DenseOperator op(&a);
+  LsqrOptions options;
+  options.max_iterations = 5;
+  options.atol = 0.0;
+  options.btol = 0.0;
+  const LsqrResult result = Lsqr(op, b, options);
+  EXPECT_EQ(result.iterations, 5);
+  EXPECT_FALSE(result.converged);
+}
+
+TEST(LsqrTest, ResidualNormEstimateAccurate) {
+  Rng rng(12);
+  const Matrix a = RandomMatrix(25, 8, &rng);
+  Vector b(25);
+  for (int i = 0; i < 25; ++i) b[i] = rng.NextGaussian();
+  const DenseOperator op(&a);
+  LsqrOptions options;
+  options.max_iterations = 100;
+  const LsqrResult result = Lsqr(op, b, options);
+  Vector residual = Multiply(a, result.x);
+  Axpy(-1.0, b, &residual);
+  EXPECT_NEAR(result.residual_norm, Norm2(residual),
+              1e-6 * (1.0 + Norm2(residual)));
+}
+
+TEST(LsqrDeathTest, RhsSizeMismatchAborts) {
+  const Matrix a(3, 2);
+  const DenseOperator op(&a);
+  EXPECT_DEATH(Lsqr(op, Vector(2)), "size mismatch");
+}
+
+// The paper's claim: ~15-20 iterations are enough for regression problems.
+TEST(LsqrTest, TwentyIterationsNearConvergedOnWellConditioned) {
+  Rng rng(13);
+  const Matrix a = RandomMatrix(100, 20, &rng);
+  Vector b(100);
+  for (int i = 0; i < 100; ++i) b[i] = rng.NextGaussian();
+
+  Matrix gram = Gram(a);
+  AddDiagonal(1.0, &gram);
+  Cholesky chol;
+  ASSERT_TRUE(chol.Factor(gram));
+  const Vector reference = chol.Solve(MultiplyTransposed(a, b));
+
+  const DenseOperator op(&a);
+  LsqrOptions options;
+  options.max_iterations = 20;
+  options.damp = 1.0;
+  const LsqrResult result = Lsqr(op, b, options);
+  EXPECT_LT(MaxAbsDiff(result.x, reference), 1e-4);
+}
+
+}  // namespace
+}  // namespace srda

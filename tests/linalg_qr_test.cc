@@ -1,0 +1,106 @@
+// Tests for the thin Householder QR decomposition.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "linalg/qr.h"
+#include "matrix/blas.h"
+
+namespace srda {
+namespace {
+
+Matrix RandomMatrix(int rows, int cols, Rng* rng) {
+  Matrix m(rows, cols);
+  for (int i = 0; i < rows; ++i) {
+    for (int j = 0; j < cols; ++j) m(i, j) = rng->NextGaussian();
+  }
+  return m;
+}
+
+TEST(ThinQrTest, Reconstructs) {
+  Rng rng(1);
+  const Matrix a = RandomMatrix(10, 4, &rng);
+  const QrResult qr = ThinQr(a);
+  EXPECT_EQ(qr.q.rows(), 10);
+  EXPECT_EQ(qr.q.cols(), 4);
+  EXPECT_EQ(qr.r.rows(), 4);
+  EXPECT_LT(MaxAbsDiff(Multiply(qr.q, qr.r), a), 1e-10);
+}
+
+TEST(ThinQrTest, QHasOrthonormalColumns) {
+  Rng rng(2);
+  const Matrix a = RandomMatrix(12, 5, &rng);
+  const QrResult qr = ThinQr(a);
+  EXPECT_LT(MaxAbsDiff(Gram(qr.q), Matrix::Identity(5)), 1e-11);
+}
+
+TEST(ThinQrTest, RIsUpperTriangular) {
+  Rng rng(3);
+  const Matrix a = RandomMatrix(8, 6, &rng);
+  const QrResult qr = ThinQr(a);
+  for (int i = 0; i < 6; ++i) {
+    for (int j = 0; j < i; ++j) EXPECT_EQ(qr.r(i, j), 0.0);
+  }
+}
+
+TEST(ThinQrTest, SquareMatrix) {
+  Rng rng(4);
+  const Matrix a = RandomMatrix(6, 6, &rng);
+  const QrResult qr = ThinQr(a);
+  EXPECT_LT(MaxAbsDiff(Multiply(qr.q, qr.r), a), 1e-10);
+  EXPECT_LT(MaxAbsDiff(Gram(qr.q), Matrix::Identity(6)), 1e-11);
+}
+
+TEST(ThinQrTest, SingleColumn) {
+  Matrix a(4, 1);
+  a(0, 0) = 3.0;
+  a(1, 0) = 4.0;
+  const QrResult qr = ThinQr(a);
+  EXPECT_NEAR(std::abs(qr.r(0, 0)), 5.0, 1e-12);
+  EXPECT_LT(MaxAbsDiff(Multiply(qr.q, qr.r), a), 1e-12);
+}
+
+TEST(ThinQrTest, RankDeficientStillFactors) {
+  // Two identical columns: R becomes singular but Q R must equal A.
+  Rng rng(5);
+  Matrix a = RandomMatrix(7, 3, &rng);
+  for (int i = 0; i < 7; ++i) a(i, 2) = a(i, 0);
+  const QrResult qr = ThinQr(a);
+  EXPECT_LT(MaxAbsDiff(Multiply(qr.q, qr.r), a), 1e-10);
+  EXPECT_NEAR(qr.r(2, 2), 0.0, 1e-10);
+}
+
+TEST(ThinQrTest, ZeroColumnHandled) {
+  Matrix a(5, 2);
+  a(0, 1) = 1.0;  // First column all zero.
+  const QrResult qr = ThinQr(a);
+  EXPECT_LT(MaxAbsDiff(Multiply(qr.q, qr.r), a), 1e-12);
+}
+
+TEST(ThinQrDeathTest, WideMatrixAborts) {
+  EXPECT_DEATH(ThinQr(Matrix(2, 3)), "rows >= cols");
+}
+
+// Property sweep: QR of random shapes.
+struct QrShape {
+  int rows;
+  int cols;
+};
+
+class ThinQrShapeTest : public ::testing::TestWithParam<QrShape> {};
+
+TEST_P(ThinQrShapeTest, FactorsCorrectly) {
+  Rng rng(300 + GetParam().rows * 17 + GetParam().cols);
+  const Matrix a = RandomMatrix(GetParam().rows, GetParam().cols, &rng);
+  const QrResult qr = ThinQr(a);
+  EXPECT_LT(MaxAbsDiff(Multiply(qr.q, qr.r), a), 1e-9);
+  EXPECT_LT(MaxAbsDiff(Gram(qr.q), Matrix::Identity(GetParam().cols)), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ThinQrShapeTest,
+                         ::testing::Values(QrShape{1, 1}, QrShape{5, 1},
+                                           QrShape{5, 5}, QrShape{20, 7},
+                                           QrShape{40, 25}, QrShape{64, 64}));
+
+}  // namespace
+}  // namespace srda

@@ -1,0 +1,146 @@
+// Tests for the cross-product thin SVD.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "linalg/svd.h"
+#include "matrix/blas.h"
+
+namespace srda {
+namespace {
+
+Matrix RandomMatrix(int rows, int cols, Rng* rng) {
+  Matrix m(rows, cols);
+  for (int i = 0; i < rows; ++i) {
+    for (int j = 0; j < cols; ++j) m(i, j) = rng->NextGaussian();
+  }
+  return m;
+}
+
+// U diag(s) V^T from an SvdResult.
+Matrix Reconstruct(const SvdResult& svd) {
+  Matrix us = svd.u;
+  for (int k = 0; k < svd.rank; ++k) {
+    for (int i = 0; i < us.rows(); ++i) us(i, k) *= svd.singular_values[k];
+  }
+  return MultiplyTransposedB(us, svd.v);
+}
+
+TEST(ThinSvdTest, TallMatrixReconstructs) {
+  Rng rng(1);
+  const Matrix a = RandomMatrix(12, 5, &rng);
+  const SvdResult svd = ThinSvd(a);
+  ASSERT_TRUE(svd.converged);
+  EXPECT_EQ(svd.rank, 5);
+  EXPECT_LT(MaxAbsDiff(Reconstruct(svd), a), 1e-8);
+}
+
+TEST(ThinSvdTest, WideMatrixReconstructs) {
+  Rng rng(2);
+  const Matrix a = RandomMatrix(4, 11, &rng);
+  const SvdResult svd = ThinSvd(a);
+  ASSERT_TRUE(svd.converged);
+  EXPECT_EQ(svd.rank, 4);
+  EXPECT_LT(MaxAbsDiff(Reconstruct(svd), a), 1e-8);
+}
+
+TEST(ThinSvdTest, SingularValuesDescendingPositive) {
+  Rng rng(3);
+  const Matrix a = RandomMatrix(9, 6, &rng);
+  const SvdResult svd = ThinSvd(a);
+  for (int k = 1; k < svd.rank; ++k) {
+    EXPECT_LE(svd.singular_values[k], svd.singular_values[k - 1]);
+    EXPECT_GT(svd.singular_values[k], 0.0);
+  }
+}
+
+TEST(ThinSvdTest, FactorsOrthonormal) {
+  Rng rng(4);
+  const Matrix a = RandomMatrix(10, 7, &rng);
+  const SvdResult svd = ThinSvd(a);
+  EXPECT_LT(MaxAbsDiff(Gram(svd.u), Matrix::Identity(svd.rank)), 1e-8);
+  EXPECT_LT(MaxAbsDiff(Gram(svd.v), Matrix::Identity(svd.rank)), 1e-8);
+}
+
+TEST(ThinSvdTest, RankDeficientTruncated) {
+  // Rank-2 matrix built from two outer products.
+  Rng rng(5);
+  const Matrix left = RandomMatrix(8, 2, &rng);
+  const Matrix right = RandomMatrix(2, 6, &rng);
+  const Matrix a = Multiply(left, right);
+  // The cross-product SVD resolves zero singular values only to about
+  // sqrt(eps) * sigma_max, hence the loose truncation tolerance.
+  const SvdResult svd = ThinSvd(a, 1e-6);
+  ASSERT_TRUE(svd.converged);
+  EXPECT_EQ(svd.rank, 2);
+  EXPECT_LT(MaxAbsDiff(Reconstruct(svd), a), 1e-7);
+}
+
+TEST(ThinSvdTest, KnownDiagonalSingularValues) {
+  Matrix a(3, 2);
+  a(0, 0) = 3.0;
+  a(1, 1) = 4.0;
+  const SvdResult svd = ThinSvd(a);
+  ASSERT_EQ(svd.rank, 2);
+  EXPECT_NEAR(svd.singular_values[0], 4.0, 1e-10);
+  EXPECT_NEAR(svd.singular_values[1], 3.0, 1e-10);
+}
+
+TEST(ThinSvdTest, RankOneMatrix) {
+  Matrix a(5, 4);
+  for (int i = 0; i < 5; ++i) {
+    for (int j = 0; j < 4; ++j) a(i, j) = 2.0;
+  }
+  const SvdResult svd = ThinSvd(a, 1e-8);
+  EXPECT_EQ(svd.rank, 1);
+  // Frobenius norm of the rank-1 matrix equals its single singular value.
+  EXPECT_NEAR(svd.singular_values[0], std::sqrt(5.0 * 4.0) * 2.0, 1e-9);
+}
+
+TEST(ThinSvdTest, FrobeniusNormIdentity) {
+  Rng rng(6);
+  const Matrix a = RandomMatrix(7, 9, &rng);
+  const SvdResult svd = ThinSvd(a);
+  double sv_sq = 0.0;
+  for (int k = 0; k < svd.rank; ++k) {
+    sv_sq += svd.singular_values[k] * svd.singular_values[k];
+  }
+  double fro_sq = 0.0;
+  for (int i = 0; i < 7; ++i) {
+    for (int j = 0; j < 9; ++j) fro_sq += a(i, j) * a(i, j);
+  }
+  EXPECT_NEAR(sv_sq, fro_sq, 1e-8 * fro_sq);
+}
+
+TEST(ThinSvdDeathTest, EmptyMatrixAborts) {
+  EXPECT_DEATH(ThinSvd(Matrix(0, 3)), "empty");
+}
+
+// Property sweep over shapes: reconstruction and orthogonality.
+struct SvdShape {
+  int rows;
+  int cols;
+};
+
+class ThinSvdShapeTest : public ::testing::TestWithParam<SvdShape> {};
+
+TEST_P(ThinSvdShapeTest, ReconstructsAndOrthogonal) {
+  Rng rng(200 + GetParam().rows * 31 + GetParam().cols);
+  const Matrix a = RandomMatrix(GetParam().rows, GetParam().cols, &rng);
+  const SvdResult svd = ThinSvd(a);
+  ASSERT_TRUE(svd.converged);
+  EXPECT_LT(MaxAbsDiff(Reconstruct(svd), a), 1e-7);
+  EXPECT_LT(MaxAbsDiff(Gram(svd.u), Matrix::Identity(svd.rank)), 1e-7);
+  EXPECT_LT(MaxAbsDiff(Gram(svd.v), Matrix::Identity(svd.rank)), 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ThinSvdShapeTest,
+    ::testing::Values(SvdShape{1, 1}, SvdShape{1, 8}, SvdShape{8, 1},
+                      SvdShape{5, 5}, SvdShape{20, 3}, SvdShape{3, 20},
+                      SvdShape{16, 16}, SvdShape{30, 12}, SvdShape{12, 30}));
+
+}  // namespace
+}  // namespace srda

@@ -1,0 +1,248 @@
+// Tests for the dense Matrix/Vector types and BLAS-like kernels.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "matrix/blas.h"
+#include "matrix/matrix.h"
+#include "matrix/vector.h"
+
+namespace srda {
+namespace {
+
+Matrix RandomMatrix(int rows, int cols, Rng* rng) {
+  Matrix m(rows, cols);
+  for (int i = 0; i < rows; ++i) {
+    for (int j = 0; j < cols; ++j) m(i, j) = rng->NextGaussian();
+  }
+  return m;
+}
+
+Vector RandomVector(int size, Rng* rng) {
+  Vector v(size);
+  for (int i = 0; i < size; ++i) v[i] = rng->NextGaussian();
+  return v;
+}
+
+TEST(VectorTest, ConstructionAndAccess) {
+  Vector v(3);
+  EXPECT_EQ(v.size(), 3);
+  EXPECT_EQ(v[0], 0.0);
+  v[1] = 2.5;
+  EXPECT_EQ(v[1], 2.5);
+  Vector filled(4, 1.5);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(filled[i], 1.5);
+  Vector braced{1.0, 2.0, 3.0};
+  EXPECT_EQ(braced.size(), 3);
+  EXPECT_EQ(braced[2], 3.0);
+}
+
+TEST(VectorDeathTest, OutOfBoundsAborts) {
+  Vector v(2);
+  EXPECT_DEATH(v[2], "out of");
+  EXPECT_DEATH(v[-1], "out of");
+}
+
+TEST(VectorTest, FillAndResize) {
+  Vector v(2);
+  v.Fill(7.0);
+  EXPECT_EQ(v[0], 7.0);
+  v.Resize(4);
+  EXPECT_EQ(v.size(), 4);
+  EXPECT_EQ(v[3], 0.0);  // New entries zero-filled.
+  EXPECT_EQ(v[1], 7.0);  // Old entries preserved.
+}
+
+TEST(MatrixTest, ZeroInitialized) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 3; ++j) EXPECT_EQ(m(i, j), 0.0);
+  }
+}
+
+TEST(MatrixDeathTest, OutOfBoundsAborts) {
+  Matrix m(2, 2);
+  EXPECT_DEATH(m(2, 0), "out of");
+  EXPECT_DEATH(m(0, 2), "out of");
+}
+
+TEST(MatrixTest, IdentityAndFromRows) {
+  const Matrix eye = Matrix::Identity(3);
+  EXPECT_EQ(eye(0, 0), 1.0);
+  EXPECT_EQ(eye(0, 1), 0.0);
+  const Matrix m = Matrix::FromRows({{1.0, 2.0}, {3.0, 4.0}});
+  EXPECT_EQ(m(1, 0), 3.0);
+  EXPECT_EQ(m(0, 1), 2.0);
+}
+
+TEST(MatrixDeathTest, RaggedFromRowsAborts) {
+  EXPECT_DEATH(Matrix::FromRows({{1.0, 2.0}, {3.0}}), "ragged");
+}
+
+TEST(MatrixTest, TransposedRoundTrip) {
+  Rng rng(5);
+  const Matrix a = RandomMatrix(4, 7, &rng);
+  const Matrix att = a.Transposed().Transposed();
+  EXPECT_EQ(MaxAbsDiff(a, att), 0.0);
+  const Matrix at = a.Transposed();
+  EXPECT_EQ(at.rows(), 7);
+  EXPECT_EQ(at.cols(), 4);
+  EXPECT_EQ(a(2, 5), at(5, 2));
+}
+
+TEST(MatrixTest, RowColSetters) {
+  Matrix m(2, 3);
+  m.SetRow(0, Vector{1.0, 2.0, 3.0});
+  m.SetCol(2, Vector{9.0, 8.0});
+  EXPECT_EQ(m(0, 0), 1.0);
+  EXPECT_EQ(m(0, 2), 9.0);
+  EXPECT_EQ(m(1, 2), 8.0);
+  const Vector row = m.Row(0);
+  EXPECT_EQ(row[2], 9.0);
+  const Vector col = m.Col(2);
+  EXPECT_EQ(col[1], 8.0);
+}
+
+TEST(MatrixTest, Block) {
+  const Matrix m = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}, {7, 8, 9}});
+  const Matrix b = m.Block(1, 1, 2, 2);
+  EXPECT_EQ(b.rows(), 2);
+  EXPECT_EQ(b(0, 0), 5.0);
+  EXPECT_EQ(b(1, 1), 9.0);
+}
+
+TEST(BlasTest, DotAxpyScale) {
+  Vector x{1.0, 2.0, 3.0};
+  Vector y{4.0, 5.0, 6.0};
+  EXPECT_DOUBLE_EQ(Dot(x, y), 32.0);
+  Axpy(2.0, x, &y);
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[2], 12.0);
+  Scale(0.5, &y);
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+}
+
+TEST(BlasTest, Norms) {
+  Vector x{3.0, -4.0};
+  EXPECT_DOUBLE_EQ(Norm2(x), 5.0);
+  EXPECT_DOUBLE_EQ(NormInf(x), 4.0);
+  Vector zero(5);
+  EXPECT_EQ(Norm2(zero), 0.0);
+}
+
+TEST(BlasTest, Norm2AvoidsOverflow) {
+  Vector huge{1e200, 1e200};
+  EXPECT_NEAR(Norm2(huge) / (std::sqrt(2.0) * 1e200), 1.0, 1e-12);
+}
+
+TEST(BlasTest, MatrixVectorProducts) {
+  const Matrix a = Matrix::FromRows({{1, 2}, {3, 4}, {5, 6}});
+  const Vector x{1.0, 1.0};
+  const Vector ax = Multiply(a, x);
+  EXPECT_DOUBLE_EQ(ax[0], 3.0);
+  EXPECT_DOUBLE_EQ(ax[2], 11.0);
+  const Vector y{1.0, 0.0, 1.0};
+  const Vector aty = MultiplyTransposed(a, y);
+  EXPECT_DOUBLE_EQ(aty[0], 6.0);
+  EXPECT_DOUBLE_EQ(aty[1], 8.0);
+}
+
+TEST(BlasTest, MatrixProductAgainstHand) {
+  const Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  const Matrix b = Matrix::FromRows({{5, 6}, {7, 8}});
+  const Matrix c = Multiply(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(BlasTest, TransposedProductsMatchExplicitTranspose) {
+  Rng rng(9);
+  const Matrix a = RandomMatrix(5, 3, &rng);
+  const Matrix b = RandomMatrix(5, 4, &rng);
+  const Matrix expected = Multiply(a.Transposed(), b);
+  EXPECT_LT(MaxAbsDiff(MultiplyTransposedA(a, b), expected), 1e-12);
+
+  const Matrix c = RandomMatrix(4, 3, &rng);
+  const Matrix d = RandomMatrix(6, 3, &rng);
+  const Matrix expected2 = Multiply(c, d.Transposed());
+  EXPECT_LT(MaxAbsDiff(MultiplyTransposedB(c, d), expected2), 1e-12);
+}
+
+TEST(BlasTest, GramMatchesExplicit) {
+  Rng rng(11);
+  const Matrix a = RandomMatrix(6, 4, &rng);
+  const Matrix expected = Multiply(a.Transposed(), a);
+  EXPECT_LT(MaxAbsDiff(Gram(a), expected), 1e-12);
+  const Matrix expected_outer = Multiply(a, a.Transposed());
+  EXPECT_LT(MaxAbsDiff(OuterGram(a), expected_outer), 1e-12);
+}
+
+TEST(BlasTest, GramIsSymmetric) {
+  Rng rng(13);
+  const Matrix a = RandomMatrix(8, 5, &rng);
+  const Matrix g = Gram(a);
+  EXPECT_LT(MaxAbsDiff(g, g.Transposed()), 1e-15);
+}
+
+TEST(BlasTest, AddDiagonal) {
+  Matrix m(3, 3);
+  AddDiagonal(2.5, &m);
+  EXPECT_EQ(m(1, 1), 2.5);
+  EXPECT_EQ(m(0, 1), 0.0);
+}
+
+TEST(BlasDeathTest, AddDiagonalNonSquareAborts) {
+  Matrix m(2, 3);
+  EXPECT_DEATH(AddDiagonal(1.0, &m), "square");
+}
+
+TEST(BlasTest, ColumnMeansAndCentering) {
+  Matrix m = Matrix::FromRows({{1, 10}, {3, 20}});
+  const Vector mean = ColumnMeans(m);
+  EXPECT_DOUBLE_EQ(mean[0], 2.0);
+  EXPECT_DOUBLE_EQ(mean[1], 15.0);
+  SubtractRowVector(mean, &m);
+  EXPECT_DOUBLE_EQ(m(0, 0), -1.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 5.0);
+  const Vector new_mean = ColumnMeans(m);
+  EXPECT_NEAR(new_mean[0], 0.0, 1e-15);
+  EXPECT_NEAR(new_mean[1], 0.0, 1e-15);
+}
+
+TEST(BlasDeathTest, ShapeMismatchesAbort) {
+  const Matrix a(2, 3);
+  const Matrix b(2, 3);
+  EXPECT_DEATH(Multiply(a, b), "shape mismatch");
+  const Vector x(2);
+  EXPECT_DEATH(Multiply(a, x), "shape mismatch");
+  Vector y(3);
+  EXPECT_DEATH(Dot(x, y), "size mismatch");
+}
+
+// Property sweep: (A B) x == A (B x) across shapes.
+class BlasAssociativityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BlasAssociativityTest, MatrixProductAssociatesWithVector) {
+  Rng rng(100 + GetParam());
+  const int m = 2 + GetParam() % 7;
+  const int k = 1 + GetParam() % 5;
+  const int n = 3 + GetParam() % 4;
+  const Matrix a = RandomMatrix(m, k, &rng);
+  const Matrix b = RandomMatrix(k, n, &rng);
+  const Vector x = RandomVector(n, &rng);
+  const Vector left = Multiply(Multiply(a, b), x);
+  const Vector right = Multiply(a, Multiply(b, x));
+  EXPECT_LT(MaxAbsDiff(left, right), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, BlasAssociativityTest,
+                         ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace srda

@@ -1,0 +1,135 @@
+// Tests for stratified k-fold cross-validation and alpha selection.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "select/model_selection.h"
+
+namespace srda {
+namespace {
+
+std::vector<int> BalancedLabels(int num_classes, int per_class) {
+  std::vector<int> labels;
+  for (int k = 0; k < num_classes; ++k) {
+    for (int i = 0; i < per_class; ++i) labels.push_back(k);
+  }
+  return labels;
+}
+
+TEST(StratifiedFoldsTest, PartitionCoversAllSamples) {
+  const std::vector<int> labels = BalancedLabels(3, 12);
+  Rng rng(1);
+  const auto folds = StratifiedFolds(labels, 3, 4, &rng);
+  ASSERT_EQ(folds.size(), 4u);
+  std::set<int> seen;
+  for (const auto& fold : folds) {
+    for (int index : fold) {
+      EXPECT_TRUE(seen.insert(index).second) << "duplicate index " << index;
+    }
+  }
+  EXPECT_EQ(seen.size(), labels.size());
+}
+
+TEST(StratifiedFoldsTest, FoldsAreClassBalanced) {
+  const std::vector<int> labels = BalancedLabels(2, 20);
+  Rng rng(2);
+  const auto folds = StratifiedFolds(labels, 2, 5, &rng);
+  for (const auto& fold : folds) {
+    int class0 = 0;
+    for (int index : fold) {
+      if (labels[static_cast<size_t>(index)] == 0) ++class0;
+    }
+    EXPECT_EQ(class0, 4);  // 20 / 5 per class per fold.
+    EXPECT_EQ(fold.size(), 8u);
+  }
+}
+
+TEST(StratifiedFoldsDeathTest, TooManyFoldsAborts) {
+  const std::vector<int> labels = BalancedLabels(2, 3);
+  Rng rng(3);
+  EXPECT_DEATH(StratifiedFolds(labels, 2, 4, &rng), "fewer samples");
+}
+
+TEST(CrossValidateTest, CallsEvaluateOncePerFold) {
+  DenseDataset dataset;
+  dataset.num_classes = 2;
+  dataset.features = Matrix(12, 2);
+  dataset.labels = BalancedLabels(2, 6);
+  Rng rng(4);
+  int calls = 0;
+  const double mean = CrossValidate(
+      dataset, 3, &rng,
+      [&](const DenseDataset& train, const DenseDataset& validation) {
+        ++calls;
+        EXPECT_EQ(train.features.rows() + validation.features.rows(), 12);
+        EXPECT_EQ(validation.features.rows(), 4);
+        return static_cast<double>(calls);
+      });
+  EXPECT_EQ(calls, 3);
+  EXPECT_DOUBLE_EQ(mean, 2.0);  // (1 + 2 + 3) / 3.
+}
+
+TEST(SelectSrdaAlphaTest, PicksReasonableAlphaOnBlobs) {
+  Rng rng(5);
+  DenseDataset dataset;
+  dataset.num_classes = 3;
+  const int per_class = 20;
+  dataset.features = Matrix(3 * per_class, 8);
+  for (int k = 0; k < 3; ++k) {
+    for (int i = 0; i < per_class; ++i) {
+      const int row = k * per_class + i;
+      dataset.labels.push_back(k);
+      for (int j = 0; j < 8; ++j) {
+        dataset.features(row, j) = 2.5 * (j == k) + rng.NextGaussian();
+      }
+    }
+  }
+  const std::vector<double> alphas = {1e-4, 0.01, 1.0, 100.0, 1e4};
+  const AlphaSearchResult result =
+      SelectSrdaAlpha(dataset, alphas, 4, /*seed=*/42);
+  ASSERT_EQ(result.errors.size(), alphas.size());
+  for (double error : result.errors) {
+    EXPECT_GE(error, 0.0);
+    EXPECT_LE(error, 1.0);
+  }
+  EXPECT_EQ(result.best_alpha,
+            alphas[static_cast<size_t>(result.best_index)]);
+  // Extreme over-regularization should not win on separable data.
+  EXPECT_LT(result.errors[static_cast<size_t>(result.best_index)],
+            result.errors.back() + 1e-12);
+}
+
+TEST(SelectSrdaAlphaTest, DeterministicInSeed) {
+  Rng rng(6);
+  DenseDataset dataset;
+  dataset.num_classes = 2;
+  const int per_class = 12;
+  dataset.features = Matrix(2 * per_class, 4);
+  for (int k = 0; k < 2; ++k) {
+    for (int i = 0; i < per_class; ++i) {
+      const int row = k * per_class + i;
+      dataset.labels.push_back(k);
+      for (int j = 0; j < 4; ++j) {
+        dataset.features(row, j) = 1.5 * k + rng.NextGaussian();
+      }
+    }
+  }
+  const std::vector<double> alphas = {0.1, 1.0};
+  const AlphaSearchResult a = SelectSrdaAlpha(dataset, alphas, 3, 7);
+  const AlphaSearchResult b = SelectSrdaAlpha(dataset, alphas, 3, 7);
+  EXPECT_EQ(a.errors, b.errors);
+  EXPECT_EQ(a.best_index, b.best_index);
+}
+
+TEST(SelectSrdaAlphaDeathTest, EmptyGridAborts) {
+  DenseDataset dataset;
+  dataset.num_classes = 2;
+  dataset.features = Matrix(4, 2);
+  dataset.labels = {0, 0, 1, 1};
+  EXPECT_DEATH(SelectSrdaAlpha(dataset, {}, 2, 1), "no alpha");
+}
+
+}  // namespace
+}  // namespace srda

@@ -1,0 +1,144 @@
+// End-to-end subprocess tests for the command-line tools: generate a
+// dataset, train a model, predict with it, and inspect the files — the full
+// workflow a downstream user runs.
+//
+// The tool binaries' directory is injected by CMake as SRDA_TOOLS_DIR.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace srda {
+namespace {
+
+std::string ToolPath(const std::string& name) {
+  return std::string(SRDA_TOOLS_DIR) + "/" + name;
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+// Runs a command, returns its exit code, captures stdout+stderr.
+int RunCommand(const std::string& command, std::string* output) {
+  const std::string file = TempPath("cmd-output.txt");
+  const int code = std::system((command + " > " + file + " 2>&1").c_str());
+  std::ifstream in(file);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  *output = buffer.str();
+  std::remove(file.c_str());
+  return code;
+}
+
+TEST(ToolsIntegrationTest, GenerateTrainPredictCsvWorkflow) {
+  const std::string data = TempPath("letters.csv");
+  const std::string model = TempPath("letters.model");
+  const std::string predictions = TempPath("letters.pred");
+  std::string output;
+
+  ASSERT_EQ(RunCommand(ToolPath("srda_generate") + " --dataset=letters --out=" +
+                    data + " --seed=3",
+                &output),
+            0)
+      << output;
+  EXPECT_NE(output.find("letters dataset"), std::string::npos);
+
+  ASSERT_EQ(RunCommand(ToolPath("srda_dataset_info") + " --data=" + data, &output),
+            0)
+      << output;
+  EXPECT_NE(output.find("26"), std::string::npos);  // 26 classes.
+
+  ASSERT_EQ(RunCommand(ToolPath("srda_train") + " --data=" + data +
+                    " --algorithm=srda --alpha=1.0 --model-out=" + model,
+                &output),
+            0)
+      << output;
+  EXPECT_NE(output.find("trained srda"), std::string::npos);
+
+  ASSERT_EQ(RunCommand(ToolPath("srda_predict") + " --model=" + model + " --data=" +
+                    data + " --predictions-out=" + predictions,
+                &output),
+            0)
+      << output;
+  EXPECT_NE(output.find("error rate"), std::string::npos);
+
+  // Predictions file: one integer per sample.
+  std::ifstream pred(predictions);
+  int count = 0;
+  int label = 0;
+  while (pred >> label) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, 26);
+    ++count;
+  }
+  EXPECT_GT(count, 1000);
+
+  std::remove(data.c_str());
+  std::remove(model.c_str());
+  std::remove(predictions.c_str());
+}
+
+TEST(ToolsIntegrationTest, SparseLibSvmWorkflow) {
+  const std::string data = TempPath("text.libsvm");
+  const std::string model = TempPath("text.model");
+  std::string output;
+
+  ASSERT_EQ(RunCommand(ToolPath("srda_generate") + " --dataset=text --out=" + data,
+                &output),
+            0)
+      << output;
+
+  ASSERT_EQ(RunCommand(ToolPath("srda_train") + " --data=" + data +
+                    " --format=libsvm --model-out=" + model,
+                &output),
+            0)
+      << output;
+  EXPECT_NE(output.find("nnz/sample"), std::string::npos);
+
+  ASSERT_EQ(RunCommand(ToolPath("srda_predict") + " --model=" + model + " --data=" +
+                    data + " --format=libsvm",
+                &output),
+            0)
+      << output;
+  EXPECT_NE(output.find("error rate"), std::string::npos);
+
+  std::remove(data.c_str());
+  std::remove(model.c_str());
+}
+
+TEST(ToolsIntegrationTest, AllDenseAlgorithmsTrain) {
+  const std::string data = TempPath("digits-small.csv");
+  std::string output;
+  ASSERT_EQ(RunCommand(ToolPath("srda_generate") + " --dataset=digits --out=" + data,
+                &output),
+            0)
+      << output;
+  for (const std::string algorithm :
+       {"srda", "lda", "rlda", "idr_qr", "fisherfaces"}) {
+    const std::string model = TempPath("digits-" + algorithm + ".model");
+    EXPECT_EQ(RunCommand(ToolPath("srda_train") + " --data=" + data +
+                      " --algorithm=" + algorithm + " --model-out=" + model,
+                  &output),
+              0)
+        << algorithm << ": " << output;
+    std::remove(model.c_str());
+  }
+  std::remove(data.c_str());
+}
+
+TEST(ToolsIntegrationTest, HelpAndBadFlagsExitCleanly) {
+  std::string output;
+  EXPECT_EQ(RunCommand(ToolPath("srda_train") + " --help", &output), 0);
+  EXPECT_NE(output.find("usage:"), std::string::npos);
+  // Unknown flags are rejected with a non-zero exit.
+  EXPECT_NE(RunCommand(ToolPath("srda_train") + " --banana=1", &output), 0);
+  EXPECT_NE(output.find("unknown flag"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace srda

@@ -1,0 +1,70 @@
+// srda_dataset_info: print the statistics the paper's Table II reports for
+// a dataset file (size, dimensionality, classes, sparsity, class balance).
+//
+// Usage:
+//   srda_dataset_info --data=FILE [--format=csv|libsvm]
+
+#include <algorithm>
+#include <iostream>
+#include <string>
+
+#include "common/arg_parser.h"
+#include "common/check.h"
+#include "common/table_printer.h"
+#include "dataset/dataset.h"
+#include "io/dataset_io.h"
+
+namespace srda {
+namespace {
+
+constexpr char kUsage[] =
+    "usage: srda_dataset_info --data=FILE [--format=csv|libsvm]\n";
+
+void PrintCounts(const std::vector<int>& labels, int num_classes) {
+  const std::vector<int> counts = ClassCounts(labels, num_classes);
+  const auto [min_it, max_it] =
+      std::minmax_element(counts.begin(), counts.end());
+  std::cout << "class sizes: min " << *min_it << ", max " << *max_it << "\n";
+}
+
+int Main(int argc, char** argv) {
+  const ArgParser args(argc, argv);
+  if (args.GetBool("help")) {
+    std::cout << kUsage;
+    return 0;
+  }
+  const std::string data_path = args.GetString("data", "");
+  const std::string format = args.GetString("format", "csv");
+  SRDA_CHECK(args.UnusedFlags().empty())
+      << "unknown flag --" << args.UnusedFlags().front() << "\n" << kUsage;
+  SRDA_CHECK(!data_path.empty()) << "--data is required\n" << kUsage;
+
+  TablePrinter table({"size (m)", "dim (n)", "# classes (c)", "density"});
+  if (format == "libsvm") {
+    const SparseDataset dataset = ReadLibSvmFile(data_path);
+    const double density =
+        dataset.features.AvgNonZerosPerRow() / dataset.features.cols();
+    table.AddRow({std::to_string(dataset.features.rows()),
+                  std::to_string(dataset.features.cols()),
+                  std::to_string(dataset.num_classes),
+                  FormatDouble(100.0 * density, 3) + "%"});
+    table.Print(std::cout);
+    std::cout << "avg non-zeros per sample: "
+              << FormatDouble(dataset.features.AvgNonZerosPerRow(), 1)
+              << "\n";
+    PrintCounts(dataset.labels, dataset.num_classes);
+  } else {
+    const DenseDataset dataset = ReadDenseCsvFile(data_path);
+    table.AddRow({std::to_string(dataset.features.rows()),
+                  std::to_string(dataset.features.cols()),
+                  std::to_string(dataset.num_classes), "dense"});
+    table.Print(std::cout);
+    PrintCounts(dataset.labels, dataset.num_classes);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace srda
+
+int main(int argc, char** argv) { return srda::Main(argc, argv); }

@@ -1,0 +1,96 @@
+// srda_generate: emit one of the paper-analogue synthetic datasets as a
+// CSV or LibSVM file, so the CLI tools (and any external program) can run
+// on exactly the data the benchmarks use.
+//
+// Usage:
+//   srda_generate --dataset=faces|letters|digits|text --out=FILE
+//                 [--seed=1] [--scale=small|full]
+//
+// faces/letters/digits write CSV; text writes LibSVM.
+
+#include <iostream>
+#include <string>
+
+#include "common/arg_parser.h"
+#include "common/check.h"
+#include "dataset/digit_generator.h"
+#include "dataset/face_generator.h"
+#include "dataset/spoken_letter_generator.h"
+#include "dataset/text_generator.h"
+#include "io/dataset_io.h"
+
+namespace srda {
+namespace {
+
+constexpr char kUsage[] =
+    "usage: srda_generate --dataset=faces|letters|digits|text --out=FILE\n"
+    "                     [--seed=1] [--scale=small|full]\n";
+
+int Main(int argc, char** argv) {
+  const ArgParser args(argc, argv);
+  if (args.GetBool("help")) {
+    std::cout << kUsage;
+    return 0;
+  }
+  const std::string dataset_name = args.GetString("dataset", "");
+  const std::string out_path = args.GetString("out", "");
+  const uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 1));
+  const std::string scale = args.GetString("scale", "small");
+  SRDA_CHECK(args.UnusedFlags().empty())
+      << "unknown flag --" << args.UnusedFlags().front() << "\n" << kUsage;
+  SRDA_CHECK(!dataset_name.empty() && !out_path.empty())
+      << "--dataset and --out are required\n" << kUsage;
+  SRDA_CHECK(scale == "small" || scale == "full")
+      << "unknown --scale=" << scale << "\n" << kUsage;
+  const bool full = scale == "full";
+
+  if (dataset_name == "faces") {
+    FaceGeneratorOptions options;
+    options.images_per_subject = full ? 170 : 40;
+    options.image_size = full ? 32 : 16;
+    options.seed = seed;
+    const DenseDataset dataset = GenerateFaceDataset(options);
+    WriteDenseCsvFile(dataset, out_path);
+    std::cout << "wrote " << dataset.features.rows() << " x "
+              << dataset.features.cols() << " faces dataset to " << out_path
+              << "\n";
+  } else if (dataset_name == "letters") {
+    SpokenLetterGeneratorOptions options;
+    options.examples_per_class = full ? 240 : 130;
+    options.num_features = full ? 617 : 200;
+    options.seed = seed;
+    const DenseDataset dataset = GenerateSpokenLetterDataset(options);
+    WriteDenseCsvFile(dataset, out_path);
+    std::cout << "wrote " << dataset.features.rows() << " x "
+              << dataset.features.cols() << " letters dataset to "
+              << out_path << "\n";
+  } else if (dataset_name == "digits") {
+    DigitGeneratorOptions options;
+    options.examples_per_class = full ? 400 : 250;
+    options.image_size = full ? 28 : 16;
+    options.seed = seed;
+    const DenseDataset dataset = GenerateDigitDataset(options);
+    WriteDenseCsvFile(dataset, out_path);
+    std::cout << "wrote " << dataset.features.rows() << " x "
+              << dataset.features.cols() << " digits dataset to " << out_path
+              << "\n";
+  } else if (dataset_name == "text") {
+    TextGeneratorOptions options;
+    options.docs_per_topic = full ? 947 : 250;
+    options.seed = seed;
+    const SparseDataset dataset = GenerateTextDataset(options);
+    WriteLibSvmFile(dataset, out_path);
+    std::cout << "wrote " << dataset.features.rows() << " docs ("
+              << dataset.features.AvgNonZerosPerRow()
+              << " nnz/doc) text dataset to " << out_path << "\n";
+  } else {
+    SRDA_CHECK(false) << "unknown --dataset=" << dataset_name << "\n"
+                      << kUsage;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace srda
+
+int main(int argc, char** argv) { return srda::Main(argc, argv); }

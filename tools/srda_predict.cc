@@ -1,0 +1,102 @@
+// srda_predict: classify a dataset file with a model trained by srda_train.
+//
+// Usage:
+//   srda_predict --model=FILE --data=FILE [--format=csv|libsvm]
+//                [--predictions-out=FILE]
+//
+// Prints the error rate against the labels stored in the data file and
+// optionally writes one predicted label per line.
+
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "classify/classifiers.h"
+#include "common/arg_parser.h"
+#include "common/check.h"
+#include "io/dataset_io.h"
+
+namespace srda {
+namespace {
+
+constexpr char kUsage[] =
+    "usage: srda_predict --model=FILE --data=FILE [--format=csv|libsvm]\n"
+    "                    [--predictions-out=FILE]\n";
+
+std::vector<int> NearestCentroid(const Matrix& embedded,
+                                 const Matrix& centroids) {
+  std::vector<int> predictions;
+  predictions.reserve(static_cast<size_t>(embedded.rows()));
+  for (int i = 0; i < embedded.rows(); ++i) {
+    const double* row = embedded.RowPtr(i);
+    int best = 0;
+    double best_distance = std::numeric_limits<double>::infinity();
+    for (int k = 0; k < centroids.rows(); ++k) {
+      const double* centroid = centroids.RowPtr(k);
+      double distance = 0.0;
+      for (int j = 0; j < embedded.cols(); ++j) {
+        const double diff = row[j] - centroid[j];
+        distance += diff * diff;
+      }
+      if (distance < best_distance) {
+        best_distance = distance;
+        best = k;
+      }
+    }
+    predictions.push_back(best);
+  }
+  return predictions;
+}
+
+int Main(int argc, char** argv) {
+  const ArgParser args(argc, argv);
+  if (args.GetBool("help")) {
+    std::cout << kUsage;
+    return 0;
+  }
+  const std::string model_path = args.GetString("model", "");
+  const std::string data_path = args.GetString("data", "");
+  const std::string format = args.GetString("format", "csv");
+  const std::string predictions_path = args.GetString("predictions-out", "");
+  SRDA_CHECK(args.UnusedFlags().empty())
+      << "unknown flag --" << args.UnusedFlags().front() << "\n" << kUsage;
+  SRDA_CHECK(!model_path.empty() && !data_path.empty())
+      << "--model and --data are required\n" << kUsage;
+
+  const ClassifierModel model = LoadClassifierModel(model_path);
+
+  Matrix embedded;
+  std::vector<int> labels;
+  if (format == "libsvm") {
+    const SparseDataset dataset =
+        ReadLibSvmFile(data_path, model.embedding.input_dim());
+    embedded = model.embedding.Transform(dataset.features);
+    labels = dataset.labels;
+  } else {
+    const DenseDataset dataset = ReadDenseCsvFile(data_path);
+    SRDA_CHECK_EQ(dataset.features.cols(), model.embedding.input_dim())
+        << "data width does not match the model";
+    embedded = model.embedding.Transform(dataset.features);
+    labels = dataset.labels;
+  }
+
+  const std::vector<int> predictions =
+      NearestCentroid(embedded, model.centroids);
+  std::cout << "classified " << predictions.size() << " samples; error rate "
+            << 100.0 * ErrorRate(predictions, labels) << "%\n";
+
+  if (!predictions_path.empty()) {
+    std::ofstream out(predictions_path);
+    SRDA_CHECK(out.good()) << "cannot open " << predictions_path;
+    for (int prediction : predictions) out << prediction << '\n';
+    std::cout << "predictions written to " << predictions_path << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace srda
+
+int main(int argc, char** argv) { return srda::Main(argc, argv); }

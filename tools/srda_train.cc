@@ -1,0 +1,147 @@
+// srda_train: train a discriminant model on a dataset file and save it.
+//
+// Usage:
+//   srda_train --data=FILE [--format=csv|libsvm] [--algorithm=srda|lda|rlda|
+//              idr_qr|fisherfaces] [--alpha=1.0] [--solver=normal|lsqr]
+//              [--lsqr-iterations=20] --model-out=FILE
+//
+// CSV rows are "label,x1,...,xn" (labels 0-based); LibSVM is the standard
+// sparse format. Sparse data always trains SRDA with LSQR. The saved model
+// contains the embedding and the nearest-centroid classifier state, ready
+// for srda_predict.
+
+#include <iostream>
+#include <string>
+
+#include "classify/classifiers.h"
+#include "common/arg_parser.h"
+#include "common/check.h"
+#include "common/stopwatch.h"
+#include "core/fisherfaces.h"
+#include "core/idr_qr.h"
+#include "core/lda.h"
+#include "core/rlda.h"
+#include "core/srda.h"
+#include "io/dataset_io.h"
+
+namespace srda {
+namespace {
+
+constexpr char kUsage[] =
+    "usage: srda_train --data=FILE [--format=csv|libsvm]\n"
+    "                  [--algorithm=srda|lda|rlda|idr_qr|fisherfaces]\n"
+    "                  [--alpha=1.0] [--solver=normal|lsqr]\n"
+    "                  [--lsqr-iterations=20] --model-out=FILE\n";
+
+LinearEmbedding TrainDense(const std::string& algorithm,
+                           const DenseDataset& dataset, double alpha,
+                           const std::string& solver, int lsqr_iterations) {
+  if (algorithm == "srda") {
+    SrdaOptions options;
+    options.alpha = alpha;
+    options.solver =
+        solver == "lsqr" ? SrdaSolver::kLsqr : SrdaSolver::kNormalEquations;
+    options.lsqr_iterations = lsqr_iterations;
+    const SrdaModel model = FitSrda(dataset.features, dataset.labels,
+                                    dataset.num_classes, options);
+    SRDA_CHECK(model.converged) << "SRDA training failed";
+    return model.embedding;
+  }
+  if (algorithm == "lda") {
+    const LdaModel model =
+        FitLda(dataset.features, dataset.labels, dataset.num_classes);
+    SRDA_CHECK(model.converged) << "LDA training failed";
+    return model.embedding;
+  }
+  if (algorithm == "rlda") {
+    RldaOptions options;
+    options.alpha = alpha;
+    const RldaModel model = FitRlda(dataset.features, dataset.labels,
+                                    dataset.num_classes, options);
+    SRDA_CHECK(model.converged) << "RLDA training failed";
+    return model.embedding;
+  }
+  if (algorithm == "idr_qr") {
+    const IdrQrModel model =
+        FitIdrQr(dataset.features, dataset.labels, dataset.num_classes);
+    SRDA_CHECK(model.converged) << "IDR/QR training failed";
+    return model.embedding;
+  }
+  if (algorithm == "fisherfaces") {
+    const FisherfacesModel model =
+        FitFisherfaces(dataset.features, dataset.labels, dataset.num_classes);
+    SRDA_CHECK(model.converged) << "Fisherfaces training failed";
+    return model.embedding;
+  }
+  SRDA_CHECK(false) << "unknown --algorithm=" << algorithm << "\n" << kUsage;
+  return LinearEmbedding();
+}
+
+int Main(int argc, char** argv) {
+  const ArgParser args(argc, argv);
+  if (args.GetBool("help")) {
+    std::cout << kUsage;
+    return 0;
+  }
+  const std::string data_path = args.GetString("data", "");
+  const std::string model_path = args.GetString("model-out", "");
+  const std::string format = args.GetString("format", "csv");
+  const std::string algorithm = args.GetString("algorithm", "srda");
+  const double alpha = args.GetDouble("alpha", 1.0);
+  const std::string solver = args.GetString("solver", "normal");
+  const int lsqr_iterations = args.GetInt("lsqr-iterations", 20);
+  SRDA_CHECK(args.UnusedFlags().empty())
+      << "unknown flag --" << args.UnusedFlags().front() << "\n" << kUsage;
+  SRDA_CHECK(!data_path.empty() && !model_path.empty())
+      << "--data and --model-out are required\n" << kUsage;
+  SRDA_CHECK(format == "csv" || format == "libsvm")
+      << "unknown --format=" << format << "\n" << kUsage;
+  SRDA_CHECK(solver == "normal" || solver == "lsqr")
+      << "unknown --solver=" << solver << "\n" << kUsage;
+
+  ClassifierModel model;
+  Stopwatch watch;
+  if (format == "libsvm") {
+    SRDA_CHECK(algorithm == "srda")
+        << "sparse data supports --algorithm=srda only";
+    const SparseDataset dataset = ReadLibSvmFile(data_path);
+    std::cout << "loaded " << dataset.features.rows() << " samples, "
+              << dataset.features.cols() << " features ("
+              << dataset.features.AvgNonZerosPerRow()
+              << " nnz/sample), " << dataset.num_classes << " classes\n";
+    SrdaOptions options;
+    options.alpha = alpha;
+    options.solver = SrdaSolver::kLsqr;
+    options.lsqr_iterations = lsqr_iterations;
+    const SrdaModel trained = FitSrda(dataset.features, dataset.labels,
+                                      dataset.num_classes, options);
+    SRDA_CHECK(trained.converged) << "SRDA training failed";
+    model.embedding = trained.embedding;
+    CentroidClassifier classifier;
+    classifier.Fit(model.embedding.Transform(dataset.features),
+                   dataset.labels, dataset.num_classes);
+    model.centroids = classifier.centroids();
+  } else {
+    const DenseDataset dataset = ReadDenseCsvFile(data_path);
+    std::cout << "loaded " << dataset.features.rows() << " samples, "
+              << dataset.features.cols() << " features, "
+              << dataset.num_classes << " classes\n";
+    model.embedding =
+        TrainDense(algorithm, dataset, alpha, solver, lsqr_iterations);
+    CentroidClassifier classifier;
+    classifier.Fit(model.embedding.Transform(dataset.features),
+                   dataset.labels, dataset.num_classes);
+    model.centroids = classifier.centroids();
+  }
+  const double seconds = watch.ElapsedSeconds();
+  SaveClassifierModel(model, model_path);
+  std::cout << "trained " << algorithm << " ("
+            << model.embedding.output_dim() << " directions) in " << seconds
+            << " s; model written to " << model_path << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace srda
+
+int main(int argc, char** argv) { return srda::Main(argc, argv); }
