@@ -13,17 +13,21 @@
 // times so the predicted 9x ratio can be compared with the observed one.
 
 #include <cmath>
+#include <fstream>
 #include <iostream>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "common/flops.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "common/table_printer.h"
 #include "core/lda.h"
 #include "core/srda.h"
 #include "dataset/dataset.h"
+#include "matrix/blas.h"
 #include "sparse/sparse_matrix.h"
 
 namespace srda {
@@ -163,6 +167,62 @@ int Main(int argc, char** argv) {
   std::cout << "growth exponent in m: " << FormatDouble(sparse_exponent, 2)
             << "\n";
 
+  // Part 3: thread scaling of the parallel execution layer on the two hot
+  // kernels (Gram for normal equations, LSQR fit for sparse data). Results
+  // are bitwise identical across thread counts, so only the time moves.
+  std::cout << "\n== Thread scaling (SRDA_NUM_THREADS sweep) ==\n";
+  const unsigned hardware = std::thread::hardware_concurrency();
+  std::cout << "hardware_concurrency: " << hardware << "\n";
+  const int gram_m = full ? 2000 : 800;
+  const int gram_n = full ? 800 : 400;
+  const DenseDataset gram_data = RandomDense(gram_m, gram_n, &rng);
+  const SparseDataset lsqr_data =
+      RandomSparse(full ? 8000 : 2000, vocab, 60, &rng);
+
+  struct ScalingRow {
+    int num_threads;
+    double gram_seconds;
+    double fit_seconds;
+  };
+  std::vector<ScalingRow> scaling;
+  TablePrinter thread_table({"threads", "Gram s", "sparse LSQR fit s",
+                             "Gram speedup", "fit speedup"});
+  for (int threads : {1, 2, 4, 8}) {
+    SetGlobalThreadCount(threads);
+    ScalingRow row;
+    row.num_threads = threads;
+    row.gram_seconds = TimeMedian([&] { Gram(gram_data.features); });
+    row.fit_seconds = TimeMedian([&] {
+      FitSrda(lsqr_data.features, lsqr_data.labels, kNumClasses,
+              lsqr_options);
+    });
+    scaling.push_back(row);
+    thread_table.AddRow(
+        {std::to_string(threads), FormatDouble(row.gram_seconds, 4),
+         FormatDouble(row.fit_seconds, 4),
+         FormatDouble(scaling.front().gram_seconds / row.gram_seconds, 2),
+         FormatDouble(scaling.front().fit_seconds / row.fit_seconds, 2)});
+  }
+  SetGlobalThreadCount(0);  // Restore the env/hardware default.
+  thread_table.Print(std::cout);
+
+  {
+    std::ofstream json("BENCH_thread_scaling.json");
+    json << "{\n  \"experiment\": \"thread_scaling\",\n"
+         << "  \"hardware_concurrency\": " << hardware << ",\n"
+         << "  \"gram_shape\": [" << gram_m << ", " << gram_n << "],\n"
+         << "  \"sparse_fit_docs\": " << lsqr_data.features.rows() << ",\n"
+         << "  \"rows\": [\n";
+    for (size_t i = 0; i < scaling.size(); ++i) {
+      json << "    {\"num_threads\": " << scaling[i].num_threads
+           << ", \"gram_seconds\": " << scaling[i].gram_seconds
+           << ", \"fit_seconds\": " << scaling[i].fit_seconds << "}"
+           << (i + 1 < scaling.size() ? "," : "") << "\n";
+    }
+    json << "  ]\n}\n";
+    std::cout << "wrote BENCH_thread_scaling.json\n";
+  }
+
   std::cout << "\n== Shape checks vs the paper ==\n";
   bool ok = true;
   ok &= ShapeCheck(lda_exponent > 2.2,
@@ -175,6 +235,19 @@ int Main(int argc, char** argv) {
                    "(Table I predicts up to 9x)");
   ok &= ShapeCheck(sparse_exponent < 1.3,
                    "sparse SRDA-LSQR ~linear in m (the paper's title claim)");
+  if (hardware >= 4) {
+    // Only meaningful on a machine with real cores; scaling.at(2) is the
+    // 4-thread row.
+    ok &= ShapeCheck(
+        scaling.front().gram_seconds / scaling.at(2).gram_seconds > 2.0,
+        "Gram speeds up >2x from 1 to 4 threads");
+    ok &= ShapeCheck(
+        scaling.front().fit_seconds / scaling.at(2).fit_seconds > 1.5,
+        "sparse LSQR fit speeds up >1.5x from 1 to 4 threads");
+  } else {
+    std::cout << "[SKIP] thread-scaling speedup checks (only " << hardware
+              << " hardware thread(s) available)\n";
+  }
   return ok ? 0 : 1;
 }
 

@@ -5,6 +5,7 @@
 
 #include "classify/classifiers.h"
 #include "common/check.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "common/table_printer.h"
@@ -47,6 +48,7 @@ double Evaluate(const LinearEmbedding& embedding, const DenseDataset& train,
 RunResult RunDense(Algorithm algorithm, const DenseDataset& train,
                    const DenseDataset& test, double alpha) {
   RunResult result;
+  result.num_threads = GlobalThreadCount();
   Stopwatch watch;
   LinearEmbedding embedding;
   switch (algorithm) {
@@ -91,6 +93,7 @@ RunResult RunDense(Algorithm algorithm, const DenseDataset& train,
 RunResult RunSparseSrda(const SparseDataset& train, const SparseDataset& test,
                         double alpha, int lsqr_iterations) {
   RunResult result;
+  result.num_threads = GlobalThreadCount();
   Stopwatch watch;
   SrdaOptions options;
   options.alpha = alpha;

@@ -30,10 +30,13 @@ std::string AlgorithmName(Algorithm algorithm);
 
 // One train+evaluate run. `error` is the test error rate in percent;
 // `seconds` is the training (projection-learning) time only, matching the
-// paper's "computational time" tables.
+// paper's "computational time" tables. `num_threads` records the global
+// thread-pool width the run executed with, so result rows from different
+// machines/configs stay comparable.
 struct RunResult {
   double error_percent = 0.0;
   double seconds = 0.0;
+  int num_threads = 0;
 };
 
 // Trains `algorithm` on the dense train split and evaluates on the test

@@ -1,8 +1,10 @@
 #include "core/srda.h"
 
 #include <cmath>
+#include <vector>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "core/responses.h"
 #include "linalg/cholesky.h"
 #include "linalg/linear_operator.h"
@@ -55,14 +57,28 @@ bool SolveNormalEquations(const Matrix& x, const Matrix& responses,
   return true;
 }
 
-// LSQR path shared by dense and sparse data (Section III-C2): regress each
-// response against [X 1] with damping sqrt(alpha).
+// LSQR path shared by dense and sparse data (Section III-C2). The paper's
+// objective (Eq. 15) regularizes only the projection a, never the bias b,
+// so the damped solve runs against the implicitly centered operator
+// (A - 1 mean^T): the responses are orthogonal to the ones vector, which
+// makes the optimal bias of the centered problem exactly zero, and the
+// embedding bias is recovered as b = -mean^T a afterwards — the same
+// convention as the normal-equations path. The c-1 regressions share only
+// read-only data (operator, mean, responses), so they run in parallel; each
+// solve is the unchanged serial recurrence, keeping results bitwise
+// identical at any thread count.
 void SolveWithLsqr(const LinearOperator& data, const Matrix& responses,
                    const SrdaOptions& options, Matrix* projection,
                    Vector* bias, int* total_iterations) {
+  const int m = data.rows();
   const int n = data.cols();
   const int d = responses.cols();
-  const AppendOnesColumnOperator augmented(&data);
+
+  // Column means through the operator itself (A^T 1 / m): works for dense
+  // and sparse data without densifying either.
+  Vector mean = data.ApplyTransposed(Vector(m, 1.0));
+  Scale(1.0 / m, &mean);
+  const CenterColumnsOperator centered(&data, &mean);
 
   LsqrOptions lsqr_options;
   lsqr_options.max_iterations = options.lsqr_iterations;
@@ -72,12 +88,21 @@ void SolveWithLsqr(const LinearOperator& data, const Matrix& responses,
 
   *projection = Matrix(n, d);
   *bias = Vector(d);
+  std::vector<int> iterations(static_cast<size_t>(d), 0);
+  Matrix& proj = *projection;
+  Vector& bias_out = *bias;
+  ParallelFor(0, d, [&](int col_begin, int col_end) {
+    for (int j = col_begin; j < col_end; ++j) {
+      const LsqrResult result =
+          Lsqr(centered, responses.Col(j), lsqr_options);
+      iterations[static_cast<size_t>(j)] = result.iterations;
+      for (int i = 0; i < n; ++i) proj(i, j) = result.x[i];
+      bias_out[j] = -Dot(mean, result.x);
+    }
+  });
   *total_iterations = 0;
   for (int j = 0; j < d; ++j) {
-    const LsqrResult result = Lsqr(augmented, responses.Col(j), lsqr_options);
-    *total_iterations += result.iterations;
-    for (int i = 0; i < n; ++i) (*projection)(i, j) = result.x[i];
-    (*bias)[j] = result.x[n];
+    *total_iterations += iterations[static_cast<size_t>(j)];
   }
 }
 

@@ -11,8 +11,13 @@
 //    iteration costs two matrix-vector products, so sparse data trains in
 //    O(k c m s) — linear in everything, the paper's headline result.
 //
-// The regression bias is absorbed with the paper's append-a-constant-feature
-// trick, so sparse inputs are never centered or densified.
+// The regression bias is kept out of the ridge penalty (Eq. 15 regularizes
+// only the projection): the LSQR path solves against an implicitly centered
+// operator (A - 1 mean^T, a matrix-free rank-1 correction) and recovers
+// b = -mean^T a, so sparse inputs are never explicitly centered or
+// densified. The c-1 independent regressions and the underlying kernels run
+// on the parallel execution layer (common/parallel.h) with results bitwise
+// independent of the thread count.
 
 #ifndef SRDA_CORE_SRDA_H_
 #define SRDA_CORE_SRDA_H_

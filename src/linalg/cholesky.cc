@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/parallel.h"
 
 namespace srda {
 
@@ -51,9 +52,13 @@ Matrix Cholesky::SolveMatrix(const Matrix& b) const {
   SRDA_CHECK(ok_) << "Cholesky::SolveMatrix without a successful Factor()";
   SRDA_CHECK_EQ(b.rows(), l_.rows()) << "SolveMatrix shape mismatch";
   Matrix x(b.rows(), b.cols());
-  for (int j = 0; j < b.cols(); ++j) {
-    x.SetCol(j, Solve(b.Col(j)));
-  }
+  // The columns (one per SRDA response) are independent triangular solves
+  // against the shared read-only factor.
+  ParallelFor(0, b.cols(), [&](int col_begin, int col_end) {
+    for (int j = col_begin; j < col_end; ++j) {
+      x.SetCol(j, Solve(b.Col(j)));
+    }
+  });
   return x;
 }
 

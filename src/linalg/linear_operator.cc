@@ -35,6 +35,36 @@ Vector SparseOperator::ApplyTransposed(const Vector& x) const {
   return matrix_->MultiplyTransposed(x);
 }
 
+CenterColumnsOperator::CenterColumnsOperator(const LinearOperator* base,
+                                             const Vector* mean)
+    : base_(base), mean_(mean) {
+  SRDA_CHECK(base != nullptr);
+  SRDA_CHECK(mean != nullptr);
+  SRDA_CHECK_EQ(mean->size(), base->cols())
+      << "column-mean size mismatch";
+}
+
+int CenterColumnsOperator::rows() const { return base_->rows(); }
+int CenterColumnsOperator::cols() const { return base_->cols(); }
+
+Vector CenterColumnsOperator::Apply(const Vector& x) const {
+  SRDA_CHECK_EQ(x.size(), cols()) << "(A - 1 mean^T)*x shape mismatch";
+  Vector y = base_->Apply(x);
+  const double shift = Dot(*mean_, x);
+  for (int i = 0; i < y.size(); ++i) y[i] -= shift;
+  return y;
+}
+
+Vector CenterColumnsOperator::ApplyTransposed(const Vector& x) const {
+  SRDA_CHECK_EQ(x.size(), rows()) << "(A - 1 mean^T)^T*x shape mismatch";
+  Vector y = base_->ApplyTransposed(x);
+  double ones_dot = 0.0;
+  for (int i = 0; i < x.size(); ++i) ones_dot += x[i];
+  const double* pm = mean_->data();
+  for (int j = 0; j < y.size(); ++j) y[j] -= ones_dot * pm[j];
+  return y;
+}
+
 AppendOnesColumnOperator::AppendOnesColumnOperator(const LinearOperator* base)
     : base_(base) {
   SRDA_CHECK(base != nullptr);

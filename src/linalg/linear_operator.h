@@ -59,9 +59,33 @@ class SparseOperator final : public LinearOperator {
   const SparseMatrix* matrix_;
 };
 
+// Implicitly centers the columns of a base operator: (A - 1 mean^T) without
+// materializing the dense rank-1 correction, so sparse data stays sparse.
+// The SRDA LSQR path solves against this so ridge damping penalizes only
+// the projection — the paper's objective (Eq. 15) leaves the bias
+// unregularized — and recovers the bias as b = -mean^T a afterwards,
+// exactly like the normal-equations path. Neither pointer is owned; both
+// must outlive the operator, and mean->size() must equal base->cols().
+class CenterColumnsOperator final : public LinearOperator {
+ public:
+  CenterColumnsOperator(const LinearOperator* base, const Vector* mean);
+
+  int rows() const override;
+  int cols() const override;
+  Vector Apply(const Vector& x) const override;
+  Vector ApplyTransposed(const Vector& x) const override;
+
+ private:
+  const LinearOperator* base_;
+  const Vector* mean_;
+};
+
 // Augments a base operator with one trailing all-ones column: [A 1]. This is
 // the paper's trick for absorbing the regression bias so sparse data never
-// needs explicit centering. The base operator is not owned.
+// needs explicit centering — note that combining it with LSQR damping also
+// (incorrectly, w.r.t. Eq. 15) penalizes the bias coefficient; prefer
+// CenterColumnsOperator when the right-hand sides are mean-free. The base
+// operator is not owned.
 class AppendOnesColumnOperator final : public LinearOperator {
  public:
   explicit AppendOnesColumnOperator(const LinearOperator* base);

@@ -42,6 +42,10 @@ LsqrResult Lsqr(const LinearOperator& a, const Vector& b,
   const double bnorm = beta;
   double anorm_sq = 0.0;  // Frobenius-norm estimate of [A; damp I].
   double res_normal = alpha * beta;
+  // Paige-Saunders damped residual: ||[b; 0] - [A; damp I] x_k||^2 ==
+  // phibar_k^2 + sum_{i<=k} psi_i^2, so the psi^2 terms accumulate across
+  // iterations rather than being read off the current one.
+  double psi_sq_sum = 0.0;
 
   for (int iter = 1; iter <= options.max_iterations; ++iter) {
     // Continue the bidiagonalization: beta_{k+1} u_{k+1} = A v_k - alpha_k u_k.
@@ -66,6 +70,7 @@ LsqrResult Lsqr(const LinearOperator& a, const Vector& b,
     const double c1 = rhobar / rhobar1;
     const double s1 = options.damp / rhobar1;
     const double psi = s1 * phibar;
+    psi_sq_sum += psi * psi;
     phibar = c1 * phibar;
 
     // Plane rotation annihilating beta.
@@ -86,7 +91,10 @@ LsqrResult Lsqr(const LinearOperator& a, const Vector& b,
     }
 
     result.iterations = iter;
-    result.residual_norm = std::hypot(phibar, psi);
+    // With damp == 0 every psi is 0 and this reduces to |phibar| exactly.
+    result.residual_norm = psi_sq_sum == 0.0
+                               ? std::fabs(phibar)
+                               : std::sqrt(phibar * phibar + psi_sq_sum);
     res_normal = std::fabs(phibar) * alpha * std::fabs(c);
     result.normal_residual_norm = res_normal;
 

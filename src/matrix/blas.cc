@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/parallel.h"
 
 namespace srda {
 
@@ -81,87 +82,111 @@ Vector MultiplyTransposed(const Matrix& a, const Vector& x) {
 Matrix Multiply(const Matrix& a, const Matrix& b) {
   SRDA_CHECK_EQ(a.cols(), b.rows()) << "A*B shape mismatch";
   Matrix c(a.rows(), b.cols());
-  // i-k-j ordering streams through rows of B and C.
-  for (int i = 0; i < a.rows(); ++i) {
-    const double* arow = a.RowPtr(i);
-    double* crow = c.RowPtr(i);
-    for (int k = 0; k < a.cols(); ++k) {
-      const double aik = arow[k];
-      if (aik == 0.0) continue;
-      const double* brow = b.RowPtr(k);
-      for (int j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+  // Row-partitioned: each output row is owned by exactly one chunk, and its
+  // i-k-j accumulation order is independent of the partition, so results are
+  // bitwise identical at any thread count.
+  ParallelFor(0, a.rows(), [&](int row_begin, int row_end) {
+    for (int i = row_begin; i < row_end; ++i) {
+      const double* arow = a.RowPtr(i);
+      double* crow = c.RowPtr(i);
+      for (int k = 0; k < a.cols(); ++k) {
+        const double aik = arow[k];
+        if (aik == 0.0) continue;
+        const double* brow = b.RowPtr(k);
+        for (int j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+      }
     }
-  }
+  });
   return c;
 }
 
 Matrix MultiplyTransposedA(const Matrix& a, const Matrix& b) {
   SRDA_CHECK_EQ(a.rows(), b.rows()) << "A^T*B shape mismatch";
   Matrix c(a.cols(), b.cols());
-  for (int k = 0; k < a.rows(); ++k) {
-    const double* arow = a.RowPtr(k);
-    const double* brow = b.RowPtr(k);
-    for (int i = 0; i < a.cols(); ++i) {
-      const double aki = arow[i];
-      if (aki == 0.0) continue;
+  // Partitioned over output rows (columns of A) with the k accumulation
+  // innermost in the same ascending order as the serial k-outer loop, so
+  // every element sees the identical addition sequence.
+  ParallelFor(0, a.cols(), [&](int col_begin, int col_end) {
+    for (int i = col_begin; i < col_end; ++i) {
       double* crow = c.RowPtr(i);
-      for (int j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
+      for (int k = 0; k < a.rows(); ++k) {
+        const double aki = a.RowPtr(k)[i];
+        if (aki == 0.0) continue;
+        const double* brow = b.RowPtr(k);
+        for (int j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
+      }
     }
-  }
+  });
   return c;
 }
 
 Matrix MultiplyTransposedB(const Matrix& a, const Matrix& b) {
   SRDA_CHECK_EQ(a.cols(), b.cols()) << "A*B^T shape mismatch";
   Matrix c(a.rows(), b.rows());
-  for (int i = 0; i < a.rows(); ++i) {
-    const double* arow = a.RowPtr(i);
-    double* crow = c.RowPtr(i);
-    for (int j = 0; j < b.rows(); ++j) {
-      const double* brow = b.RowPtr(j);
-      double sum = 0.0;
-      for (int k = 0; k < a.cols(); ++k) sum += arow[k] * brow[k];
-      crow[j] = sum;
+  ParallelFor(0, a.rows(), [&](int row_begin, int row_end) {
+    for (int i = row_begin; i < row_end; ++i) {
+      const double* arow = a.RowPtr(i);
+      double* crow = c.RowPtr(i);
+      for (int j = 0; j < b.rows(); ++j) {
+        const double* brow = b.RowPtr(j);
+        double sum = 0.0;
+        for (int k = 0; k < a.cols(); ++k) sum += arow[k] * brow[k];
+        crow[j] = sum;
+      }
     }
-  }
+  });
   return c;
 }
 
 Matrix Gram(const Matrix& a) {
-  // Computes only the upper triangle, then mirrors.
+  // Computes only the upper triangle, then mirrors. Partitioned over output
+  // rows; element (i, j) accumulates over k in ascending order exactly as
+  // the serial k-outer formulation did, so any thread count produces the
+  // same bits. The triangle makes early rows more expensive than late ones;
+  // the pool's chunk over-decomposition absorbs the imbalance.
   const int n = a.cols();
   Matrix c(n, n);
-  for (int k = 0; k < a.rows(); ++k) {
-    const double* arow = a.RowPtr(k);
-    for (int i = 0; i < n; ++i) {
-      const double aki = arow[i];
-      if (aki == 0.0) continue;
+  ParallelFor(0, n, [&](int row_begin, int row_end) {
+    for (int i = row_begin; i < row_end; ++i) {
       double* crow = c.RowPtr(i);
-      for (int j = i; j < n; ++j) crow[j] += aki * arow[j];
+      for (int k = 0; k < a.rows(); ++k) {
+        const double* arow = a.RowPtr(k);
+        const double aki = arow[i];
+        if (aki == 0.0) continue;
+        for (int j = i; j < n; ++j) crow[j] += aki * arow[j];
+      }
     }
-  }
-  for (int i = 0; i < n; ++i) {
-    for (int j = i + 1; j < n; ++j) c(j, i) = c(i, j);
-  }
+  });
+  ParallelFor(1, n, [&](int row_begin, int row_end) {
+    for (int j = row_begin; j < row_end; ++j) {
+      double* crow = c.RowPtr(j);
+      for (int i = 0; i < j; ++i) crow[i] = c.RowPtr(i)[j];
+    }
+  });
   return c;
 }
 
 Matrix OuterGram(const Matrix& a) {
   const int m = a.rows();
   Matrix c(m, m);
-  for (int i = 0; i < m; ++i) {
-    const double* rowi = a.RowPtr(i);
-    double* crow = c.RowPtr(i);
-    for (int j = i; j < m; ++j) {
-      const double* rowj = a.RowPtr(j);
-      double sum = 0.0;
-      for (int k = 0; k < a.cols(); ++k) sum += rowi[k] * rowj[k];
-      crow[j] = sum;
+  ParallelFor(0, m, [&](int row_begin, int row_end) {
+    for (int i = row_begin; i < row_end; ++i) {
+      const double* rowi = a.RowPtr(i);
+      double* crow = c.RowPtr(i);
+      for (int j = i; j < m; ++j) {
+        const double* rowj = a.RowPtr(j);
+        double sum = 0.0;
+        for (int k = 0; k < a.cols(); ++k) sum += rowi[k] * rowj[k];
+        crow[j] = sum;
+      }
     }
-  }
-  for (int i = 0; i < m; ++i) {
-    for (int j = i + 1; j < m; ++j) c(j, i) = c(i, j);
-  }
+  });
+  ParallelFor(1, m, [&](int row_begin, int row_end) {
+    for (int j = row_begin; j < row_end; ++j) {
+      double* crow = c.RowPtr(j);
+      for (int i = 0; i < j; ++i) crow[i] = c.RowPtr(i)[j];
+    }
+  });
   return c;
 }
 
@@ -188,10 +213,12 @@ void SubtractRowVector(const Vector& center, Matrix* a) {
   SRDA_CHECK(a != nullptr);
   SRDA_CHECK_EQ(center.size(), a->cols()) << "SubtractRowVector size mismatch";
   const double* pc = center.data();
-  for (int i = 0; i < a->rows(); ++i) {
-    double* row = a->RowPtr(i);
-    for (int j = 0; j < a->cols(); ++j) row[j] -= pc[j];
-  }
+  ParallelFor(0, a->rows(), [&](int row_begin, int row_end) {
+    for (int i = row_begin; i < row_end; ++i) {
+      double* row = a->RowPtr(i);
+      for (int j = 0; j < a->cols(); ++j) row[j] -= pc[j];
+    }
+  });
 }
 
 double MaxAbsDiff(const Matrix& a, const Matrix& b) {

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/parallel.h"
 
 namespace srda {
 
@@ -18,36 +19,82 @@ int SparseMatrix::RowNonZeros(int i) const {
                           row_offsets_[static_cast<size_t>(i)]);
 }
 
+namespace {
+
+// Row-chunk size for the A^T*x reduction. The chunk grid is a function of
+// the matrix shape only — never of the thread count — so folding the
+// per-chunk partials in chunk order yields bitwise identical results
+// whether 1 or N threads ran (see the determinism note in parallel.h).
+constexpr int kTransposeChunkRows = 512;
+
+}  // namespace
+
 Vector SparseMatrix::Multiply(const Vector& x) const {
   SRDA_CHECK_EQ(x.size(), cols_) << "sparse A*x shape mismatch";
   Vector y(rows_);
   const double* px = x.data();
-  for (int i = 0; i < rows_; ++i) {
-    const int64_t begin = row_offsets_[static_cast<size_t>(i)];
-    const int64_t end = row_offsets_[static_cast<size_t>(i) + 1];
-    double sum = 0.0;
-    for (int64_t k = begin; k < end; ++k) {
-      sum += values_[static_cast<size_t>(k)] *
-             px[col_indices_[static_cast<size_t>(k)]];
+  ParallelFor(0, rows_, [&](int row_begin, int row_end) {
+    for (int i = row_begin; i < row_end; ++i) {
+      const int64_t begin = row_offsets_[static_cast<size_t>(i)];
+      const int64_t end = row_offsets_[static_cast<size_t>(i) + 1];
+      double sum = 0.0;
+      for (int64_t k = begin; k < end; ++k) {
+        sum += values_[static_cast<size_t>(k)] *
+               px[col_indices_[static_cast<size_t>(k)]];
+      }
+      y[i] = sum;
     }
-    y[i] = sum;
-  }
+  });
   return y;
 }
 
 Vector SparseMatrix::MultiplyTransposed(const Vector& x) const {
   SRDA_CHECK_EQ(x.size(), rows_) << "sparse A^T*x shape mismatch";
   Vector y(cols_);
-  double* py = y.data();
-  for (int i = 0; i < rows_; ++i) {
-    const double xi = x[i];
-    if (xi == 0.0) continue;
-    const int64_t begin = row_offsets_[static_cast<size_t>(i)];
-    const int64_t end = row_offsets_[static_cast<size_t>(i) + 1];
-    for (int64_t k = begin; k < end; ++k) {
-      py[col_indices_[static_cast<size_t>(k)]] +=
-          xi * values_[static_cast<size_t>(k)];
+  const int num_chunks = FixedChunkCount(rows_, kTransposeChunkRows);
+  if (num_chunks <= 1) {
+    // Single chunk: accumulate straight into y (the original serial path).
+    double* py = y.data();
+    for (int i = 0; i < rows_; ++i) {
+      const double xi = x[i];
+      if (xi == 0.0) continue;
+      const int64_t begin = row_offsets_[static_cast<size_t>(i)];
+      const int64_t end = row_offsets_[static_cast<size_t>(i) + 1];
+      for (int64_t k = begin; k < end; ++k) {
+        py[col_indices_[static_cast<size_t>(k)]] +=
+            xi * values_[static_cast<size_t>(k)];
+      }
     }
+    return y;
+  }
+
+  // Rows scatter across the whole output, so each chunk accumulates into a
+  // private buffer; the buffers are folded in fixed chunk order below.
+  std::vector<Vector> partials(static_cast<size_t>(num_chunks));
+  ParallelFor(0, num_chunks, [&](int chunk_begin, int chunk_end) {
+    for (int c = chunk_begin; c < chunk_end; ++c) {
+      Vector& partial = partials[static_cast<size_t>(c)];
+      partial = Vector(cols_);
+      double* pp = partial.data();
+      const int row_begin = c * kTransposeChunkRows;
+      const int row_end = std::min(rows_, row_begin + kTransposeChunkRows);
+      for (int i = row_begin; i < row_end; ++i) {
+        const double xi = x[i];
+        if (xi == 0.0) continue;
+        const int64_t begin = row_offsets_[static_cast<size_t>(i)];
+        const int64_t end = row_offsets_[static_cast<size_t>(i) + 1];
+        for (int64_t k = begin; k < end; ++k) {
+          pp[col_indices_[static_cast<size_t>(k)]] +=
+              xi * values_[static_cast<size_t>(k)];
+        }
+      }
+    }
+  });
+  y = std::move(partials[0]);
+  double* py = y.data();
+  for (int c = 1; c < num_chunks; ++c) {
+    const double* pp = partials[static_cast<size_t>(c)].data();
+    for (int j = 0; j < cols_; ++j) py[j] += pp[j];
   }
   return y;
 }
@@ -55,16 +102,18 @@ Vector SparseMatrix::MultiplyTransposed(const Vector& x) const {
 Matrix SparseMatrix::MultiplyDense(const Matrix& b) const {
   SRDA_CHECK_EQ(b.rows(), cols_) << "sparse A*B shape mismatch";
   Matrix c(rows_, b.cols());
-  for (int i = 0; i < rows_; ++i) {
-    const int64_t begin = row_offsets_[static_cast<size_t>(i)];
-    const int64_t end = row_offsets_[static_cast<size_t>(i) + 1];
-    double* crow = c.RowPtr(i);
-    for (int64_t k = begin; k < end; ++k) {
-      const double value = values_[static_cast<size_t>(k)];
-      const double* brow = b.RowPtr(col_indices_[static_cast<size_t>(k)]);
-      for (int j = 0; j < b.cols(); ++j) crow[j] += value * brow[j];
+  ParallelFor(0, rows_, [&](int row_begin, int row_end) {
+    for (int i = row_begin; i < row_end; ++i) {
+      const int64_t begin = row_offsets_[static_cast<size_t>(i)];
+      const int64_t end = row_offsets_[static_cast<size_t>(i) + 1];
+      double* crow = c.RowPtr(i);
+      for (int64_t k = begin; k < end; ++k) {
+        const double value = values_[static_cast<size_t>(k)];
+        const double* brow = b.RowPtr(col_indices_[static_cast<size_t>(k)]);
+        for (int j = 0; j < b.cols(); ++j) crow[j] += value * brow[j];
+      }
     }
-  }
+  });
   return c;
 }
 

@@ -110,12 +110,43 @@ TEST(SrdaTest, NormalEquationsAndLsqrAgree) {
   lsqr_options.lsqr_btol = 1e-13;
   const SrdaModel a = FitSrda(x, labels, 3, normal_options);
   const SrdaModel b = FitSrda(x, labels, 3, lsqr_options);
-  // The two solvers handle the bias slightly differently (the augmented
-  // LSQR formulation also damps the bias), so agreement is approximate at
-  // small alpha.
+  // Both solvers exclude the bias from the ridge penalty (implicitly
+  // centered data, b = -mean^T a), so they target the same optimum and
+  // agree to solver tolerance.
   const Matrix embedded_a = a.embedding.Transform(x);
   const Matrix embedded_b = b.embedding.Transform(x);
-  EXPECT_LT(MaxAbsDiff(embedded_a, embedded_b), 1e-3);
+  EXPECT_LT(MaxAbsDiff(embedded_a, embedded_b), 1e-6);
+}
+
+TEST(SrdaTest, NormalEquationsAndLsqrAgreeAtModerateAlpha) {
+  // Regression test for the bias fix: the old LSQR formulation appended a
+  // ones column and damped the bias coefficient along with the projection,
+  // pulling the bias toward zero for any alpha > 0. With the bias excluded
+  // from damping, projection AND bias must match the normal-equations
+  // solution tightly.
+  Rng rng(11);
+  Matrix x;
+  std::vector<int> labels;
+  MakeBlobs(4, 25, 10, 4.0, &rng, &x, &labels);
+  // Shift the data away from the origin so a damped bias would be visibly
+  // wrong (the optimal bias is far from zero).
+  for (int i = 0; i < x.rows(); ++i) {
+    for (int j = 0; j < x.cols(); ++j) x(i, j) += 7.0;
+  }
+  SrdaOptions normal_options;
+  normal_options.alpha = 1.0;  // Moderate ridge: the paper's default.
+  SrdaOptions lsqr_options = normal_options;
+  lsqr_options.solver = SrdaSolver::kLsqr;
+  lsqr_options.lsqr_iterations = 400;
+  lsqr_options.lsqr_atol = 1e-14;
+  lsqr_options.lsqr_btol = 1e-14;
+  const SrdaModel a = FitSrda(x, labels, 4, normal_options);
+  const SrdaModel b = FitSrda(x, labels, 4, lsqr_options);
+  ASSERT_TRUE(a.converged);
+  ASSERT_TRUE(b.converged);
+  EXPECT_LT(MaxAbsDiff(a.embedding.projection(), b.embedding.projection()),
+            1e-8);
+  EXPECT_LT(MaxAbsDiff(a.embedding.bias(), b.embedding.bias()), 1e-8);
 }
 
 TEST(SrdaTest, DualPathSolvesSameNormalEquations) {

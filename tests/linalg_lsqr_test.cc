@@ -226,6 +226,70 @@ TEST(LsqrTest, ResidualNormEstimateAccurate) {
               1e-6 * (1.0 + Norm2(residual)));
 }
 
+// Regression test: with damp > 0 the reported residual must be the norm of
+// the AUGMENTED residual ||[b;0] - [A; damp*I] x||, which requires
+// accumulating psi^2 across all iterations (Paige & Saunders), not just the
+// final one.
+TEST(LsqrTest, DampedResidualNormMatchesAugmentedSystem) {
+  Rng rng(14);
+  const Matrix a = RandomMatrix(25, 8, &rng);
+  Vector b(25);
+  for (int i = 0; i < 25; ++i) b[i] = rng.NextGaussian();
+  const double damp = 0.9;
+
+  const DenseOperator op(&a);
+  LsqrOptions options;
+  options.max_iterations = 100;
+  options.damp = damp;
+  options.atol = 1e-14;
+  options.btol = 1e-14;
+  const LsqrResult result = Lsqr(op, b, options);
+
+  // Explicit augmented residual: ||b - A x||^2 + damp^2 ||x||^2.
+  Vector residual = Multiply(a, result.x);
+  Axpy(-1.0, b, &residual);
+  const double r2 = Dot(residual, residual);
+  const double x2 = Dot(result.x, result.x);
+  const double explicit_norm = std::sqrt(r2 + damp * damp * x2);
+  EXPECT_NEAR(result.residual_norm, explicit_norm, 1e-10 * explicit_norm);
+}
+
+TEST(CenterColumnsOperatorTest, MatchesExplicitlyCenteredMatrix) {
+  Rng rng(15);
+  const Matrix a = RandomMatrix(9, 5, &rng);
+  const Vector mean = ColumnMeans(a);
+  Matrix centered_dense = a;
+  SubtractRowVector(mean, &centered_dense);
+
+  const DenseOperator base(&a);
+  const CenterColumnsOperator op(&base, &mean);
+  EXPECT_EQ(op.rows(), 9);
+  EXPECT_EQ(op.cols(), 5);
+
+  Vector x(5);
+  for (int i = 0; i < 5; ++i) x[i] = rng.NextGaussian();
+  EXPECT_LT(MaxAbsDiff(op.Apply(x), Multiply(centered_dense, x)), 1e-13);
+
+  Vector y(9);
+  for (int i = 0; i < 9; ++i) y[i] = rng.NextGaussian();
+  EXPECT_LT(
+      MaxAbsDiff(op.ApplyTransposed(y), MultiplyTransposed(centered_dense, y)),
+      1e-13);
+}
+
+TEST(CenterColumnsOperatorTest, AdjointIdentity) {
+  Rng rng(16);
+  const Matrix a = RandomMatrix(8, 6, &rng);
+  const Vector mean = ColumnMeans(a);
+  const DenseOperator base(&a);
+  const CenterColumnsOperator op(&base, &mean);
+  Vector x(6);
+  Vector y(8);
+  for (int i = 0; i < 6; ++i) x[i] = rng.NextGaussian();
+  for (int i = 0; i < 8; ++i) y[i] = rng.NextGaussian();
+  EXPECT_NEAR(Dot(op.Apply(x), y), Dot(x, op.ApplyTransposed(y)), 1e-10);
+}
+
 TEST(LsqrDeathTest, RhsSizeMismatchAborts) {
   const Matrix a(3, 2);
   const DenseOperator op(&a);

@@ -4,6 +4,8 @@
 //
 // The tool binaries' directory is injected by CMake as SRDA_TOOLS_DIR.
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -23,9 +25,13 @@ std::string TempPath(const std::string& name) {
   return ::testing::TempDir() + "/" + name;
 }
 
-// Runs a command, returns its exit code, captures stdout+stderr.
+// Runs a command, returns its exit code, captures stdout+stderr. The
+// capture file embeds the test process id: ctest runs the tests of this
+// binary as concurrent processes sharing one temp directory, and a shared
+// file name races.
 int RunCommand(const std::string& command, std::string* output) {
-  const std::string file = TempPath("cmd-output.txt");
+  const std::string file =
+      TempPath("cmd-output." + std::to_string(::getpid()) + ".txt");
   const int code = std::system((command + " > " + file + " 2>&1").c_str());
   std::ifstream in(file);
   std::stringstream buffer;
