@@ -56,14 +56,20 @@ double EvaluateMixed(const LinearEmbedding& embedding,
 
 int Main(int argc, char** argv) {
   const bool full = HasFlag(argc, argv, "--full");
+  const bool smoke = HasFlag(argc, argv, "--smoke");
 
   TextGeneratorOptions options;
   options.num_topics = 20;
-  options.docs_per_topic = full ? 947 : 250;
+  options.docs_per_topic = smoke ? 30 : (full ? 947 : 250);
+  if (smoke) {
+    options.vocabulary_size = 2000;
+    options.topic_vocabulary_size = 200;
+  }
   const std::vector<double> fractions =
-      full ? std::vector<double>{0.05, 0.10, 0.20, 0.30, 0.40, 0.50}
-           : std::vector<double>{0.05, 0.10, 0.20};
-  const int num_splits = full ? 5 : 2;
+      smoke ? std::vector<double>{0.2}
+            : (full ? std::vector<double>{0.05, 0.10, 0.20, 0.30, 0.40, 0.50}
+                    : std::vector<double>{0.05, 0.10, 0.20});
+  const int num_splits = smoke ? 1 : (full ? 5 : 2);
   const int corpus_size = options.num_topics * options.docs_per_topic;
   // Budget scales with corpus size so the small profile reproduces the same
   // blank cells as the paper-scale run.
@@ -71,7 +77,9 @@ int Main(int argc, char** argv) {
                         static_cast<double>(corpus_size) / kPaperCorpusSize;
 
   std::cout << "Experiment: Tables IX & X / Figure 4 (20Newsgroups-like)\n"
-            << "Profile: " << (full ? "full" : "small (use --full)")
+            << "Profile: "
+            << (smoke ? "smoke (tiny sizes, no checks)"
+                      : (full ? "full" : "small (use --full)"))
             << "  m=" << corpus_size << " n=" << options.vocabulary_size
             << " c=" << options.num_topics << " splits=" << num_splits
             << "  memory budget=" << FormatDouble(budget / 1e9, 2)
@@ -131,8 +139,11 @@ int Main(int argc, char** argv) {
       if (errors[a].empty()) continue;
       const MeanStd error_stats = ComputeMeanStd(errors[a]);
       const MeanStd time_stats = ComputeMeanStd(times[a]);
-      cells[f][a] = {error_stats.mean, error_stats.stddev, time_stats.mean,
-                     true};
+      SweepCell& cell = cells[f][a];
+      cell.error_mean = error_stats.mean;
+      cell.error_std = error_stats.stddev;
+      cell.seconds_mean = time_stats.mean;
+      cell.ran = true;
     }
   }
 
@@ -141,6 +152,10 @@ int Main(int argc, char** argv) {
     row_labels.push_back(FormatDouble(100.0 * fraction, 0) + "%");
   }
   PrintSweepTables("20Newsgroups-like", row_labels, algorithms, cells);
+  if (smoke) {
+    std::cout << "\n[SMOKE] shape checks skipped\n";
+    return 0;
+  }
 
   std::cout << "\n== Shape checks vs the paper ==\n";
   bool ok = true;

@@ -38,15 +38,19 @@ namespace {
 
 int Main(int argc, char** argv) {
   const bool full = HasFlag(argc, argv, "--full");
+  const bool smoke = HasFlag(argc, argv, "--smoke");
   std::cout << "Experiment: SRDA ablations (design choices from Section III)\n"
-            << "Profile: " << (full ? "full" : "small (use --full)") << "\n";
+            << "Profile: "
+            << (smoke ? "smoke (tiny sizes, no checks)"
+                      : (full ? "full" : "small (use --full)"))
+            << "\n";
 
   // ----- A: LSQR iteration budget -----
   TextGeneratorOptions text_options;
   text_options.num_topics = 10;
-  text_options.docs_per_topic = full ? 400 : 150;
-  text_options.vocabulary_size = full ? 26214 : 8000;
-  text_options.topic_vocabulary_size = full ? 1500 : 500;
+  text_options.docs_per_topic = smoke ? 40 : (full ? 400 : 150);
+  text_options.vocabulary_size = smoke ? 2000 : (full ? 26214 : 8000);
+  text_options.topic_vocabulary_size = smoke ? 200 : (full ? 1500 : 500);
   const SparseDataset text = GenerateTextDataset(text_options);
   Rng rng(707);
   const TrainTestSplit split = StratifiedSplitByFraction(
@@ -57,7 +61,10 @@ int Main(int argc, char** argv) {
   std::cout << "\n== A. LSQR iteration budget (sparse text, 20% train) ==\n";
   TablePrinter iteration_table({"iterations", "error %", "train s"});
   std::vector<double> iteration_errors;
-  for (int k : {2, 5, 10, 15, 20, 30, 50}) {
+  const std::vector<int> iteration_budgets =
+      smoke ? std::vector<int>{2, 5}
+            : std::vector<int>{2, 5, 10, 15, 20, 30, 50};
+  for (int k : iteration_budgets) {
     const RunResult run = RunSparseSrda(train, test, 1.0, k);
     iteration_errors.push_back(run.error_percent);
     iteration_table.AddRow({std::to_string(k),
@@ -116,8 +123,8 @@ int Main(int argc, char** argv) {
   {
     SpokenLetterGeneratorOptions options;
     options.num_classes = 10;
-    options.examples_per_class = full ? 200 : 80;
-    options.num_features = 150;  // n < m -> primal
+    options.examples_per_class = smoke ? 20 : (full ? 200 : 80);
+    options.num_features = smoke ? 60 : 150;  // n < m -> primal
     const DenseDataset data = GenerateSpokenLetterDataset(options);
     Rng split_rng(11);
     const TrainTestSplit s = StratifiedSplitByCount(
@@ -130,8 +137,8 @@ int Main(int argc, char** argv) {
   {
     SpokenLetterGeneratorOptions options;
     options.num_classes = 10;
-    options.examples_per_class = full ? 60 : 30;
-    options.num_features = full ? 2000 : 800;  // n > m -> dual
+    options.examples_per_class = smoke ? 12 : (full ? 60 : 30);
+    options.num_features = smoke ? 200 : (full ? 2000 : 800);  // n > m -> dual
     const DenseDataset data = GenerateSpokenLetterDataset(options);
     Rng split_rng(12);
     const TrainTestSplit s = StratifiedSplitByCount(
@@ -152,8 +159,8 @@ int Main(int argc, char** argv) {
   {
     SpokenLetterGeneratorOptions data_options;
     data_options.num_classes = 12;
-    data_options.examples_per_class = full ? 120 : 60;
-    data_options.num_features = full ? 617 : 300;
+    data_options.examples_per_class = smoke ? 16 : (full ? 120 : 60);
+    data_options.num_features = smoke ? 80 : (full ? 617 : 300);
     const DenseDataset data = GenerateSpokenLetterDataset(data_options);
     Rng split_rng(21);
     const TrainTestSplit s2 = StratifiedSplitByCount(
@@ -200,12 +207,12 @@ int Main(int argc, char** argv) {
   {
     FaceGeneratorOptions face_options;
     face_options.num_subjects = 40;
-    face_options.images_per_subject = full ? 60 : 40;
+    face_options.images_per_subject = smoke ? 8 : (full ? 60 : 40);
     face_options.image_size = 16;
     const DenseDataset faces = GenerateFaceDataset(face_options);
     Rng face_rng(77);
     const TrainTestSplit fs = StratifiedSplitByCount(
-        faces.labels, 40, 20, &face_rng);
+        faces.labels, 40, smoke ? 4 : 20, &face_rng);
     const DenseDataset ftrain = Subset(faces, fs.train);
     const DenseDataset ftest = Subset(faces, fs.test);
     const SrdaModel srda_model =
@@ -246,6 +253,11 @@ int Main(int argc, char** argv) {
     protocol_table.Print(std::cout);
     centroid_gap = centroid_idr - centroid_srda;
     knn_gap = knn1_idr - knn1_srda;
+  }
+
+  if (smoke) {
+    std::cout << "\n[SMOKE] shape checks skipped\n";
+    return 0;
   }
 
   std::cout << "\n== Shape checks ==\n";

@@ -28,15 +28,19 @@ namespace {
 
 int Main(int argc, char** argv) {
   const bool full = HasFlag(argc, argv, "--full");
+  const bool smoke = HasFlag(argc, argv, "--smoke");
   std::cout << "Experiment: extension benchmarks (kernel + incremental)\n"
-            << "Profile: " << (full ? "full" : "small (use --full)") << "\n";
+            << "Profile: "
+            << (smoke ? "smoke (tiny sizes, no checks)"
+                      : (full ? "full" : "small (use --full)"))
+            << "\n";
 
   // ----- A: KSRDA vs exact KDA -----
   std::cout << "\n== A. Kernel SRDA vs exact KDA (reference [14]) ==\n";
   SpokenLetterGeneratorOptions data_options;
   data_options.num_classes = 10;
-  data_options.examples_per_class = full ? 120 : 60;
-  data_options.num_features = 80;
+  data_options.examples_per_class = smoke ? 16 : (full ? 120 : 60);
+  data_options.num_features = smoke ? 40 : 80;
   data_options.output_scale = 1.0;
   const DenseDataset data = GenerateSpokenLetterDataset(data_options);
   Rng rng(31);
@@ -80,7 +84,7 @@ int Main(int argc, char** argv) {
   // ----- B: incremental vs retrain-from-scratch -----
   std::cout << "\n== B. Incremental SRDA vs batch retraining ==\n";
   const int n = data.features.cols();
-  const int batch = 50;
+  const int batch = smoke ? 20 : 50;
   // Shuffled arrival order so every class appears early in the stream.
   std::vector<int> arrival;
   for (int i = 0; i < train.features.rows(); ++i) arrival.push_back(i);
@@ -130,6 +134,11 @@ int Main(int argc, char** argv) {
   stream_table.AddRow({"retrain from scratch",
                        FormatDouble(batch_seconds, 4)});
   stream_table.Print(std::cout);
+
+  if (smoke) {
+    std::cout << "\n[SMOKE] shape checks skipped\n";
+    return 0;
+  }
 
   std::cout << "\n== Shape checks ==\n";
   bool ok = true;

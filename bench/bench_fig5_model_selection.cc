@@ -149,57 +149,73 @@ bool CheckPanel(const PanelResult& panel) {
 
 int Main(int argc, char** argv) {
   const bool full = HasFlag(argc, argv, "--full");
-  const int splits = full ? 5 : 2;
+  const bool smoke = HasFlag(argc, argv, "--smoke");
+  const int splits = smoke ? 1 : (full ? 5 : 2);
 
   std::cout << "Experiment: Figure 5 (model selection for SRDA)\n"
-            << "Profile: " << (full ? "full" : "small (use --full)") << "\n";
+            << "Profile: "
+            << (smoke ? "smoke (tiny sizes, no checks)"
+                      : (full ? "full" : "small (use --full)"))
+            << "\n";
 
   std::vector<PanelResult> panels;
 
   {
     FaceGeneratorOptions options;
     options.num_subjects = full ? 68 : 20;
-    options.images_per_subject = full ? 170 : 40;
+    options.images_per_subject = smoke ? 8 : (full ? 170 : 40);
     options.image_size = full ? 32 : 16;
     const DenseDataset faces = GenerateFaceDataset(options);
-    panels.push_back(
-        RunDensePanel("PIE-like (10 train)", faces, 10, splits, 51));
-    panels.push_back(
-        RunDensePanel("PIE-like (30 train)", faces, 30, splits, 52));
+    panels.push_back(RunDensePanel("PIE-like (4 train)", faces,
+                                   smoke ? 4 : 10, splits, 51));
+    if (!smoke) {
+      panels.push_back(
+          RunDensePanel("PIE-like (30 train)", faces, 30, splits, 52));
+    }
   }
   {
     SpokenLetterGeneratorOptions options;
-    options.examples_per_class = full ? 240 : 120;
-    options.num_features = full ? 617 : 200;
+    options.examples_per_class = smoke ? 12 : (full ? 240 : 120);
+    options.num_features = smoke ? 60 : (full ? 617 : 200);
     const DenseDataset isolet = GenerateSpokenLetterDataset(options);
-    panels.push_back(
-        RunDensePanel("Isolet-like (50 train)", isolet, 50, splits, 53));
-    panels.push_back(
-        RunDensePanel("Isolet-like (90 train)", isolet, 90, splits, 54));
+    panels.push_back(RunDensePanel("Isolet-like (6 train)", isolet,
+                                   smoke ? 6 : 50, splits, 53));
+    if (!smoke) {
+      panels.push_back(
+          RunDensePanel("Isolet-like (90 train)", isolet, 90, splits, 54));
+    }
   }
   {
     DigitGeneratorOptions options;
-    options.examples_per_class = full ? 400 : 200;
-    options.image_size = full ? 28 : 16;
+    options.examples_per_class = smoke ? 12 : (full ? 400 : 200);
+    options.image_size = smoke ? 8 : (full ? 28 : 16);
     const DenseDataset digits = GenerateDigitDataset(options);
-    panels.push_back(
-        RunDensePanel("MNIST-like (30 train)", digits, 30, splits, 55));
-    panels.push_back(
-        RunDensePanel("MNIST-like (100 train)", digits, 100, splits, 56));
+    panels.push_back(RunDensePanel("MNIST-like (6 train)", digits,
+                                   smoke ? 6 : 30, splits, 55));
+    if (!smoke) {
+      panels.push_back(
+          RunDensePanel("MNIST-like (100 train)", digits, 100, splits, 56));
+    }
   }
   {
     TextGeneratorOptions options;
-    options.docs_per_topic = full ? 947 : 120;
-    options.vocabulary_size = full ? 26214 : 8000;
-    options.topic_vocabulary_size = full ? 1500 : 500;
+    options.docs_per_topic = smoke ? 30 : (full ? 947 : 120);
+    options.vocabulary_size = smoke ? 2000 : (full ? 26214 : 8000);
+    options.topic_vocabulary_size = smoke ? 200 : (full ? 1500 : 500);
     const SparseDataset text = GenerateTextDataset(options);
-    panels.push_back(
-        RunTextPanel("20News-like (5% train)", text, 0.05, splits, 57));
-    panels.push_back(
-        RunTextPanel("20News-like (10% train)", text, 0.10, splits, 58));
+    panels.push_back(RunTextPanel("20News-like (20% train)", text,
+                                  smoke ? 0.2 : 0.05, splits, 57));
+    if (!smoke) {
+      panels.push_back(
+          RunTextPanel("20News-like (10% train)", text, 0.10, splits, 58));
+    }
   }
 
   for (const PanelResult& panel : panels) PrintPanel(panel);
+  if (smoke) {
+    std::cout << "\n[SMOKE] shape checks skipped\n";
+    return 0;
+  }
 
   std::cout << "\n== Shape checks vs the paper ==\n";
   bool ok = true;

@@ -17,18 +17,22 @@ namespace {
 
 int Main(int argc, char** argv) {
   const bool full = HasFlag(argc, argv, "--full");
+  const bool smoke = HasFlag(argc, argv, "--smoke");
 
   SpokenLetterGeneratorOptions options;
   options.num_classes = 26;
-  options.examples_per_class = full ? 240 : 130;
-  options.num_features = full ? 617 : 200;
+  options.examples_per_class = smoke ? 8 : (full ? 240 : 130);
+  options.num_features = smoke ? 60 : (full ? 617 : 200);
   const std::vector<int> train_sizes =
-      full ? std::vector<int>{20, 30, 50, 70, 90, 110}
-           : std::vector<int>{20, 50, 110};
-  const int num_splits = full ? 10 : 3;
+      smoke ? std::vector<int>{4}
+            : (full ? std::vector<int>{20, 30, 50, 70, 90, 110}
+                    : std::vector<int>{20, 50, 110});
+  const int num_splits = smoke ? 1 : (full ? 10 : 3);
 
   std::cout << "Experiment: Tables V & VI / Figure 2 (Isolet-like)\n"
-            << "Profile: " << (full ? "full" : "small (use --full)")
+            << "Profile: "
+            << (smoke ? "smoke (tiny sizes, no checks)"
+                      : (full ? "full" : "small (use --full)"))
             << "  m=" << options.num_classes * options.examples_per_class
             << " n=" << options.num_features << " c=" << options.num_classes
             << " splits=" << num_splits << "\n";
@@ -39,6 +43,10 @@ int Main(int argc, char** argv) {
       Algorithm::kIdrQr};
   const auto cells = RunCountSweep(dataset, train_sizes, algorithms,
                                    num_splits, /*seed=*/202, "Isolet-like");
+  if (smoke) {
+    std::cout << "\n[SMOKE] shape checks skipped\n";
+    return 0;
+  }
 
   std::cout << "\n== Shape checks vs the paper ==\n";
   bool ok = true;

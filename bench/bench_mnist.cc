@@ -16,17 +16,21 @@ namespace {
 
 int Main(int argc, char** argv) {
   const bool full = HasFlag(argc, argv, "--full");
+  const bool smoke = HasFlag(argc, argv, "--smoke");
 
   DigitGeneratorOptions options;
-  options.examples_per_class = full ? 400 : 250;
-  options.image_size = full ? 28 : 16;
+  options.examples_per_class = smoke ? 12 : (full ? 400 : 250);
+  options.image_size = smoke ? 8 : (full ? 28 : 16);
   const std::vector<int> train_sizes =
-      full ? std::vector<int>{30, 50, 70, 100, 130, 170}
-           : std::vector<int>{30, 100, 170};
-  const int num_splits = full ? 10 : 3;
+      smoke ? std::vector<int>{6}
+            : (full ? std::vector<int>{30, 50, 70, 100, 130, 170}
+                    : std::vector<int>{30, 100, 170});
+  const int num_splits = smoke ? 1 : (full ? 10 : 3);
 
   std::cout << "Experiment: Tables VII & VIII / Figure 3 (MNIST-like)\n"
-            << "Profile: " << (full ? "full" : "small (use --full)")
+            << "Profile: "
+            << (smoke ? "smoke (tiny sizes, no checks)"
+                      : (full ? "full" : "small (use --full)"))
             << "  m=" << 10 * options.examples_per_class
             << " n=" << options.image_size * options.image_size
             << " c=10 splits=" << num_splits << "\n";
@@ -37,6 +41,10 @@ int Main(int argc, char** argv) {
       Algorithm::kIdrQr};
   const auto cells = RunCountSweep(dataset, train_sizes, algorithms,
                                    num_splits, /*seed=*/303, "MNIST-like");
+  if (smoke) {
+    std::cout << "\n[SMOKE] shape checks skipped\n";
+    return 0;
+  }
 
   std::cout << "\n== Shape checks vs the paper ==\n";
   bool ok = true;

@@ -18,18 +18,22 @@ namespace {
 
 int Main(int argc, char** argv) {
   const bool full = HasFlag(argc, argv, "--full");
+  const bool smoke = HasFlag(argc, argv, "--smoke");
 
   FaceGeneratorOptions options;
   options.num_subjects = 68;
-  options.images_per_subject = full ? 170 : 40;
+  options.images_per_subject = smoke ? 4 : (full ? 170 : 40);
   options.image_size = full ? 32 : 16;
   const std::vector<int> train_sizes =
-      full ? std::vector<int>{10, 20, 30, 40, 50, 60}
-           : std::vector<int>{10, 20, 30};
-  const int num_splits = full ? 10 : 3;
+      smoke ? std::vector<int>{2}
+            : (full ? std::vector<int>{10, 20, 30, 40, 50, 60}
+                    : std::vector<int>{10, 20, 30});
+  const int num_splits = smoke ? 1 : (full ? 10 : 3);
 
   std::cout << "Experiment: Tables III & IV / Figure 1 (PIE-like faces)\n"
-            << "Profile: " << (full ? "full" : "small (use --full)")
+            << "Profile: "
+            << (smoke ? "smoke (tiny sizes, no checks)"
+                      : (full ? "full" : "small (use --full)"))
             << "  m=" << options.num_subjects * options.images_per_subject
             << " n=" << options.image_size * options.image_size
             << " c=" << options.num_subjects << " splits=" << num_splits
@@ -41,6 +45,10 @@ int Main(int argc, char** argv) {
       Algorithm::kIdrQr};
   const auto cells = RunCountSweep(dataset, train_sizes, algorithms,
                                    num_splits, /*seed=*/101, "PIE-like");
+  if (smoke) {
+    std::cout << "\n[SMOKE] shape checks skipped\n";
+    return 0;
+  }
 
   // Qualitative claims from the paper's Tables III/IV.
   std::cout << "\n== Shape checks vs the paper ==\n";

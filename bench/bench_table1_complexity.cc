@@ -15,6 +15,7 @@
 #include <cmath>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <thread>
 #include <vector>
 
@@ -27,7 +28,9 @@
 #include "core/lda.h"
 #include "core/srda.h"
 #include "dataset/dataset.h"
+#include "linalg/cholesky.h"
 #include "matrix/blas.h"
+#include "matrix/blocking.h"
 #include "sparse/sparse_matrix.h"
 
 namespace srda {
@@ -82,6 +85,38 @@ double TimeMedian(Fn&& fn) {
   return MedianOfThree(samples[0], samples[1], samples[2]);
 }
 
+Matrix RandomMatrix(int rows, int cols, Rng* rng) {
+  Matrix m(rows, cols);
+  for (int i = 0; i < rows; ++i) {
+    for (int j = 0; j < cols; ++j) m(i, j) = rng->NextGaussian();
+  }
+  return m;
+}
+
+// Best-of-reps timing with achieved GFLOP/s from the runtime flop counter.
+struct KernelTiming {
+  double seconds = 0.0;
+  double gflops = 0.0;
+};
+
+template <typename Fn>
+KernelTiming TimeKernel(Fn&& fn, int reps) {
+  KernelTiming best;
+  best.seconds = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < reps; ++rep) {
+    const double flops_before = FlopCount();
+    Stopwatch watch;
+    fn();
+    const double seconds = watch.ElapsedSeconds();
+    const double flops = FlopCount() - flops_before;
+    if (seconds < best.seconds) {
+      best.seconds = seconds;
+      best.gflops = seconds > 0.0 ? flops / seconds / 1e9 : 0.0;
+    }
+  }
+  return best;
+}
+
 // Least-squares slope of log(time) vs log(size).
 double FitExponent(const std::vector<double>& sizes,
                    const std::vector<double>& times) {
@@ -100,15 +135,20 @@ double FitExponent(const std::vector<double>& sizes,
 
 int Main(int argc, char** argv) {
   const bool full = HasFlag(argc, argv, "--full");
+  const bool smoke = HasFlag(argc, argv, "--smoke");
   Rng rng(606);
 
   std::cout << "Experiment: Table I (complexity of LDA vs SRDA)\n"
-            << "Profile: " << (full ? "full" : "small (use --full)") << "\n";
+            << "Profile: "
+            << (smoke ? "smoke (tiny sizes, no checks)"
+                      : (full ? "full" : "small (use --full)"))
+            << "\n";
 
   // Part 1: dense square problems, the maximum-speedup point of Table I.
   const std::vector<int> sizes =
-      full ? std::vector<int>{128, 256, 384, 512, 768}
-           : std::vector<int>{96, 160, 256, 384};
+      smoke ? std::vector<int>{48, 64}
+            : (full ? std::vector<int>{128, 256, 384, 512, 768}
+                    : std::vector<int>{96, 160, 256, 384});
   std::cout << "\n== Dense square problems (m == n) ==\n";
   TablePrinter table({"m = n", "LDA s", "SRDA s", "speedup",
                       "flam-predicted speedup"});
@@ -140,12 +180,13 @@ int Main(int argc, char** argv) {
             << ", SRDA " << FormatDouble(srda_exponent, 2) << "\n";
 
   // Part 2: sparse LSQR, linear in m.
-  std::cout << "\n== Sparse SRDA with LSQR (n = "
-            << (full ? 26214 : 8000) << ", ~60 nnz/doc) ==\n";
-  const int vocab = full ? 26214 : 8000;
+  const int vocab = smoke ? 500 : (full ? 26214 : 8000);
+  std::cout << "\n== Sparse SRDA with LSQR (n = " << vocab
+            << ", ~60 nnz/doc) ==\n";
   const std::vector<int> doc_counts =
-      full ? std::vector<int>{2000, 4000, 8000, 16000}
-           : std::vector<int>{1000, 2000, 4000, 8000};
+      smoke ? std::vector<int>{100, 200}
+            : (full ? std::vector<int>{2000, 4000, 8000, 16000}
+                    : std::vector<int>{1000, 2000, 4000, 8000});
   TablePrinter sparse_table({"m", "SRDA-LSQR s", "s per 1k docs"});
   std::vector<double> sparse_sizes;
   std::vector<double> sparse_times;
@@ -173,25 +214,33 @@ int Main(int argc, char** argv) {
   std::cout << "\n== Thread scaling (SRDA_NUM_THREADS sweep) ==\n";
   const unsigned hardware = std::thread::hardware_concurrency();
   std::cout << "hardware_concurrency: " << hardware << "\n";
-  const int gram_m = full ? 2000 : 800;
-  const int gram_n = full ? 800 : 400;
+  const int gram_m = smoke ? 100 : (full ? 2000 : 800);
+  const int gram_n = smoke ? 50 : (full ? 800 : 400);
   const DenseDataset gram_data = RandomDense(gram_m, gram_n, &rng);
   const SparseDataset lsqr_data =
-      RandomSparse(full ? 8000 : 2000, vocab, 60, &rng);
+      RandomSparse(smoke ? 200 : (full ? 8000 : 2000), vocab, 60, &rng);
 
   struct ScalingRow {
     int num_threads;
     double gram_seconds;
+    double gram_gflops;
     double fit_seconds;
   };
   std::vector<ScalingRow> scaling;
   TablePrinter thread_table({"threads", "Gram s", "sparse LSQR fit s",
                              "Gram speedup", "fit speedup"});
-  for (int threads : {1, 2, 4, 8}) {
+  const std::vector<int> thread_counts =
+      smoke ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4, 8};
+  for (int threads : thread_counts) {
     SetGlobalThreadCount(threads);
     ScalingRow row;
     row.num_threads = threads;
     row.gram_seconds = TimeMedian([&] { Gram(gram_data.features); });
+    row.gram_gflops =
+        row.gram_seconds > 0.0
+            ? static_cast<double>(gram_m) * gram_n * (gram_n + 1) /
+                  row.gram_seconds / 1e9
+            : 0.0;
     row.fit_seconds = TimeMedian([&] {
       FitSrda(lsqr_data.features, lsqr_data.labels, kNumClasses,
               lsqr_options);
@@ -206,7 +255,7 @@ int Main(int argc, char** argv) {
   SetGlobalThreadCount(0);  // Restore the env/hardware default.
   thread_table.Print(std::cout);
 
-  {
+  if (!smoke) {
     std::ofstream json("BENCH_thread_scaling.json");
     json << "{\n  \"experiment\": \"thread_scaling\",\n"
          << "  \"hardware_concurrency\": " << hardware << ",\n"
@@ -216,11 +265,97 @@ int Main(int argc, char** argv) {
     for (size_t i = 0; i < scaling.size(); ++i) {
       json << "    {\"num_threads\": " << scaling[i].num_threads
            << ", \"gram_seconds\": " << scaling[i].gram_seconds
+           << ", \"gram_gflops\": " << scaling[i].gram_gflops
            << ", \"fit_seconds\": " << scaling[i].fit_seconds << "}"
            << (i + 1 < scaling.size() ? "," : "") << "\n";
     }
     json << "  ]\n}\n";
     std::cout << "wrote BENCH_thread_scaling.json\n";
+  }
+
+  // Part 4: blocked vs naive kernels, single thread, so the reported
+  // speedup isolates the cache-blocking layer (tile shapes from
+  // matrix/blocking.h) from thread-level parallelism.
+  std::cout << "\n== Blocked vs naive kernels (1 thread) ==\n";
+  SetGlobalThreadCount(1);
+  const BlockConfig& blk = GetBlockConfig();
+  std::cout << "block config: kc=" << blk.kc << " mc=" << blk.mc
+            << " nc=" << blk.nc << " nb=" << blk.nb << "\n";
+  const std::vector<int> kernel_sizes =
+      smoke ? std::vector<int>{64}
+            : (full ? std::vector<int>{256, 512, 1024, 1536}
+                    : std::vector<int>{256, 1024});
+  struct KernelRow {
+    const char* kernel;
+    int n;
+    KernelTiming naive;
+    KernelTiming blocked;
+  };
+  std::vector<KernelRow> kernel_rows;
+  TablePrinter kernel_table({"kernel", "n", "naive s", "blocked s", "speedup",
+                             "naive GFLOP/s", "blocked GFLOP/s"});
+  for (int n : kernel_sizes) {
+    const int reps = smoke ? 1 : (n >= 1024 ? 2 : 3);
+    const Matrix a = RandomMatrix(n, n, &rng);
+    const Matrix b = RandomMatrix(n, n, &rng);
+    Matrix spd = naive::Gram(a);
+    for (int i = 0; i < n; ++i) spd(i, i) += n;
+
+    KernelRow gram_row{"gram", n, TimeKernel([&] { naive::Gram(a); }, reps),
+                       TimeKernel([&] { Gram(a); }, reps)};
+    KernelRow gemm_row{"gemm", n,
+                       TimeKernel([&] { naive::Multiply(a, b); }, reps),
+                       TimeKernel([&] { Multiply(a, b); }, reps)};
+    KernelRow chol_row{"cholesky", n,
+                       TimeKernel(
+                           [&] {
+                             Matrix l;
+                             naive::CholeskyFactor(spd, &l);
+                           },
+                           reps),
+                       TimeKernel(
+                           [&] {
+                             Cholesky chol;
+                             chol.Factor(spd);
+                           },
+                           reps)};
+    for (const KernelRow& row : {gram_row, gemm_row, chol_row}) {
+      kernel_rows.push_back(row);
+      kernel_table.AddRow(
+          {row.kernel, std::to_string(row.n),
+           FormatDouble(row.naive.seconds, 4),
+           FormatDouble(row.blocked.seconds, 4),
+           FormatDouble(row.naive.seconds / row.blocked.seconds, 2),
+           FormatDouble(row.naive.gflops, 2),
+           FormatDouble(row.blocked.gflops, 2)});
+    }
+  }
+  kernel_table.Print(std::cout);
+  SetGlobalThreadCount(0);  // Restore the env/hardware default.
+
+  if (!smoke) {
+    std::ofstream json("BENCH_kernel_blocking.json");
+    json << "{\n  \"experiment\": \"kernel_blocking\",\n"
+         << "  \"block_config\": {\"kc\": " << blk.kc << ", \"mc\": " << blk.mc
+         << ", \"nc\": " << blk.nc << ", \"nb\": " << blk.nb << "},\n"
+         << "  \"num_threads\": 1,\n  \"rows\": [\n";
+    for (size_t i = 0; i < kernel_rows.size(); ++i) {
+      const KernelRow& row = kernel_rows[i];
+      json << "    {\"kernel\": \"" << row.kernel << "\", \"n\": " << row.n
+           << ", \"naive_seconds\": " << row.naive.seconds
+           << ", \"blocked_seconds\": " << row.blocked.seconds
+           << ", \"speedup\": " << row.naive.seconds / row.blocked.seconds
+           << ", \"naive_gflops\": " << row.naive.gflops
+           << ", \"blocked_gflops\": " << row.blocked.gflops << "}"
+           << (i + 1 < kernel_rows.size() ? "," : "") << "\n";
+    }
+    json << "  ]\n}\n";
+    std::cout << "wrote BENCH_kernel_blocking.json\n";
+  }
+
+  if (smoke) {
+    std::cout << "\n[SMOKE] shape checks skipped\n";
+    return 0;
   }
 
   std::cout << "\n== Shape checks vs the paper ==\n";
@@ -247,6 +382,16 @@ int Main(int argc, char** argv) {
   } else {
     std::cout << "[SKIP] thread-scaling speedup checks (only " << hardware
               << " hardware thread(s) available)\n";
+  }
+  // Blocking must pay for itself once the working set outgrows cache
+  // (n >= 1024); conservative thresholds, the measured margins are larger.
+  for (const KernelRow& row : kernel_rows) {
+    if (row.n < 1024 || row.n != kernel_sizes.back()) continue;
+    const double speedup = row.naive.seconds / row.blocked.seconds;
+    ok &= ShapeCheck(speedup > 1.1,
+                     std::string("blocked ") + row.kernel + " faster than "
+                         "naive at n=" + std::to_string(row.n) +
+                         " (single thread)");
   }
   return ok ? 0 : 1;
 }

@@ -20,15 +20,19 @@ namespace {
 
 int Main(int argc, char** argv) {
   const bool full = HasFlag(argc, argv, "--full");
+  const bool smoke = HasFlag(argc, argv, "--smoke");
   std::cout << "Experiment: Table II (statistics of the data sets)\n"
-            << "Profile: " << (full ? "full" : "small (use --full)") << "\n\n";
+            << "Profile: "
+            << (smoke ? "smoke (tiny sizes, no checks)"
+                      : (full ? "full" : "small (use --full)"))
+            << "\n\n";
 
   TablePrinter table({"dataset", "size (m)", "dim (n)", "# classes (c)",
                       "paper m/n/c"});
 
   {
     FaceGeneratorOptions options;
-    options.images_per_subject = full ? 170 : 40;
+    options.images_per_subject = smoke ? 4 : (full ? 170 : 40);
     options.image_size = full ? 32 : 16;
     const DenseDataset d = GenerateFaceDataset(options);
     table.AddRow({"PIE-like", std::to_string(d.features.rows()),
@@ -37,8 +41,8 @@ int Main(int argc, char** argv) {
   }
   {
     SpokenLetterGeneratorOptions options;
-    options.examples_per_class = full ? 240 : 130;
-    options.num_features = full ? 617 : 200;
+    options.examples_per_class = smoke ? 8 : (full ? 240 : 130);
+    options.num_features = smoke ? 60 : (full ? 617 : 200);
     const DenseDataset d = GenerateSpokenLetterDataset(options);
     table.AddRow({"Isolet-like", std::to_string(d.features.rows()),
                   std::to_string(d.features.cols()),
@@ -46,8 +50,8 @@ int Main(int argc, char** argv) {
   }
   {
     DigitGeneratorOptions options;
-    options.examples_per_class = full ? 400 : 250;
-    options.image_size = full ? 28 : 16;
+    options.examples_per_class = smoke ? 12 : (full ? 400 : 250);
+    options.image_size = smoke ? 8 : (full ? 28 : 16);
     const DenseDataset d = GenerateDigitDataset(options);
     table.AddRow({"MNIST-like", std::to_string(d.features.rows()),
                   std::to_string(d.features.cols()),
@@ -56,7 +60,7 @@ int Main(int argc, char** argv) {
   double avg_nnz = 0.0;
   {
     TextGeneratorOptions options;
-    options.docs_per_topic = full ? 947 : 250;
+    options.docs_per_topic = smoke ? 30 : (full ? 947 : 250);
     const SparseDataset d = GenerateTextDataset(options);
     avg_nnz = d.features.AvgNonZerosPerRow();
     table.AddRow({"20News-like", std::to_string(d.features.rows()),
@@ -68,6 +72,11 @@ int Main(int argc, char** argv) {
               << " non-zero terms per document ("
               << FormatDouble(100.0 * avg_nnz / d.features.cols(), 2)
               << "% density)\n";
+  }
+
+  if (smoke) {
+    std::cout << "\n[SMOKE] shape checks skipped\n";
+    return 0;
   }
 
   std::cout << "\n== Shape checks vs the paper ==\n";

@@ -5,6 +5,7 @@
 
 #include "classify/classifiers.h"
 #include "common/check.h"
+#include "common/flops.h"
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
@@ -49,6 +50,7 @@ RunResult RunDense(Algorithm algorithm, const DenseDataset& train,
                    const DenseDataset& test, double alpha) {
   RunResult result;
   result.num_threads = GlobalThreadCount();
+  const double flops_before = FlopCount();
   Stopwatch watch;
   LinearEmbedding embedding;
   switch (algorithm) {
@@ -86,6 +88,9 @@ RunResult RunDense(Algorithm algorithm, const DenseDataset& train,
     }
   }
   result.seconds = watch.ElapsedSeconds();
+  if (result.seconds > 0.0) {
+    result.gflops = (FlopCount() - flops_before) / result.seconds / 1e9;
+  }
   result.error_percent = Evaluate(embedding, train, test);
   return result;
 }
@@ -94,6 +99,7 @@ RunResult RunSparseSrda(const SparseDataset& train, const SparseDataset& test,
                         double alpha, int lsqr_iterations) {
   RunResult result;
   result.num_threads = GlobalThreadCount();
+  const double flops_before = FlopCount();
   Stopwatch watch;
   SrdaOptions options;
   options.alpha = alpha;
@@ -103,6 +109,9 @@ RunResult RunSparseSrda(const SparseDataset& train, const SparseDataset& test,
       FitSrda(train.features, train.labels, train.num_classes, options);
   SRDA_CHECK(model.converged) << "sparse SRDA failed to converge";
   result.seconds = watch.ElapsedSeconds();
+  if (result.seconds > 0.0) {
+    result.gflops = (FlopCount() - flops_before) / result.seconds / 1e9;
+  }
 
   const Matrix train_embedded = model.embedding.Transform(train.features);
   const Matrix test_embedded = model.embedding.Transform(test.features);
@@ -132,6 +141,7 @@ std::vector<std::vector<SweepCell>> RunCountSweep(
   for (size_t s = 0; s < train_sizes.size(); ++s) {
     std::vector<std::vector<double>> errors(algorithms.size());
     std::vector<std::vector<double>> times(algorithms.size());
+    std::vector<std::vector<double>> gflops(algorithms.size());
     for (int split_index = 0; split_index < num_splits; ++split_index) {
       const TrainTestSplit split = StratifiedSplitByCount(
           dataset.labels, dataset.num_classes, train_sizes[s], &rng);
@@ -141,6 +151,7 @@ std::vector<std::vector<SweepCell>> RunCountSweep(
         const RunResult run = RunDense(algorithms[a], train, test);
         errors[a].push_back(run.error_percent);
         times[a].push_back(run.seconds);
+        gflops[a].push_back(run.gflops);
       }
     }
     for (size_t a = 0; a < algorithms.size(); ++a) {
@@ -150,6 +161,7 @@ std::vector<std::vector<SweepCell>> RunCountSweep(
       cells[s][a].error_std = error_stats.stddev;
       cells[s][a].seconds_mean = time_stats.mean;
       cells[s][a].ran = true;
+      cells[s][a].gflops_mean = ComputeMeanStd(gflops[a]).mean;
     }
   }
 
@@ -195,6 +207,30 @@ void PrintSweepTables(const std::string& dataset_name,
     time_table.AddRow(row);
   }
   time_table.Print(std::cout);
+
+  // GFLOP/s from the runtime flop counter; only printed when at least one
+  // cell recorded a rate (sub-resolution timings leave it at zero).
+  bool any_gflops = false;
+  for (const auto& row : cells) {
+    for (const SweepCell& cell : row) {
+      any_gflops = any_gflops || (cell.ran && cell.gflops_mean > 0.0);
+    }
+  }
+  if (any_gflops) {
+    std::cout << "\n== Training throughput on " << dataset_name
+              << " (GFLOP/s) ==\n";
+    TablePrinter gflops_table(header);
+    for (size_t s = 0; s < cells.size(); ++s) {
+      std::vector<std::string> row = {row_labels[s]};
+      for (const SweepCell& cell : cells[s]) {
+        row.push_back(cell.ran && cell.gflops_mean > 0.0
+                          ? FormatDouble(cell.gflops_mean, 2)
+                          : "-");
+      }
+      gflops_table.AddRow(row);
+    }
+    gflops_table.Print(std::cout);
+  }
 
   // Figure series: one line per algorithm, usable to regenerate the plots.
   std::cout << "\n== Figure series (error %, then time s, per algorithm) ==\n";

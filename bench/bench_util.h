@@ -32,11 +32,14 @@ std::string AlgorithmName(Algorithm algorithm);
 // `seconds` is the training (projection-learning) time only, matching the
 // paper's "computational time" tables. `num_threads` records the global
 // thread-pool width the run executed with, so result rows from different
-// machines/configs stay comparable.
+// machines/configs stay comparable. `gflops` is the achieved training
+// throughput from the runtime flop counter (common/flops.h) over the same
+// timed region — 0 when training was too fast to time.
 struct RunResult {
   double error_percent = 0.0;
   double seconds = 0.0;
   int num_threads = 0;
+  double gflops = 0.0;
 };
 
 // Trains `algorithm` on the dense train split and evaluates on the test
@@ -53,12 +56,14 @@ RunResult RunSparseSrda(const SparseDataset& train, const SparseDataset& test,
 // at small training fractions, as the paper does before memory runs out).
 DenseDataset Densify(const SparseDataset& dataset);
 
-// Aggregated sweep cell: mean +- std over splits.
+// Aggregated sweep cell: mean +- std over splits. `gflops_mean` stays last
+// so existing positional initializers keep their meaning.
 struct SweepCell {
   double error_mean = 0.0;
   double error_std = 0.0;
   double seconds_mean = 0.0;
   bool ran = false;
+  double gflops_mean = 0.0;
 };
 
 // Runs `algorithms` over `num_splits` stratified splits at each

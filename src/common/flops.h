@@ -44,6 +44,26 @@ CostEstimate SrdaLsqrDenseCost(int64_t m, int64_t n, int64_t c, int64_t k);
 CostEstimate SrdaLsqrSparseCost(int64_t m, int64_t n, int64_t c, int64_t k,
                                 double s);
 
+// ---- Runtime flop accounting ----
+//
+// Complementing the analytic model above, the dense kernels report their
+// flop counts (2 flops per multiply-add) to a process-wide counter as they
+// execute. Benches snapshot the counter around a timed region and divide by
+// wall time to report achieved GFLOP/s next to latency, so BENCH_*.json
+// rows track kernel efficiency, not just speed. Each kernel adds once per
+// call from the calling thread — a single relaxed atomic update, invisible
+// in profiles.
+
+// Adds `flops` to the process-wide counter.
+void AddFlops(double flops);
+
+// Total flops reported since process start (or the last ResetFlopCount).
+double FlopCount();
+
+// Resets the counter to zero. Benches that prefer deltas can instead diff
+// two FlopCount() snapshots and never reset.
+void ResetFlopCount();
+
 }  // namespace srda
 
 #endif  // SRDA_COMMON_FLOPS_H_

@@ -1,11 +1,41 @@
 #include "linalg/cholesky.h"
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "common/check.h"
+#include "common/flops.h"
 #include "common/parallel.h"
+#include "matrix/blocking.h"
 
 namespace srda {
+namespace {
+
+// Factors the diagonal block l[p0:p1, p0:p1] in place. The trailing
+// updates of earlier panels have already been applied, so only the
+// within-panel columns [p0, j) remain in each sum. Returns false on a
+// pivot at or below `pivot_floor`.
+bool FactorDiagonalBlock(Matrix* l, int p0, int p1, double pivot_floor) {
+  for (int j = p0; j < p1; ++j) {
+    double* lrow_j = l->RowPtr(j);
+    double diag = lrow_j[j];
+    for (int k = p0; k < j; ++k) diag -= lrow_j[k] * lrow_j[k];
+    if (diag <= pivot_floor || !std::isfinite(diag)) return false;
+    const double ljj = std::sqrt(diag);
+    lrow_j[j] = ljj;
+    const double inv = 1.0 / ljj;
+    for (int i = j + 1; i < p1; ++i) {
+      double* lrow_i = l->RowPtr(i);
+      double sum = lrow_i[j];
+      for (int k = p0; k < j; ++k) sum -= lrow_i[k] * lrow_j[k];
+      lrow_i[j] = sum * inv;
+    }
+  }
+  return true;
+}
+
+}  // namespace
 
 bool Cholesky::Factor(const Matrix& a) {
   SRDA_CHECK_EQ(a.rows(), a.cols()) << "Cholesky needs a square matrix";
@@ -21,22 +51,76 @@ bool Cholesky::Factor(const Matrix& a) {
     max_diag = std::max(max_diag, std::fabs(a(j, j)));
   }
   const double pivot_floor = 1e-14 * max_diag;
-  for (int j = 0; j < n; ++j) {
-    // Diagonal element.
-    double diag = a(j, j);
-    const double* lrow_j = l_.RowPtr(j);
-    for (int k = 0; k < j; ++k) diag -= lrow_j[k] * lrow_j[k];
-    if (diag <= pivot_floor || !std::isfinite(diag)) return false;
-    const double ljj = std::sqrt(diag);
-    l_(j, j) = ljj;
-    // Column below the diagonal.
-    const double inv = 1.0 / ljj;
-    for (int i = j + 1; i < n; ++i) {
-      double sum = a(i, j);
-      const double* lrow_i = l_.RowPtr(i);
-      for (int k = 0; k < j; ++k) sum -= lrow_i[k] * lrow_j[k];
-      l_(i, j) = sum * inv;
+  AddFlops(static_cast<double>(n) * n * n / 3.0);
+  // Work on a copy of the lower triangle; the upper stays zero.
+  ParallelFor(0, n, [&](int row_begin, int row_end) {
+    for (int i = row_begin; i < row_end; ++i) {
+      const double* arow = a.RowPtr(i);
+      double* lrow = l_.RowPtr(i);
+      std::copy(arow, arow + i + 1, lrow);
     }
+  });
+  const BlockConfig& blk = GetBlockConfig();
+  for (int p0 = 0; p0 < n; p0 += blk.nb) {
+    const int p1 = std::min(p0 + blk.nb, n);
+    const int kk = p1 - p0;
+    if (!FactorDiagonalBlock(&l_, p0, p1, pivot_floor)) return false;
+    if (p1 == n) break;
+    std::vector<double> inv_diag(kk);
+    for (int j = 0; j < kk; ++j) inv_diag[j] = 1.0 / l_(p0 + j, p0 + j);
+    // TRSM: finish the panel's columns in the rows below the block. Row i
+    // only reads rows < p1 (final) and its own earlier columns, so rows
+    // are independent.
+    ParallelFor(p1, n, [&](int row_begin, int row_end) {
+      for (int i = row_begin; i < row_end; ++i) {
+        double* lrow_i = l_.RowPtr(i);
+        for (int j = p0; j < p1; ++j) {
+          const double* lrow_j = l_.RowPtr(j);
+          double sum = lrow_i[j];
+          for (int k = p0; k < j; ++k) sum -= lrow_i[k] * lrow_j[k];
+          lrow_i[j] = sum * inv_diag[j - p0];
+        }
+      }
+    });
+    // SYRK: subtract the panel's outer product from the trailing lower
+    // triangle. Row i writes columns [p1, i] and reads only panel columns
+    // [p0, p1) — already final — so the row partition is race-free, and
+    // each element's k-chain (ascending within the panel, panels in
+    // order) is independent of the partition: bitwise-deterministic at
+    // any thread count.
+    ParallelFor(p1, n, [&](int row_begin, int row_end) {
+      for (int i0 = row_begin; i0 < row_end; i0 += blk.mc) {
+        const int i1 = std::min(i0 + blk.mc, row_end);
+        for (int j0 = p1; j0 < i1; j0 += blk.nc) {
+          const int j1 = std::min(j0 + blk.nc, i1);
+          for (int i = std::max(i0, j0); i < i1; ++i) {
+            const double* rowi = l_.RowPtr(i) + p0;
+            double* crow = l_.RowPtr(i);
+            const int jend = std::min(j1, i + 1);
+            int j = j0;
+            for (; j + 2 <= jend; j += 2) {
+              const double* rj0 = l_.RowPtr(j) + p0;
+              const double* rj1 = l_.RowPtr(j + 1) + p0;
+              double s0 = 0.0;
+              double s1 = 0.0;
+              for (int k = 0; k < kk; ++k) {
+                const double v = rowi[k];
+                s0 += v * rj0[k];
+                s1 += v * rj1[k];
+              }
+              crow[j] -= s0;
+              crow[j + 1] -= s1;
+            }
+            for (; j < jend; ++j) {
+              const double* rowj = l_.RowPtr(j) + p0;
+              double sum = 0.0;
+              for (int k = 0; k < kk; ++k) sum += rowi[k] * rowj[k];
+              crow[j] -= sum;
+            }
+          }
+        }
+      }
+    });
   }
   ok_ = true;
   return true;
@@ -51,12 +135,46 @@ Vector Cholesky::Solve(const Vector& b) const {
 Matrix Cholesky::SolveMatrix(const Matrix& b) const {
   SRDA_CHECK(ok_) << "Cholesky::SolveMatrix without a successful Factor()";
   SRDA_CHECK_EQ(b.rows(), l_.rows()) << "SolveMatrix shape mismatch";
-  Matrix x(b.rows(), b.cols());
-  // The columns (one per SRDA response) are independent triangular solves
-  // against the shared read-only factor.
+  const int n = l_.rows();
+  AddFlops(2.0 * n * n * b.cols());
+  Matrix x = b;
+  // Both substitution sweeps read each factor row once and apply it to a
+  // whole stripe of columns, so the factor streams through cache once per
+  // sweep no matter how many right-hand sides there are. Each column's
+  // update chain matches the single-vector Solve exactly and never
+  // depends on the stripe boundaries, so any thread count produces the
+  // same bits.
   ParallelFor(0, b.cols(), [&](int col_begin, int col_end) {
-    for (int j = col_begin; j < col_end; ++j) {
-      x.SetCol(j, Solve(b.Col(j)));
+    const int cb = col_begin;
+    const int width = col_end - col_begin;
+    // Forward: L y = b, rows top-down.
+    for (int i = 0; i < n; ++i) {
+      const double* lrow = l_.RowPtr(i);
+      double* xrow_i = x.RowPtr(i) + cb;
+      for (int k = 0; k < i; ++k) {
+        const double lik = lrow[k];
+        if (lik == 0.0) continue;
+        const double* xrow_k = x.RowPtr(k) + cb;
+        for (int j = 0; j < width; ++j) xrow_i[j] -= lik * xrow_k[j];
+      }
+      SRDA_CHECK_NE(lrow[i], 0.0) << "singular triangular matrix at " << i;
+      const double inv = 1.0 / lrow[i];
+      for (int j = 0; j < width; ++j) xrow_i[j] *= inv;
+    }
+    // Backward: L^T x = y, rows bottom-up, scattering row i's solution
+    // into the rows above it (row-wise reads of L, no strided column
+    // walk).
+    for (int i = n - 1; i >= 0; --i) {
+      const double* lrow = l_.RowPtr(i);
+      double* xrow_i = x.RowPtr(i) + cb;
+      const double inv = 1.0 / lrow[i];
+      for (int j = 0; j < width; ++j) xrow_i[j] *= inv;
+      for (int k = 0; k < i; ++k) {
+        const double lik = lrow[k];
+        if (lik == 0.0) continue;
+        double* xrow_k = x.RowPtr(k) + cb;
+        for (int j = 0; j < width; ++j) xrow_k[j] -= lik * xrow_i[j];
+      }
     }
   });
   return x;
@@ -92,6 +210,7 @@ Vector ForwardSubstitute(const Matrix& l, const Vector& b) {
   SRDA_CHECK_EQ(l.rows(), l.cols()) << "triangular solve needs square matrix";
   SRDA_CHECK_EQ(b.size(), l.rows()) << "triangular solve shape mismatch";
   const int n = l.rows();
+  AddFlops(static_cast<double>(n) * n);
   Vector x(n);
   for (int i = 0; i < n; ++i) {
     double sum = b[i];
@@ -107,13 +226,18 @@ Vector BackSubstituteTransposed(const Matrix& l, const Vector& b) {
   SRDA_CHECK_EQ(l.rows(), l.cols()) << "triangular solve needs square matrix";
   SRDA_CHECK_EQ(b.size(), l.rows()) << "triangular solve shape mismatch";
   const int n = l.rows();
-  Vector x(n);
+  AddFlops(static_cast<double>(n) * n);
+  // Scatter form: once x[i] is known, subtract its contribution from every
+  // earlier equation using row i of L. The gather form this replaced read
+  // L^T(i, k) = L(k, i), a column walk striding n doubles per element; the
+  // scatter reads each row of L contiguously, exactly once.
+  Vector x = b;
   for (int i = n - 1; i >= 0; --i) {
-    double sum = b[i];
-    // L^T(i, k) = L(k, i) for k > i.
-    for (int k = i + 1; k < n; ++k) sum -= l(k, i) * x[k];
-    SRDA_CHECK_NE(l(i, i), 0.0) << "singular triangular matrix at " << i;
-    x[i] = sum / l(i, i);
+    const double* row = l.RowPtr(i);
+    SRDA_CHECK_NE(row[i], 0.0) << "singular triangular matrix at " << i;
+    const double xi = x[i] / row[i];
+    x[i] = xi;
+    for (int k = 0; k < i; ++k) x[k] -= xi * row[k];
   }
   return x;
 }
@@ -122,6 +246,7 @@ Vector BackSubstitute(const Matrix& r, const Vector& b) {
   SRDA_CHECK_EQ(r.rows(), r.cols()) << "triangular solve needs square matrix";
   SRDA_CHECK_EQ(b.size(), r.rows()) << "triangular solve shape mismatch";
   const int n = r.rows();
+  AddFlops(static_cast<double>(n) * n);
   Vector x(n);
   for (int i = n - 1; i >= 0; --i) {
     double sum = b[i];
@@ -132,5 +257,39 @@ Vector BackSubstitute(const Matrix& r, const Vector& b) {
   }
   return x;
 }
+
+namespace naive {
+
+bool CholeskyFactor(const Matrix& a, Matrix* l) {
+  SRDA_CHECK(l != nullptr);
+  SRDA_CHECK_EQ(a.rows(), a.cols()) << "Cholesky needs a square matrix";
+  const int n = a.rows();
+  *l = Matrix(n, n);
+  double max_diag = 0.0;
+  for (int j = 0; j < n; ++j) {
+    if (!std::isfinite(a(j, j))) return false;
+    max_diag = std::max(max_diag, std::fabs(a(j, j)));
+  }
+  const double pivot_floor = 1e-14 * max_diag;
+  AddFlops(static_cast<double>(n) * n * n / 3.0);
+  for (int j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    const double* lrow_j = l->RowPtr(j);
+    for (int k = 0; k < j; ++k) diag -= lrow_j[k] * lrow_j[k];
+    if (diag <= pivot_floor || !std::isfinite(diag)) return false;
+    const double ljj = std::sqrt(diag);
+    (*l)(j, j) = ljj;
+    const double inv = 1.0 / ljj;
+    for (int i = j + 1; i < n; ++i) {
+      double sum = a(i, j);
+      const double* lrow_i = l->RowPtr(i);
+      for (int k = 0; k < j; ++k) sum -= lrow_i[k] * lrow_j[k];
+      (*l)(i, j) = sum * inv;
+    }
+  }
+  return true;
+}
+
+}  // namespace naive
 
 }  // namespace srda

@@ -3,6 +3,15 @@
 // SRDA's normal-equations path factors the symmetric positive-definite
 // matrix X^T X + alpha*I once and back-solves for each of the c-1 responses
 // (Section III-C1 of the paper).
+//
+// The factorization is blocked and right-looking (POTRF-style): each
+// panel's diagonal block is factored serially, then the panel below it is
+// solved (TRSM) and the trailing matrix updated (SYRK) on the thread pool,
+// with the panel width taken from matrix/blocking.h (SRDA_BLOCK_NB).
+// Every element's update chain runs over the reduction index in one fixed
+// ascending order regardless of the ParallelFor partition, so — like the
+// rest of the library — 1-thread and N-thread factors are bitwise
+// identical.
 
 #ifndef SRDA_LINALG_CHOLESKY_H_
 #define SRDA_LINALG_CHOLESKY_H_
@@ -31,7 +40,10 @@ class Cholesky {
   // Solves A x = b using the stored factor. Requires a successful Factor().
   Vector Solve(const Vector& b) const;
 
-  // Solves A X = B column-wise; B is n x k.
+  // Solves A X = B for all k columns of B at once (B is n x k). The
+  // substitution sweeps run over column stripes in parallel, touching each
+  // factor row once per sweep instead of once per column — no per-column
+  // Col()/SetCol() copies.
   Matrix SolveMatrix(const Matrix& b) const;
 
   // The lower-triangular factor L. Requires a successful Factor().
@@ -59,6 +71,15 @@ Vector BackSubstituteTransposed(const Matrix& l, const Vector& b);
 // Solves R x = b for upper-triangular R (back substitution). Used by the QR
 // based IDR/QR baseline.
 Vector BackSubstitute(const Matrix& r, const Vector& b);
+
+// Reference implementation: the serial column-by-column factorization the
+// blocked Cholesky replaced. Writes the lower-triangular factor into `l`
+// and returns false on a non-positive pivot, like Cholesky::Factor. Kept
+// for agreement tests and the blocked-vs-naive bench sweep; not for
+// production call sites.
+namespace naive {
+bool CholeskyFactor(const Matrix& a, Matrix* l);
+}  // namespace naive
 
 }  // namespace srda
 

@@ -1,9 +1,13 @@
 #include "matrix/blas.h"
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "common/check.h"
+#include "common/flops.h"
 #include "common/parallel.h"
+#include "matrix/blocking.h"
 
 namespace srda {
 
@@ -55,6 +59,7 @@ double NormInf(const Vector& x) {
 
 Vector Multiply(const Matrix& a, const Vector& x) {
   SRDA_CHECK_EQ(a.cols(), x.size()) << "A*x shape mismatch";
+  AddFlops(2.0 * a.rows() * a.cols());
   Vector y(a.rows());
   const double* px = x.data();
   for (int i = 0; i < a.rows(); ++i) {
@@ -68,6 +73,7 @@ Vector Multiply(const Matrix& a, const Vector& x) {
 
 Vector MultiplyTransposed(const Matrix& a, const Vector& x) {
   SRDA_CHECK_EQ(a.rows(), x.size()) << "A^T*x shape mismatch";
+  AddFlops(2.0 * a.rows() * a.cols());
   Vector y(a.cols());
   double* py = y.data();
   for (int i = 0; i < a.rows(); ++i) {
@@ -79,21 +85,251 @@ Vector MultiplyTransposed(const Matrix& a, const Vector& x) {
   return y;
 }
 
+namespace {
+
+// ---- Blocked level-3 building blocks -----------------------------------
+//
+// Two micro-kernel shapes cover all five products:
+//
+//  * axpy form (GemmTileUpdate): the output tile's rows are updated with
+//    scaled operand rows, j as the vector axis — used when B's k-rows are
+//    contiguous (Multiply, MultiplyTransposedA, Gram);
+//  * dot form (DotTileUpdate): each output element is a dot product of two
+//    row segments — used when both operands index k along rows
+//    (MultiplyTransposedB, OuterGram).
+//
+// Both keep ONE running accumulator per output element, carried through C
+// between K-panels, and advance k strictly ascending. Row/column unrolling
+// multiplies the number of concurrent elements, never the number of
+// partial sums per element, so the per-element addition chain — and hence
+// the result bits — is independent of tile shapes, unroll cleanup paths,
+// and the ParallelFor partition. That preserves PR 1's guarantee: any
+// thread count produces identical bits.
+
+// C[i0:i1, j0:j1] += P * B[k0:k0+kk, j0:j1], where row r = i - i0 of the
+// panel P starts at `panel + r * stride` and holds the kk values for
+// k = k0 .. k0+kk-1.
+//
+// The body is a 4x4 outer-product register tile: sixteen accumulators are
+// seeded from C, folded over the whole K-panel, and stored back once.
+// Seeding from C and folding k ascending produces exactly the same
+// addition chain per element as updating C in memory each step — the
+// loads/stores just move out of the k loop — so register blocking changes
+// no bits, only the C-row traffic (once per panel instead of once per k).
+void GemmTileUpdate(const double* panel, int stride, int kk, const Matrix& b,
+                    int k0, int i0, int i1, int j0, int j1, Matrix* c) {
+  int i = i0;
+  for (; i + 4 <= i1; i += 4) {
+    const double* p0 = panel + static_cast<size_t>(i - i0) * stride;
+    const double* p1 = p0 + stride;
+    const double* p2 = p1 + stride;
+    const double* p3 = p2 + stride;
+    double* c0 = c->RowPtr(i);
+    double* c1 = c->RowPtr(i + 1);
+    double* c2 = c->RowPtr(i + 2);
+    double* c3 = c->RowPtr(i + 3);
+    int j = j0;
+    for (; j + 4 <= j1; j += 4) {
+      double a00 = c0[j], a01 = c0[j + 1], a02 = c0[j + 2], a03 = c0[j + 3];
+      double a10 = c1[j], a11 = c1[j + 1], a12 = c1[j + 2], a13 = c1[j + 3];
+      double a20 = c2[j], a21 = c2[j + 1], a22 = c2[j + 2], a23 = c2[j + 3];
+      double a30 = c3[j], a31 = c3[j + 1], a32 = c3[j + 2], a33 = c3[j + 3];
+      for (int k = 0; k < kk; ++k) {
+        const double* brow = b.RowPtr(k0 + k) + j;
+        const double b0 = brow[0];
+        const double b1 = brow[1];
+        const double b2 = brow[2];
+        const double b3 = brow[3];
+        const double v0 = p0[k];
+        const double v1 = p1[k];
+        const double v2 = p2[k];
+        const double v3 = p3[k];
+        a00 += v0 * b0; a01 += v0 * b1; a02 += v0 * b2; a03 += v0 * b3;
+        a10 += v1 * b0; a11 += v1 * b1; a12 += v1 * b2; a13 += v1 * b3;
+        a20 += v2 * b0; a21 += v2 * b1; a22 += v2 * b2; a23 += v2 * b3;
+        a30 += v3 * b0; a31 += v3 * b1; a32 += v3 * b2; a33 += v3 * b3;
+      }
+      c0[j] = a00; c0[j + 1] = a01; c0[j + 2] = a02; c0[j + 3] = a03;
+      c1[j] = a10; c1[j + 1] = a11; c1[j + 2] = a12; c1[j + 3] = a13;
+      c2[j] = a20; c2[j + 1] = a21; c2[j + 2] = a22; c2[j + 3] = a23;
+      c3[j] = a30; c3[j + 1] = a31; c3[j + 2] = a32; c3[j + 3] = a33;
+    }
+    for (; j < j1; ++j) {
+      double a0 = c0[j], a1 = c1[j], a2 = c2[j], a3 = c3[j];
+      for (int k = 0; k < kk; ++k) {
+        const double bv = b.RowPtr(k0 + k)[j];
+        a0 += p0[k] * bv;
+        a1 += p1[k] * bv;
+        a2 += p2[k] * bv;
+        a3 += p3[k] * bv;
+      }
+      c0[j] = a0;
+      c1[j] = a1;
+      c2[j] = a2;
+      c3[j] = a3;
+    }
+  }
+  for (; i < i1; ++i) {
+    const double* prow = panel + static_cast<size_t>(i - i0) * stride;
+    double* crow = c->RowPtr(i);
+    int j = j0;
+    for (; j + 4 <= j1; j += 4) {
+      double a0 = crow[j], a1 = crow[j + 1], a2 = crow[j + 2],
+             a3 = crow[j + 3];
+      for (int k = 0; k < kk; ++k) {
+        const double* brow = b.RowPtr(k0 + k) + j;
+        const double v = prow[k];
+        a0 += v * brow[0];
+        a1 += v * brow[1];
+        a2 += v * brow[2];
+        a3 += v * brow[3];
+      }
+      crow[j] = a0;
+      crow[j + 1] = a1;
+      crow[j + 2] = a2;
+      crow[j + 3] = a3;
+    }
+    for (; j < j1; ++j) {
+      double acc = crow[j];
+      for (int k = 0; k < kk; ++k) acc += prow[k] * b.RowPtr(k0 + k)[j];
+      crow[j] = acc;
+    }
+  }
+}
+
+// Triangular variant for the stripes straddling the diagonal of a
+// symmetric product: row i starts at column max(j0, i).
+void GemmTileUpdateUpper(const double* panel, int kk, const Matrix& b,
+                         int k0, int i0, int i1, int j0, int j1, Matrix* c) {
+  for (int i = i0; i < i1; ++i) {
+    const double* prow = panel + static_cast<size_t>(i - i0) * kk;
+    const int jstart = std::max(j0, i);
+    double* crow = c->RowPtr(i);
+    for (int k = 0; k < kk; ++k) {
+      const double v = prow[k];
+      const double* brow = b.RowPtr(k0 + k);
+      for (int j = jstart; j < j1; ++j) crow[j] += v * brow[j];
+    }
+  }
+}
+
+// C[i0:i1, j0:j1] += A[i0:i1, k0:k0+kk] * B[j0:j1, k0:k0+kk]^T as dot
+// products of row segments, 2x2-unrolled (four independent accumulator
+// chains, one per output element).
+void DotTileUpdate(const Matrix& a, const Matrix& b, int k0, int kk,
+                   int i0, int i1, int j0, int j1, Matrix* c) {
+  int i = i0;
+  for (; i + 2 <= i1; i += 2) {
+    const double* a0 = a.RowPtr(i) + k0;
+    const double* a1 = a.RowPtr(i + 1) + k0;
+    double* c0 = c->RowPtr(i);
+    double* c1 = c->RowPtr(i + 1);
+    int j = j0;
+    for (; j + 2 <= j1; j += 2) {
+      const double* b0 = b.RowPtr(j) + k0;
+      const double* b1 = b.RowPtr(j + 1) + k0;
+      double s00 = c0[j];
+      double s01 = c0[j + 1];
+      double s10 = c1[j];
+      double s11 = c1[j + 1];
+      for (int k = 0; k < kk; ++k) {
+        const double av0 = a0[k];
+        const double av1 = a1[k];
+        s00 += av0 * b0[k];
+        s01 += av0 * b1[k];
+        s10 += av1 * b0[k];
+        s11 += av1 * b1[k];
+      }
+      c0[j] = s00;
+      c0[j + 1] = s01;
+      c1[j] = s10;
+      c1[j + 1] = s11;
+    }
+    for (; j < j1; ++j) {
+      const double* brow = b.RowPtr(j) + k0;
+      double s0 = c0[j];
+      double s1 = c1[j];
+      for (int k = 0; k < kk; ++k) {
+        s0 += a0[k] * brow[k];
+        s1 += a1[k] * brow[k];
+      }
+      c0[j] = s0;
+      c1[j] = s1;
+    }
+  }
+  for (; i < i1; ++i) {
+    const double* arow = a.RowPtr(i) + k0;
+    double* crow = c->RowPtr(i);
+    for (int j = j0; j < j1; ++j) {
+      const double* brow = b.RowPtr(j) + k0;
+      double sum = crow[j];
+      for (int k = 0; k < kk; ++k) sum += arow[k] * brow[k];
+      crow[j] = sum;
+    }
+  }
+}
+
+// Dot-form triangular variant: row i covers columns max(j0, i) .. j1.
+void DotTileUpdateUpper(const Matrix& a, const Matrix& b, int k0, int kk,
+                        int i0, int i1, int j0, int j1, Matrix* c) {
+  for (int i = i0; i < i1; ++i) {
+    const double* arow = a.RowPtr(i) + k0;
+    double* crow = c->RowPtr(i);
+    for (int j = std::max(j0, i); j < j1; ++j) {
+      const double* brow = b.RowPtr(j) + k0;
+      double sum = crow[j];
+      for (int k = 0; k < kk; ++k) sum += arow[k] * brow[k];
+      crow[j] = sum;
+    }
+  }
+}
+
+// pack[(i - i0) * kk + (k - k0)] = a(k0 + k, i): the K-panel of columns
+// [i0, i1), transposed to contiguous per-column storage. Read row-wise, so
+// the pack touches each cache line of A once — this is the one place the
+// transposed products pay for A's row-major layout.
+void PackPanelTransposed(const Matrix& a, int k0, int kk, int i0, int i1,
+                         double* pack) {
+  for (int k = 0; k < kk; ++k) {
+    const double* arow = a.RowPtr(k0 + k) + i0;
+    for (int i = 0; i < i1 - i0; ++i) {
+      pack[static_cast<size_t>(i) * kk + k] = arow[i];
+    }
+  }
+}
+
+// Copies the strict upper triangle into the lower one.
+void MirrorUpperToLower(Matrix* c) {
+  ParallelFor(1, c->rows(), [&](int row_begin, int row_end) {
+    for (int j = row_begin; j < row_end; ++j) {
+      double* crow = c->RowPtr(j);
+      for (int i = 0; i < j; ++i) crow[i] = c->RowPtr(i)[j];
+    }
+  });
+}
+
+}  // namespace
+
 Matrix Multiply(const Matrix& a, const Matrix& b) {
   SRDA_CHECK_EQ(a.cols(), b.rows()) << "A*B shape mismatch";
-  Matrix c(a.rows(), b.cols());
-  // Row-partitioned: each output row is owned by exactly one chunk, and its
-  // i-k-j accumulation order is independent of the partition, so results are
-  // bitwise identical at any thread count.
-  ParallelFor(0, a.rows(), [&](int row_begin, int row_end) {
-    for (int i = row_begin; i < row_end; ++i) {
-      const double* arow = a.RowPtr(i);
-      double* crow = c.RowPtr(i);
-      for (int k = 0; k < a.cols(); ++k) {
-        const double aik = arow[k];
-        if (aik == 0.0) continue;
-        const double* brow = b.RowPtr(k);
-        for (int j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+  const int m = a.rows();
+  const int kdim = a.cols();
+  const int n = b.cols();
+  AddFlops(2.0 * m * kdim * n);
+  Matrix c(m, n);
+  const BlockConfig& blk = GetBlockConfig();
+  ParallelFor(0, m, [&](int row_begin, int row_end) {
+    for (int i0 = row_begin; i0 < row_end; i0 += blk.mc) {
+      const int i1 = std::min(i0 + blk.mc, row_end);
+      for (int k0 = 0; k0 < kdim; k0 += blk.kc) {
+        const int kk = std::min(blk.kc, kdim - k0);
+        for (int j0 = 0; j0 < n; j0 += blk.nc) {
+          const int j1 = std::min(j0 + blk.nc, n);
+          // A's k-segment is contiguous within each row: no packing needed,
+          // the row stride stands in for a packed panel.
+          GemmTileUpdate(a.RowPtr(i0) + k0, a.cols(), kk, b, k0, i0, i1, j0,
+                         j1, &c);
+        }
       }
     }
   });
@@ -102,18 +338,23 @@ Matrix Multiply(const Matrix& a, const Matrix& b) {
 
 Matrix MultiplyTransposedA(const Matrix& a, const Matrix& b) {
   SRDA_CHECK_EQ(a.rows(), b.rows()) << "A^T*B shape mismatch";
-  Matrix c(a.cols(), b.cols());
-  // Partitioned over output rows (columns of A) with the k accumulation
-  // innermost in the same ascending order as the serial k-outer loop, so
-  // every element sees the identical addition sequence.
-  ParallelFor(0, a.cols(), [&](int col_begin, int col_end) {
-    for (int i = col_begin; i < col_end; ++i) {
-      double* crow = c.RowPtr(i);
-      for (int k = 0; k < a.rows(); ++k) {
-        const double aki = a.RowPtr(k)[i];
-        if (aki == 0.0) continue;
-        const double* brow = b.RowPtr(k);
-        for (int j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
+  const int m = a.rows();
+  const int p = a.cols();
+  const int n = b.cols();
+  AddFlops(2.0 * m * p * n);
+  Matrix c(p, n);
+  const BlockConfig& blk = GetBlockConfig();
+  ParallelFor(0, p, [&](int col_begin, int col_end) {
+    std::vector<double> pack(static_cast<size_t>(blk.mc) * blk.kc);
+    for (int i0 = col_begin; i0 < col_end; i0 += blk.mc) {
+      const int i1 = std::min(i0 + blk.mc, col_end);
+      for (int k0 = 0; k0 < m; k0 += blk.kc) {
+        const int kk = std::min(blk.kc, m - k0);
+        PackPanelTransposed(a, k0, kk, i0, i1, pack.data());
+        for (int j0 = 0; j0 < n; j0 += blk.nc) {
+          const int j1 = std::min(j0 + blk.nc, n);
+          GemmTileUpdate(pack.data(), kk, kk, b, k0, i0, i1, j0, j1, &c);
+        }
       }
     }
   });
@@ -122,16 +363,21 @@ Matrix MultiplyTransposedA(const Matrix& a, const Matrix& b) {
 
 Matrix MultiplyTransposedB(const Matrix& a, const Matrix& b) {
   SRDA_CHECK_EQ(a.cols(), b.cols()) << "A*B^T shape mismatch";
-  Matrix c(a.rows(), b.rows());
-  ParallelFor(0, a.rows(), [&](int row_begin, int row_end) {
-    for (int i = row_begin; i < row_end; ++i) {
-      const double* arow = a.RowPtr(i);
-      double* crow = c.RowPtr(i);
-      for (int j = 0; j < b.rows(); ++j) {
-        const double* brow = b.RowPtr(j);
-        double sum = 0.0;
-        for (int k = 0; k < a.cols(); ++k) sum += arow[k] * brow[k];
-        crow[j] = sum;
+  const int m = a.rows();
+  const int n = b.rows();
+  const int kdim = a.cols();
+  AddFlops(2.0 * m * n * kdim);
+  Matrix c(m, n);
+  const BlockConfig& blk = GetBlockConfig();
+  ParallelFor(0, m, [&](int row_begin, int row_end) {
+    for (int i0 = row_begin; i0 < row_end; i0 += blk.mc) {
+      const int i1 = std::min(i0 + blk.mc, row_end);
+      for (int k0 = 0; k0 < kdim; k0 += blk.kc) {
+        const int kk = std::min(blk.kc, kdim - k0);
+        for (int j0 = 0; j0 < n; j0 += blk.nc) {
+          const int j1 = std::min(j0 + blk.nc, n);
+          DotTileUpdate(a, b, k0, kk, i0, i1, j0, j1, &c);
+        }
       }
     }
   });
@@ -139,54 +385,71 @@ Matrix MultiplyTransposedB(const Matrix& a, const Matrix& b) {
 }
 
 Matrix Gram(const Matrix& a) {
-  // Computes only the upper triangle, then mirrors. Partitioned over output
-  // rows; element (i, j) accumulates over k in ascending order exactly as
-  // the serial k-outer formulation did, so any thread count produces the
-  // same bits. The triangle makes early rows more expensive than late ones;
-  // the pool's chunk over-decomposition absorbs the imbalance.
+  // Computes the upper triangle in tiles, then mirrors. Element (i, j)
+  // accumulates over the sample index k in ascending order exactly as the
+  // serial formulation did, so any thread count produces the same bits.
+  const int m = a.rows();
   const int n = a.cols();
+  AddFlops(static_cast<double>(m) * n * (n + 1));
   Matrix c(n, n);
+  const BlockConfig& blk = GetBlockConfig();
   ParallelFor(0, n, [&](int row_begin, int row_end) {
-    for (int i = row_begin; i < row_end; ++i) {
-      double* crow = c.RowPtr(i);
-      for (int k = 0; k < a.rows(); ++k) {
-        const double* arow = a.RowPtr(k);
-        const double aki = arow[i];
-        if (aki == 0.0) continue;
-        for (int j = i; j < n; ++j) crow[j] += aki * arow[j];
+    std::vector<double> pack(static_cast<size_t>(blk.mc) * blk.kc);
+    for (int i0 = row_begin; i0 < row_end; i0 += blk.mc) {
+      const int i1 = std::min(i0 + blk.mc, row_end);
+      for (int k0 = 0; k0 < m; k0 += blk.kc) {
+        const int kk = std::min(blk.kc, m - k0);
+        PackPanelTransposed(a, k0, kk, i0, i1, pack.data());
+        for (int j0 = i0; j0 < n; j0 += blk.nc) {
+          const int j1 = std::min(j0 + blk.nc, n);
+          if (j0 >= i1) {
+            GemmTileUpdate(pack.data(), kk, kk, a, k0, i0, i1, j0, j1, &c);
+          } else {
+            // Stripe straddles the diagonal: scalar triangle up to the
+            // tile's last row, fast rectangle for the columns beyond it.
+            const int split = std::min(j1, i1);
+            GemmTileUpdateUpper(pack.data(), kk, a, k0, i0, i1, j0, split,
+                                &c);
+            if (split < j1) {
+              GemmTileUpdate(pack.data(), kk, kk, a, k0, i0, i1, split, j1,
+                             &c);
+            }
+          }
+        }
       }
     }
   });
-  ParallelFor(1, n, [&](int row_begin, int row_end) {
-    for (int j = row_begin; j < row_end; ++j) {
-      double* crow = c.RowPtr(j);
-      for (int i = 0; i < j; ++i) crow[i] = c.RowPtr(i)[j];
-    }
-  });
+  MirrorUpperToLower(&c);
   return c;
 }
 
 Matrix OuterGram(const Matrix& a) {
   const int m = a.rows();
+  const int n = a.cols();
+  AddFlops(static_cast<double>(n) * m * (m + 1));
   Matrix c(m, m);
+  const BlockConfig& blk = GetBlockConfig();
   ParallelFor(0, m, [&](int row_begin, int row_end) {
-    for (int i = row_begin; i < row_end; ++i) {
-      const double* rowi = a.RowPtr(i);
-      double* crow = c.RowPtr(i);
-      for (int j = i; j < m; ++j) {
-        const double* rowj = a.RowPtr(j);
-        double sum = 0.0;
-        for (int k = 0; k < a.cols(); ++k) sum += rowi[k] * rowj[k];
-        crow[j] = sum;
+    for (int i0 = row_begin; i0 < row_end; i0 += blk.mc) {
+      const int i1 = std::min(i0 + blk.mc, row_end);
+      for (int k0 = 0; k0 < n; k0 += blk.kc) {
+        const int kk = std::min(blk.kc, n - k0);
+        for (int j0 = i0; j0 < m; j0 += blk.nc) {
+          const int j1 = std::min(j0 + blk.nc, m);
+          if (j0 >= i1) {
+            DotTileUpdate(a, a, k0, kk, i0, i1, j0, j1, &c);
+          } else {
+            const int split = std::min(j1, i1);
+            DotTileUpdateUpper(a, a, k0, kk, i0, i1, j0, split, &c);
+            if (split < j1) {
+              DotTileUpdate(a, a, k0, kk, i0, i1, split, j1, &c);
+            }
+          }
+        }
       }
     }
   });
-  ParallelFor(1, m, [&](int row_begin, int row_end) {
-    for (int j = row_begin; j < row_end; ++j) {
-      double* crow = c.RowPtr(j);
-      for (int i = 0; i < j; ++i) crow[i] = c.RowPtr(i)[j];
-    }
-  });
+  MirrorUpperToLower(&c);
   return c;
 }
 
@@ -242,5 +505,100 @@ double MaxAbsDiff(const Vector& x, const Vector& y) {
   }
   return max_diff;
 }
+
+namespace naive {
+
+Matrix Multiply(const Matrix& a, const Matrix& b) {
+  SRDA_CHECK_EQ(a.cols(), b.rows()) << "A*B shape mismatch";
+  AddFlops(2.0 * a.rows() * a.cols() * b.cols());
+  Matrix c(a.rows(), b.cols());
+  for (int i = 0; i < a.rows(); ++i) {
+    const double* arow = a.RowPtr(i);
+    double* crow = c.RowPtr(i);
+    for (int k = 0; k < a.cols(); ++k) {
+      const double aik = arow[k];
+      if (aik == 0.0) continue;
+      const double* brow = b.RowPtr(k);
+      for (int j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix MultiplyTransposedA(const Matrix& a, const Matrix& b) {
+  SRDA_CHECK_EQ(a.rows(), b.rows()) << "A^T*B shape mismatch";
+  AddFlops(2.0 * a.rows() * a.cols() * b.cols());
+  Matrix c(a.cols(), b.cols());
+  for (int i = 0; i < a.cols(); ++i) {
+    double* crow = c.RowPtr(i);
+    for (int k = 0; k < a.rows(); ++k) {
+      const double aki = a.RowPtr(k)[i];
+      if (aki == 0.0) continue;
+      const double* brow = b.RowPtr(k);
+      for (int j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix MultiplyTransposedB(const Matrix& a, const Matrix& b) {
+  SRDA_CHECK_EQ(a.cols(), b.cols()) << "A*B^T shape mismatch";
+  AddFlops(2.0 * a.rows() * a.cols() * b.rows());
+  Matrix c(a.rows(), b.rows());
+  for (int i = 0; i < a.rows(); ++i) {
+    const double* arow = a.RowPtr(i);
+    double* crow = c.RowPtr(i);
+    for (int j = 0; j < b.rows(); ++j) {
+      const double* brow = b.RowPtr(j);
+      double sum = 0.0;
+      for (int k = 0; k < a.cols(); ++k) sum += arow[k] * brow[k];
+      crow[j] = sum;
+    }
+  }
+  return c;
+}
+
+Matrix Gram(const Matrix& a) {
+  const int n = a.cols();
+  AddFlops(static_cast<double>(a.rows()) * n * (n + 1));
+  Matrix c(n, n);
+  for (int i = 0; i < n; ++i) {
+    double* crow = c.RowPtr(i);
+    for (int k = 0; k < a.rows(); ++k) {
+      const double* arow = a.RowPtr(k);
+      const double aki = arow[i];
+      if (aki == 0.0) continue;
+      for (int j = i; j < n; ++j) crow[j] += aki * arow[j];
+    }
+  }
+  for (int j = 1; j < n; ++j) {
+    double* crow = c.RowPtr(j);
+    for (int i = 0; i < j; ++i) crow[i] = c.RowPtr(i)[j];
+  }
+  return c;
+}
+
+Matrix OuterGram(const Matrix& a) {
+  const int m = a.rows();
+  AddFlops(static_cast<double>(a.cols()) * m * (m + 1));
+  Matrix c(m, m);
+  for (int i = 0; i < m; ++i) {
+    const double* rowi = a.RowPtr(i);
+    double* crow = c.RowPtr(i);
+    for (int j = i; j < m; ++j) {
+      const double* rowj = a.RowPtr(j);
+      double sum = 0.0;
+      for (int k = 0; k < a.cols(); ++k) sum += rowi[k] * rowj[k];
+      crow[j] = sum;
+    }
+  }
+  for (int j = 1; j < m; ++j) {
+    double* crow = c.RowPtr(j);
+    for (int i = 0; i < j; ++i) crow[i] = c.RowPtr(i)[j];
+  }
+  return c;
+}
+
+}  // namespace naive
 
 }  // namespace srda

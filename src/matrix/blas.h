@@ -3,6 +3,16 @@
 // These free functions implement the handful of level-1/2/3 operations the
 // library needs. Inner loops use raw row pointers (no per-element bounds
 // checks); shapes are validated once per call.
+//
+// The level-3 kernels (Multiply, MultiplyTransposedA/B, Gram, OuterGram)
+// are cache-blocked: the reduction dimension streams in packed K-panels
+// against register-unrolled output tiles, with tile shapes from
+// matrix/blocking.h (SRDA_BLOCK_* knobs). Every output element accumulates
+// its k-terms in one fixed ascending chain, so results are bitwise
+// identical for any tile shape and any thread count. The unblocked
+// originals live in srda::naive for agreement tests and the blocked-vs-
+// naive bench sweep, and all kernels report flop counts to
+// common/flops.h's runtime counter.
 
 #ifndef SRDA_MATRIX_BLAS_H_
 #define SRDA_MATRIX_BLAS_H_
@@ -62,6 +72,20 @@ double MaxAbsDiff(const Matrix& a, const Matrix& b);
 
 // max_i |x[i] - y[i]|; sizes must match.
 double MaxAbsDiff(const Vector& x, const Vector& y);
+
+// Reference level-3 kernels: the unblocked serial loops the blocked
+// versions replaced. Agreement tests pin the blocked kernels against these,
+// and bench_table1_complexity's kernel sweep (BENCH_kernel_blocking.json)
+// measures the blocking speedup from them. Not for production call sites.
+namespace naive {
+
+Matrix Multiply(const Matrix& a, const Matrix& b);
+Matrix MultiplyTransposedA(const Matrix& a, const Matrix& b);
+Matrix MultiplyTransposedB(const Matrix& a, const Matrix& b);
+Matrix Gram(const Matrix& a);
+Matrix OuterGram(const Matrix& a);
+
+}  // namespace naive
 
 }  // namespace srda
 

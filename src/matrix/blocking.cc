@@ -1,0 +1,50 @@
+#include "matrix/blocking.h"
+
+#include <cstdlib>
+
+namespace srda {
+namespace {
+
+// One env-overridable tile dimension; falls back to `fallback` unless the
+// variable parses to a positive integer.
+int ResolveDimension(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0' || parsed <= 0 || parsed > 1 << 20) {
+    return fallback;
+  }
+  return static_cast<int>(parsed);
+}
+
+BlockConfig ResolveFromEnvironment() {
+  const BlockConfig defaults;
+  BlockConfig config;
+  config.kc = ResolveDimension("SRDA_BLOCK_KC", defaults.kc);
+  config.mc = ResolveDimension("SRDA_BLOCK_MC", defaults.mc);
+  config.nc = ResolveDimension("SRDA_BLOCK_NC", defaults.nc);
+  config.nb = ResolveDimension("SRDA_BLOCK_NB", defaults.nb);
+  return config;
+}
+
+BlockConfig& ActiveConfig() {
+  static BlockConfig config = ResolveFromEnvironment();
+  return config;
+}
+
+}  // namespace
+
+const BlockConfig& GetBlockConfig() { return ActiveConfig(); }
+
+void SetBlockConfig(const BlockConfig& config) {
+  const BlockConfig defaults;
+  BlockConfig resolved = config;
+  if (resolved.kc <= 0) resolved.kc = defaults.kc;
+  if (resolved.mc <= 0) resolved.mc = defaults.mc;
+  if (resolved.nc <= 0) resolved.nc = defaults.nc;
+  if (resolved.nb <= 0) resolved.nb = defaults.nb;
+  ActiveConfig() = resolved;
+}
+
+}  // namespace srda

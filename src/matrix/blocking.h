@@ -1,0 +1,47 @@
+// Cache-blocking configuration for the dense kernels.
+//
+// All tiled kernels — the level-3 products in matrix/blas.cc and the
+// blocked Cholesky factorization / triangular solves in linalg/cholesky.cc —
+// read their tile shapes from one process-wide BlockConfig. The defaults
+// target a typical 32 KB L1 / 512 KB L2 cache; benches sweep them through
+// the SRDA_BLOCK_* environment variables, tests shrink them with
+// SetBlockConfig to exercise tile boundaries on small matrices.
+//
+// Tile shapes never affect results: every blocked kernel accumulates each
+// output element in a fixed k-ascending order regardless of the tiling (see
+// DESIGN.md, "Blocking layer"), so the knobs are pure performance tuning.
+
+#ifndef SRDA_MATRIX_BLOCKING_H_
+#define SRDA_MATRIX_BLOCKING_H_
+
+namespace srda {
+
+struct BlockConfig {
+  // K-panel depth of the level-3 products: the reduction dimension is cut
+  // into panels of kc iterations that stream through cache while an output
+  // tile stays resident.  (SRDA_BLOCK_KC)
+  int kc = 128;
+  // Output row-tile height: rows of C updated against one K-panel before
+  // the panel is released.  (SRDA_BLOCK_MC)
+  int mc = 32;
+  // Output column-stripe width, sized so a stripe of the operand panel and
+  // the C rows it updates fit in L1 together.  (SRDA_BLOCK_NC)
+  int nc = 256;
+  // Panel width of the blocked right-looking Cholesky factorization and of
+  // the blocked triangular solves.  (SRDA_BLOCK_NB)
+  int nb = 64;
+};
+
+// The active configuration. The first call resolves SRDA_BLOCK_KC /
+// SRDA_BLOCK_MC / SRDA_BLOCK_NC / SRDA_BLOCK_NB from the environment;
+// unset, non-numeric, or non-positive values keep the defaults above.
+const BlockConfig& GetBlockConfig();
+
+// Replaces the active configuration; fields <= 0 reset to their defaults.
+// Not safe to call concurrently with running kernels — intended for tests
+// and benchmark sweeps, mirroring SetGlobalThreadCount.
+void SetBlockConfig(const BlockConfig& config);
+
+}  // namespace srda
+
+#endif  // SRDA_MATRIX_BLOCKING_H_

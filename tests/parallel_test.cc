@@ -15,6 +15,7 @@
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "core/srda.h"
+#include "linalg/cholesky.h"
 #include "matrix/blas.h"
 #include "sparse/sparse_matrix.h"
 
@@ -182,6 +183,31 @@ TEST(DeterminismTest, DenseKernelsBitwiseIdenticalAcrossThreadCounts) {
   EXPECT_TRUE(BitwiseEqual(outer1, outer4));
   EXPECT_TRUE(BitwiseEqual(ata1, ata4));
   EXPECT_TRUE(BitwiseEqual(abt1, abt4));
+}
+
+TEST(DeterminismTest, BlockedCholeskyBitwiseIdenticalAcrossThreadCounts) {
+  // The blocked factorization runs its TRSM and SYRK stages on the pool;
+  // like the dense products, each element's update chain is fixed, so the
+  // factor and the batched solve must not depend on the thread count.
+  Rng rng(404);
+  const int n = 150;  // Several panels at the default panel width.
+  const Matrix basis = RandomMatrix(n + 5, n, &rng);
+  Matrix spd = Gram(basis);
+  for (int i = 0; i < n; ++i) spd(i, i) += n;
+  const Matrix rhs = RandomMatrix(n, 4, &rng);
+
+  SetGlobalThreadCount(1);
+  Cholesky chol1;
+  ASSERT_TRUE(chol1.Factor(spd));
+  const Matrix solve1 = chol1.SolveMatrix(rhs);
+  SetGlobalThreadCount(4);
+  Cholesky chol4;
+  ASSERT_TRUE(chol4.Factor(spd));
+  const Matrix solve4 = chol4.SolveMatrix(rhs);
+  SetGlobalThreadCount(1);
+
+  EXPECT_TRUE(BitwiseEqual(chol1.factor(), chol4.factor()));
+  EXPECT_TRUE(BitwiseEqual(solve1, solve4));
 }
 
 TEST(DeterminismTest, SparseTransposeProductBitwiseIdentical) {
