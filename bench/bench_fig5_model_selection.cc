@@ -10,6 +10,7 @@
 // Pass --full for paper-scale datasets and more splits.
 
 #include <algorithm>
+#include <fstream>
 #include <iostream>
 #include <vector>
 
@@ -17,6 +18,7 @@
 #include "classify/classifiers.h"
 #include "common/check.h"
 #include "common/rng.h"
+#include "common/stopwatch.h"
 #include "common/table_printer.h"
 #include "core/idr_qr.h"
 #include "core/lda.h"
@@ -27,6 +29,8 @@
 #include "dataset/split.h"
 #include "dataset/spoken_letter_generator.h"
 #include "dataset/text_generator.h"
+#include "matrix/blas.h"
+#include "solver/ridge_solver.h"
 
 namespace srda {
 namespace bench {
@@ -44,8 +48,9 @@ struct PanelResult {
 };
 
 // Runs one dense panel: LDA and IDR/QR once per split; the whole SRDA alpha
-// grid comes from ONE SVD per split via the regularization path (exactly
-// the normal-equations solutions, at a fraction of the sweep cost).
+// grid comes from ONE cached Gram per split via the regularization path —
+// each grid point pays only a Cholesky refactorization, producing exactly
+// the normal-equations solutions at a fraction of the sweep cost.
 PanelResult RunDensePanel(const std::string& name, const DenseDataset& data,
                           int train_per_class, int num_splits, uint64_t seed) {
   PanelResult panel;
@@ -147,6 +152,84 @@ bool CheckPanel(const PanelResult& panel) {
                         "the alpha grid");
 }
 
+// Times the whole alpha grid two ways on one Isolet-like training set:
+// rebuilding the Gram from scratch per grid point (a fresh FitSrda call per
+// alpha, the pre-engine behaviour) versus one RidgeSolver whose cached Gram
+// is refactored per alpha. The embeddings must be bitwise identical; only
+// the time changes. Returns true if the shape check passes (always true
+// under --smoke, which skips checks).
+bool RunAlphaSweep(bool smoke) {
+  SpokenLetterGeneratorOptions options;
+  options.examples_per_class = smoke ? 12 : 40;  // 26 * 40 = 1040 samples
+  options.num_features = smoke ? 60 : 1024;      // primal Gram is n x n
+  const DenseDataset data = GenerateSpokenLetterDataset(options);
+  const int n = data.features.cols();
+  const int m = data.features.rows();
+
+  std::vector<double> alphas;
+  for (double ratio : kGridRatios) alphas.push_back(ratio / (1.0 - ratio));
+
+  // Baseline: every grid point pays the full Gram + factor + solve.
+  std::vector<SrdaModel> rebuilt;
+  Stopwatch rebuild_watch;
+  for (double alpha : alphas) {
+    SrdaOptions srda_options;
+    srda_options.alpha = alpha;
+    rebuilt.push_back(
+        FitSrda(data.features, data.labels, data.num_classes, srda_options));
+  }
+  const double rebuild_seconds = rebuild_watch.ElapsedSeconds();
+
+  // Engine: the Gram is computed once; each further alpha refactors it.
+  std::vector<SrdaModel> cached;
+  Stopwatch cached_watch;
+  RidgeSolver solver(&data.features);
+  for (double alpha : alphas) {
+    SrdaOptions srda_options;
+    srda_options.alpha = alpha;
+    cached.push_back(
+        FitSrda(&solver, data.labels, data.num_classes, srda_options));
+  }
+  const double cached_seconds = cached_watch.ElapsedSeconds();
+
+  double max_diff = 0.0;
+  for (size_t a = 0; a < alphas.size(); ++a) {
+    SRDA_CHECK(rebuilt[a].converged && cached[a].converged);
+    max_diff = std::max(
+        max_diff, MaxAbsDiff(rebuilt[a].embedding.projection(),
+                             cached[a].embedding.projection()));
+    max_diff = std::max(max_diff, MaxAbsDiff(rebuilt[a].embedding.bias(),
+                                             cached[a].embedding.bias()));
+  }
+  SRDA_CHECK_EQ(max_diff, 0.0)
+      << "cached-Gram sweep must be bitwise identical to rebuilds";
+
+  const double speedup =
+      cached_seconds > 0.0 ? rebuild_seconds / cached_seconds : 0.0;
+  std::cout << "\n== Gram-reuse alpha sweep (" << m << " x " << n << ", "
+            << alphas.size() << " alphas) ==\n";
+  TablePrinter table({"strategy", "seconds", "speedup"});
+  table.AddRow({"rebuild per alpha", FormatDouble(rebuild_seconds, 4), "1.0"});
+  table.AddRow({"cached Gram", FormatDouble(cached_seconds, 4),
+                FormatDouble(speedup, 2)});
+  table.Print(std::cout);
+
+  if (smoke) return true;
+  std::ofstream json("BENCH_alpha_sweep.json");
+  json << "{\n  \"experiment\": \"alpha_sweep_gram_reuse\",\n"
+       << "  \"samples\": " << m << ",\n"
+       << "  \"features\": " << n << ",\n"
+       << "  \"num_alphas\": " << alphas.size() << ",\n"
+       << "  \"rebuild_seconds\": " << rebuild_seconds << ",\n"
+       << "  \"cached_seconds\": " << cached_seconds << ",\n"
+       << "  \"speedup\": " << speedup << ",\n"
+       << "  \"max_abs_diff\": " << max_diff << "\n}\n";
+  std::cout << "wrote BENCH_alpha_sweep.json\n";
+  return ShapeCheck(speedup >= 1.5,
+                    "cached-Gram alpha sweep at least 1.5x faster than "
+                    "rebuilding per alpha");
+}
+
 int Main(int argc, char** argv) {
   const bool full = HasFlag(argc, argv, "--full");
   const bool smoke = HasFlag(argc, argv, "--smoke");
@@ -212,6 +295,7 @@ int Main(int argc, char** argv) {
   }
 
   for (const PanelResult& panel : panels) PrintPanel(panel);
+  const bool sweep_ok = RunAlphaSweep(smoke);
   if (smoke) {
     std::cout << "\n[SMOKE] shape checks skipped\n";
     return 0;
@@ -225,7 +309,7 @@ int Main(int argc, char** argv) {
   }
   ok = ShapeCheck(passing_panels >= 6,
                   "SRDA robust to alpha on at least 6 of 8 panels (Figure 5)");
-  return ok ? 0 : 1;
+  return (ok && sweep_ok) ? 0 : 1;
 }
 
 }  // namespace

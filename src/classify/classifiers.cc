@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
@@ -43,6 +44,12 @@ void CentroidClassifier::Fit(const Matrix& embedded,
     double* centroid = centroids_.RowPtr(k);
     for (int j = 0; j < embedded.cols(); ++j) centroid[j] *= inv;
   }
+  fitted_ = true;
+}
+
+void CentroidClassifier::SetCentroids(Matrix centroids) {
+  SRDA_CHECK_GT(centroids.rows(), 0) << "need at least one centroid";
+  centroids_ = std::move(centroids);
   fitted_ = true;
 }
 

@@ -20,6 +20,10 @@ class CentroidClassifier {
   void Fit(const Matrix& embedded, const std::vector<int>& labels,
            int num_classes);
 
+  // Adopts precomputed centroids (one row per class), e.g. loaded from a
+  // saved classifier model. Leaves the classifier ready to Predict.
+  void SetCentroids(Matrix centroids);
+
   // Predicts the class of each row of `embedded`.
   std::vector<int> Predict(const Matrix& embedded) const;
 

@@ -4,9 +4,9 @@
 
 #include "common/check.h"
 #include "core/responses.h"
-#include "linalg/cholesky.h"
 #include "linalg/symmetric_eigen.h"
 #include "matrix/blas.h"
+#include "solver/ridge_solver.h"
 
 namespace srda {
 
@@ -35,19 +35,20 @@ KdaModel FitKda(const Matrix& x, const std::vector<int>& labels,
   const Matrix k = KernelMatrix(*kernel, x);
 
   // Right-hand side N = K K + alpha K + eps I (SPD). Forming K K is the
-  // O(m^3) step that makes exact KDA expensive.
+  // O(m^3) step that makes exact KDA expensive. The epsilon shift and the
+  // factorization go through the shared engine (base = K K + alpha K,
+  // diagonal shift = epsilon).
   Matrix n_matrix = Multiply(k, k);
   for (int i = 0; i < m; ++i) {
     for (int j = 0; j < m; ++j) n_matrix(i, j) += options.alpha * k(i, j);
   }
-  AddDiagonal(options.epsilon, &n_matrix);
-
-  Cholesky chol;
-  if (!chol.Factor(n_matrix)) return model;
+  RidgeSolver solver = RidgeSolver::FromGram(std::move(n_matrix));
 
   // Numerator is (K Ybar)(K Ybar)^T with rank d = c-1: collapse to d x d.
-  const Matrix m_block = Multiply(k, responses);      // m x d
-  const Matrix solved = chol.SolveMatrix(m_block);    // N^{-1} (K Ybar)
+  const Matrix m_block = Multiply(k, responses);  // m x d
+  RidgeSolution ridge = solver.Solve(m_block, options.epsilon);
+  if (!ridge.ok) return model;
+  const Matrix& solved = ridge.coefficients;  // N^{-1} (K Ybar)
   const Matrix small = MultiplyTransposedA(m_block, solved);  // d x d
   const SymmetricEigenResult eigen = SymmetricEigen(small);
   if (!eigen.converged) return model;

@@ -1,9 +1,11 @@
 #include "core/ksrda.h"
 
+#include <utility>
+
 #include "common/check.h"
 #include "core/responses.h"
-#include "linalg/cholesky.h"
 #include "matrix/blas.h"
+#include "solver/ridge_solver.h"
 
 namespace srda {
 
@@ -29,13 +31,14 @@ KsrdaModel FitKsrda(const Matrix& x, const std::vector<int>& labels,
   KsrdaModel model;
   const Matrix responses = GenerateSrdaResponses(labels, num_classes);
 
-  Matrix gram = KernelMatrix(*kernel, x);
-  AddDiagonal(options.alpha, &gram);
-  Cholesky chol;
-  if (!chol.Factor(gram)) {
+  // (K + alpha I) C = Ybar through the shared engine (base = K, shift =
+  // alpha).
+  RidgeSolver solver = RidgeSolver::FromGram(KernelMatrix(*kernel, x));
+  RidgeSolution solution = solver.Solve(responses, options.alpha);
+  if (!solution.ok) {
     return model;  // converged_ stays false.
   }
-  model.coefficients_ = chol.SolveMatrix(responses);
+  model.coefficients_ = std::move(solution.coefficients);
   model.train_points_ = x;
   model.kernel_ = std::move(kernel);
   model.converged_ = true;

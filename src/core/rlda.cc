@@ -7,49 +7,29 @@
 #include "linalg/cholesky.h"
 #include "linalg/symmetric_eigen.h"
 #include "matrix/blas.h"
+#include "solver/ridge_solver.h"
 
 namespace srda {
 namespace {
 
-// Shared context computed from the training data.
-struct RldaContext {
-  Vector mean;
-  Matrix hd;  // c x n, S_b = hd^T hd
-  Cholesky chol;  // factor of S_t + alpha I
-};
-
-// Builds mean, class-sum matrix and the regularized-scatter factorization.
-// Returns false if the Cholesky factorization fails.
-bool PrepareContext(const Matrix& x, const std::vector<int>& labels,
-                    int num_classes, double alpha, RldaContext* context) {
-  const int m = x.rows();
-  const int n = x.cols();
-  const std::vector<int> counts = ClassCounts(labels, num_classes);
-  for (int k = 0; k < num_classes; ++k) {
-    SRDA_CHECK_GT(counts[static_cast<size_t>(k)], 0)
-        << "class " << k << " has no samples";
-  }
-
-  context->mean = ColumnMeans(x);
-  Matrix centered = x;
-  SubtractRowVector(context->mean, &centered);
-
-  context->hd = Matrix(num_classes, n);
+// Class-sum matrix Hd (c x n, S_b = Hd^T Hd) from the centered data.
+Matrix BuildClassSums(const Matrix& centered, const std::vector<int>& labels,
+                      int num_classes, const std::vector<int>& counts) {
+  const int m = centered.rows();
+  const int n = centered.cols();
+  Matrix hd(num_classes, n);
   for (int i = 0; i < m; ++i) {
     const double* row = centered.RowPtr(i);
-    double* h_row = context->hd.RowPtr(labels[static_cast<size_t>(i)]);
+    double* h_row = hd.RowPtr(labels[static_cast<size_t>(i)]);
     for (int j = 0; j < n; ++j) h_row[j] += row[j];
   }
   for (int k = 0; k < num_classes; ++k) {
     const double inv_sqrt = 1.0 / std::sqrt(
         static_cast<double>(counts[static_cast<size_t>(k)]));
-    double* h_row = context->hd.RowPtr(k);
+    double* h_row = hd.RowPtr(k);
     for (int j = 0; j < n; ++j) h_row[j] *= inv_sqrt;
   }
-
-  Matrix st = Gram(centered);
-  AddDiagonal(alpha, &st);
-  return context->chol.Factor(st);
+  return hd;
 }
 
 // Extracts the top eigenpairs (descending) above tolerance, at most c-1.
@@ -70,27 +50,40 @@ int CountDirections(const SymmetricEigenResult& eigen, int num_classes,
 RldaModel FitRlda(const Matrix& x, const std::vector<int>& labels,
                   int num_classes, const RldaOptions& options) {
   SRDA_CHECK_GT(num_classes, 1) << "need at least two classes";
-  SRDA_CHECK_GT(options.alpha, 0.0) << "RLDA requires alpha > 0";
+  SRDA_CHECK_GE(options.alpha, 0.0) << "alpha must be non-negative";
   SRDA_CHECK_EQ(static_cast<int>(labels.size()), x.rows())
       << "label count mismatch";
 
   RldaModel model;
   const int n = x.cols();
 
-  RldaContext context;
-  if (!PrepareContext(x, labels, num_classes, options.alpha, &context)) {
+  const std::vector<int> counts = ClassCounts(labels, num_classes);
+  for (int k = 0; k < num_classes; ++k) {
+    SRDA_CHECK_GT(counts[static_cast<size_t>(k)], 0)
+        << "class " << k << " has no samples";
+  }
+
+  // RLDA needs the n x n scatter factor itself (for the whitening
+  // substitutions below), so the solver is pinned to the primal Gram even
+  // when n > m. Factorization failure means alpha == 0 on rank-deficient
+  // data, reported as converged == false like every other trainer.
+  RidgeSolver solver(&x, GramSide::kPrimal);
+  const Matrix hd = BuildClassSums(solver.centered(), labels, num_classes,
+                                   counts);
+  const Cholesky* chol = solver.FactorAt(options.alpha);
+  if (chol == nullptr) {
     model.converged = false;
     return model;
   }
-  const Matrix& l = context.chol.factor();
+  const Matrix& l = chol->factor();
 
   Matrix projection;
   if (options.exploit_low_rank) {
     // Y = (S_t + alpha I)^{-1} Hd^T (n x c); C = Hd Y (c x c). Eigenvectors
     // q of C give generalized eigenvectors a = Y q; like LDA, directions are
     // left with sqrt(lambda) length (optimal-scoring-equivalent metric).
-    const Matrix y = context.chol.SolveMatrix(context.hd.Transposed());
-    const Matrix c_small = Multiply(context.hd, y);
+    const Matrix y = chol->SolveMatrix(hd.Transposed());
+    const Matrix c_small = Multiply(hd, y);
     const SymmetricEigenResult eigen = SymmetricEigen(c_small);
     if (!eigen.converged) {
       model.converged = false;
@@ -115,7 +108,7 @@ RldaModel FitRlda(const Matrix& x, const std::vector<int>& labels,
     // Form G = Hd L^{-T} (c x n): column-wise forward substitution on Hd^T.
     Matrix g(num_classes, n);
     {
-      const Matrix hd_t = context.hd.Transposed();  // n x c
+      const Matrix hd_t = hd.Transposed();  // n x c
       for (int k = 0; k < num_classes; ++k) {
         const Vector solved = ForwardSubstitute(l, hd_t.Col(k));
         for (int j = 0; j < n; ++j) g(k, j) = solved[j];
@@ -140,7 +133,7 @@ RldaModel FitRlda(const Matrix& x, const std::vector<int>& labels,
   }
 
   Vector bias(model.num_directions);
-  const Vector mean_projected = MultiplyTransposed(projection, context.mean);
+  const Vector mean_projected = MultiplyTransposed(projection, solver.mean());
   for (int d = 0; d < model.num_directions; ++d) {
     bias[d] = -mean_projected[d];
   }

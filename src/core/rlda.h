@@ -22,7 +22,9 @@
 namespace srda {
 
 struct RldaOptions {
-  // Tikhonov regularizer added to the total scatter diagonal.
+  // Tikhonov regularizer added to the total scatter diagonal. alpha == 0 is
+  // accepted but reports converged == false when the scatter is
+  // rank-deficient (same contract as SRDA).
   double alpha = 1.0;
   // Eigenvalues at or below this are treated as zero.
   double eigen_tolerance = 1e-9;

@@ -3,12 +3,11 @@
 #include <cmath>
 
 #include "common/check.h"
-#include "linalg/cholesky.h"
 #include "linalg/gram_schmidt.h"
 #include "linalg/linear_operator.h"
-#include "linalg/lsqr.h"
 #include "linalg/symmetric_eigen.h"
 #include "matrix/blas.h"
+#include "solver/ridge_solver.h"
 
 namespace srda {
 namespace {
@@ -105,11 +104,10 @@ SemiSupervisedSrdaModel FitSemiSupervisedSrda(
     const Matrix& x, const std::vector<int>& labels, int num_classes,
     const SemiSupervisedSrdaOptions& options) {
   const int m = x.rows();
-  const int n = x.cols();
   SRDA_CHECK_GT(num_classes, 1) << "need at least two classes";
   SRDA_CHECK_EQ(static_cast<int>(labels.size()), m) << "label count mismatch";
   SRDA_CHECK_GT(m, 1) << "need at least two samples";
-  SRDA_CHECK_GT(options.alpha, 0.0) << "alpha must be positive";
+  SRDA_CHECK_GE(options.alpha, 0.0) << "alpha must be non-negative";
   SRDA_CHECK_GE(options.graph_weight, 0.0);
 
   SemiSupervisedSrdaModel model;
@@ -125,33 +123,16 @@ SemiSupervisedSrdaModel FitSemiSupervisedSrda(
   if (responses.cols() == 0) return model;
   model.num_directions = responses.cols();
 
-  // Regression step on centered data (identical to supervised SRDA's normal
-  // equations path).
-  const Vector mean = ColumnMeans(x);
-  Matrix centered = x;
-  SubtractRowVector(mean, &centered);
+  // Regression step on implicitly centered data (identical to supervised
+  // SRDA's normal-equations path; the engine picks primal vs dual by shape).
+  // A failed factorization — alpha == 0 on rank-deficient data — leaves
+  // converged == false.
+  RidgeSolver solver(&x);
+  RidgeSolution solution = solver.Solve(responses, options.alpha);
+  if (!solution.ok) return model;
 
-  Matrix projection;
-  Cholesky chol;
-  if (n <= m) {
-    Matrix gram = Gram(centered);
-    AddDiagonal(options.alpha, &gram);
-    if (!chol.Factor(gram)) return model;
-    projection =
-        chol.SolveMatrix(MultiplyTransposedA(centered, responses));
-  } else {
-    Matrix gram = OuterGram(centered);
-    AddDiagonal(options.alpha, &gram);
-    if (!chol.Factor(gram)) return model;
-    projection = MultiplyTransposedA(centered, chol.SolveMatrix(responses));
-  }
-
-  Vector bias(model.num_directions);
-  const Vector mean_projected = MultiplyTransposed(projection, mean);
-  for (int d = 0; d < model.num_directions; ++d) {
-    bias[d] = -mean_projected[d];
-  }
-  model.embedding = LinearEmbedding(std::move(projection), std::move(bias));
+  model.embedding = LinearEmbedding(std::move(solution.coefficients),
+                                    std::move(solution.bias));
   model.converged = true;
   return model;
 }
@@ -160,11 +141,10 @@ SemiSupervisedSrdaModel FitSemiSupervisedSrda(
     const SparseMatrix& x, const std::vector<int>& labels, int num_classes,
     const SemiSupervisedSrdaOptions& options) {
   const int m = x.rows();
-  const int n = x.cols();
   SRDA_CHECK_GT(num_classes, 1) << "need at least two classes";
   SRDA_CHECK_EQ(static_cast<int>(labels.size()), m) << "label count mismatch";
   SRDA_CHECK_GT(m, 1) << "need at least two samples";
-  SRDA_CHECK_GT(options.alpha, 0.0) << "alpha must be positive";
+  SRDA_CHECK_GE(options.alpha, 0.0) << "alpha must be non-negative";
   SRDA_CHECK_GE(options.graph_weight, 0.0);
   SRDA_CHECK_GT(options.lsqr_iterations, 0);
 
@@ -180,22 +160,19 @@ SemiSupervisedSrdaModel FitSemiSupervisedSrda(
   if (responses.cols() == 0) return model;
   model.num_directions = responses.cols();
 
-  // Regression step by damped LSQR against [X 1]: bias absorbed, the sparse
-  // matrix never centered or densified (the paper's Section III-B trick).
+  // Regression step by batched damped LSQR against [X 1]: bias absorbed,
+  // the sparse matrix never centered or densified (the paper's Section
+  // III-B trick), one matrix pass per iteration for all responses.
   const SparseOperator data(&x);
-  const AppendOnesColumnOperator augmented(&data);
-  LsqrOptions lsqr_options;
-  lsqr_options.max_iterations = options.lsqr_iterations;
-  lsqr_options.damp = std::sqrt(options.alpha);
+  RidgeSolver solver(&data, RidgeBias::kAugmentedOnes);
+  RidgeSolveOptions solve_options;
+  solve_options.lsqr_iterations = options.lsqr_iterations;
+  RidgeSolution solution =
+      solver.Solve(responses, options.alpha, solve_options);
+  SRDA_CHECK(solution.ok);
 
-  Matrix projection(n, model.num_directions);
-  Vector bias(model.num_directions);
-  for (int j = 0; j < model.num_directions; ++j) {
-    const LsqrResult result = Lsqr(augmented, responses.Col(j), lsqr_options);
-    for (int i = 0; i < n; ++i) projection(i, j) = result.x[i];
-    bias[j] = result.x[n];
-  }
-  model.embedding = LinearEmbedding(std::move(projection), std::move(bias));
+  model.embedding = LinearEmbedding(std::move(solution.coefficients),
+                                    std::move(solution.bias));
   model.converged = true;
   return model;
 }

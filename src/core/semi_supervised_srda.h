@@ -24,7 +24,9 @@ namespace srda {
 inline constexpr int kUnlabeled = -1;
 
 struct SemiSupervisedSrdaOptions {
-  // Ridge penalty of the regression step.
+  // Ridge penalty of the regression step. alpha == 0 is accepted but the
+  // dense path reports converged == false when the data is rank-deficient
+  // (same contract as SRDA).
   double alpha = 1.0;
   // Relative weight of the unsupervised kNN graph against the label graph.
   double graph_weight = 0.2;

@@ -1,15 +1,12 @@
 #include "core/srda.h"
 
-#include <cmath>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
-#include "common/parallel.h"
 #include "core/responses.h"
-#include "linalg/cholesky.h"
 #include "linalg/linear_operator.h"
-#include "linalg/lsqr.h"
-#include "matrix/blas.h"
+#include "solver/ridge_solver.h"
 
 namespace srda {
 namespace {
@@ -19,141 +16,56 @@ void ValidateOptions(const SrdaOptions& options) {
   SRDA_CHECK_GT(options.lsqr_iterations, 0);
 }
 
-// Dense normal-equations path (Section III-C1). Returns false only if the
-// Cholesky factorization fails (alpha == 0 on rank-deficient data).
-bool SolveNormalEquations(const Matrix& x, const Matrix& responses,
-                          double alpha, Matrix* projection, Vector* bias) {
-  const int m = x.rows();
-  const int n = x.cols();
-  const int d = responses.cols();
-
-  // With responses orthogonal to the ones vector, centering the data makes
-  // the optimal regression bias zero, so we solve on the centered matrix and
-  // fold the mean into the embedding bias afterwards.
-  const Vector mean = ColumnMeans(x);
-  Matrix centered = x;
-  SubtractRowVector(mean, &centered);
-
-  Cholesky chol;
-  if (n <= m) {
-    // Primal: (X^T X + alpha I) A = X^T Y.
-    Matrix gram = Gram(centered);
-    AddDiagonal(alpha, &gram);
-    if (!chol.Factor(gram)) return false;
-    *projection = chol.SolveMatrix(MultiplyTransposedA(centered, responses));
-  } else {
-    // Dual (the paper's Eqn. 21, exact for ridge at any alpha > 0):
-    // A = X^T (X X^T + alpha I)^{-1} Y.
-    Matrix gram = OuterGram(centered);
-    AddDiagonal(alpha, &gram);
-    if (!chol.Factor(gram)) return false;
-    const Matrix dual = chol.SolveMatrix(responses);  // m x d
-    *projection = MultiplyTransposedA(centered, dual);
-  }
-
-  *bias = Vector(d);
-  const Vector mean_projected = MultiplyTransposed(*projection, mean);
-  for (int j = 0; j < d; ++j) (*bias)[j] = -mean_projected[j];
-  return true;
-}
-
-// LSQR path shared by dense and sparse data (Section III-C2). The paper's
-// objective (Eq. 15) regularizes only the projection a, never the bias b,
-// so the damped solve runs against the implicitly centered operator
-// (A - 1 mean^T): the responses are orthogonal to the ones vector, which
-// makes the optimal bias of the centered problem exactly zero, and the
-// embedding bias is recovered as b = -mean^T a afterwards — the same
-// convention as the normal-equations path. The c-1 regressions share only
-// read-only data (operator, mean, responses), so they run in parallel; each
-// solve is the unchanged serial recurrence, keeping results bitwise
-// identical at any thread count.
-void SolveWithLsqr(const LinearOperator& data, const Matrix& responses,
-                   const SrdaOptions& options, Matrix* projection,
-                   Vector* bias, int* total_iterations) {
-  const int m = data.rows();
-  const int n = data.cols();
-  const int d = responses.cols();
-
-  // Column means through the operator itself (A^T 1 / m): works for dense
-  // and sparse data without densifying either.
-  Vector mean = data.ApplyTransposed(Vector(m, 1.0));
-  Scale(1.0 / m, &mean);
-  const CenterColumnsOperator centered(&data, &mean);
-
-  LsqrOptions lsqr_options;
-  lsqr_options.max_iterations = options.lsqr_iterations;
-  lsqr_options.damp = std::sqrt(options.alpha);
-  lsqr_options.atol = options.lsqr_atol;
-  lsqr_options.btol = options.lsqr_btol;
-
-  *projection = Matrix(n, d);
-  *bias = Vector(d);
-  std::vector<int> iterations(static_cast<size_t>(d), 0);
-  Matrix& proj = *projection;
-  Vector& bias_out = *bias;
-  ParallelFor(0, d, [&](int col_begin, int col_end) {
-    for (int j = col_begin; j < col_end; ++j) {
-      const LsqrResult result =
-          Lsqr(centered, responses.Col(j), lsqr_options);
-      iterations[static_cast<size_t>(j)] = result.iterations;
-      for (int i = 0; i < n; ++i) proj(i, j) = result.x[i];
-      bias_out[j] = -Dot(mean, result.x);
-    }
-  });
-  *total_iterations = 0;
-  for (int j = 0; j < d; ++j) {
-    *total_iterations += iterations[static_cast<size_t>(j)];
-  }
-}
-
 }  // namespace
 
-SrdaModel FitSrda(const Matrix& x, const std::vector<int>& labels,
+SrdaModel FitSrda(RidgeSolver* solver, const std::vector<int>& labels,
                   int num_classes, const SrdaOptions& options) {
   ValidateOptions(options);
-  SRDA_CHECK_EQ(static_cast<int>(labels.size()), x.rows())
-      << "label count mismatch";
+  SRDA_CHECK(solver != nullptr);
 
   SrdaModel model;
   const Matrix responses = GenerateSrdaResponses(labels, num_classes);
   model.num_responses = responses.cols();
 
-  Matrix projection;
-  Vector bias;
-  if (options.solver == SrdaSolver::kNormalEquations) {
-    if (!SolveNormalEquations(x, responses, options.alpha, &projection,
-                              &bias)) {
-      model.converged = false;
-      return model;
-    }
-  } else {
-    const DenseOperator data(&x);
-    SolveWithLsqr(data, responses, options, &projection, &bias,
-                  &model.total_lsqr_iterations);
+  RidgeSolveOptions solve_options;
+  solve_options.method = options.solver == SrdaSolver::kNormalEquations
+                             ? RidgeMethod::kNormalEquations
+                             : RidgeMethod::kLsqr;
+  solve_options.lsqr_iterations = options.lsqr_iterations;
+  solve_options.lsqr_atol = options.lsqr_atol;
+  solve_options.lsqr_btol = options.lsqr_btol;
+
+  RidgeSolution solution =
+      solver->Solve(responses, options.alpha, solve_options);
+  if (!solution.ok) {
+    model.converged = false;
+    return model;
   }
-  model.embedding = LinearEmbedding(std::move(projection), std::move(bias));
+  model.total_lsqr_iterations = solution.total_lsqr_iterations;
+  model.embedding = LinearEmbedding(std::move(solution.coefficients),
+                                    std::move(solution.bias));
   model.converged = true;
   return model;
+}
+
+SrdaModel FitSrda(const Matrix& x, const std::vector<int>& labels,
+                  int num_classes, const SrdaOptions& options) {
+  SRDA_CHECK_EQ(static_cast<int>(labels.size()), x.rows())
+      << "label count mismatch";
+  RidgeSolver solver(&x);
+  return FitSrda(&solver, labels, num_classes, options);
 }
 
 SrdaModel FitSrda(const SparseMatrix& x, const std::vector<int>& labels,
                   int num_classes, const SrdaOptions& options) {
-  ValidateOptions(options);
   SRDA_CHECK_EQ(static_cast<int>(labels.size()), x.rows())
       << "label count mismatch";
-
-  SrdaModel model;
-  const Matrix responses = GenerateSrdaResponses(labels, num_classes);
-  model.num_responses = responses.cols();
-
-  Matrix projection;
-  Vector bias;
   const SparseOperator data(&x);
-  SolveWithLsqr(data, responses, options, &projection, &bias,
-                &model.total_lsqr_iterations);
-  model.embedding = LinearEmbedding(std::move(projection), std::move(bias));
-  model.converged = true;
-  return model;
+  RidgeSolver solver(&data);
+  // Sparse data always trains matrix-free, whatever options.solver says.
+  SrdaOptions adjusted = options;
+  adjusted.solver = SrdaSolver::kLsqr;
+  return FitSrda(&solver, labels, num_classes, adjusted);
 }
 
 }  // namespace srda

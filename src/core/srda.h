@@ -18,6 +18,11 @@
 // densified. The c-1 independent regressions and the underlying kernels run
 // on the parallel execution layer (common/parallel.h) with results bitwise
 // independent of the thread count.
+//
+// Both solves are delegated to the shared RidgeSolver engine
+// (solver/ridge_solver.h). The solver-taking overload below exposes the
+// engine's Gram cache: bind one solver to the training data and sweep the
+// alpha grid at factor-only cost per point (model selection, Figure 5).
 
 #ifndef SRDA_CORE_SRDA_H_
 #define SRDA_CORE_SRDA_H_
@@ -26,6 +31,7 @@
 
 #include "core/embedding.h"
 #include "matrix/matrix.h"
+#include "solver/ridge_solver.h"
 #include "sparse/sparse_matrix.h"
 
 namespace srda {
@@ -65,6 +71,14 @@ SrdaModel FitSrda(const Matrix& x, const std::vector<int>& labels,
 // Trains SRDA on sparse data with LSQR; the data matrix is only touched
 // through A*x / A^T*x products.
 SrdaModel FitSrda(const SparseMatrix& x, const std::vector<int>& labels,
+                  int num_classes, const SrdaOptions& options = {});
+
+// Trains SRDA through a caller-provided RidgeSolver already bound to the
+// training data. Consecutive calls with different alphas reuse the solver's
+// cached Gram, so an alpha sweep pays only one Cholesky refactorization per
+// grid point. The solver must be bound to the same samples the labels
+// describe.
+SrdaModel FitSrda(RidgeSolver* solver, const std::vector<int>& labels,
                   int num_classes, const SrdaOptions& options = {});
 
 }  // namespace srda

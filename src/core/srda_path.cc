@@ -1,34 +1,24 @@
 #include "core/srda_path.h"
 
-#include <cmath>
+#include <memory>
+#include <utility>
 
 #include "common/check.h"
 #include "core/responses.h"
-#include "linalg/svd.h"
-#include "matrix/blas.h"
 
 namespace srda {
 
 bool SrdaRegularizationPath::Fit(const Matrix& x,
                                  const std::vector<int>& labels,
-                                 int num_classes,
-                                 const SrdaPathOptions& options) {
+                                 int num_classes) {
   SRDA_CHECK_EQ(static_cast<int>(labels.size()), x.rows())
       << "label count mismatch";
   fitted_ = false;
+  solver_.reset();  // must not outlive the old x_
 
-  const Matrix responses = GenerateSrdaResponses(labels, num_classes);
-
-  mean_ = ColumnMeans(x);
-  Matrix centered = x;
-  SubtractRowVector(mean_, &centered);
-
-  const SvdResult svd = ThinSvd(centered, options.svd_rank_tolerance);
-  if (!svd.converged || svd.rank == 0) return false;
-  rank_ = svd.rank;
-  v_ = svd.v;
-  singular_values_ = svd.singular_values;
-  projected_ = MultiplyTransposedA(svd.u, responses);  // r x (c-1)
+  responses_ = GenerateSrdaResponses(labels, num_classes);
+  x_ = x;
+  solver_ = std::make_unique<RidgeSolver>(&x_);
   fitted_ = true;
   return true;
 }
@@ -37,21 +27,10 @@ LinearEmbedding SrdaRegularizationPath::EmbeddingAt(double alpha) const {
   SRDA_CHECK(fitted_) << "EmbeddingAt before a successful Fit";
   SRDA_CHECK_GE(alpha, 0.0) << "alpha must be non-negative";
 
-  // Filtered coefficients in the SVD basis: s / (s^2 + alpha) per direction.
-  Matrix filtered = projected_;
-  for (int k = 0; k < rank_; ++k) {
-    const double s = singular_values_[k];
-    const double factor = s / (s * s + alpha);
-    SRDA_CHECK(std::isfinite(factor))
-        << "alpha == 0 on rank-deficient data";
-    for (int j = 0; j < filtered.cols(); ++j) filtered(k, j) *= factor;
-  }
-  Matrix projection = Multiply(v_, filtered);  // n x (c-1)
-
-  Vector bias(projection.cols());
-  const Vector mean_projected = MultiplyTransposed(projection, mean_);
-  for (int j = 0; j < bias.size(); ++j) bias[j] = -mean_projected[j];
-  return LinearEmbedding(std::move(projection), std::move(bias));
+  RidgeSolution solution = solver_->Solve(responses_, alpha);
+  SRDA_CHECK(solution.ok) << "alpha == 0 on rank-deficient data";
+  return LinearEmbedding(std::move(solution.coefficients),
+                         std::move(solution.bias));
 }
 
 }  // namespace srda

@@ -1,57 +1,52 @@
 // SRDA regularization path: solutions for a whole grid of ridge parameters
-// from a single SVD.
+// from one cached Gram factorization base.
 //
 // Figure 5 of the paper sweeps alpha over a grid and retrains SRDA at every
-// point. With the thin SVD Xc = U S V^T computed once, the ridge solution
-// for ANY alpha is
-//
-//   A(alpha) = V diag(s_k / (s_k^2 + alpha)) U^T Ybar,
-//
-// so each additional alpha costs only O(t * (c-1)) after the O(m n t)
-// factorization — the whole Figure 5 curve for roughly the price of one
-// training run.
+// point. The alpha-independent work — centering and the Gram product X̄ᵀX̄
+// (or the dual X̄X̄ᵀ) — is computed once at Fit time and cached inside a
+// RidgeSolver; every EmbeddingAt(alpha) then costs one Cholesky
+// refactorization plus back-substitutions (§III-C: the O(m n²) Gram build
+// dominates the O(n³/3) factor at paper shapes, so the whole Figure 5 curve
+// comes out close to the price of one training run).
 
 #ifndef SRDA_CORE_SRDA_PATH_H_
 #define SRDA_CORE_SRDA_PATH_H_
 
+#include <memory>
 #include <vector>
 
 #include "core/embedding.h"
 #include "matrix/matrix.h"
+#include "solver/ridge_solver.h"
 
 namespace srda {
 
-struct SrdaPathOptions {
-  // Relative truncation threshold for the data SVD.
-  double svd_rank_tolerance = 1e-10;
-};
-
-// Precomputes the SVD of the centered data and the projected responses, then
-// produces the exact primal-ridge SRDA embedding for any alpha on demand.
+// Precomputes the responses and the solver's Gram cache, then produces the
+// exact ridge SRDA embedding for any alpha on demand. Because EmbeddingAt
+// reuses and refreshes the internal factor cache, instances are not
+// thread-safe; share one per thread instead.
 class SrdaRegularizationPath {
  public:
   SrdaRegularizationPath() = default;
+  SrdaRegularizationPath(const SrdaRegularizationPath&) = delete;
+  SrdaRegularizationPath& operator=(const SrdaRegularizationPath&) = delete;
 
-  // Factorizes the problem. Returns false if the SVD fails (practically
-  // never) — the object is unusable then.
-  bool Fit(const Matrix& x, const std::vector<int>& labels, int num_classes,
-           const SrdaPathOptions& options = {});
+  // Copies the data and generates the responses; the Gram cache is built on
+  // the first EmbeddingAt call and reused by all subsequent ones. Always
+  // returns true (argument misuse aborts via SRDA_CHECK).
+  bool Fit(const Matrix& x, const std::vector<int>& labels, int num_classes);
 
   bool fitted() const { return fitted_; }
 
-  // The embedding at ridge parameter `alpha` > 0 (or alpha == 0 if the data
-  // has full column rank). Equal to FitSrda's normal-equations solution.
+  // The embedding at ridge parameter `alpha` >= 0. Bitwise equal to
+  // FitSrda's normal-equations solution at the same alpha; aborts if
+  // alpha == 0 makes the regularized Gram singular (rank-deficient data).
   LinearEmbedding EmbeddingAt(double alpha) const;
 
-  // Rank of the centered data used by the factorization.
-  int data_rank() const { return rank_; }
-
  private:
-  Matrix v_;                 // n x r right singular vectors
-  Vector singular_values_;   // r
-  Matrix projected_;         // r x (c-1): U^T Ybar
-  Vector mean_;              // feature means
-  int rank_ = 0;
+  Matrix x_;          // owned copy the solver is bound to
+  Matrix responses_;  // m x (c-1)
+  mutable std::unique_ptr<RidgeSolver> solver_;
   bool fitted_ = false;
 };
 

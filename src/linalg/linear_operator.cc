@@ -5,6 +5,20 @@
 
 namespace srda {
 
+Matrix LinearOperator::ApplyMulti(const Matrix& x) const {
+  SRDA_CHECK_EQ(x.rows(), cols()) << "A*X shape mismatch";
+  Matrix y(rows(), x.cols());
+  for (int j = 0; j < x.cols(); ++j) y.SetCol(j, Apply(x.Col(j)));
+  return y;
+}
+
+Matrix LinearOperator::ApplyTransposedMulti(const Matrix& x) const {
+  SRDA_CHECK_EQ(x.rows(), rows()) << "A^T*X shape mismatch";
+  Matrix y(cols(), x.cols());
+  for (int j = 0; j < x.cols(); ++j) y.SetCol(j, ApplyTransposed(x.Col(j)));
+  return y;
+}
+
 DenseOperator::DenseOperator(const Matrix* matrix) : matrix_(matrix) {
   SRDA_CHECK(matrix != nullptr);
 }
@@ -20,6 +34,16 @@ Vector DenseOperator::ApplyTransposed(const Vector& x) const {
   return MultiplyTransposed(*matrix_, x);
 }
 
+Matrix DenseOperator::ApplyMulti(const Matrix& x) const {
+  // The blocked GEMM folds each output element's k-terms in one ascending
+  // chain, exactly like the gemv dot product, so columns match Apply bitwise.
+  return Multiply(*matrix_, x);
+}
+
+Matrix DenseOperator::ApplyTransposedMulti(const Matrix& x) const {
+  return MultiplyTransposedA(*matrix_, x);
+}
+
 SparseOperator::SparseOperator(const SparseMatrix* matrix) : matrix_(matrix) {
   SRDA_CHECK(matrix != nullptr);
 }
@@ -33,6 +57,14 @@ Vector SparseOperator::Apply(const Vector& x) const {
 
 Vector SparseOperator::ApplyTransposed(const Vector& x) const {
   return matrix_->MultiplyTransposed(x);
+}
+
+Matrix SparseOperator::ApplyMulti(const Matrix& x) const {
+  return matrix_->MultiplyDense(x);
+}
+
+Matrix SparseOperator::ApplyTransposedMulti(const Matrix& x) const {
+  return matrix_->MultiplyTransposedDense(x);
 }
 
 CenterColumnsOperator::CenterColumnsOperator(const LinearOperator* base,
@@ -65,6 +97,44 @@ Vector CenterColumnsOperator::ApplyTransposed(const Vector& x) const {
   return y;
 }
 
+Matrix CenterColumnsOperator::ApplyMulti(const Matrix& x) const {
+  SRDA_CHECK_EQ(x.rows(), cols()) << "(A - 1 mean^T)*X shape mismatch";
+  Matrix y = base_->ApplyMulti(x);
+  const int d = x.cols();
+  // Per-column shifts accumulate over features in ascending order — the
+  // same chain as Dot(mean, x_j) in the single-vector path.
+  Vector shifts(d);
+  double* ps = shifts.data();
+  const double* pm = mean_->data();
+  for (int f = 0; f < x.rows(); ++f) {
+    const double* xrow = x.RowPtr(f);
+    for (int j = 0; j < d; ++j) ps[j] += pm[f] * xrow[j];
+  }
+  for (int i = 0; i < y.rows(); ++i) {
+    double* yrow = y.RowPtr(i);
+    for (int j = 0; j < d; ++j) yrow[j] -= ps[j];
+  }
+  return y;
+}
+
+Matrix CenterColumnsOperator::ApplyTransposedMulti(const Matrix& x) const {
+  SRDA_CHECK_EQ(x.rows(), rows()) << "(A - 1 mean^T)^T*X shape mismatch";
+  Matrix y = base_->ApplyTransposedMulti(x);
+  const int d = x.cols();
+  Vector ones_dot(d);
+  double* po = ones_dot.data();
+  for (int i = 0; i < x.rows(); ++i) {
+    const double* xrow = x.RowPtr(i);
+    for (int j = 0; j < d; ++j) po[j] += xrow[j];
+  }
+  const double* pm = mean_->data();
+  for (int f = 0; f < y.rows(); ++f) {
+    double* yrow = y.RowPtr(f);
+    for (int j = 0; j < d; ++j) yrow[j] -= po[j] * pm[f];
+  }
+  return y;
+}
+
 AppendOnesColumnOperator::AppendOnesColumnOperator(const LinearOperator* base)
     : base_(base) {
   SRDA_CHECK(base != nullptr);
@@ -92,6 +162,37 @@ Vector AppendOnesColumnOperator::ApplyTransposed(const Vector& x) const {
   Vector y(cols());
   for (int j = 0; j < base_y.size(); ++j) y[j] = base_y[j];
   y[base_->cols()] = ones_dot;
+  return y;
+}
+
+Matrix AppendOnesColumnOperator::ApplyMulti(const Matrix& x) const {
+  SRDA_CHECK_EQ(x.rows(), cols()) << "[A 1]*X shape mismatch";
+  const int d = x.cols();
+  const Matrix base_x = x.Block(0, 0, base_->cols(), d);
+  const double* bias = x.RowPtr(base_->cols());
+  Matrix y = base_->ApplyMulti(base_x);
+  for (int i = 0; i < y.rows(); ++i) {
+    double* yrow = y.RowPtr(i);
+    for (int j = 0; j < d; ++j) yrow[j] += bias[j];
+  }
+  return y;
+}
+
+Matrix AppendOnesColumnOperator::ApplyTransposedMulti(const Matrix& x) const {
+  SRDA_CHECK_EQ(x.rows(), rows()) << "[A 1]^T*X shape mismatch";
+  const int d = x.cols();
+  const Matrix base_y = base_->ApplyTransposedMulti(x);
+  Matrix y(cols(), d);
+  for (int j2 = 0; j2 < base_y.rows(); ++j2) {
+    const double* src = base_y.RowPtr(j2);
+    double* dst = y.RowPtr(j2);
+    for (int j = 0; j < d; ++j) dst[j] = src[j];
+  }
+  double* last = y.RowPtr(base_->cols());
+  for (int i = 0; i < x.rows(); ++i) {
+    const double* xrow = x.RowPtr(i);
+    for (int j = 0; j < d; ++j) last[j] += xrow[j];
+  }
   return y;
 }
 

@@ -17,6 +17,12 @@ namespace srda {
 
 // Interface for an m x n linear map. Implementations must be thread-
 // compatible (const methods only read).
+//
+// The multi-RHS products ApplyMulti / ApplyTransposedMulti exist so batched
+// solvers (LsqrBatch) can make one pass over the underlying data for all
+// right-hand sides. Overrides must keep each output column bitwise identical
+// to the corresponding single-vector product — the default implementations
+// guarantee this by delegating column by column.
 class LinearOperator {
  public:
   virtual ~LinearOperator() = default;
@@ -29,6 +35,14 @@ class LinearOperator {
 
   // y = A^T * x; x.size() == rows(), result.size() == cols().
   virtual Vector ApplyTransposed(const Vector& x) const = 0;
+
+  // Y = A * X; X is cols() x k, result is rows() x k. Column j of the
+  // result is bitwise equal to Apply(column j of X).
+  virtual Matrix ApplyMulti(const Matrix& x) const;
+
+  // Y = A^T * X; X is rows() x k, result is cols() x k. Column j of the
+  // result is bitwise equal to ApplyTransposed(column j of X).
+  virtual Matrix ApplyTransposedMulti(const Matrix& x) const;
 };
 
 // Wraps a dense matrix (not owned; must outlive the operator).
@@ -40,6 +54,8 @@ class DenseOperator final : public LinearOperator {
   int cols() const override;
   Vector Apply(const Vector& x) const override;
   Vector ApplyTransposed(const Vector& x) const override;
+  Matrix ApplyMulti(const Matrix& x) const override;
+  Matrix ApplyTransposedMulti(const Matrix& x) const override;
 
  private:
   const Matrix* matrix_;
@@ -54,6 +70,8 @@ class SparseOperator final : public LinearOperator {
   int cols() const override;
   Vector Apply(const Vector& x) const override;
   Vector ApplyTransposed(const Vector& x) const override;
+  Matrix ApplyMulti(const Matrix& x) const override;
+  Matrix ApplyTransposedMulti(const Matrix& x) const override;
 
  private:
   const SparseMatrix* matrix_;
@@ -74,6 +92,8 @@ class CenterColumnsOperator final : public LinearOperator {
   int cols() const override;
   Vector Apply(const Vector& x) const override;
   Vector ApplyTransposed(const Vector& x) const override;
+  Matrix ApplyMulti(const Matrix& x) const override;
+  Matrix ApplyTransposedMulti(const Matrix& x) const override;
 
  private:
   const LinearOperator* base_;
@@ -94,6 +114,8 @@ class AppendOnesColumnOperator final : public LinearOperator {
   int cols() const override;  // base->cols() + 1
   Vector Apply(const Vector& x) const override;
   Vector ApplyTransposed(const Vector& x) const override;
+  Matrix ApplyMulti(const Matrix& x) const override;
+  Matrix ApplyTransposedMulti(const Matrix& x) const override;
 
  private:
   const LinearOperator* base_;

@@ -8,7 +8,10 @@
 #ifndef SRDA_LINALG_LSQR_H_
 #define SRDA_LINALG_LSQR_H_
 
+#include <vector>
+
 #include "linalg/linear_operator.h"
+#include "matrix/matrix.h"
 #include "matrix/vector.h"
 
 namespace srda {
@@ -39,6 +42,17 @@ struct LsqrResult {
 // b.size() must equal a.rows(); the solution has a.cols() entries.
 LsqrResult Lsqr(const LinearOperator& a, const Vector& b,
                 const LsqrOptions& options = {});
+
+// Batched multi-RHS LSQR: solves the damped problem independently for every
+// column of b (a.rows() x d), sharing the operator passes — one ApplyMulti
+// and one ApplyTransposedMulti per iteration cover all still-active columns,
+// so sparse data is traversed once per iteration instead of once per RHS.
+// The per-column scalar recurrences run on the thread pool. Column j's
+// result is bitwise identical to Lsqr(a, column j of b, options): each
+// column follows exactly the serial recurrence, and columns that hit a
+// stopping rule are frozen and dropped from subsequent passes.
+std::vector<LsqrResult> LsqrBatch(const LinearOperator& a, const Matrix& b,
+                                  const LsqrOptions& options = {});
 
 }  // namespace srda
 

@@ -1,0 +1,216 @@
+#include "solver/ridge_solver.h"
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "linalg/lsqr.h"
+#include "matrix/blas.h"
+
+namespace srda {
+
+RidgeSolver::RidgeSolver(const Matrix* x, GramSide side) {
+  SRDA_CHECK(x != nullptr);
+  binding_ = Binding::kDense;
+  x_ = x;
+  side_ = side;
+}
+
+RidgeSolver::RidgeSolver(const LinearOperator* data, RidgeBias bias) {
+  SRDA_CHECK(data != nullptr);
+  binding_ = Binding::kOperator;
+  operator_ = data;
+  bias_mode_ = bias;
+}
+
+RidgeSolver RidgeSolver::FromGram(Matrix gram) {
+  SRDA_CHECK_EQ(gram.rows(), gram.cols()) << "Gram base must be square";
+  RidgeSolver solver;
+  solver.binding_ = Binding::kGram;
+  solver.gram_ = std::move(gram);
+  solver.gram_ready_ = true;
+  return solver;
+}
+
+void RidgeSolver::PrepareDense() {
+  SRDA_CHECK(binding_ == Binding::kDense)
+      << "dense data accessor on a non-dense-bound solver";
+  if (dense_ready_) return;
+  mean_ = ColumnMeans(*x_);
+  centered_ = *x_;
+  SubtractRowVector(mean_, &centered_);
+  switch (side_) {
+    case GramSide::kAuto:
+      use_primal_ = x_->cols() <= x_->rows();
+      break;
+    case GramSide::kPrimal:
+      use_primal_ = true;
+      break;
+    case GramSide::kDual:
+      use_primal_ = false;
+      break;
+  }
+  dense_ready_ = true;
+}
+
+const Matrix& RidgeSolver::GramBase() {
+  if (gram_ready_) return gram_;
+  PrepareDense();
+  gram_ = use_primal_ ? Gram(centered_) : OuterGram(centered_);
+  gram_ready_ = true;
+  return gram_;
+}
+
+const Cholesky* RidgeSolver::FactorAt(double alpha) {
+  SRDA_CHECK(binding_ != Binding::kOperator)
+      << "FactorAt needs a dense- or Gram-bound solver";
+  SRDA_CHECK_GE(alpha, 0.0) << "alpha must be non-negative";
+  if (factor_ready_ && factor_alpha_ == alpha) {
+    return factor_ok_ ? &chol_ : nullptr;
+  }
+  Matrix shifted = GramBase();
+  AddDiagonal(alpha, &shifted);
+  factor_ok_ = chol_.Factor(shifted);
+  factor_alpha_ = alpha;
+  factor_ready_ = true;
+  return factor_ok_ ? &chol_ : nullptr;
+}
+
+const Vector& RidgeSolver::mean() {
+  PrepareDense();
+  return mean_;
+}
+
+const Matrix& RidgeSolver::centered() {
+  PrepareDense();
+  return centered_;
+}
+
+RidgeSolution RidgeSolver::Solve(const Matrix& responses, double alpha,
+                                 const RidgeSolveOptions& options) {
+  SRDA_CHECK_GE(alpha, 0.0) << "alpha must be non-negative";
+  RidgeMethod method = options.method;
+  if (method == RidgeMethod::kAuto) {
+    method = binding_ == Binding::kOperator ? RidgeMethod::kLsqr
+                                            : RidgeMethod::kNormalEquations;
+  }
+  if (method == RidgeMethod::kNormalEquations) {
+    SRDA_CHECK(binding_ != Binding::kOperator)
+        << "normal equations need dense or Gram-bound data";
+    if (binding_ == Binding::kGram) {
+      SRDA_CHECK_EQ(responses.rows(), gram_.rows())
+          << "response count mismatch";
+      RidgeSolution solution;
+      const Cholesky* chol = FactorAt(alpha);
+      if (chol == nullptr) return solution;
+      solution.coefficients = chol->SolveMatrix(responses);
+      solution.ok = true;
+      return solution;
+    }
+    return SolveNormalEquations(responses, alpha);
+  }
+  SRDA_CHECK(binding_ != Binding::kGram)
+      << "LSQR needs dense- or operator-bound data";
+  return SolveLsqr(responses, alpha, options);
+}
+
+// Dense normal-equations path (Section III-C1): primal
+// (X̄ᵀX̄ + alpha I) A = X̄ᵀY, or the exact dual A = X̄ᵀ(X̄X̄ᵀ + alpha I)⁻¹Y
+// when the solver was sided that way. With responses orthogonal to the ones
+// vector, centering makes the optimal regression bias zero; the embedding
+// bias folds the mean back in as b = -meanᵀ a.
+RidgeSolution RidgeSolver::SolveNormalEquations(const Matrix& responses,
+                                                double alpha) {
+  PrepareDense();
+  SRDA_CHECK_EQ(responses.rows(), x_->rows()) << "response count mismatch";
+  RidgeSolution solution;
+  const Cholesky* chol = FactorAt(alpha);
+  if (chol == nullptr) return solution;
+
+  if (use_primal_) {
+    solution.coefficients =
+        chol->SolveMatrix(MultiplyTransposedA(centered_, responses));
+  } else {
+    solution.coefficients =
+        MultiplyTransposedA(centered_, chol->SolveMatrix(responses));
+  }
+
+  const int d = responses.cols();
+  solution.bias = Vector(d);
+  const Vector mean_projected =
+      MultiplyTransposed(solution.coefficients, mean_);
+  for (int j = 0; j < d; ++j) solution.bias[j] = -mean_projected[j];
+  solution.ok = true;
+  return solution;
+}
+
+// Matrix-free path (Section III-C2): batched damped LSQR with
+// damp = sqrt(alpha), one operator pass per iteration for all responses.
+RidgeSolution RidgeSolver::SolveLsqr(const Matrix& responses, double alpha,
+                                     const RidgeSolveOptions& options) {
+  SRDA_CHECK_GT(options.lsqr_iterations, 0);
+  const LinearOperator* data = operator_;
+  if (binding_ == Binding::kDense) {
+    if (dense_operator_ == nullptr) {
+      dense_operator_ = std::make_unique<DenseOperator>(x_);
+    }
+    data = dense_operator_.get();
+  }
+  SRDA_CHECK_EQ(responses.rows(), data->rows()) << "response count mismatch";
+
+  const int m = data->rows();
+  const int n = data->cols();
+  const int d = responses.cols();
+
+  LsqrOptions lsqr_options;
+  lsqr_options.max_iterations = options.lsqr_iterations;
+  lsqr_options.damp = std::sqrt(alpha);
+  lsqr_options.atol = options.lsqr_atol;
+  lsqr_options.btol = options.lsqr_btol;
+
+  RidgeSolution solution;
+  solution.coefficients = Matrix(n, d);
+
+  std::vector<LsqrResult> results;
+  if (bias_mode_ == RidgeBias::kImplicitCentering) {
+    if (!operator_mean_ready_) {
+      // Column means through the operator itself (A^T 1 / m): works for
+      // dense and sparse data without densifying either.
+      operator_mean_ = data->ApplyTransposed(Vector(m, 1.0));
+      Scale(1.0 / m, &operator_mean_);
+      operator_mean_ready_ = true;
+    }
+    const CenterColumnsOperator centered(data, &operator_mean_);
+    results = LsqrBatch(centered, responses, lsqr_options);
+    solution.bias = Vector(d);
+    for (int j = 0; j < d; ++j) {
+      const LsqrResult& result = results[static_cast<size_t>(j)];
+      for (int i = 0; i < n; ++i) solution.coefficients(i, j) = result.x[i];
+      solution.bias[j] = -Dot(operator_mean_, result.x);
+    }
+  } else if (bias_mode_ == RidgeBias::kAugmentedOnes) {
+    const AppendOnesColumnOperator augmented(data);
+    results = LsqrBatch(augmented, responses, lsqr_options);
+    solution.bias = Vector(d);
+    for (int j = 0; j < d; ++j) {
+      const LsqrResult& result = results[static_cast<size_t>(j)];
+      for (int i = 0; i < n; ++i) solution.coefficients(i, j) = result.x[i];
+      solution.bias[j] = result.x[n];
+    }
+  } else {
+    results = LsqrBatch(*data, responses, lsqr_options);
+    for (int j = 0; j < d; ++j) {
+      const LsqrResult& result = results[static_cast<size_t>(j)];
+      for (int i = 0; i < n; ++i) solution.coefficients(i, j) = result.x[i];
+    }
+  }
+
+  for (int j = 0; j < d; ++j) {
+    solution.total_lsqr_iterations += results[static_cast<size_t>(j)].iterations;
+  }
+  solution.ok = true;
+  return solution;
+}
+
+}  // namespace srda

@@ -1,0 +1,170 @@
+// Shared ridge-regression engine behind every discriminant trainer.
+//
+// Theorem 1 of the paper reduces each discriminant variant to "spectral
+// responses + regularized least squares"; this layer owns that second step so
+// the trainers stop carrying private Gram/Cholesky/LSQR loops. A RidgeSolver
+// binds to one description of the data — a dense matrix, a matrix-free
+// LinearOperator, or a precomputed SPD Gram — and solves
+//
+//   min_A ||X A - Y||^2 + alpha ||A||^2        (all responses at once)
+//
+// for any number of alphas. The expensive, alpha-independent work (column
+// means, centering, the Gram product X̄ᵀX̄ or X̄X̄ᵀ) is computed once and
+// cached inside the solver, so an alpha sweep pays only one Cholesky
+// refactorization per grid point (the paper's §III-C / Fig. 5 amortization).
+//
+// Determinism contract: every path reuses the repo's bitwise-deterministic
+// kernels, and the batched LSQR path reproduces the serial per-column
+// recurrence exactly, so results are bitwise identical to the pre-refactor
+// per-trainer solves at any thread count.
+
+#ifndef SRDA_SOLVER_RIDGE_SOLVER_H_
+#define SRDA_SOLVER_RIDGE_SOLVER_H_
+
+#include <memory>
+
+#include "linalg/cholesky.h"
+#include "linalg/linear_operator.h"
+#include "matrix/matrix.h"
+#include "matrix/vector.h"
+
+namespace srda {
+
+// How the solver treats the affine bias of the regression y ~ A a + b.
+enum class RidgeBias {
+  // No bias: solve against the operator exactly as given.
+  kNone,
+  // Solve on the implicitly centered data (A - 1 meanᵀ) and recover
+  // b = -meanᵀ a. This keeps the bias out of the ridge penalty — the
+  // paper's Eq. 15 convention — and is what SRDA uses on both paths.
+  kImplicitCentering,
+  // Solve on [A 1]; the bias is the trailing coefficient. Kept for the
+  // semi-supervised sparse path (note the damping then also penalizes the
+  // bias, which kImplicitCentering avoids).
+  kAugmentedOnes,
+};
+
+// Which solve algorithm Solve() runs.
+enum class RidgeMethod {
+  // Normal equations for dense-bound and Gram-bound solvers, LSQR for
+  // operator-bound ones.
+  kAuto,
+  kNormalEquations,
+  kLsqr,
+};
+
+// Which Gram product a dense-bound solver caches for the normal equations.
+enum class GramSide {
+  kAuto,    // primal n x n when n <= m, else the dual m x m (Eqn. 21)
+  kPrimal,  // force X̄ᵀX̄ (RLDA needs the n x n scatter factor itself)
+  kDual,    // force X̄X̄ᵀ
+};
+
+struct RidgeSolveOptions {
+  RidgeMethod method = RidgeMethod::kAuto;
+  // LSQR iteration cap and early-stopping tolerances (LSQR path only).
+  int lsqr_iterations = 20;
+  double lsqr_atol = 1e-10;
+  double lsqr_btol = 1e-10;
+};
+
+struct RidgeSolution {
+  // False only when the Cholesky factorization failed (alpha == 0 on
+  // rank-deficient data); the other fields are then empty.
+  bool ok = false;
+  // n x k ridge coefficients, one column per response.
+  Matrix coefficients;
+  // k bias entries; empty under RidgeBias::kNone and for Gram-bound solvers.
+  Vector bias;
+  // Total LSQR iterations across all responses (0 on the direct paths).
+  int total_lsqr_iterations = 0;
+};
+
+// One instance per training-data binding. Solve() may be called repeatedly
+// with different alphas and responses; the Gram and the last Cholesky factor
+// are cached across calls. Movable but not copyable; not thread-safe (the
+// caches mutate). The bound matrix/operator is not owned and must outlive
+// the solver.
+class RidgeSolver {
+ public:
+  // Binds dense data (rows are samples) with implicit centering. Normal
+  // equations by default; RidgeMethod::kLsqr runs the matrix-free path on
+  // the same data.
+  explicit RidgeSolver(const Matrix* x, GramSide side = GramSide::kAuto);
+
+  // Binds a matrix-free operator; Solve() always runs batched LSQR.
+  explicit RidgeSolver(const LinearOperator* data,
+                       RidgeBias bias = RidgeBias::kImplicitCentering);
+
+  // Binds a precomputed SPD base matrix G; Solve() returns
+  // (G + alpha I)^{-1} Y with G cached across alphas. Used by the kernel
+  // trainers (KSRDA: G = K; KDA: G = K K + alpha K, shifted by epsilon).
+  static RidgeSolver FromGram(Matrix gram);
+
+  RidgeSolver(RidgeSolver&&) = default;
+  RidgeSolver& operator=(RidgeSolver&&) = default;
+  RidgeSolver(const RidgeSolver&) = delete;
+  RidgeSolver& operator=(const RidgeSolver&) = delete;
+
+  // Solves the ridge problem for every column of `responses` at `alpha`.
+  RidgeSolution Solve(const Matrix& responses, double alpha,
+                      const RidgeSolveOptions& options = {});
+
+  // Cholesky factor of (base + alpha I) where base is the cached Gram.
+  // Returns nullptr if the factorization fails; the factor is cached, so
+  // repeated calls at the same alpha are free. Dense- and Gram-bound
+  // solvers only. The pointer is invalidated by the next FactorAt/Solve
+  // with a different alpha.
+  const Cholesky* FactorAt(double alpha);
+
+  // Column means of the bound dense data (dense-bound solvers only).
+  const Vector& mean();
+
+  // The centered copy X̄ = X - 1 meanᵀ (dense-bound solvers only). RLDA
+  // builds its class-sum matrix from this.
+  const Matrix& centered();
+
+ private:
+  enum class Binding { kDense, kOperator, kGram };
+
+  RidgeSolver() = default;
+
+  void PrepareDense();
+  const Matrix& GramBase();
+  RidgeSolution SolveNormalEquations(const Matrix& responses, double alpha);
+  RidgeSolution SolveLsqr(const Matrix& responses, double alpha,
+                          const RidgeSolveOptions& options);
+
+  Binding binding_ = Binding::kGram;
+  const Matrix* x_ = nullptr;
+  const LinearOperator* operator_ = nullptr;
+  RidgeBias bias_mode_ = RidgeBias::kImplicitCentering;
+  GramSide side_ = GramSide::kAuto;
+
+  // Dense-binding caches (built on first use).
+  bool dense_ready_ = false;
+  Vector mean_;
+  Matrix centered_;
+  bool use_primal_ = true;
+
+  // The alpha-independent Gram base (X̄ᵀX̄, X̄X̄ᵀ, or the user's G).
+  bool gram_ready_ = false;
+  Matrix gram_;
+
+  // Last Cholesky factor of (gram_ + alpha I).
+  bool factor_ready_ = false;
+  double factor_alpha_ = 0.0;
+  bool factor_ok_ = false;
+  Cholesky chol_;
+
+  // LSQR-path caches: the operator view of dense data and the column means
+  // computed through the operator (A^T 1 / m), matching the historical
+  // matrix-free arithmetic bit for bit.
+  std::unique_ptr<DenseOperator> dense_operator_;
+  bool operator_mean_ready_ = false;
+  Vector operator_mean_;
+};
+
+}  // namespace srda
+
+#endif  // SRDA_SOLVER_RIDGE_SOLVER_H_

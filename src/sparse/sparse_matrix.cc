@@ -117,6 +117,62 @@ Matrix SparseMatrix::MultiplyDense(const Matrix& b) const {
   return c;
 }
 
+Matrix SparseMatrix::MultiplyTransposedDense(const Matrix& b) const {
+  SRDA_CHECK_EQ(b.rows(), rows_) << "sparse A^T*B shape mismatch";
+  const int d = b.cols();
+  const int num_chunks = FixedChunkCount(rows_, kTransposeChunkRows);
+  if (num_chunks <= 1) {
+    Matrix y(cols_, d);
+    for (int i = 0; i < rows_; ++i) {
+      const double* brow = b.RowPtr(i);
+      const int64_t begin = row_offsets_[static_cast<size_t>(i)];
+      const int64_t end = row_offsets_[static_cast<size_t>(i) + 1];
+      for (int64_t k = begin; k < end; ++k) {
+        const double value = values_[static_cast<size_t>(k)];
+        double* yrow = y.RowPtr(col_indices_[static_cast<size_t>(k)]);
+        for (int j = 0; j < d; ++j) {
+          // The per-entry zero skip matches the row skip in the vector
+          // kernel column by column, keeping the accumulation chains equal.
+          if (brow[j] == 0.0) continue;
+          yrow[j] += brow[j] * value;
+        }
+      }
+    }
+    return y;
+  }
+
+  std::vector<Matrix> partials(static_cast<size_t>(num_chunks));
+  ParallelFor(0, num_chunks, [&](int chunk_begin, int chunk_end) {
+    for (int c = chunk_begin; c < chunk_end; ++c) {
+      Matrix& partial = partials[static_cast<size_t>(c)];
+      partial = Matrix(cols_, d);
+      const int row_begin = c * kTransposeChunkRows;
+      const int row_end = std::min(rows_, row_begin + kTransposeChunkRows);
+      for (int i = row_begin; i < row_end; ++i) {
+        const double* brow = b.RowPtr(i);
+        const int64_t begin = row_offsets_[static_cast<size_t>(i)];
+        const int64_t end = row_offsets_[static_cast<size_t>(i) + 1];
+        for (int64_t k = begin; k < end; ++k) {
+          const double value = values_[static_cast<size_t>(k)];
+          double* prow = partial.RowPtr(col_indices_[static_cast<size_t>(k)]);
+          for (int j = 0; j < d; ++j) {
+            if (brow[j] == 0.0) continue;
+            prow[j] += brow[j] * value;
+          }
+        }
+      }
+    }
+  });
+  Matrix y = std::move(partials[0]);
+  double* py = y.RowPtr(0);
+  for (int c = 1; c < num_chunks; ++c) {
+    const double* pp = partials[static_cast<size_t>(c)].RowPtr(0);
+    const int64_t total = static_cast<int64_t>(cols_) * d;
+    for (int64_t e = 0; e < total; ++e) py[e] += pp[e];
+  }
+  return y;
+}
+
 Matrix SparseMatrix::ToDense() const {
   Matrix dense(rows_, cols_);
   for (int i = 0; i < rows_; ++i) {

@@ -47,8 +47,18 @@ class SparseMatrix {
   Vector MultiplyTransposed(const Vector& x) const;
 
   // C = A * B where B is dense cols() x k; result is rows() x k. Used to
-  // embed sparse samples with a dense projection matrix.
+  // embed sparse samples with a dense projection matrix. Each column of C
+  // accumulates in the same order as Multiply() on the matching column of
+  // B, so the two are bitwise identical.
   Matrix MultiplyDense(const Matrix& b) const;
+
+  // C = A^T * B where B is dense rows() x k; result is cols() x k. The
+  // multi-RHS mirror of MultiplyTransposed: the same fixed 512-row chunk
+  // grid and ascending chunk-order fold, so column j of the result is
+  // bitwise identical to MultiplyTransposed(column j of B) at any thread
+  // count. This is what lets the batched LSQR path make one pass over the
+  // matrix per iteration for all right-hand sides.
+  Matrix MultiplyTransposedDense(const Matrix& b) const;
 
   // Densifies (tests and small examples only).
   Matrix ToDense() const;

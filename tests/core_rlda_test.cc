@@ -185,10 +185,21 @@ TEST(RldaTest, ApproachesLdaAsAlphaVanishesOnFullRankData) {
   EXPECT_LE(disagreements, 2);
 }
 
-TEST(RldaDeathTest, ZeroAlphaAborts) {
-  Matrix x(4, 2);
+TEST(RldaTest, AlphaZeroOnRankDeficientReportsFailure) {
+  // alpha == 0 is accepted (same contract as SRDA): on rank-deficient data
+  // the Cholesky factorization fails and the model reports converged ==
+  // false instead of aborting.
+  Matrix x(4, 2);  // All-zero columns: the scatter matrix is singular.
   RldaOptions options;
   options.alpha = 0.0;
+  const RldaModel model = FitRlda(x, {0, 0, 1, 1}, 2, options);
+  EXPECT_FALSE(model.converged);
+}
+
+TEST(RldaDeathTest, NegativeAlphaAborts) {
+  Matrix x(4, 2);
+  RldaOptions options;
+  options.alpha = -1.0;
   EXPECT_DEATH(FitRlda(x, {0, 0, 1, 1}, 2, options), "alpha");
 }
 

@@ -11,6 +11,7 @@
 #include "common/rng.h"
 #include "core/lda.h"
 #include "core/rlda.h"
+#include "core/semi_supervised_srda.h"
 #include "core/srda.h"
 #include "linalg/cholesky.h"
 #include "linalg/lsqr.h"
@@ -103,6 +104,43 @@ TEST(RobustnessTest, SrdaAlphaZeroOnRankDeficientReportsFailure) {
   SrdaOptions options;
   options.alpha = 0.0;
   const SrdaModel model = FitSrda(x, labels, 2, options);
+  EXPECT_FALSE(model.converged);
+}
+
+TEST(RobustnessTest, RldaAlphaZeroOnRankDeficientReportsFailure) {
+  // Same contract as SRDA now that every trainer shares the ridge engine:
+  // alpha == 0 on a singular scatter matrix reports converged == false
+  // instead of aborting.
+  Matrix x(10, 3);
+  std::vector<int> labels;
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) {
+    x(i, 0) = rng.NextGaussian();
+    x(i, 1) = x(i, 0);  // Duplicate column.
+    x(i, 2) = rng.NextGaussian() + (i % 2);
+    labels.push_back(i % 2);
+  }
+  RldaOptions options;
+  options.alpha = 0.0;
+  const RldaModel model = FitRlda(x, labels, 2, options);
+  EXPECT_FALSE(model.converged);
+}
+
+TEST(RobustnessTest, SemiSupervisedAlphaZeroOnRankDeficientReportsFailure) {
+  Matrix x(10, 3);
+  std::vector<int> labels;
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) {
+    x(i, 0) = rng.NextGaussian();
+    x(i, 1) = x(i, 0);  // Duplicate column.
+    x(i, 2) = rng.NextGaussian() + (i % 2);
+    labels.push_back(i % 2);
+  }
+  SemiSupervisedSrdaOptions options;
+  options.alpha = 0.0;
+  options.graph_weight = 0.0;
+  const SemiSupervisedSrdaModel model =
+      FitSemiSupervisedSrda(x, labels, 2, options);
   EXPECT_FALSE(model.converged);
 }
 

@@ -142,6 +142,27 @@ TEST(SparseMatrixTest, MultiplyDenseMatchesDense) {
       1e-12);
 }
 
+TEST(SparseMatrixTest, MultiplyTransposedDenseMatchesColumnsBitwise) {
+  // The multi-RHS transpose kernel promises column j of A^T B bitwise equal
+  // to MultiplyTransposed(B.Col(j)) — that is what makes the batched LSQR
+  // path reproduce the serial per-column solves exactly. Large enough rows
+  // to span multiple 512-row reduction chunks.
+  Rng rng(17);
+  const SparseMatrix sparse = RandomSparse(1200, 40, 0.1, &rng);
+  Matrix b(1200, 3);
+  for (int i = 0; i < 1200; ++i) {
+    for (int j = 0; j < 3; ++j) b(i, j) = rng.NextGaussian();
+  }
+  const Matrix product = sparse.MultiplyTransposedDense(b);
+  ASSERT_EQ(product.rows(), 40);
+  ASSERT_EQ(product.cols(), 3);
+  for (int j = 0; j < 3; ++j) {
+    EXPECT_EQ(0.0,
+              MaxAbsDiff(product.Col(j), sparse.MultiplyTransposed(b.Col(j))))
+        << "column " << j;
+  }
+}
+
 TEST(SparseMatrixDeathTest, ProductShapeMismatchAborts) {
   SparseMatrixBuilder builder(2, 3);
   builder.Add(0, 0, 1.0);

@@ -9,7 +9,6 @@
 
 #include <fstream>
 #include <iostream>
-#include <limits>
 #include <string>
 #include <vector>
 
@@ -24,31 +23,6 @@ namespace {
 constexpr char kUsage[] =
     "usage: srda_predict --model=FILE --data=FILE [--format=csv|libsvm]\n"
     "                    [--predictions-out=FILE]\n";
-
-std::vector<int> NearestCentroid(const Matrix& embedded,
-                                 const Matrix& centroids) {
-  std::vector<int> predictions;
-  predictions.reserve(static_cast<size_t>(embedded.rows()));
-  for (int i = 0; i < embedded.rows(); ++i) {
-    const double* row = embedded.RowPtr(i);
-    int best = 0;
-    double best_distance = std::numeric_limits<double>::infinity();
-    for (int k = 0; k < centroids.rows(); ++k) {
-      const double* centroid = centroids.RowPtr(k);
-      double distance = 0.0;
-      for (int j = 0; j < embedded.cols(); ++j) {
-        const double diff = row[j] - centroid[j];
-        distance += diff * diff;
-      }
-      if (distance < best_distance) {
-        best_distance = distance;
-        best = k;
-      }
-    }
-    predictions.push_back(best);
-  }
-  return predictions;
-}
 
 int Main(int argc, char** argv) {
   const ArgParser args(argc, argv);
@@ -82,8 +56,9 @@ int Main(int argc, char** argv) {
     labels = dataset.labels;
   }
 
-  const std::vector<int> predictions =
-      NearestCentroid(embedded, model.centroids);
+  CentroidClassifier classifier;
+  classifier.SetCentroids(model.centroids);
+  const std::vector<int> predictions = classifier.Predict(embedded);
   std::cout << "classified " << predictions.size() << " samples; error rate "
             << 100.0 * ErrorRate(predictions, labels) << "%\n";
 
