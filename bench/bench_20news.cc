@@ -55,6 +55,7 @@ double EvaluateMixed(const LinearEmbedding& embedding,
 }
 
 int Main(int argc, char** argv) {
+  BenchObservability obs(argc, argv);
   const bool full = HasFlag(argc, argv, "--full");
   const bool smoke = HasFlag(argc, argv, "--smoke");
 

@@ -231,6 +231,7 @@ bool RunAlphaSweep(bool smoke) {
 }
 
 int Main(int argc, char** argv) {
+  BenchObservability obs(argc, argv);
   const bool full = HasFlag(argc, argv, "--full");
   const bool smoke = HasFlag(argc, argv, "--smoke");
   const int splits = smoke ? 1 : (full ? 5 : 2);

@@ -134,6 +134,7 @@ double FitExponent(const std::vector<double>& sizes,
 }
 
 int Main(int argc, char** argv) {
+  BenchObservability obs(argc, argv);
   const bool full = HasFlag(argc, argv, "--full");
   const bool smoke = HasFlag(argc, argv, "--smoke");
   Rng rng(606);
@@ -169,7 +170,7 @@ int Main(int argc, char** argv) {
         SrdaNormalEquationsCost(size, size, kNumClasses).flam;
     table.AddRow({std::to_string(size), FormatDouble(lda_time, 4),
                   FormatDouble(srda_time, 4),
-                  FormatDouble(lda_time / srda_time, 2),
+                  FormatRatio(lda_time, srda_time, 2),
                   FormatDouble(predicted, 2)});
   }
   table.Print(std::cout);
@@ -249,8 +250,8 @@ int Main(int argc, char** argv) {
     thread_table.AddRow(
         {std::to_string(threads), FormatDouble(row.gram_seconds, 4),
          FormatDouble(row.fit_seconds, 4),
-         FormatDouble(scaling.front().gram_seconds / row.gram_seconds, 2),
-         FormatDouble(scaling.front().fit_seconds / row.fit_seconds, 2)});
+         FormatRatio(scaling.front().gram_seconds, row.gram_seconds, 2),
+         FormatRatio(scaling.front().fit_seconds, row.fit_seconds, 2)});
   }
   SetGlobalThreadCount(0);  // Restore the env/hardware default.
   thread_table.Print(std::cout);
@@ -325,9 +326,9 @@ int Main(int argc, char** argv) {
           {row.kernel, std::to_string(row.n),
            FormatDouble(row.naive.seconds, 4),
            FormatDouble(row.blocked.seconds, 4),
-           FormatDouble(row.naive.seconds / row.blocked.seconds, 2),
-           FormatDouble(row.naive.gflops, 2),
-           FormatDouble(row.blocked.gflops, 2)});
+           FormatRatio(row.naive.seconds, row.blocked.seconds, 2),
+           FormatGflops(row.naive.gflops, 2),
+           FormatGflops(row.blocked.gflops, 2)});
     }
   }
   kernel_table.Print(std::cout);
@@ -341,10 +342,15 @@ int Main(int argc, char** argv) {
          << "  \"num_threads\": 1,\n  \"rows\": [\n";
     for (size_t i = 0; i < kernel_rows.size(); ++i) {
       const KernelRow& row = kernel_rows[i];
+      // 0 stands for "unmeasurable" so sub-resolution timings never leak
+      // inf/nan into the JSON.
+      const double speedup = row.blocked.seconds > 0.0
+                                 ? row.naive.seconds / row.blocked.seconds
+                                 : 0.0;
       json << "    {\"kernel\": \"" << row.kernel << "\", \"n\": " << row.n
            << ", \"naive_seconds\": " << row.naive.seconds
            << ", \"blocked_seconds\": " << row.blocked.seconds
-           << ", \"speedup\": " << row.naive.seconds / row.blocked.seconds
+           << ", \"speedup\": " << speedup
            << ", \"naive_gflops\": " << row.naive.gflops
            << ", \"blocked_gflops\": " << row.blocked.gflops << "}"
            << (i + 1 < kernel_rows.size() ? "," : "") << "\n";

@@ -19,6 +19,7 @@ namespace bench {
 namespace {
 
 int Main(int argc, char** argv) {
+  BenchObservability obs(argc, argv);
   const bool full = HasFlag(argc, argv, "--full");
   const bool smoke = HasFlag(argc, argv, "--smoke");
   std::cout << "Experiment: Table II (statistics of the data sets)\n"

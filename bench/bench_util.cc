@@ -1,5 +1,6 @@
 #include "bench/bench_util.h"
 
+#include <cmath>
 #include <cstdio>
 #include <iostream>
 
@@ -10,6 +11,9 @@
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "common/table_printer.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "core/idr_qr.h"
 #include "core/lda.h"
 #include "core/rlda.h"
@@ -223,9 +227,7 @@ void PrintSweepTables(const std::string& dataset_name,
     for (size_t s = 0; s < cells.size(); ++s) {
       std::vector<std::string> row = {row_labels[s]};
       for (const SweepCell& cell : cells[s]) {
-        row.push_back(cell.ran && cell.gflops_mean > 0.0
-                          ? FormatDouble(cell.gflops_mean, 2)
-                          : "-");
+        row.push_back(cell.ran ? FormatGflops(cell.gflops_mean, 2) : "-");
       }
       gflops_table.AddRow(row);
     }
@@ -259,6 +261,50 @@ bool HasFlag(int argc, char** argv, const std::string& flag) {
     if (flag == argv[i]) return true;
   }
   return false;
+}
+
+std::string GetFlagValue(int argc, char** argv, const std::string& flag) {
+  const std::string prefix = flag + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.compare(0, prefix.size(), prefix) == 0) {
+      return arg.substr(prefix.size());
+    }
+  }
+  return "";
+}
+
+std::string FormatRatio(double numer, double denom, int digits) {
+  if (!(denom > 0.0)) return "-";
+  const double ratio = numer / denom;
+  if (!std::isfinite(ratio)) return "-";
+  return FormatDouble(ratio, digits);
+}
+
+std::string FormatGflops(double gflops, int digits) {
+  if (!(gflops > 0.0) || !std::isfinite(gflops)) return "-";
+  return FormatDouble(gflops, digits);
+}
+
+BenchObservability::BenchObservability(int argc, char** argv) {
+  trace_path_ = GetFlagValue(argc, argv, "--trace-out");
+  active_ = !trace_path_.empty() || HasFlag(argc, argv, "--metrics") ||
+            TraceEnabled();
+  if (!active_) return;
+  TraceRecorder::Global().SetEnabled(true);
+  TraceRecorder::Global().Clear();
+  MetricsRegistry::Global().ResetAll();
+}
+
+BenchObservability::~BenchObservability() {
+  if (!active_) return;
+  PrintRunSummary(std::cout);
+  if (trace_path_.empty()) return;
+  if (TraceRecorder::Global().WriteJsonFile(trace_path_)) {
+    std::cout << "wrote trace to " << trace_path_ << "\n";
+  } else {
+    std::cout << "failed to write trace to " << trace_path_ << "\n";
+  }
 }
 
 }  // namespace bench

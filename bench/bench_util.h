@@ -87,6 +87,38 @@ bool ShapeCheck(bool condition, const std::string& description);
 // True if "--full" appears among the CLI arguments.
 bool HasFlag(int argc, char** argv, const std::string& flag);
 
+// Value of a "--flag=value" argument, or "" when absent.
+std::string GetFlagValue(int argc, char** argv, const std::string& flag);
+
+// Formats the ratio numer/denom with `digits` decimals, or "-" when the
+// denominator is too small for the ratio to mean anything (sub-resolution
+// timings in --smoke runs would otherwise print inf/nan).
+std::string FormatRatio(double numer, double denom, int digits);
+
+// Formats an achieved-throughput cell; "-" when no rate was measured
+// (zero or non-finite, e.g. the timed region was below clock resolution).
+std::string FormatGflops(double gflops, int digits);
+
+// Per-run observability for the bench binaries. Construct at the top of
+// Main: it reads --trace-out=FILE and --metrics from the CLI (either one —
+// or the SRDA_TRACE environment variable — turns the trace recorder on and
+// resets recorder + metrics so the run starts clean). At destruction it
+// prints the phase/metrics summary (obs/report.h) and writes the Chrome
+// trace JSON to FILE when --trace-out was given. A run without any of the
+// three triggers records nothing and prints nothing.
+class BenchObservability {
+ public:
+  BenchObservability(int argc, char** argv);
+  ~BenchObservability();
+
+  BenchObservability(const BenchObservability&) = delete;
+  BenchObservability& operator=(const BenchObservability&) = delete;
+
+ private:
+  std::string trace_path_;
+  bool active_ = false;
+};
+
 }  // namespace bench
 }  // namespace srda
 

@@ -1,37 +1,30 @@
 #include "common/flops.h"
 
 #include <algorithm>
-#include <atomic>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace srda {
 namespace {
 
 double Min3(double a, double b) { return std::min(a, b); }
 
-std::atomic<double>& FlopCounter() {
-  static std::atomic<double> counter{0.0};
+// The runtime flop counter now lives in the metrics registry so a run
+// summary shows it next to bytes touched, iteration counts, etc. The
+// pointer is stable for the process lifetime.
+Counter* FlopCounter() {
+  static Counter* counter = MetricsRegistry::Global().counter("flops.total");
   return counter;
 }
 
 }  // namespace
 
-void AddFlops(double flops) {
-  // CAS loop instead of fetch_add: atomic<double>::fetch_add is C++20 but
-  // not yet universal across standard libraries.
-  std::atomic<double>& counter = FlopCounter();
-  double current = counter.load(std::memory_order_relaxed);
-  while (!counter.compare_exchange_weak(current, current + flops,
-                                        std::memory_order_relaxed)) {
-  }
-}
+void AddFlops(double flops) { FlopCounter()->Add(flops); }
 
-double FlopCount() { return FlopCounter().load(std::memory_order_relaxed); }
+double FlopCount() { return FlopCounter()->value(); }
 
-void ResetFlopCount() {
-  FlopCounter().store(0.0, std::memory_order_relaxed);
-}
+void ResetFlopCount() { FlopCounter()->Reset(); }
 
 CostEstimate LdaCost(int64_t m, int64_t n, int64_t c) {
   SRDA_CHECK(m > 0 && n > 0 && c > 0);

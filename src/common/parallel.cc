@@ -6,6 +6,8 @@
 #include <exception>
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace srda {
 namespace {
@@ -13,6 +15,29 @@ namespace {
 // True on threads owned by any ThreadPool; ParallelFor from such a thread
 // runs inline to avoid deadlock and oversubscription.
 thread_local bool tls_pool_worker = false;
+
+// Pool accounting, recorded only while tracing is enabled: wall time spent
+// running chunks vs. parked on the work cv, summed over every worker and
+// the calling thread. The imbalance of a kernel shows up as busy spread in
+// the pool.chunk_us histogram.
+struct PoolInstruments {
+  Counter* busy_ns;
+  Counter* idle_ns;
+  Counter* jobs;
+  Counter* chunks;
+  Histogram* chunk_us;
+};
+
+const PoolInstruments& PoolMetrics() {
+  static const PoolInstruments instruments = [] {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    return PoolInstruments{
+        registry.counter("pool.busy_ns"), registry.counter("pool.idle_ns"),
+        registry.counter("pool.jobs"), registry.counter("pool.chunks"),
+        registry.histogram("pool.chunk_us")};
+  }();
+  return instruments;
+}
 
 // Over-decomposition factor: more chunks than threads lets fast workers
 // steal the remaining chunks of imbalanced kernels (e.g. the triangular
@@ -59,11 +84,20 @@ struct ThreadPool::Job {
   }
 
   void RunChunk(int c) {
+    const bool tracing = TraceEnabled();
+    const int64_t start_ns = tracing ? TraceRecorder::Global().NowNs() : 0;
     try {
       fn(ChunkBegin(c), ChunkBegin(c + 1));
     } catch (...) {
       std::lock_guard<std::mutex> lock(mutex);
       if (!error) error = std::current_exception();
+    }
+    if (tracing) {
+      TraceRecorder& recorder = TraceRecorder::Global();
+      const int64_t duration_ns = recorder.NowNs() - start_ns;
+      recorder.RecordComplete("pool.chunk", start_ns, duration_ns);
+      PoolMetrics().busy_ns->Add(static_cast<double>(duration_ns));
+      PoolMetrics().chunk_us->Observe(static_cast<double>(duration_ns) / 1e3);
     }
     if (finished_chunks.fetch_add(1) + 1 == num_chunks) {
       std::lock_guard<std::mutex> lock(mutex);
@@ -95,7 +129,18 @@ void ThreadPool::WorkerLoop() {
   tls_pool_worker = true;
   std::unique_lock<std::mutex> lock(mutex_);
   while (true) {
-    work_cv_.wait(lock, [this] { return stop_ || !jobs_.empty(); });
+    if (TraceEnabled()) {
+      // Time spent parked (or re-checking for work) is the worker's idle
+      // share; busy time accrues in RunChunk. Together they account for the
+      // worker's wall clock while tracing.
+      TraceRecorder& recorder = TraceRecorder::Global();
+      const int64_t idle_start = recorder.NowNs();
+      work_cv_.wait(lock, [this] { return stop_ || !jobs_.empty(); });
+      PoolMetrics().idle_ns->Add(
+          static_cast<double>(recorder.NowNs() - idle_start));
+    } else {
+      work_cv_.wait(lock, [this] { return stop_ || !jobs_.empty(); });
+    }
     if (stop_) return;
     std::shared_ptr<Job> job = jobs_.front();
     const int chunk = job->next_chunk.fetch_add(1);
@@ -120,12 +165,19 @@ void ThreadPool::ParallelFor(int begin, int end,
     return;
   }
 
+  TraceSpan span("pool.parallel_for");
   auto job = std::make_shared<Job>();
   job->fn = fn;
   job->begin = begin;
   job->num_chunks = std::min(count, num_threads_ * kChunksPerThread);
   job->chunk_base = count / job->num_chunks;
   job->chunk_extra = count % job->num_chunks;
+  if (span.recording()) {
+    span.AddArg("count", static_cast<double>(count));
+    span.AddArg("chunks", static_cast<double>(job->num_chunks));
+    PoolMetrics().jobs->Increment();
+    PoolMetrics().chunks->Add(static_cast<double>(job->num_chunks));
+  }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     jobs_.push_back(job);

@@ -42,6 +42,7 @@ SrdaModel FitSrda(RidgeSolver* solver, const std::vector<int>& labels,
     return model;
   }
   model.total_lsqr_iterations = solution.total_lsqr_iterations;
+  model.lsqr_diagnostics = std::move(solution.lsqr);
   model.embedding = LinearEmbedding(std::move(solution.coefficients),
                                     std::move(solution.bias));
   model.converged = true;

@@ -61,6 +61,9 @@ struct SrdaModel {
   int num_responses = 0;
   // Total LSQR iterations across all responses (0 for normal equations).
   int total_lsqr_iterations = 0;
+  // Per-response LSQR convergence record (iterations, final residual, stop
+  // reason); empty on the normal-equations path.
+  std::vector<RidgeRhsDiagnostics> lsqr_diagnostics;
   bool converged = false;
 };
 

@@ -8,6 +8,8 @@
 #include "common/flops.h"
 #include "common/parallel.h"
 #include "matrix/blocking.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace srda {
 namespace {
@@ -40,6 +42,14 @@ bool FactorDiagonalBlock(Matrix* l, int p0, int p1, double pivot_floor) {
 bool Cholesky::Factor(const Matrix& a) {
   SRDA_CHECK_EQ(a.rows(), a.cols()) << "Cholesky needs a square matrix";
   const int n = a.rows();
+  TraceSpan span("cholesky.factor");
+  if (span.recording()) {
+    span.AddArg("n", static_cast<double>(n));
+    span.AddArg("flops", static_cast<double>(n) * n * n / 3.0);
+    static Counter* refactors =
+        MetricsRegistry::Global().counter("cholesky.refactors");
+    refactors->Increment();
+  }
   ok_ = false;
   l_ = Matrix(n, n);
   // Pivots below this relative threshold indicate a numerically singular
@@ -136,6 +146,11 @@ Matrix Cholesky::SolveMatrix(const Matrix& b) const {
   SRDA_CHECK(ok_) << "Cholesky::SolveMatrix without a successful Factor()";
   SRDA_CHECK_EQ(b.rows(), l_.rows()) << "SolveMatrix shape mismatch";
   const int n = l_.rows();
+  TraceSpan span("cholesky.solve");
+  if (span.recording()) {
+    span.AddArg("rhs", static_cast<double>(b.cols()));
+    span.AddArg("flops", 2.0 * n * n * b.cols());
+  }
   AddFlops(2.0 * n * n * b.cols());
   Matrix x = b;
   // Both substitution sweeps read each factor row once and apply it to a

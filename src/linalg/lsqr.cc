@@ -7,8 +7,54 @@
 #include "common/check.h"
 #include "common/parallel.h"
 #include "matrix/blas.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace srda {
+namespace {
+
+// Iteration accounting, recorded while tracing: the counter totals
+// iterations across every solve, the histogram shows the per-RHS spread.
+struct LsqrInstruments {
+  Counter* iterations;
+  Histogram* iterations_per_rhs;
+};
+
+const LsqrInstruments& LsqrMetrics() {
+  static const LsqrInstruments instruments = [] {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    return LsqrInstruments{registry.counter("lsqr.iterations"),
+                           registry.histogram("lsqr.iterations_per_rhs")};
+  }();
+  return instruments;
+}
+
+void RecordLsqrMetrics(const LsqrResult& result) {
+  if (!TraceEnabled()) return;
+  LsqrMetrics().iterations->Add(static_cast<double>(result.iterations));
+  LsqrMetrics().iterations_per_rhs->Observe(
+      static_cast<double>(result.iterations));
+}
+
+}  // namespace
+
+const char* LsqrStopName(LsqrStop stop) {
+  switch (stop) {
+    case LsqrStop::kIterationLimit:
+      return "iteration_limit";
+    case LsqrStop::kRhsZero:
+      return "rhs_zero";
+    case LsqrStop::kNormalZero:
+      return "normal_zero";
+    case LsqrStop::kResidualTol:
+      return "residual_tol";
+    case LsqrStop::kNormalResidualTol:
+      return "normal_residual_tol";
+    case LsqrStop::kBreakdown:
+      return "breakdown";
+  }
+  return "unknown";
+}
 
 LsqrResult Lsqr(const LinearOperator& a, const Vector& b,
                 const LsqrOptions& options) {
@@ -17,6 +63,11 @@ LsqrResult Lsqr(const LinearOperator& a, const Vector& b,
   SRDA_CHECK_GE(options.damp, 0.0);
 
   const int n = a.cols();
+  TraceSpan span("lsqr.solve");
+  if (span.recording()) {
+    span.AddArg("max_iterations",
+                static_cast<double>(options.max_iterations));
+  }
   LsqrResult result;
   result.x = Vector(n);
 
@@ -26,6 +77,8 @@ LsqrResult Lsqr(const LinearOperator& a, const Vector& b,
   if (beta == 0.0) {
     // b == 0: the minimizer is x == 0.
     result.converged = true;
+    result.stop = LsqrStop::kRhsZero;
+    RecordLsqrMetrics(result);
     return result;
   }
   Scale(1.0 / beta, &u);
@@ -35,6 +88,8 @@ LsqrResult Lsqr(const LinearOperator& a, const Vector& b,
     // A^T b == 0: x == 0 is already the normal-equations solution.
     result.residual_norm = beta;
     result.converged = true;
+    result.stop = LsqrStop::kNormalZero;
+    RecordLsqrMetrics(result);
     return result;
   }
   Scale(1.0 / alpha, &v);
@@ -51,6 +106,7 @@ LsqrResult Lsqr(const LinearOperator& a, const Vector& b,
   double psi_sq_sum = 0.0;
 
   for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    TraceSpan iter_span("lsqr.iteration");
     // Continue the bidiagonalization: beta_{k+1} u_{k+1} = A v_k - alpha_k u_k.
     Vector au = a.Apply(v);
     for (int i = 0; i < au.size(); ++i) au[i] -= alpha * u[i];
@@ -100,6 +156,10 @@ LsqrResult Lsqr(const LinearOperator& a, const Vector& b,
                                : std::sqrt(phibar * phibar + psi_sq_sum);
     res_normal = std::fabs(phibar) * alpha * std::fabs(c);
     result.normal_residual_norm = res_normal;
+    if (iter_span.recording()) {
+      iter_span.AddArg("iter", static_cast<double>(iter));
+      iter_span.AddArg("residual", result.residual_norm);
+    }
 
     // Paige-Saunders stopping rules 1 and 2.
     const double anorm = std::sqrt(anorm_sq);
@@ -107,18 +167,22 @@ LsqrResult Lsqr(const LinearOperator& a, const Vector& b,
     if (result.residual_norm <=
         options.btol * bnorm + options.atol * anorm * xnorm) {
       result.converged = true;
+      result.stop = LsqrStop::kResidualTol;
       break;
     }
     if (anorm > 0.0 && result.residual_norm > 0.0 &&
         res_normal / (anorm * result.residual_norm) <= options.atol) {
       result.converged = true;
+      result.stop = LsqrStop::kNormalResidualTol;
       break;
     }
     if (alpha == 0.0) {  // Exact breakdown: solution reached.
       result.converged = true;
+      result.stop = LsqrStop::kBreakdown;
       break;
     }
   }
+  RecordLsqrMetrics(result);
   return result;
 }
 
@@ -151,6 +215,12 @@ std::vector<LsqrResult> LsqrBatch(const LinearOperator& a, const Matrix& b,
   const int m = a.rows();
   const int n = a.cols();
   const int d = b.cols();
+  TraceSpan span("lsqr.batch");
+  if (span.recording()) {
+    span.AddArg("rhs", static_cast<double>(d));
+    span.AddArg("max_iterations",
+                static_cast<double>(options.max_iterations));
+  }
   std::vector<LsqrResult> results(static_cast<size_t>(d));
   std::vector<LsqrColumnState> state(static_cast<size_t>(d));
 
@@ -164,6 +234,7 @@ std::vector<LsqrResult> LsqrBatch(const LinearOperator& a, const Matrix& b,
     st.beta = Norm2(st.u);
     if (st.beta == 0.0) {
       results[j].converged = true;
+      results[j].stop = LsqrStop::kRhsZero;
       continue;
     }
     Scale(1.0 / st.beta, &st.u);
@@ -186,6 +257,7 @@ std::vector<LsqrResult> LsqrBatch(const LinearOperator& a, const Matrix& b,
         // A^T b_j == 0: x == 0 already solves the normal equations.
         results[j].residual_norm = st.beta;
         results[j].converged = true;
+        results[j].stop = LsqrStop::kNormalZero;
         continue;
       }
       Scale(1.0 / st.alpha, &st.v);
@@ -204,6 +276,11 @@ std::vector<LsqrResult> LsqrBatch(const LinearOperator& a, const Matrix& b,
 
   for (int iter = 1; iter <= options.max_iterations && !active.empty();
        ++iter) {
+    TraceSpan iter_span("lsqr.iteration");
+    if (iter_span.recording()) {
+      iter_span.AddArg("iter", static_cast<double>(iter));
+      iter_span.AddArg("active", static_cast<double>(active.size()));
+    }
     // One forward pass covers every active column's A v_k.
     Matrix packed_v(n, static_cast<int>(active.size()));
     for (size_t t = 0; t < active.size(); ++t) {
@@ -296,14 +373,17 @@ std::vector<LsqrResult> LsqrBatch(const LinearOperator& a, const Matrix& b,
         if (res.residual_norm <=
             options.btol * st.bnorm + options.atol * anorm * xnorm) {
           res.converged = true;
+          res.stop = LsqrStop::kResidualTol;
           st.active = false;
         } else if (anorm > 0.0 && res.residual_norm > 0.0 &&
                    res.normal_residual_norm / (anorm * res.residual_norm) <=
                        options.atol) {
           res.converged = true;
+          res.stop = LsqrStop::kNormalResidualTol;
           st.active = false;
         } else if (st.alpha == 0.0) {  // Exact breakdown: solution reached.
           res.converged = true;
+          res.stop = LsqrStop::kBreakdown;
           st.active = false;
         }
       }
@@ -315,6 +395,7 @@ std::vector<LsqrResult> LsqrBatch(const LinearOperator& a, const Matrix& b,
     }
     active = std::move(still_active);
   }
+  for (const LsqrResult& result : results) RecordLsqrMetrics(result);
   return results;
 }
 

@@ -27,6 +27,20 @@ struct LsqrOptions {
   double btol = 1e-10;
 };
 
+// Why the iteration stopped. kIterationLimit is the only non-converged
+// outcome; everything else means the iterate satisfies a stopping rule.
+enum class LsqrStop {
+  kIterationLimit,     // hit max_iterations without meeting a tolerance
+  kRhsZero,            // b == 0, so x == 0 is exact
+  kNormalZero,         // A^T b == 0, x == 0 solves the normal equations
+  kResidualTol,        // Paige-Saunders rule 1: residual below btol/atol mix
+  kNormalResidualTol,  // Paige-Saunders rule 2: normal residual below atol
+  kBreakdown,          // alpha == 0 mid-iteration: exact solution reached
+};
+
+// Stable short name ("residual_tol", "iteration_limit", ...) for reports.
+const char* LsqrStopName(LsqrStop stop);
+
 struct LsqrResult {
   Vector x;
   int iterations = 0;
@@ -36,6 +50,8 @@ struct LsqrResult {
   double normal_residual_norm = 0.0;
   // True if a stopping rule fired before the iteration cap.
   bool converged = false;
+  // Which rule ended the iteration (kIterationLimit when none fired).
+  LsqrStop stop = LsqrStop::kIterationLimit;
 };
 
 // Runs LSQR on the (possibly damped) least-squares problem.

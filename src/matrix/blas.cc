@@ -8,8 +8,21 @@
 #include "common/flops.h"
 #include "common/parallel.h"
 #include "matrix/blocking.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace srda {
+namespace {
+
+// Dense-kernel traffic in bytes (operands read + result written), recorded
+// only while tracing so the disabled path stays untouched.
+Counter* BytesTouched() {
+  static Counter* counter =
+      MetricsRegistry::Global().counter("bytes.touched");
+  return counter;
+}
+
+}  // namespace
 
 double Dot(const Vector& x, const Vector& y) {
   SRDA_CHECK_EQ(x.size(), y.size()) << "Dot size mismatch";
@@ -59,6 +72,12 @@ double NormInf(const Vector& x) {
 
 Vector Multiply(const Matrix& a, const Vector& x) {
   SRDA_CHECK_EQ(a.cols(), x.size()) << "A*x shape mismatch";
+  TraceSpan span("gemv");
+  if (span.recording()) {
+    span.AddArg("flops", 2.0 * a.rows() * a.cols());
+    BytesTouched()->Add(8.0 * (static_cast<double>(a.rows()) * a.cols() +
+                               a.cols() + a.rows()));
+  }
   AddFlops(2.0 * a.rows() * a.cols());
   Vector y(a.rows());
   const double* px = x.data();
@@ -73,6 +92,12 @@ Vector Multiply(const Matrix& a, const Vector& x) {
 
 Vector MultiplyTransposed(const Matrix& a, const Vector& x) {
   SRDA_CHECK_EQ(a.rows(), x.size()) << "A^T*x shape mismatch";
+  TraceSpan span("gemv_t");
+  if (span.recording()) {
+    span.AddArg("flops", 2.0 * a.rows() * a.cols());
+    BytesTouched()->Add(8.0 * (static_cast<double>(a.rows()) * a.cols() +
+                               a.cols() + a.rows()));
+  }
   AddFlops(2.0 * a.rows() * a.cols());
   Vector y(a.cols());
   double* py = y.data();
@@ -315,6 +340,13 @@ Matrix Multiply(const Matrix& a, const Matrix& b) {
   const int m = a.rows();
   const int kdim = a.cols();
   const int n = b.cols();
+  TraceSpan span("gemm");
+  if (span.recording()) {
+    span.AddArg("flops", 2.0 * m * kdim * n);
+    BytesTouched()->Add(8.0 * (static_cast<double>(m) * kdim +
+                               static_cast<double>(kdim) * n +
+                               static_cast<double>(m) * n));
+  }
   AddFlops(2.0 * m * kdim * n);
   Matrix c(m, n);
   const BlockConfig& blk = GetBlockConfig();
@@ -341,6 +373,13 @@ Matrix MultiplyTransposedA(const Matrix& a, const Matrix& b) {
   const int m = a.rows();
   const int p = a.cols();
   const int n = b.cols();
+  TraceSpan span("gemm_at_b");
+  if (span.recording()) {
+    span.AddArg("flops", 2.0 * m * p * n);
+    BytesTouched()->Add(8.0 * (static_cast<double>(m) * p +
+                               static_cast<double>(m) * n +
+                               static_cast<double>(p) * n));
+  }
   AddFlops(2.0 * m * p * n);
   Matrix c(p, n);
   const BlockConfig& blk = GetBlockConfig();
@@ -366,6 +405,13 @@ Matrix MultiplyTransposedB(const Matrix& a, const Matrix& b) {
   const int m = a.rows();
   const int n = b.rows();
   const int kdim = a.cols();
+  TraceSpan span("gemm_a_bt");
+  if (span.recording()) {
+    span.AddArg("flops", 2.0 * m * n * kdim);
+    BytesTouched()->Add(8.0 * (static_cast<double>(m) * kdim +
+                               static_cast<double>(n) * kdim +
+                               static_cast<double>(m) * n));
+  }
   AddFlops(2.0 * m * n * kdim);
   Matrix c(m, n);
   const BlockConfig& blk = GetBlockConfig();
@@ -390,6 +436,12 @@ Matrix Gram(const Matrix& a) {
   // serial formulation did, so any thread count produces the same bits.
   const int m = a.rows();
   const int n = a.cols();
+  TraceSpan span("gram");
+  if (span.recording()) {
+    span.AddArg("flops", static_cast<double>(m) * n * (n + 1));
+    BytesTouched()->Add(8.0 * (static_cast<double>(m) * n +
+                               static_cast<double>(n) * n));
+  }
   AddFlops(static_cast<double>(m) * n * (n + 1));
   Matrix c(n, n);
   const BlockConfig& blk = GetBlockConfig();
@@ -426,6 +478,12 @@ Matrix Gram(const Matrix& a) {
 Matrix OuterGram(const Matrix& a) {
   const int m = a.rows();
   const int n = a.cols();
+  TraceSpan span("outer_gram");
+  if (span.recording()) {
+    span.AddArg("flops", static_cast<double>(n) * m * (m + 1));
+    BytesTouched()->Add(8.0 * (static_cast<double>(m) * n +
+                               static_cast<double>(m) * m));
+  }
   AddFlops(static_cast<double>(n) * m * (m + 1));
   Matrix c(m, m);
   const BlockConfig& blk = GetBlockConfig();

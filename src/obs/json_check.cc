@@ -1,0 +1,315 @@
+#include "obs/json_check.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <set>
+
+namespace srda {
+namespace {
+
+class Parser {
+ public:
+  Parser(const std::string& text, std::string* error)
+      : text_(text), error_(error) {}
+
+  bool Parse(JsonValue* out) {
+    *out = JsonValue();  // callers may reuse the output across attempts
+    SkipWhitespace();
+    if (!ParseValue(out, 0)) return false;
+    SkipWhitespace();
+    if (pos_ != text_.size()) return Fail("trailing content after document");
+    return true;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  bool Fail(const std::string& message) {
+    if (error_ != nullptr) {
+      *error_ = message + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Literal(const char* word) {
+    const size_t len = std::string(word).size();
+    if (text_.compare(pos_, len, word) != 0) return Fail("invalid literal");
+    pos_ += len;
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Fail("nesting too deep");
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"':
+        out->type = JsonValue::Type::kString;
+        return ParseString(&out->string);
+      case 't':
+        out->type = JsonValue::Type::kBool;
+        out->boolean = true;
+        return Literal("true");
+      case 'f':
+        out->type = JsonValue::Type::kBool;
+        out->boolean = false;
+        return Literal("false");
+      case 'n':
+        out->type = JsonValue::Type::kNull;
+        return Literal("null");
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseObject(JsonValue* out, int depth) {
+    out->type = JsonValue::Type::kObject;
+    ++pos_;  // '{'
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    std::set<std::string> seen;
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Fail("expected object key");
+      }
+      std::string key;
+      if (!ParseString(&key)) return false;
+      if (!seen.insert(key).second) return Fail("duplicate key '" + key + "'");
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return Fail("expected ':' after key");
+      }
+      ++pos_;
+      SkipWhitespace();
+      JsonValue value;
+      if (!ParseValue(&value, depth + 1)) return false;
+      out->object.emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (pos_ >= text_.size()) return Fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return Fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool ParseArray(JsonValue* out, int depth) {
+    out->type = JsonValue::Type::kArray;
+    ++pos_;  // '['
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWhitespace();
+      JsonValue value;
+      if (!ParseValue(&value, depth + 1)) return false;
+      out->array.push_back(std::move(value));
+      SkipWhitespace();
+      if (pos_ >= text_.size()) return Fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return Fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    ++pos_;  // '"'
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("unescaped control character in string");
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return Fail("unterminated escape");
+        const char esc = text_[pos_];
+        switch (esc) {
+          case '"':
+          case '\\':
+          case '/':
+            *out += esc;
+            break;
+          case 'b':
+            *out += '\b';
+            break;
+          case 'f':
+            *out += '\f';
+            break;
+          case 'n':
+            *out += '\n';
+            break;
+          case 'r':
+            *out += '\r';
+            break;
+          case 't':
+            *out += '\t';
+            break;
+          case 'u': {
+            if (pos_ + 4 >= text_.size()) return Fail("truncated \\u escape");
+            for (int i = 1; i <= 4; ++i) {
+              if (std::isxdigit(static_cast<unsigned char>(text_[pos_ + i])) ==
+                  0) {
+                return Fail("invalid \\u escape");
+              }
+            }
+            // Code point decoded only far enough to validate; the
+            // validator never inspects escaped text.
+            *out += '?';
+            pos_ += 4;
+            break;
+          }
+          default:
+            return Fail("unknown escape");
+        }
+        ++pos_;
+        continue;
+      }
+      *out += c;
+      ++pos_;
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Fail("expected a value");
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return Fail("malformed number");
+    out->type = JsonValue::Type::kNumber;
+    out->number = value;
+    return true;
+  }
+
+  const std::string& text_;
+  std::string* error_;
+  size_t pos_ = 0;
+};
+
+bool RequireNumber(const JsonValue& event, const char* key, size_t index,
+                   std::string* error) {
+  const JsonValue* value = event.Find(key);
+  if (value == nullptr || value->type != JsonValue::Type::kNumber) {
+    if (error != nullptr) {
+      *error = "event " + std::to_string(index) + " missing numeric \"" +
+               key + "\"";
+    }
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (type != Type::kObject) return nullptr;
+  for (const auto& [name, value] : object) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+bool ParseJson(const std::string& text, JsonValue* out, std::string* error) {
+  return Parser(text, error).Parse(out);
+}
+
+bool ValidateTraceJson(const std::string& text,
+                       const std::vector<std::string>& required_names,
+                       std::string* error) {
+  JsonValue root;
+  if (!ParseJson(text, &root, error)) return false;
+  if (root.type != JsonValue::Type::kObject) {
+    if (error != nullptr) *error = "top level is not an object";
+    return false;
+  }
+  const JsonValue* events = root.Find("traceEvents");
+  if (events == nullptr || events->type != JsonValue::Type::kArray) {
+    if (error != nullptr) *error = "missing \"traceEvents\" array";
+    return false;
+  }
+  if (events->array.empty()) {
+    if (error != nullptr) *error = "\"traceEvents\" is empty";
+    return false;
+  }
+  std::set<std::string> names;
+  for (size_t i = 0; i < events->array.size(); ++i) {
+    const JsonValue& event = events->array[i];
+    if (event.type != JsonValue::Type::kObject) {
+      if (error != nullptr) {
+        *error = "event " + std::to_string(i) + " is not an object";
+      }
+      return false;
+    }
+    const JsonValue* name = event.Find("name");
+    if (name == nullptr || name->type != JsonValue::Type::kString ||
+        name->string.empty()) {
+      if (error != nullptr) {
+        *error = "event " + std::to_string(i) + " missing string \"name\"";
+      }
+      return false;
+    }
+    const JsonValue* ph = event.Find("ph");
+    if (ph == nullptr || ph->type != JsonValue::Type::kString) {
+      if (error != nullptr) {
+        *error = "event " + std::to_string(i) + " missing string \"ph\"";
+      }
+      return false;
+    }
+    for (const char* key : {"ts", "dur", "pid", "tid"}) {
+      if (!RequireNumber(event, key, i, error)) return false;
+    }
+    names.insert(name->string);
+  }
+  for (const std::string& required : required_names) {
+    if (names.count(required) == 0) {
+      if (error != nullptr) {
+        *error = "required span \"" + required + "\" not found in trace";
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace srda

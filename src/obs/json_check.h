@@ -1,0 +1,48 @@
+// Minimal JSON parser and Chrome trace schema validator.
+//
+// Backs the tools/srda_trace_check CLI and the obs unit tests: parses a
+// whole document into a small DOM (no external dependency) and checks the
+// structure emitted by TraceRecorder::WriteJson — a top-level object with a
+// "traceEvents" array of complete events carrying name/ph/ts/dur/pid/tid.
+// This is a validator for our own emitter, not a general JSON library.
+
+#ifndef SRDA_OBS_JSON_CHECK_H_
+#define SRDA_OBS_JSON_CHECK_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace srda {
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  // Insertion-ordered; duplicate keys are rejected by the parser.
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  // nullptr when the key is absent or this is not an object.
+  const JsonValue* Find(const std::string& key) const;
+};
+
+// Parses `text` as one JSON document (trailing whitespace allowed).
+// Returns false and sets *error (with an offset) on malformed input.
+bool ParseJson(const std::string& text, JsonValue* out, std::string* error);
+
+// Parses and validates a Chrome trace_event document: well-formed JSON,
+// top-level object, non-empty "traceEvents" array whose entries each have a
+// non-empty string "name", string "ph", and numeric "ts", "dur", "pid",
+// "tid". Every name in `required_names` must appear among the events.
+// Returns false and sets *error describing the first violation.
+bool ValidateTraceJson(const std::string& text,
+                       const std::vector<std::string>& required_names,
+                       std::string* error);
+
+}  // namespace srda
+
+#endif  // SRDA_OBS_JSON_CHECK_H_

@@ -1,0 +1,165 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+namespace srda {
+namespace {
+
+// Relaxed CAS "update towards" for atomic min/max.
+template <typename Better>
+void AtomicExtreme(std::atomic<double>* target, double value, Better better) {
+  double current = target->load(std::memory_order_relaxed);
+  while (better(value, current) &&
+         !target->compare_exchange_weak(current, value,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+int BucketIndex(double value) {
+  if (!(value >= 1.0)) return 0;  // also catches NaN
+  const int exponent = std::ilogb(value) + 1;
+  return exponent >= Histogram::kNumBuckets ? Histogram::kNumBuckets - 1
+                                            : exponent;
+}
+
+}  // namespace
+
+void Histogram::Observe(double value) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  obs::AtomicAdd(&sum_, value);
+  AtomicExtreme(&min_, value, [](double a, double b) { return a < b; });
+  AtomicExtreme(&max_, value, [](double a, double b) { return a > b; });
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+}
+
+double Histogram::min() const {
+  return count() == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+}
+
+double Histogram::max() const {
+  return count() == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
+}
+
+void Histogram::Reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked for the same reason as TraceRecorder::Global(): instruments are
+  // touched from thread destructors during static teardown.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (gauges_.count(name) != 0 || histograms_.count(name) != 0) {
+    std::fprintf(stderr, "metric '%s' already registered with another kind\n",
+                 name.c_str());
+    std::abort();
+  }
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (counters_.count(name) != 0 || histograms_.count(name) != 0) {
+    std::fprintf(stderr, "metric '%s' already registered with another kind\n",
+                 name.c_str());
+    std::abort();
+  }
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (counters_.count(name) != 0 || gauges_.count(name) != 0) {
+    std::fprintf(stderr, "metric '%s' already registered with another kind\n",
+                 name.c_str());
+    std::abort();
+  }
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+std::vector<MetricSnapshot> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<MetricSnapshot> rows;
+  for (const auto& [name, counter] : counters_) {
+    MetricSnapshot row;
+    row.name = name;
+    row.kind = MetricSnapshot::Kind::kCounter;
+    row.value = counter->value();
+    rows.push_back(row);
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    MetricSnapshot row;
+    row.name = name;
+    row.kind = MetricSnapshot::Kind::kGauge;
+    row.value = gauge->value();
+    rows.push_back(row);
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    MetricSnapshot row;
+    row.name = name;
+    row.kind = MetricSnapshot::Kind::kHistogram;
+    row.value = histogram->sum();
+    row.count = histogram->count();
+    row.mean = histogram->mean();
+    row.min = histogram->min();
+    row.max = histogram->max();
+    rows.push_back(row);
+  }
+  // std::map iteration is sorted within each kind; interleave by name.
+  std::sort(rows.begin(), rows.end(),
+            [](const MetricSnapshot& a, const MetricSnapshot& b) {
+              return a.name < b.name;
+            });
+  return rows;
+}
+
+void MetricsRegistry::Print(std::ostream& os) const {
+  char line[256];
+  for (const MetricSnapshot& row : Snapshot()) {
+    switch (row.kind) {
+      case MetricSnapshot::Kind::kCounter:
+      case MetricSnapshot::Kind::kGauge:
+        if (row.value == 0.0) continue;  // unused instrument, skip
+        std::snprintf(line, sizeof(line), "  %-34s %.6g\n", row.name.c_str(),
+                      row.value);
+        break;
+      case MetricSnapshot::Kind::kHistogram:
+        if (row.count == 0) continue;
+        std::snprintf(line, sizeof(line),
+                      "  %-34s count=%lld mean=%.6g min=%.6g max=%.6g\n",
+                      row.name.c_str(), static_cast<long long>(row.count),
+                      row.mean, row.min, row.max);
+        break;
+    }
+    os << line;
+  }
+}
+
+}  // namespace srda

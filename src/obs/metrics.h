@@ -1,0 +1,144 @@
+// Named counters, gauges, and histograms for the SRDA training pipeline.
+//
+// The MetricsRegistry is the process-wide home of the runtime accounting
+// that used to live in scattered statics: the kernel flop counter
+// (common/flops.h forwards here), bytes touched by the dense/sparse
+// kernels, LSQR iteration counts, Cholesky refactor counts, the ridge
+// engine's Gram/factor cache hit rates, and the thread pool's busy/idle
+// split. Instruments are created on first lookup and live forever, so hot
+// call sites cache the returned pointer in a function-local static and pay
+// one relaxed atomic update per event; ResetAll() zeroes values without
+// invalidating pointers.
+//
+// Like obs/trace.h, this sits below src/common and depends only on the
+// standard library.
+
+#ifndef SRDA_OBS_METRICS_H_
+#define SRDA_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace srda {
+namespace obs {
+
+// Adds `delta` to an atomic double with a relaxed CAS loop
+// (atomic<double>::fetch_add is C++20 but not yet universal across
+// standard libraries).
+inline void AtomicAdd(std::atomic<double>* target, double delta) {
+  double current = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(current, current + delta,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace obs
+
+// Monotonically increasing sum (flops, bytes, iterations, cache hits).
+class Counter {
+ public:
+  void Add(double delta) { obs::AtomicAdd(&value_, delta); }
+  void Increment() { Add(1.0); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Last-written value (configuration knobs, sizes).
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Power-of-two bucketed distribution with count/sum/min/max. Bucket b
+// counts observations in [2^(b-1), 2^b); bucket 0 holds values < 1.
+// Observe() is lock-free (relaxed atomics), so concurrent observations
+// from pool workers never serialize.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 40;
+
+  void Observe(double value);
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double mean() const {
+    const int64_t n = count();
+    return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+  }
+  // 0 when empty.
+  double min() const;
+  double max() const;
+  int64_t bucket(int b) const {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+
+  void Reset();
+
+ private:
+  // min/max start at +-infinity so concurrent first observations race
+  // safely; the accessors report 0 until something has been observed.
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+  std::atomic<int64_t> buckets_[kNumBuckets] = {};
+};
+
+// One row of a metrics snapshot, for programmatic consumers and tests.
+struct MetricSnapshot {
+  std::string name;
+  enum class Kind { kCounter, kGauge, kHistogram } kind;
+  double value = 0.0;     // counter/gauge value, histogram sum
+  int64_t count = 0;      // histogram observation count
+  double mean = 0.0;      // histogram mean
+  double min = 0.0;
+  double max = 0.0;
+};
+
+// Process-wide registry. Lookup is mutex-protected (cache the pointer at
+// hot call sites); the instruments themselves are lock-free.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  // Create-on-demand; returned pointers are stable for the process
+  // lifetime. A name maps to exactly one instrument kind — looking the
+  // same name up as a different kind aborts.
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  Histogram* histogram(const std::string& name);
+
+  // Zeroes every instrument; registered pointers stay valid.
+  void ResetAll();
+
+  // Sorted-by-name snapshot / human-readable dump of non-zero instruments.
+  std::vector<MetricSnapshot> Snapshot() const;
+  void Print(std::ostream& os) const;
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace srda
+
+#endif  // SRDA_OBS_METRICS_H_

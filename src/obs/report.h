@@ -1,0 +1,42 @@
+// Per-run observability summary: the phase table and metrics dump.
+//
+// AggregateTrace folds the recorded spans into one row per span name with
+// wall time (sum of span durations), self time (wall minus nested spans on
+// the same thread — the honest number when e.g. ridge.solve_normal wraps
+// the Gram build), and total flops (summed "flops" span args), from which
+// the achieved GFLOP/s per phase falls out. PrintRunSummary renders that
+// table plus the MetricsRegistry dump; bench_util and the srda_train CLI
+// print it under --metrics / --trace-out so a run's cost profile can be
+// compared against the analytic flam model in common/flops.h.
+
+#ifndef SRDA_OBS_REPORT_H_
+#define SRDA_OBS_REPORT_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace srda {
+
+// Aggregated statistics for all spans sharing a name.
+struct PhaseStat {
+  std::string name;
+  int64_t count = 0;
+  double wall_ms = 0.0;  // sum of span durations
+  double self_ms = 0.0;  // wall minus directly nested spans (per thread)
+  double flops = 0.0;    // summed "flops" args (0 when none reported)
+};
+
+// One row per distinct span name, sorted by wall time descending.
+std::vector<PhaseStat> AggregateTrace(const std::vector<TraceEvent>& events);
+
+// Prints the phase table for the globally recorded trace followed by the
+// metrics registry dump. No-op sections are omitted.
+void PrintRunSummary(std::ostream& os);
+
+}  // namespace srda
+
+#endif  // SRDA_OBS_REPORT_H_

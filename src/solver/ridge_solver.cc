@@ -7,8 +7,33 @@
 #include "common/check.h"
 #include "linalg/lsqr.h"
 #include "matrix/blas.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace srda {
+namespace {
+
+// Cache effectiveness of the alpha-sweep amortization, recorded while
+// tracing: Gram (re)builds and Cholesky (re)factorizations vs. reuse.
+struct RidgeInstruments {
+  Counter* gram_hits;
+  Counter* gram_misses;
+  Counter* factor_hits;
+  Counter* factor_misses;
+};
+
+const RidgeInstruments& RidgeMetrics() {
+  static const RidgeInstruments instruments = [] {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    return RidgeInstruments{registry.counter("ridge.gram_cache_hits"),
+                            registry.counter("ridge.gram_cache_misses"),
+                            registry.counter("ridge.factor_cache_hits"),
+                            registry.counter("ridge.factor_cache_misses")};
+  }();
+  return instruments;
+}
+
+}  // namespace
 
 RidgeSolver::RidgeSolver(const Matrix* x, GramSide side) {
   SRDA_CHECK(x != nullptr);
@@ -37,6 +62,7 @@ void RidgeSolver::PrepareDense() {
   SRDA_CHECK(binding_ == Binding::kDense)
       << "dense data accessor on a non-dense-bound solver";
   if (dense_ready_) return;
+  TraceSpan span("ridge.prepare_dense");
   mean_ = ColumnMeans(*x_);
   centered_ = *x_;
   SubtractRowVector(mean_, &centered_);
@@ -55,7 +81,12 @@ void RidgeSolver::PrepareDense() {
 }
 
 const Matrix& RidgeSolver::GramBase() {
-  if (gram_ready_) return gram_;
+  if (gram_ready_) {
+    if (TraceEnabled()) RidgeMetrics().gram_hits->Increment();
+    return gram_;
+  }
+  TraceSpan span("ridge.gram_build");
+  if (span.recording()) RidgeMetrics().gram_misses->Increment();
   PrepareDense();
   gram_ = use_primal_ ? Gram(centered_) : OuterGram(centered_);
   gram_ready_ = true;
@@ -67,7 +98,13 @@ const Cholesky* RidgeSolver::FactorAt(double alpha) {
       << "FactorAt needs a dense- or Gram-bound solver";
   SRDA_CHECK_GE(alpha, 0.0) << "alpha must be non-negative";
   if (factor_ready_ && factor_alpha_ == alpha) {
+    if (TraceEnabled()) RidgeMetrics().factor_hits->Increment();
     return factor_ok_ ? &chol_ : nullptr;
+  }
+  TraceSpan span("ridge.factor");
+  if (span.recording()) {
+    span.AddArg("alpha", alpha);
+    RidgeMetrics().factor_misses->Increment();
   }
   Matrix shifted = GramBase();
   AddDiagonal(alpha, &shifted);
@@ -101,6 +138,7 @@ RidgeSolution RidgeSolver::Solve(const Matrix& responses, double alpha,
     if (binding_ == Binding::kGram) {
       SRDA_CHECK_EQ(responses.rows(), gram_.rows())
           << "response count mismatch";
+      TraceSpan span("ridge.solve_normal");
       RidgeSolution solution;
       const Cholesky* chol = FactorAt(alpha);
       if (chol == nullptr) return solution;
@@ -122,6 +160,11 @@ RidgeSolution RidgeSolver::Solve(const Matrix& responses, double alpha,
 // bias folds the mean back in as b = -meanᵀ a.
 RidgeSolution RidgeSolver::SolveNormalEquations(const Matrix& responses,
                                                 double alpha) {
+  TraceSpan span("ridge.solve_normal");
+  if (span.recording()) {
+    span.AddArg("rhs", static_cast<double>(responses.cols()));
+    span.AddArg("alpha", alpha);
+  }
   PrepareDense();
   SRDA_CHECK_EQ(responses.rows(), x_->rows()) << "response count mismatch";
   RidgeSolution solution;
@@ -149,6 +192,11 @@ RidgeSolution RidgeSolver::SolveNormalEquations(const Matrix& responses,
 // damp = sqrt(alpha), one operator pass per iteration for all responses.
 RidgeSolution RidgeSolver::SolveLsqr(const Matrix& responses, double alpha,
                                      const RidgeSolveOptions& options) {
+  TraceSpan span("ridge.solve_lsqr");
+  if (span.recording()) {
+    span.AddArg("rhs", static_cast<double>(responses.cols()));
+    span.AddArg("alpha", alpha);
+  }
   SRDA_CHECK_GT(options.lsqr_iterations, 0);
   const LinearOperator* data = operator_;
   if (binding_ == Binding::kDense) {
@@ -206,8 +254,17 @@ RidgeSolution RidgeSolver::SolveLsqr(const Matrix& responses, double alpha,
     }
   }
 
+  solution.lsqr.reserve(static_cast<size_t>(d));
   for (int j = 0; j < d; ++j) {
-    solution.total_lsqr_iterations += results[static_cast<size_t>(j)].iterations;
+    const LsqrResult& result = results[static_cast<size_t>(j)];
+    solution.total_lsqr_iterations += result.iterations;
+    RidgeRhsDiagnostics diag;
+    diag.iterations = result.iterations;
+    diag.residual_norm = result.residual_norm;
+    diag.normal_residual_norm = result.normal_residual_norm;
+    diag.converged = result.converged;
+    diag.stop = result.stop;
+    solution.lsqr.push_back(diag);
   }
   solution.ok = true;
   return solution;

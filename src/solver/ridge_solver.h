@@ -22,9 +22,11 @@
 #define SRDA_SOLVER_RIDGE_SOLVER_H_
 
 #include <memory>
+#include <vector>
 
 #include "linalg/cholesky.h"
 #include "linalg/linear_operator.h"
+#include "linalg/lsqr.h"
 #include "matrix/matrix.h"
 #include "matrix/vector.h"
 
@@ -68,6 +70,17 @@ struct RidgeSolveOptions {
   double lsqr_btol = 1e-10;
 };
 
+// Convergence record for one LSQR right-hand side, surfaced so trainers
+// can report why each response stopped instead of discarding the solver's
+// diagnostics.
+struct RidgeRhsDiagnostics {
+  int iterations = 0;
+  double residual_norm = 0.0;
+  double normal_residual_norm = 0.0;
+  bool converged = false;
+  LsqrStop stop = LsqrStop::kIterationLimit;
+};
+
 struct RidgeSolution {
   // False only when the Cholesky factorization failed (alpha == 0 on
   // rank-deficient data); the other fields are then empty.
@@ -78,6 +91,8 @@ struct RidgeSolution {
   Vector bias;
   // Total LSQR iterations across all responses (0 on the direct paths).
   int total_lsqr_iterations = 0;
+  // Per-response convergence diagnostics (empty on the direct paths).
+  std::vector<RidgeRhsDiagnostics> lsqr;
 };
 
 // One instance per training-data binding. Solve() may be called repeatedly

@@ -4,7 +4,10 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/flops.h"
 #include "common/parallel.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace srda {
 
@@ -27,10 +30,30 @@ namespace {
 // whether 1 or N threads ran (see the determinism note in parallel.h).
 constexpr int kTransposeChunkRows = 512;
 
+Counter* SparseBytesTouched() {
+  static Counter* counter =
+      MetricsRegistry::Global().counter("bytes.touched");
+  return counter;
+}
+
+// CSR traffic model: every nonzero reads an 8-byte value plus a 4-byte
+// column index, and each of `vec_columns` right-hand-side columns streams
+// the dense input/output rows once.
+double SparseBytes(int64_t nnz, int rows, int cols, int vec_columns) {
+  return 12.0 * static_cast<double>(nnz) +
+         8.0 * (static_cast<double>(rows) + cols) * vec_columns;
+}
+
 }  // namespace
 
 Vector SparseMatrix::Multiply(const Vector& x) const {
   SRDA_CHECK_EQ(x.size(), cols_) << "sparse A*x shape mismatch";
+  TraceSpan span("spmv");
+  if (span.recording()) {
+    span.AddArg("flops", 2.0 * static_cast<double>(NumNonZeros()));
+    SparseBytesTouched()->Add(SparseBytes(NumNonZeros(), rows_, cols_, 1));
+  }
+  AddFlops(2.0 * static_cast<double>(NumNonZeros()));
   Vector y(rows_);
   const double* px = x.data();
   ParallelFor(0, rows_, [&](int row_begin, int row_end) {
@@ -50,6 +73,12 @@ Vector SparseMatrix::Multiply(const Vector& x) const {
 
 Vector SparseMatrix::MultiplyTransposed(const Vector& x) const {
   SRDA_CHECK_EQ(x.size(), rows_) << "sparse A^T*x shape mismatch";
+  TraceSpan span("spmv_t");
+  if (span.recording()) {
+    span.AddArg("flops", 2.0 * static_cast<double>(NumNonZeros()));
+    SparseBytesTouched()->Add(SparseBytes(NumNonZeros(), rows_, cols_, 1));
+  }
+  AddFlops(2.0 * static_cast<double>(NumNonZeros()));
   Vector y(cols_);
   const int num_chunks = FixedChunkCount(rows_, kTransposeChunkRows);
   if (num_chunks <= 1) {
@@ -101,6 +130,14 @@ Vector SparseMatrix::MultiplyTransposed(const Vector& x) const {
 
 Matrix SparseMatrix::MultiplyDense(const Matrix& b) const {
   SRDA_CHECK_EQ(b.rows(), cols_) << "sparse A*B shape mismatch";
+  TraceSpan span("spmm");
+  if (span.recording()) {
+    span.AddArg("flops",
+                2.0 * static_cast<double>(NumNonZeros()) * b.cols());
+    SparseBytesTouched()->Add(
+        SparseBytes(NumNonZeros(), rows_, cols_, b.cols()));
+  }
+  AddFlops(2.0 * static_cast<double>(NumNonZeros()) * b.cols());
   Matrix c(rows_, b.cols());
   ParallelFor(0, rows_, [&](int row_begin, int row_end) {
     for (int i = row_begin; i < row_end; ++i) {
@@ -119,6 +156,14 @@ Matrix SparseMatrix::MultiplyDense(const Matrix& b) const {
 
 Matrix SparseMatrix::MultiplyTransposedDense(const Matrix& b) const {
   SRDA_CHECK_EQ(b.rows(), rows_) << "sparse A^T*B shape mismatch";
+  TraceSpan span("spmm_t");
+  if (span.recording()) {
+    span.AddArg("flops",
+                2.0 * static_cast<double>(NumNonZeros()) * b.cols());
+    SparseBytesTouched()->Add(
+        SparseBytes(NumNonZeros(), rows_, cols_, b.cols()));
+  }
+  AddFlops(2.0 * static_cast<double>(NumNonZeros()) * b.cols());
   const int d = b.cols();
   const int num_chunks = FixedChunkCount(rows_, kTransposeChunkRows);
   if (num_chunks <= 1) {

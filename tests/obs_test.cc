@@ -1,0 +1,309 @@
+// Tests for the observability layer (src/obs): trace recording, per-thread
+// buffer merging, metric atomicity, the JSON emitter/validator pair, and
+// the phase-summary aggregation.
+//
+// The trace recorder and metrics registry are process-wide singletons, so
+// every test starts from a clean slate via the fixture and restores the
+// disabled state on exit (other test binaries assume tracing is off).
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/flops.h"
+#include "common/parallel.h"
+#include "gtest/gtest.h"
+#include "linalg/lsqr.h"
+#include "obs/json_check.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+
+namespace srda {
+namespace {
+
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TraceRecorder::Global().SetEnabled(false);
+    TraceRecorder::Global().Clear();
+  }
+
+  void TearDown() override {
+    TraceRecorder::Global().SetEnabled(false);
+    TraceRecorder::Global().Clear();
+    SetGlobalThreadCount(0);
+  }
+};
+
+int64_t CountByName(const std::vector<TraceEvent>& events,
+                    const std::string& name) {
+  int64_t count = 0;
+  for (const TraceEvent& event : events) {
+    if (name == event.name) ++count;
+  }
+  return count;
+}
+
+TEST_F(ObsTest, DisabledSpansRecordNothing) {
+  const int64_t before = TraceRecorder::Global().EventCount();
+  for (int i = 0; i < 100; ++i) {
+    TraceSpan span("noop");
+    EXPECT_FALSE(span.recording());
+    span.AddArg("flops", 1.0);  // must be dropped, not crash
+  }
+  EXPECT_EQ(TraceRecorder::Global().EventCount(), before);
+}
+
+TEST_F(ObsTest, RecordsCompleteSpansWithArgs) {
+  TraceRecorder::Global().SetEnabled(true);
+  {
+    TraceSpan span("outer");
+    ASSERT_TRUE(span.recording());
+    span.AddArg("flops", 128.0);
+    span.AddArg("n", 64.0);
+    span.AddArg("dropped", 1.0);  // third arg is capped away
+    TraceSpan inner("inner");
+  }
+  const std::vector<TraceEvent> events = TraceRecorder::Global().Collect();
+  ASSERT_EQ(events.size(), 2u);
+
+  // Buffers record in completion order: inner closes first.
+  EXPECT_STREQ(events[0].name, "inner");
+  EXPECT_EQ(events[0].depth, 1);
+  EXPECT_STREQ(events[1].name, "outer");
+  EXPECT_EQ(events[1].depth, 0);
+  EXPECT_EQ(events[1].num_args, 2);
+  EXPECT_STREQ(events[1].arg_keys[0], "flops");
+  EXPECT_EQ(events[1].arg_values[0], 128.0);
+  EXPECT_GE(events[1].duration_ns, events[0].duration_ns);
+  EXPECT_LE(events[1].start_ns, events[0].start_ns);
+}
+
+TEST_F(ObsTest, NestingDepthRestoredAcrossSiblings) {
+  TraceRecorder::Global().SetEnabled(true);
+  {
+    TraceSpan a("a");
+    { TraceSpan child("a.child"); }
+    { TraceSpan sibling("a.sibling"); }
+  }
+  const std::vector<TraceEvent> events = TraceRecorder::Global().Collect();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].depth, 1);  // a.child
+  EXPECT_EQ(events[1].depth, 1);  // a.sibling, not 2
+  EXPECT_EQ(events[2].depth, 0);  // a
+}
+
+TEST_F(ObsTest, MergesSpansAcrossPoolThreads) {
+  SetGlobalThreadCount(4);
+  TraceRecorder::Global().SetEnabled(true);
+  TraceRecorder::Global().Clear();
+
+  constexpr int kItems = 64;
+  std::atomic<int> visited{0};
+  ParallelFor(0, kItems, [&visited](int begin, int end) {
+    for (int i = begin; i < end; ++i) {
+      TraceSpan span("work.item");
+      visited.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  EXPECT_EQ(visited.load(), kItems);
+  const std::vector<TraceEvent> events = TraceRecorder::Global().Collect();
+  EXPECT_EQ(CountByName(events, "work.item"), kItems);
+  // The pool instrumented its own dispatch too.
+  EXPECT_EQ(CountByName(events, "pool.parallel_for"), 1);
+  EXPECT_GT(CountByName(events, "pool.chunk"), 0);
+}
+
+TEST_F(ObsTest, ThreadsGetDistinctTids) {
+  TraceRecorder::Global().SetEnabled(true);
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([] { TraceSpan span("tid.span"); });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  std::vector<int> tids;
+  for (const TraceEvent& event : TraceRecorder::Global().Collect()) {
+    if (std::string(event.name) == "tid.span") tids.push_back(event.tid);
+  }
+  ASSERT_EQ(tids.size(), static_cast<size_t>(kThreads));
+  std::sort(tids.begin(), tids.end());
+  tids.erase(std::unique(tids.begin(), tids.end()), tids.end());
+  EXPECT_EQ(tids.size(), static_cast<size_t>(kThreads));
+}
+
+TEST_F(ObsTest, EventsSurviveThreadExit) {
+  TraceRecorder::Global().SetEnabled(true);
+  std::thread worker([] { TraceSpan span("short.lived"); });
+  worker.join();
+  // The thread retired its buffer on exit; the event must still be merged.
+  const std::vector<TraceEvent> events = TraceRecorder::Global().Collect();
+  EXPECT_EQ(CountByName(events, "short.lived"), 1);
+}
+
+TEST_F(ObsTest, CounterMatchesSingleThreadedSum) {
+  Counter* counter = MetricsRegistry::Global().counter("test.atomicity");
+  counter->Reset();
+
+  constexpr int kItems = 4096;
+  for (int i = 0; i < kItems; ++i) counter->Add(1.0);
+  const double serial = counter->value();
+  counter->Reset();
+
+  SetGlobalThreadCount(4);
+  ParallelFor(0, kItems, [counter](int begin, int end) {
+    for (int i = begin; i < end; ++i) counter->Add(1.0);
+  });
+  EXPECT_EQ(counter->value(), serial);
+  EXPECT_EQ(counter->value(), static_cast<double>(kItems));
+  counter->Reset();
+}
+
+TEST_F(ObsTest, HistogramTracksCountSumMinMax) {
+  Histogram* histogram = MetricsRegistry::Global().histogram("test.histogram");
+  histogram->Reset();
+  EXPECT_EQ(histogram->count(), 0);
+  EXPECT_EQ(histogram->min(), 0.0);
+  EXPECT_EQ(histogram->max(), 0.0);
+
+  histogram->Observe(2.0);
+  histogram->Observe(8.0);
+  histogram->Observe(0.5);
+  EXPECT_EQ(histogram->count(), 3);
+  EXPECT_EQ(histogram->sum(), 10.5);
+  EXPECT_EQ(histogram->min(), 0.5);
+  EXPECT_EQ(histogram->max(), 8.0);
+  EXPECT_DOUBLE_EQ(histogram->mean(), 3.5);
+  histogram->Reset();
+  EXPECT_EQ(histogram->count(), 0);
+}
+
+TEST_F(ObsTest, RegistryResetKeepsPointersValid) {
+  Counter* counter = MetricsRegistry::Global().counter("test.reset");
+  counter->Add(7.0);
+  MetricsRegistry::Global().ResetAll();
+  EXPECT_EQ(counter->value(), 0.0);
+  EXPECT_EQ(MetricsRegistry::Global().counter("test.reset"), counter);
+  counter->Add(1.0);
+  EXPECT_EQ(counter->value(), 1.0);
+  counter->Reset();
+}
+
+TEST_F(ObsTest, WrittenJsonValidates) {
+  TraceRecorder::Global().SetEnabled(true);
+  {
+    TraceSpan span("json.span");
+    span.AddArg("flops", 42.0);
+  }
+  { TraceSpan span("json \"quoted\\name"); }  // must be escaped, not break
+
+  std::ostringstream out;
+  TraceRecorder::Global().WriteJson(out);
+  std::string error;
+  EXPECT_TRUE(ValidateTraceJson(out.str(), {"json.span"}, &error)) << error;
+  EXPECT_FALSE(ValidateTraceJson(out.str(), {"absent.span"}, &error));
+
+  const std::string path = ::testing::TempDir() + "/obs_test_trace.json";
+  ASSERT_TRUE(TraceRecorder::Global().WriteJsonFile(path));
+  std::ifstream input(path);
+  std::ostringstream contents;
+  contents << input.rdbuf();
+  EXPECT_EQ(contents.str(), out.str());
+  std::remove(path.c_str());
+}
+
+TEST_F(ObsTest, JsonParserRejectsMalformedDocuments) {
+  JsonValue value;
+  std::string error;
+  EXPECT_FALSE(ParseJson("", &value, &error));
+  EXPECT_FALSE(ParseJson("{", &value, &error));
+  EXPECT_FALSE(ParseJson("{\"a\":1,}", &value, &error));
+  EXPECT_FALSE(ParseJson("{\"a\":1} extra", &value, &error));
+  EXPECT_FALSE(ParseJson("{\"a\":1,\"a\":2}", &value, &error));  // dup key
+  EXPECT_FALSE(ParseJson("[1,2", &value, &error));
+  EXPECT_FALSE(ParseJson("nul", &value, &error));
+
+  ASSERT_TRUE(ParseJson("{\"a\":[1,true,\"x\"],\"b\":-2.5e3}", &value, &error))
+      << error;
+  ASSERT_NE(value.Find("a"), nullptr);
+  EXPECT_EQ(value.Find("a")->array.size(), 3u);
+  EXPECT_EQ(value.Find("b")->number, -2500.0);
+
+  EXPECT_FALSE(ValidateTraceJson("[]", {}, &error));  // root must be object
+  EXPECT_FALSE(ValidateTraceJson("{\"traceEvents\":[]}", {}, &error));
+  EXPECT_FALSE(ValidateTraceJson(
+      "{\"traceEvents\":[{\"name\":\"x\",\"ph\":\"X\"}]}", {}, &error));
+}
+
+TEST_F(ObsTest, AggregateTraceComputesSelfTime) {
+  std::vector<TraceEvent> events;
+  TraceEvent outer;
+  outer.name = "solve";
+  outer.start_ns = 0;
+  outer.duration_ns = 10'000'000;  // 10 ms
+  outer.tid = 0;
+  events.push_back(outer);
+
+  TraceEvent inner;
+  inner.name = "factor";
+  inner.start_ns = 2'000'000;
+  inner.duration_ns = 4'000'000;  // 4 ms inside solve
+  inner.tid = 0;
+  inner.num_args = 1;
+  inner.arg_keys[0] = "flops";
+  inner.arg_values[0] = 4.0e6;
+  events.push_back(inner);
+
+  // Same names on another thread must not be attributed as children.
+  TraceEvent other;
+  other.name = "factor";
+  other.start_ns = 1'000'000;
+  other.duration_ns = 1'000'000;
+  other.tid = 1;
+  other.num_args = 1;
+  other.arg_keys[0] = "flops";
+  other.arg_values[0] = 1.0e6;
+  events.push_back(other);
+
+  const std::vector<PhaseStat> stats = AggregateTrace(events);
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].name, "solve");  // sorted by wall time descending
+  EXPECT_EQ(stats[0].count, 1);
+  EXPECT_DOUBLE_EQ(stats[0].wall_ms, 10.0);
+  EXPECT_DOUBLE_EQ(stats[0].self_ms, 6.0);  // 10 - 4 nested
+  EXPECT_DOUBLE_EQ(stats[0].flops, 0.0);
+  EXPECT_EQ(stats[1].name, "factor");
+  EXPECT_EQ(stats[1].count, 2);
+  EXPECT_DOUBLE_EQ(stats[1].wall_ms, 5.0);
+  EXPECT_DOUBLE_EQ(stats[1].self_ms, 5.0);
+  EXPECT_DOUBLE_EQ(stats[1].flops, 5.0e6);
+}
+
+TEST_F(ObsTest, FlopCounterLivesInRegistry) {
+  Counter* flops = MetricsRegistry::Global().counter("flops.total");
+  const double before = flops->value();
+  AddFlops(123.0);
+  EXPECT_EQ(flops->value(), before + 123.0);
+  EXPECT_EQ(FlopCount(), flops->value());
+}
+
+TEST_F(ObsTest, LsqrStopNamesAreStable) {
+  EXPECT_STREQ(LsqrStopName(LsqrStop::kIterationLimit), "iteration_limit");
+  EXPECT_STREQ(LsqrStopName(LsqrStop::kRhsZero), "rhs_zero");
+  EXPECT_STREQ(LsqrStopName(LsqrStop::kNormalZero), "normal_zero");
+  EXPECT_STREQ(LsqrStopName(LsqrStop::kResidualTol), "residual_tol");
+  EXPECT_STREQ(LsqrStopName(LsqrStop::kNormalResidualTol),
+               "normal_residual_tol");
+  EXPECT_STREQ(LsqrStopName(LsqrStop::kBreakdown), "breakdown");
+}
+
+}  // namespace
+}  // namespace srda

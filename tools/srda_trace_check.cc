@@ -1,0 +1,84 @@
+// srda_trace_check: validate a Chrome trace JSON file written by
+// --trace-out (TraceRecorder::WriteJsonFile).
+//
+// Usage:
+//   srda_trace_check FILE [--require=name1,name2,...]
+//
+// Exits 0 when FILE parses as a Chrome trace_event document whose events all
+// carry the required fields and every --require'd span name appears at least
+// once; prints the first violation to stderr and exits 1 otherwise. Used as
+// the second half of the bench_smoke_trace / trace_schema_check ctest pair.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json_check.h"
+
+namespace srda {
+namespace {
+
+constexpr char kUsage[] =
+    "usage: srda_trace_check FILE [--require=name1,name2,...]\n";
+
+std::vector<std::string> SplitCommaList(const std::string& list) {
+  std::vector<std::string> names;
+  std::string item;
+  std::istringstream stream(list);
+  while (std::getline(stream, item, ',')) {
+    if (!item.empty()) names.push_back(item);
+  }
+  return names;
+}
+
+int Main(int argc, char** argv) {
+  std::string path;
+  std::vector<std::string> required_names;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help") {
+      std::cout << kUsage;
+      return 0;
+    }
+    const std::string require_prefix = "--require=";
+    if (arg.compare(0, require_prefix.size(), require_prefix) == 0) {
+      const std::vector<std::string> names =
+          SplitCommaList(arg.substr(require_prefix.size()));
+      required_names.insert(required_names.end(), names.begin(), names.end());
+      continue;
+    }
+    if (!path.empty()) {
+      std::cerr << "srda_trace_check: unexpected argument " << arg << "\n"
+                << kUsage;
+      return 1;
+    }
+    path = arg;
+  }
+  if (path.empty()) {
+    std::cerr << kUsage;
+    return 1;
+  }
+
+  std::ifstream input(path);
+  if (!input) {
+    std::cerr << "srda_trace_check: cannot open " << path << "\n";
+    return 1;
+  }
+  std::ostringstream contents;
+  contents << input.rdbuf();
+
+  std::string error;
+  if (!ValidateTraceJson(contents.str(), required_names, &error)) {
+    std::cerr << "srda_trace_check: " << path << ": " << error << "\n";
+    return 1;
+  }
+  std::cout << path << ": ok\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace srda
+
+int main(int argc, char** argv) { return srda::Main(argc, argv); }

@@ -9,6 +9,10 @@
 // sparse format. Sparse data always trains SRDA with LSQR. The saved model
 // contains the embedding and the nearest-centroid classifier state, ready
 // for srda_predict.
+//
+// --trace-out=FILE writes a Chrome/Perfetto trace of the training run;
+// --metrics prints the phase/metrics summary without writing a trace. Either
+// flag (or SRDA_TRACE=1 in the environment) enables the trace recorder.
 
 #include <iostream>
 #include <string>
@@ -23,6 +27,9 @@
 #include "core/rlda.h"
 #include "core/srda.h"
 #include "io/dataset_io.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 
 namespace srda {
 namespace {
@@ -31,11 +38,15 @@ constexpr char kUsage[] =
     "usage: srda_train --data=FILE [--format=csv|libsvm]\n"
     "                  [--algorithm=srda|lda|rlda|idr_qr|fisherfaces]\n"
     "                  [--alpha=1.0] [--solver=normal|lsqr]\n"
-    "                  [--lsqr-iterations=20] --model-out=FILE\n";
+    "                  [--lsqr-iterations=20] [--trace-out=FILE] [--metrics]\n"
+    "                  --model-out=FILE\n";
+
+void PrintLsqrDiagnostics(const SrdaModel& model);
 
 LinearEmbedding TrainDense(const std::string& algorithm,
                            const DenseDataset& dataset, double alpha,
-                           const std::string& solver, int lsqr_iterations) {
+                           const std::string& solver, int lsqr_iterations,
+                           bool print_diagnostics) {
   if (algorithm == "srda") {
     SrdaOptions options;
     options.alpha = alpha;
@@ -45,6 +56,7 @@ LinearEmbedding TrainDense(const std::string& algorithm,
     const SrdaModel model = FitSrda(dataset.features, dataset.labels,
                                     dataset.num_classes, options);
     SRDA_CHECK(model.converged) << "SRDA training failed";
+    if (print_diagnostics) PrintLsqrDiagnostics(model);
     return model.embedding;
   }
   if (algorithm == "lda") {
@@ -77,6 +89,21 @@ LinearEmbedding TrainDense(const std::string& algorithm,
   return LinearEmbedding();
 }
 
+// Prints one line per regression target summarizing how LSQR stopped
+// (satellite diagnostics surfaced through SrdaModel::lsqr_diagnostics).
+void PrintLsqrDiagnostics(const SrdaModel& model) {
+  if (model.lsqr_diagnostics.empty()) return;
+  std::cout << "LSQR convergence (" << model.total_lsqr_iterations
+            << " total iterations):\n";
+  for (size_t i = 0; i < model.lsqr_diagnostics.size(); ++i) {
+    const RidgeRhsDiagnostics& diag = model.lsqr_diagnostics[i];
+    std::cout << "  rhs " << i << ": " << diag.iterations << " iterations, "
+              << "residual " << diag.residual_norm << ", normal residual "
+              << diag.normal_residual_norm << ", stop "
+              << LsqrStopName(diag.stop) << "\n";
+  }
+}
+
 int Main(int argc, char** argv) {
   const ArgParser args(argc, argv);
   if (args.GetBool("help")) {
@@ -90,6 +117,8 @@ int Main(int argc, char** argv) {
   const double alpha = args.GetDouble("alpha", 1.0);
   const std::string solver = args.GetString("solver", "normal");
   const int lsqr_iterations = args.GetInt("lsqr-iterations", 20);
+  const std::string trace_path = args.GetString("trace-out", "");
+  const bool print_metrics = args.GetBool("metrics");
   SRDA_CHECK(args.UnusedFlags().empty())
       << "unknown flag --" << args.UnusedFlags().front() << "\n" << kUsage;
   SRDA_CHECK(!data_path.empty() && !model_path.empty())
@@ -98,6 +127,13 @@ int Main(int argc, char** argv) {
       << "unknown --format=" << format << "\n" << kUsage;
   SRDA_CHECK(solver == "normal" || solver == "lsqr")
       << "unknown --solver=" << solver << "\n" << kUsage;
+
+  const bool observe = !trace_path.empty() || print_metrics || TraceEnabled();
+  if (observe) {
+    TraceRecorder::Global().SetEnabled(true);
+    TraceRecorder::Global().Clear();
+    MetricsRegistry::Global().ResetAll();
+  }
 
   ClassifierModel model;
   Stopwatch watch;
@@ -116,6 +152,7 @@ int Main(int argc, char** argv) {
     const SrdaModel trained = FitSrda(dataset.features, dataset.labels,
                                       dataset.num_classes, options);
     SRDA_CHECK(trained.converged) << "SRDA training failed";
+    if (observe) PrintLsqrDiagnostics(trained);
     model.embedding = trained.embedding;
     CentroidClassifier classifier;
     classifier.Fit(model.embedding.Transform(dataset.features),
@@ -126,8 +163,8 @@ int Main(int argc, char** argv) {
     std::cout << "loaded " << dataset.features.rows() << " samples, "
               << dataset.features.cols() << " features, "
               << dataset.num_classes << " classes\n";
-    model.embedding =
-        TrainDense(algorithm, dataset, alpha, solver, lsqr_iterations);
+    model.embedding = TrainDense(algorithm, dataset, alpha, solver,
+                                 lsqr_iterations, observe);
     CentroidClassifier classifier;
     classifier.Fit(model.embedding.Transform(dataset.features),
                    dataset.labels, dataset.num_classes);
@@ -138,6 +175,17 @@ int Main(int argc, char** argv) {
   std::cout << "trained " << algorithm << " ("
             << model.embedding.output_dim() << " directions) in " << seconds
             << " s; model written to " << model_path << "\n";
+  if (observe) {
+    PrintRunSummary(std::cout);
+    if (!trace_path.empty()) {
+      if (TraceRecorder::Global().WriteJsonFile(trace_path)) {
+        std::cout << "wrote trace to " << trace_path << "\n";
+      } else {
+        std::cout << "failed to write trace to " << trace_path << "\n";
+        return 1;
+      }
+    }
+  }
   return 0;
 }
 
