@@ -17,6 +17,7 @@
 #include <iostream>
 #include <limits>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -117,6 +118,180 @@ KernelTiming TimeKernel(Fn&& fn, int reps) {
   return best;
 }
 
+// One blocked-vs-naive comparison point of the kernel-blocking experiment.
+struct KernelRow {
+  const char* kernel;
+  int n;
+  KernelTiming naive;
+  KernelTiming blocked;
+};
+
+// Measures the three blocked kernels (Gram, gemm, Cholesky) against their
+// naive counterparts at one size, under whatever BlockConfig is active.
+std::vector<KernelRow> MeasureKernelRows(int n, int reps, Rng* rng) {
+  const Matrix a = RandomMatrix(n, n, rng);
+  const Matrix b = RandomMatrix(n, n, rng);
+  Matrix spd = naive::Gram(a);
+  for (int i = 0; i < n; ++i) spd(i, i) += n;
+
+  KernelRow gram_row{"gram", n, TimeKernel([&] { naive::Gram(a); }, reps),
+                     TimeKernel([&] { Gram(a); }, reps)};
+  KernelRow gemm_row{"gemm", n,
+                     TimeKernel([&] { naive::Multiply(a, b); }, reps),
+                     TimeKernel([&] { Multiply(a, b); }, reps)};
+  KernelRow chol_row{"cholesky", n,
+                     TimeKernel(
+                         [&] {
+                           Matrix l;
+                           naive::CholeskyFactor(spd, &l);
+                         },
+                         reps),
+                     TimeKernel(
+                         [&] {
+                           Cholesky chol;
+                           chol.Factor(spd);
+                         },
+                         reps)};
+  return {gram_row, gemm_row, chol_row};
+}
+
+void AppendKernelRow(const KernelRow& row, TablePrinter* table) {
+  table->AddRow({row.kernel, std::to_string(row.n),
+                 FormatDouble(row.naive.seconds, 4),
+                 FormatDouble(row.blocked.seconds, 4),
+                 FormatRatio(row.naive.seconds, row.blocked.seconds, 2),
+                 FormatGflops(row.naive.gflops, 2),
+                 FormatGflops(row.blocked.gflops, 2)});
+}
+
+void WriteKernelBlockingJson(const BlockConfig& blk,
+                             const std::vector<KernelRow>& kernel_rows) {
+  std::ofstream json("BENCH_kernel_blocking.json");
+  json << "{\n  \"experiment\": \"kernel_blocking\",\n"
+       << "  \"block_config\": {\"kc\": " << blk.kc << ", \"mc\": " << blk.mc
+       << ", \"nc\": " << blk.nc << ", \"nb\": " << blk.nb << "},\n"
+       << "  \"num_threads\": 1,\n  \"rows\": [\n";
+  for (size_t i = 0; i < kernel_rows.size(); ++i) {
+    const KernelRow& row = kernel_rows[i];
+    // 0 stands for "unmeasurable" so sub-resolution timings never leak
+    // inf/nan into the JSON.
+    const double speedup = row.blocked.seconds > 0.0
+                               ? row.naive.seconds / row.blocked.seconds
+                               : 0.0;
+    json << "    {\"kernel\": \"" << row.kernel << "\", \"n\": " << row.n
+         << ", \"naive_seconds\": " << row.naive.seconds
+         << ", \"blocked_seconds\": " << row.blocked.seconds
+         << ", \"speedup\": " << speedup
+         << ", \"naive_gflops\": " << row.naive.gflops
+         << ", \"blocked_gflops\": " << row.blocked.gflops << "}"
+         << (i + 1 < kernel_rows.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::cout << "wrote BENCH_kernel_blocking.json\n";
+}
+
+// --sweep-blocks: autotunes the cache-blocking knobs on this machine.
+//
+// Coordinate descent over the four SRDA_BLOCK_* knobs: each is swept over
+// a candidate ladder while the other three hold their current best values.
+// The level-3 knobs (kc, mc, nc) minimise combined Gram + gemm time; nb
+// only shapes the factorization panels, so it minimises blocked Cholesky
+// time. One pass is enough in practice — kc/nc size the streaming panels,
+// mc the output tile, and nb is independent of all three — and keeps the
+// sweep to a couple of minutes at n = 1024. The winning configuration is
+// printed as SRDA_BLOCK_* exports and used to refresh
+// BENCH_kernel_blocking.json so the recorded speedups match the tuned
+// shapes.
+int SweepBlocks(bool smoke, bool full, Rng* rng) {
+  SetGlobalThreadCount(1);
+  const int n = smoke ? 64 : (full ? 1024 : 512);
+  const int reps = smoke ? 1 : 2;
+  std::cout << "\n== Block-size sweep (single thread, n=" << n << ") ==\n";
+  const Matrix a = RandomMatrix(n, n, rng);
+  const Matrix b = RandomMatrix(n, n, rng);
+  Matrix spd = Gram(a);
+  for (int i = 0; i < n; ++i) spd(i, i) += n;
+
+  const auto level3_seconds = [&] {
+    return TimeKernel([&] { Gram(a); }, reps).seconds +
+           TimeKernel([&] { Multiply(a, b); }, reps).seconds;
+  };
+  const auto cholesky_seconds = [&] {
+    return TimeKernel(
+               [&] {
+                 Cholesky chol;
+                 chol.Factor(spd);
+               },
+               reps)
+        .seconds;
+  };
+
+  struct Knob {
+    const char* name;
+    int BlockConfig::*field;
+    bool level3;  // true: Gram+gemm objective; false: Cholesky objective.
+    std::vector<int> candidates;
+  };
+  const std::vector<Knob> knobs = {
+      {"kc", &BlockConfig::kc, true, {64, 96, 128, 192, 256}},
+      {"mc", &BlockConfig::mc, true, {16, 32, 48, 64}},
+      {"nc", &BlockConfig::nc, true, {128, 256, 384, 512}},
+      {"nb", &BlockConfig::nb, false, {32, 48, 64, 96, 128}},
+  };
+
+  const BlockConfig initial = GetBlockConfig();
+  BlockConfig best = initial;
+  TablePrinter sweep_table({"knob", "objective", "value", "seconds", ""});
+  for (const Knob& knob : knobs) {
+    double best_seconds = std::numeric_limits<double>::infinity();
+    int best_value = best.*knob.field;
+    std::vector<std::pair<int, double>> measured;
+    for (int candidate : knob.candidates) {
+      BlockConfig trial = best;
+      trial.*knob.field = candidate;
+      SetBlockConfig(trial);
+      const double seconds =
+          knob.level3 ? level3_seconds() : cholesky_seconds();
+      measured.emplace_back(candidate, seconds);
+      if (seconds < best_seconds) {
+        best_seconds = seconds;
+        best_value = candidate;
+      }
+    }
+    best.*knob.field = best_value;
+    for (const auto& [candidate, seconds] : measured) {
+      sweep_table.AddRow({knob.name, knob.level3 ? "gram+gemm" : "cholesky",
+                          std::to_string(candidate),
+                          FormatDouble(seconds, 4),
+                          candidate == best_value ? "<- best" : ""});
+    }
+  }
+  SetBlockConfig(best);
+  sweep_table.Print(std::cout);
+
+  std::cout << "\ninitial config: kc=" << initial.kc << " mc=" << initial.mc
+            << " nc=" << initial.nc << " nb=" << initial.nb << "\n"
+            << "tuned config:   kc=" << best.kc << " mc=" << best.mc
+            << " nc=" << best.nc << " nb=" << best.nb << "\n"
+            << "to persist:\n"
+            << "  export SRDA_BLOCK_KC=" << best.kc << "\n"
+            << "  export SRDA_BLOCK_MC=" << best.mc << "\n"
+            << "  export SRDA_BLOCK_NC=" << best.nc << "\n"
+            << "  export SRDA_BLOCK_NB=" << best.nb << "\n";
+
+  // Re-measure blocked vs naive under the tuned shapes and refresh the
+  // recorded experiment.
+  std::cout << "\n== Blocked vs naive kernels (tuned config, 1 thread) ==\n";
+  const std::vector<KernelRow> rows = MeasureKernelRows(n, reps, rng);
+  TablePrinter kernel_table({"kernel", "n", "naive s", "blocked s", "speedup",
+                             "naive GFLOP/s", "blocked GFLOP/s"});
+  for (const KernelRow& row : rows) AppendKernelRow(row, &kernel_table);
+  kernel_table.Print(std::cout);
+  if (!smoke) WriteKernelBlockingJson(best, rows);
+  SetGlobalThreadCount(0);  // Restore the env/hardware default.
+  return 0;
+}
+
 // Least-squares slope of log(time) vs log(size).
 double FitExponent(const std::vector<double>& sizes,
                    const std::vector<double>& times) {
@@ -138,6 +313,13 @@ int Main(int argc, char** argv) {
   const bool full = HasFlag(argc, argv, "--full");
   const bool smoke = HasFlag(argc, argv, "--smoke");
   Rng rng(606);
+
+  if (HasFlag(argc, argv, "--sweep-blocks")) {
+    // Autotune mode (scripts/autotune_blocks.sh): sweep the SRDA_BLOCK_*
+    // knobs and refresh BENCH_kernel_blocking.json, skipping the
+    // complexity experiments.
+    return SweepBlocks(smoke, full, &rng);
+  }
 
   std::cout << "Experiment: Table I (complexity of LDA vs SRDA)\n"
             << "Profile: "
@@ -286,78 +468,20 @@ int Main(int argc, char** argv) {
       smoke ? std::vector<int>{64}
             : (full ? std::vector<int>{256, 512, 1024, 1536}
                     : std::vector<int>{256, 1024});
-  struct KernelRow {
-    const char* kernel;
-    int n;
-    KernelTiming naive;
-    KernelTiming blocked;
-  };
   std::vector<KernelRow> kernel_rows;
   TablePrinter kernel_table({"kernel", "n", "naive s", "blocked s", "speedup",
                              "naive GFLOP/s", "blocked GFLOP/s"});
   for (int n : kernel_sizes) {
     const int reps = smoke ? 1 : (n >= 1024 ? 2 : 3);
-    const Matrix a = RandomMatrix(n, n, &rng);
-    const Matrix b = RandomMatrix(n, n, &rng);
-    Matrix spd = naive::Gram(a);
-    for (int i = 0; i < n; ++i) spd(i, i) += n;
-
-    KernelRow gram_row{"gram", n, TimeKernel([&] { naive::Gram(a); }, reps),
-                       TimeKernel([&] { Gram(a); }, reps)};
-    KernelRow gemm_row{"gemm", n,
-                       TimeKernel([&] { naive::Multiply(a, b); }, reps),
-                       TimeKernel([&] { Multiply(a, b); }, reps)};
-    KernelRow chol_row{"cholesky", n,
-                       TimeKernel(
-                           [&] {
-                             Matrix l;
-                             naive::CholeskyFactor(spd, &l);
-                           },
-                           reps),
-                       TimeKernel(
-                           [&] {
-                             Cholesky chol;
-                             chol.Factor(spd);
-                           },
-                           reps)};
-    for (const KernelRow& row : {gram_row, gemm_row, chol_row}) {
+    for (const KernelRow& row : MeasureKernelRows(n, reps, &rng)) {
       kernel_rows.push_back(row);
-      kernel_table.AddRow(
-          {row.kernel, std::to_string(row.n),
-           FormatDouble(row.naive.seconds, 4),
-           FormatDouble(row.blocked.seconds, 4),
-           FormatRatio(row.naive.seconds, row.blocked.seconds, 2),
-           FormatGflops(row.naive.gflops, 2),
-           FormatGflops(row.blocked.gflops, 2)});
+      AppendKernelRow(row, &kernel_table);
     }
   }
   kernel_table.Print(std::cout);
   SetGlobalThreadCount(0);  // Restore the env/hardware default.
 
-  if (!smoke) {
-    std::ofstream json("BENCH_kernel_blocking.json");
-    json << "{\n  \"experiment\": \"kernel_blocking\",\n"
-         << "  \"block_config\": {\"kc\": " << blk.kc << ", \"mc\": " << blk.mc
-         << ", \"nc\": " << blk.nc << ", \"nb\": " << blk.nb << "},\n"
-         << "  \"num_threads\": 1,\n  \"rows\": [\n";
-    for (size_t i = 0; i < kernel_rows.size(); ++i) {
-      const KernelRow& row = kernel_rows[i];
-      // 0 stands for "unmeasurable" so sub-resolution timings never leak
-      // inf/nan into the JSON.
-      const double speedup = row.blocked.seconds > 0.0
-                                 ? row.naive.seconds / row.blocked.seconds
-                                 : 0.0;
-      json << "    {\"kernel\": \"" << row.kernel << "\", \"n\": " << row.n
-           << ", \"naive_seconds\": " << row.naive.seconds
-           << ", \"blocked_seconds\": " << row.blocked.seconds
-           << ", \"speedup\": " << speedup
-           << ", \"naive_gflops\": " << row.naive.gflops
-           << ", \"blocked_gflops\": " << row.blocked.gflops << "}"
-           << (i + 1 < kernel_rows.size() ? "," : "") << "\n";
-    }
-    json << "  ]\n}\n";
-    std::cout << "wrote BENCH_kernel_blocking.json\n";
-  }
+  if (!smoke) WriteKernelBlockingJson(blk, kernel_rows);
 
   if (smoke) {
     std::cout << "\n[SMOKE] shape checks skipped\n";

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
@@ -198,6 +199,15 @@ Matrix Cholesky::SolveMatrix(const Matrix& b) const {
 const Matrix& Cholesky::factor() const {
   SRDA_CHECK(ok_) << "Cholesky::factor without a successful Factor()";
   return l_;
+}
+
+void Cholesky::SetFactor(Matrix l) {
+  SRDA_CHECK_EQ(l.rows(), l.cols()) << "factor must be square";
+  for (int j = 0; j < l.rows(); ++j) {
+    SRDA_CHECK_GT(l(j, j), 0.0) << "factor needs a positive diagonal at " << j;
+  }
+  l_ = std::move(l);
+  ok_ = true;
 }
 
 void CholeskyRank1Update(Matrix* l, Vector v) {

@@ -49,6 +49,12 @@ class Cholesky {
   // The lower-triangular factor L. Requires a successful Factor().
   const Matrix& factor() const;
 
+  // Adopts `l` as the factor, as if Factor() had produced it. The lower
+  // triangle is trusted as-is (square, positive diagonal); used by the
+  // rank-k update engine (linalg/cholesky_update.h) to install a
+  // downdated factor without paying a refactorization.
+  void SetFactor(Matrix l);
+
   bool ok() const { return ok_; }
 
  private:

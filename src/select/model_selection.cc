@@ -69,15 +69,28 @@ AlphaSearchResult SelectSrdaAlpha(const DenseDataset& dataset,
   AlphaSearchResult result;
   result.errors.assign(alphas.size(), 0.0);
 
-  // One draw of the folds serves every candidate (paired comparison), and
-  // the loop runs fold-outer / alpha-inner so a single RidgeSolver per
-  // training fold amortizes the Gram across the whole alpha grid — each
-  // additional grid point costs only a Cholesky refactorization (the
-  // paper's Fig. 5 sweep). Error accumulation order matches the historical
-  // alpha-outer loop, so the reported errors are bitwise unchanged.
+  // One draw of the folds serves every candidate (paired comparison).
+  // Factor-once CV: one solver is bound to the FULL dataset and each
+  // training fold's solver derives from it via ExcludeRows, so every
+  // Cholesky factor a fold needs comes from a rank-(|fold|+1) downdate of
+  // the parent's cached factor instead of a per-fold Gram rebuild (the
+  // full build runs only on the downdate engine's condition fallback).
+  // The loop runs alpha-outer / fold-inner so the parent factors each grid
+  // point exactly once and all k children downdate from it before the next
+  // alpha evicts the parent's single-entry factor cache: a k-fold x
+  // g-alpha grid pays one Gram build and g full factorizations total.
+  // For a fixed alpha the error sum still accumulates over folds in
+  // ascending order, matching the historical loop orders.
   Rng rng(seed);
   const std::vector<std::vector<int>> folds =
       StratifiedFolds(dataset.labels, dataset.num_classes, num_folds, &rng);
+  RidgeSolver full(&dataset.features);
+  std::vector<DenseDataset> train_sets;
+  std::vector<DenseDataset> validation_sets;
+  std::vector<RidgeSolver> fold_solvers;
+  train_sets.reserve(static_cast<size_t>(num_folds));
+  validation_sets.reserve(static_cast<size_t>(num_folds));
+  fold_solvers.reserve(static_cast<size_t>(num_folds));
   for (int f = 0; f < num_folds; ++f) {
     std::vector<int> train_indices;
     for (int other = 0; other < num_folds; ++other) {
@@ -87,16 +100,19 @@ AlphaSearchResult SelectSrdaAlpha(const DenseDataset& dataset,
                            folds[static_cast<size_t>(other)].end());
     }
     std::sort(train_indices.begin(), train_indices.end());
-    const DenseDataset train = Subset(dataset, train_indices);
-    const DenseDataset validation =
-        Subset(dataset, folds[static_cast<size_t>(f)]);
-
-    RidgeSolver solver(&train.features);
-    for (size_t a = 0; a < alphas.size(); ++a) {
+    train_sets.push_back(Subset(dataset, train_indices));
+    validation_sets.push_back(Subset(dataset, folds[static_cast<size_t>(f)]));
+    fold_solvers.push_back(full.ExcludeRows(folds[static_cast<size_t>(f)]));
+  }
+  for (size_t a = 0; a < alphas.size(); ++a) {
+    for (int f = 0; f < num_folds; ++f) {
+      const DenseDataset& train = train_sets[static_cast<size_t>(f)];
+      const DenseDataset& validation = validation_sets[static_cast<size_t>(f)];
       SrdaOptions options;
       options.alpha = alphas[a];
       const SrdaModel model =
-          FitSrda(&solver, train.labels, train.num_classes, options);
+          FitSrda(&fold_solvers[static_cast<size_t>(f)], train.labels,
+                  train.num_classes, options);
       SRDA_CHECK(model.converged) << "SRDA failed during CV";
       CentroidClassifier classifier;
       classifier.Fit(model.embedding.Transform(train.features), train.labels,

@@ -121,6 +121,23 @@ class RidgeSolver {
   RidgeSolver(const RidgeSolver&) = delete;
   RidgeSolver& operator=(const RidgeSolver&) = delete;
 
+  // Fold API: returns a child solver bound to this solver's dense data with
+  // the given rows (sorted ascending, unique, a strict subset) held out —
+  // the training side of one cross-validation fold. The child owns a copy
+  // of the kept rows and solves exactly the same ridge problem a fresh
+  // solver on that submatrix would, but derives each Cholesky factor from
+  // the parent's by a rank-(k+1) downdate (primal: the fold's centered rows
+  // plus one mean-correction vector; dual: row/col deletion plus a rank-2
+  // recentering) instead of rebuilding and refactoring the Gram — O(n²k)
+  // per alpha instead of O(mn² + n³). When the downdate nears singularity
+  // it falls back to a full Gram build + factorization, so the child's
+  // Solve()/FactorAt() contract (including the `ok` failure mode) is
+  // unchanged. The parent must outlive the child and resolves its Gram
+  // side first; the child inherits it so the algebra lines up. Counters
+  // `ridge.fold_downdate_hit` / `ridge.fold_downdate_fallback` record
+  // which path each factor took (while tracing).
+  RidgeSolver ExcludeRows(const std::vector<int>& rows);
+
   // Solves the ridge problem for every column of `responses` at `alpha`.
   RidgeSolution Solve(const Matrix& responses, double alpha,
                       const RidgeSolveOptions& options = {});
@@ -146,6 +163,7 @@ class RidgeSolver {
 
   void PrepareDense();
   const Matrix& GramBase();
+  bool TryFoldDowndate(double alpha);
   RidgeSolution SolveNormalEquations(const Matrix& responses, double alpha);
   RidgeSolution SolveLsqr(const Matrix& responses, double alpha,
                           const RidgeSolveOptions& options);
@@ -171,6 +189,14 @@ class RidgeSolver {
   double factor_alpha_ = 0.0;
   bool factor_ok_ = false;
   Cholesky chol_;
+
+  // Fold-child state (ExcludeRows): the parent whose packed Gram factor we
+  // downdate, the excluded parent row indices, and the owned copy of the
+  // kept rows that x_ points at (kept in a unique_ptr so moves don't
+  // invalidate the pointer).
+  RidgeSolver* parent_ = nullptr;
+  std::vector<int> fold_rows_;
+  std::unique_ptr<Matrix> owned_x_;
 
   // LSQR-path caches: the operator view of dense data and the column means
   // computed through the operator (A^T 1 / m), matching the historical

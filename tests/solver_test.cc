@@ -335,6 +335,98 @@ TEST(RidgeSolverTest, FactorAtCachesAndRecovers) {
   EXPECT_TRUE(solved.ok);
 }
 
+Matrix DropRows(const Matrix& x, const std::vector<int>& rows) {
+  Matrix kept(x.rows() - static_cast<int>(rows.size()), x.cols());
+  int out = 0;
+  size_t next = 0;
+  for (int i = 0; i < x.rows(); ++i) {
+    if (next < rows.size() && rows[next] == i) {
+      ++next;
+      continue;
+    }
+    for (int j = 0; j < x.cols(); ++j) kept(out, j) = x(i, j);
+    ++out;
+  }
+  return kept;
+}
+
+TEST(RidgeSolverTest, ExcludeRowsPrimalMatchesFreshSolverOnSubset) {
+  // The fold child's downdated factor must solve the same ridge problem a
+  // fresh solver on the kept rows does, across an alpha sweep (the
+  // factor-once CV path). m > n keeps the parent on the primal side.
+  const Matrix x = RandomMatrix(40, 12, 41);
+  const Matrix responses = RandomMatrix(34, 3, 42);
+  const std::vector<int> fold = {3, 7, 8, 19, 25, 31};
+  const Matrix kept = DropRows(x, fold);
+  RidgeSolver parent(&x);
+  RidgeSolver child = parent.ExcludeRows(fold);
+  for (double alpha : {0.05, 2.0, 0.05}) {
+    const RidgeSolution fold_solution = child.Solve(responses, alpha);
+    RidgeSolver fresh(&kept);
+    const RidgeSolution direct = fresh.Solve(responses, alpha);
+    ASSERT_TRUE(fold_solution.ok);
+    ASSERT_TRUE(direct.ok);
+    EXPECT_LT(MaxAbsDiff(fold_solution.coefficients, direct.coefficients),
+              1e-8)
+        << "alpha " << alpha;
+    EXPECT_LT(MaxAbsDiff(fold_solution.bias, direct.bias), 1e-8)
+        << "alpha " << alpha;
+  }
+}
+
+TEST(RidgeSolverTest, ExcludeRowsDualMatchesFreshSolverOnSubset) {
+  // n > m puts the parent on the dual side: the child factor comes from
+  // row/col deletion plus the rank-2 recentering instead of the primal
+  // rank-(k+1) downdate. Boundary indices (first and last row) included.
+  const Matrix x = RandomMatrix(15, 50, 43);
+  const Matrix responses = RandomMatrix(11, 2, 44);
+  const std::vector<int> fold = {0, 4, 9, 14};
+  const Matrix kept = DropRows(x, fold);
+  RidgeSolver parent(&x);
+  RidgeSolver child = parent.ExcludeRows(fold);
+  for (double alpha : {0.1, 1.5}) {
+    const RidgeSolution fold_solution = child.Solve(responses, alpha);
+    RidgeSolver fresh(&kept, GramSide::kDual);
+    const RidgeSolution direct = fresh.Solve(responses, alpha);
+    ASSERT_TRUE(fold_solution.ok);
+    ASSERT_TRUE(direct.ok);
+    EXPECT_LT(MaxAbsDiff(fold_solution.coefficients, direct.coefficients),
+              1e-8)
+        << "alpha " << alpha;
+    EXPECT_LT(MaxAbsDiff(fold_solution.bias, direct.bias), 1e-8)
+        << "alpha " << alpha;
+  }
+}
+
+TEST(RidgeSolverTest, ExcludeRowsFallsBackAndPreservesFailureContract) {
+  // Excluding enough rows makes the child's Gram rank-deficient at
+  // alpha == 0: the downdate hits the condition floor, the fallback
+  // refactors from scratch and also (correctly) fails, so Solve reports
+  // ok == false exactly like a fresh solver would. A positive alpha then
+  // recovers through the downdate path.
+  const Matrix x = RandomMatrix(14, 10, 45);
+  const std::vector<int> fold = {1, 2, 5, 6, 8, 10, 11, 13};
+  const Matrix kept = DropRows(x, fold);  // 6 rows < 10 cols: singular Gram.
+  RidgeSolver parent(&x);
+  RidgeSolver child = parent.ExcludeRows(fold);
+  EXPECT_EQ(nullptr, child.FactorAt(0.0));
+  const RidgeSolution failed = child.Solve(Matrix(6, 2), 0.0);
+  EXPECT_FALSE(failed.ok);
+  const Matrix responses = RandomMatrix(6, 2, 46);
+  const RidgeSolution recovered = child.Solve(responses, 0.5);
+  ASSERT_TRUE(recovered.ok);
+  RidgeSolver fresh(&kept, GramSide::kPrimal);
+  const RidgeSolution direct = fresh.Solve(responses, 0.5);
+  ASSERT_TRUE(direct.ok);
+  EXPECT_LT(MaxAbsDiff(recovered.coefficients, direct.coefficients), 1e-8);
+}
+
+TEST(RidgeSolverDeathTest, ExcludeRowsRejectsUnsortedRows) {
+  const Matrix x = RandomMatrix(8, 4, 47);
+  RidgeSolver parent(&x);
+  EXPECT_DEATH(parent.ExcludeRows({3, 1}), "sorted");
+}
+
 TEST(RidgeSolverTest, DenseAccessorsExposeCenteredData) {
   const Matrix x = RandomMatrix(12, 5, 30);
   RidgeSolver solver(&x);
