@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "linalg/cholesky.h"
+#include "linalg/cholesky_update.h"
 
 namespace srda {
 namespace {
@@ -89,6 +90,34 @@ void IncrementalSrda::AddSample(const Vector& features, int label) {
   for (int j = 0; j < num_features_; ++j) sums[j] += features[j];
   ++counts_[static_cast<size_t>(label)];
   ++total_count_;
+}
+
+void IncrementalSrda::AddShard(const Matrix& features,
+                               const std::vector<int>& labels) {
+  const int k = features.rows();
+  SRDA_CHECK_GT(k, 0) << "empty shard";
+  SRDA_CHECK_EQ(features.cols(), num_features_) << "feature size mismatch";
+  SRDA_CHECK_EQ(static_cast<int>(labels.size()), k)
+      << "label count mismatch";
+  // Augmented shard [X 1]; one blocked rank-k update of the factor.
+  Matrix augmented(k, num_features_ + 1);
+  for (int i = 0; i < k; ++i) {
+    const int label = labels[static_cast<size_t>(i)];
+    SRDA_CHECK(label >= 0 && label < num_classes_)
+        << "label " << label << " outside [0, " << num_classes_ << ")";
+    const double* src = features.RowPtr(i);
+    double* dst = augmented.RowPtr(i);
+    for (int j = 0; j < num_features_; ++j) dst[j] = src[j];
+    dst[num_features_] = 1.0;
+  }
+  CholeskyRankKUpdate(&chol_factor_, augmented);
+  for (int i = 0; i < k; ++i) {
+    const double* src = features.RowPtr(i);
+    double* sums = class_sums_.RowPtr(labels[static_cast<size_t>(i)]);
+    for (int j = 0; j < num_features_; ++j) sums[j] += src[j];
+    ++counts_[static_cast<size_t>(labels[static_cast<size_t>(i)])];
+  }
+  total_count_ += k;
 }
 
 bool IncrementalSrda::ready() const {

@@ -32,6 +32,15 @@ class IncrementalSrda {
   // Streams one labeled sample; O((n+1)^2).
   void AddSample(const Vector& features, int label);
 
+  // Streams a whole shard of rows at once via a blocked rank-k Cholesky
+  // update; O(k (n+1)^2) but with far better locality than k AddSample
+  // calls. This is the bulk-load half of the out-of-core story: fit the
+  // history through RowShardReader shards, then keep streaming new samples
+  // with AddSample. The factor equals the k successive rank-1 updates up
+  // to rounding (the blocked update reassociates the rotations), so
+  // results agree to solver tolerance, not bitwise.
+  void AddShard(const Matrix& features, const std::vector<int>& labels);
+
   int num_samples() const { return total_count_; }
   int num_features() const { return num_features_; }
   int num_classes() const { return num_classes_; }

@@ -16,16 +16,30 @@ void ValidateLabels(const std::vector<int>& labels, int rows,
   }
 }
 
+// raw_labels is either empty (raw == compact) or a strictly ascending map
+// with one raw label per class.
+void ValidateRawLabels(const std::vector<int>& raw_labels, int num_classes) {
+  if (raw_labels.empty()) return;
+  SRDA_CHECK_EQ(static_cast<int>(raw_labels.size()), num_classes)
+      << "raw_labels must map every class";
+  for (size_t k = 1; k < raw_labels.size(); ++k) {
+    SRDA_CHECK_LT(raw_labels[k - 1], raw_labels[k])
+        << "raw_labels must be strictly ascending";
+  }
+}
+
 }  // namespace
 
 void ValidateDataset(const DenseDataset& dataset) {
   ValidateLabels(dataset.labels, dataset.features.rows(),
                  dataset.num_classes);
+  ValidateRawLabels(dataset.raw_labels, dataset.num_classes);
 }
 
 void ValidateDataset(const SparseDataset& dataset) {
   ValidateLabels(dataset.labels, dataset.features.rows(),
                  dataset.num_classes);
+  ValidateRawLabels(dataset.raw_labels, dataset.num_classes);
 }
 
 std::vector<int> ClassCounts(const std::vector<int>& labels, int num_classes) {
@@ -43,6 +57,7 @@ DenseDataset Subset(const DenseDataset& dataset,
                     const std::vector<int>& indices) {
   DenseDataset out;
   out.num_classes = dataset.num_classes;
+  out.raw_labels = dataset.raw_labels;
   out.features = Matrix(static_cast<int>(indices.size()),
                         dataset.features.cols());
   out.labels.reserve(indices.size());
@@ -63,6 +78,7 @@ SparseDataset Subset(const SparseDataset& dataset,
                      const std::vector<int>& indices) {
   SparseDataset out;
   out.num_classes = dataset.num_classes;
+  out.raw_labels = dataset.raw_labels;
   SparseMatrixBuilder builder(static_cast<int>(indices.size()),
                               dataset.features.cols());
   out.labels.reserve(indices.size());

@@ -17,6 +17,10 @@ struct DenseDataset {
   Matrix features;          // m x n
   std::vector<int> labels;  // size m, values in [0, num_classes)
   int num_classes = 0;
+  // Compact id -> raw label as written in the source file, strictly
+  // ascending (the readers compact by sorted raw value). Empty for datasets
+  // built in memory, meaning raw label == compact id.
+  std::vector<int> raw_labels;
 };
 
 // Sparse (CSR) features with one label per row.
@@ -24,6 +28,8 @@ struct SparseDataset {
   SparseMatrix features;
   std::vector<int> labels;
   int num_classes = 0;
+  // Compact id -> raw file label, as for DenseDataset::raw_labels.
+  std::vector<int> raw_labels;
 };
 
 // Aborts if labels/shape/num_classes are inconsistent.

@@ -8,21 +8,38 @@
 #ifndef SRDA_IO_DATASET_IO_H_
 #define SRDA_IO_DATASET_IO_H_
 
+#include <cstdint>
+#include <fstream>
 #include <string>
+#include <vector>
 
 #include "core/embedding.h"
 #include "dataset/dataset.h"
 
 namespace srda {
 
+// Sorted label compaction, shared by every reader (one-shot and streaming):
+// rewrites `raw_per_row` in place to compact ids in [0, c) assigned by
+// ascending raw value, and returns the compact -> raw table. The mapping
+// depends only on the SET of labels present, never on row order, which is
+// what makes write -> read round trips and shard streams stable.
+std::vector<int> CompactLabelsSorted(std::vector<int>* raw_per_row);
+
 // --- LibSVM sparse format: "<label> <index>:<value> ..." per line. ---
 //
-// Labels in the file are 1-based class ids (or arbitrary non-negative ints);
-// they are compacted to [0, num_classes) in first-appearance order on read.
-// Feature indices are 1-based in the file, 0-based in memory.
+// Labels in the file are arbitrary integer class ids; they are compacted to
+// [0, num_classes) by SORTED raw value on read, and the compact -> raw map
+// is exposed as SparseDataset::raw_labels. Sorted compaction makes the
+// mapping depend only on the label set, so write -> read round trips (and
+// shard-order changes) never permute class identities. Feature indices are
+// 1-based in the file, 0-based in memory. All malformed numeric fields
+// abort with a located "path:line" diagnostic (std::from_chars, no
+// exceptions escape).
 
-// Writes the dataset; labels are stored as (label + 1), indices as
-// (column + 1). Aborts on I/O failure.
+// Writes the dataset. When the dataset carries raw_labels the original file
+// labels are preserved; otherwise compact ids are written as (label + 1),
+// the LibSVM 1-based convention. Indices are written as (column + 1).
+// Aborts on I/O failure.
 void WriteLibSvmFile(const SparseDataset& dataset, const std::string& path);
 
 // Reads a LibSVM file. `num_features` fixes the feature-space width; pass 0
@@ -30,10 +47,41 @@ void WriteLibSvmFile(const SparseDataset& dataset, const std::string& path);
 SparseDataset ReadLibSvmFile(const std::string& path, int num_features = 0);
 
 // --- Dense CSV: "label,x_1,x_2,...,x_n" per line. ---
+//
+// Labels compact exactly like the LibSVM reader (sorted raw value, map in
+// DenseDataset::raw_labels), so gapped ids like {0, 2} yield 2 classes, not
+// a fabricated empty class.
 
 void WriteDenseCsvFile(const DenseDataset& dataset, const std::string& path);
 
 DenseDataset ReadDenseCsvFile(const std::string& path);
+
+// --- Dense binary: native-endian "SRDB" v1 container. ---
+//
+// Layout: magic "SRDB", int32 version, rows, cols, num_classes; int32
+// raw_labels[num_classes]; int32 labels[rows]; float64 row-major features.
+// Row i starts at data_offset + i*cols*8, so RowShardReader can stream
+// shards with O(1) seeks and no whole-file scan.
+
+void WriteDenseBinaryFile(const DenseDataset& dataset,
+                          const std::string& path);
+
+DenseDataset ReadDenseBinaryFile(const std::string& path);
+
+// Parsed header + label block of an "SRDB" file; `data_offset` is the byte
+// offset of the first feature row. Aborts on malformed headers. The stream
+// is left positioned at data_offset.
+struct DenseBinaryHeader {
+  int rows = 0;
+  int cols = 0;
+  int num_classes = 0;
+  std::vector<int> raw_labels;  // always populated (identity if none stored)
+  std::vector<int> labels;
+  int64_t data_offset = 0;
+};
+
+DenseBinaryHeader ReadDenseBinaryHeader(std::ifstream* in,
+                                        const std::string& path);
 
 // --- Trained embedding (projection + bias) as a plain-text model file. ---
 

@@ -1,0 +1,207 @@
+#include "io/row_shard_reader.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "io/dataset_io.h"
+#include "io/line_parser.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace srda {
+namespace {
+
+Counter* BytesStreamed() {
+  static Counter* counter =
+      MetricsRegistry::Global().counter("io.bytes_streamed");
+  return counter;
+}
+
+}  // namespace
+
+RowShardReader::RowShardReader(const std::string& path,
+                               RowStreamFormat format,
+                               const RowShardReaderOptions& options)
+    : path_(path), format_(format), options_(options) {
+  SRDA_CHECK_GT(options.shard_rows, 0) << "shard_rows must be positive";
+  SRDA_CHECK_GE(options.num_features, 0);
+  in_.open(path, format == RowStreamFormat::kBinary
+                     ? std::ios::in | std::ios::binary
+                     : std::ios::in);
+  SRDA_CHECK(in_.good()) << "cannot open " << path << " for reading";
+  if (format == RowStreamFormat::kBinary) {
+    ReadBinaryMetadata();
+  } else {
+    ScanText();
+  }
+  SRDA_CHECK_GT(rows_, 0) << path << ": no samples";
+  SRDA_CHECK_GT(cols_, 0) << path << ": no features";
+  Reset();
+}
+
+void RowShardReader::ScanText() {
+  std::string line;
+  std::vector<int> raw_per_row;
+  LibSvmLine parsed;
+  std::vector<double> cells;
+  int max_column = -1;
+  int line_number = 0;
+  while (std::getline(in_, line)) {
+    ++line_number;
+    bytes_streamed_ += static_cast<int64_t>(line.size()) + 1;
+    if (line.empty() || line[0] == '#') continue;
+    if (format_ == RowStreamFormat::kLibSvm) {
+      ParseLibSvmLine(line, path_, line_number, &parsed);
+      raw_per_row.push_back(parsed.label);
+      for (const LibSvmEntry& entry : parsed.entries) {
+        max_column = std::max(max_column, entry.column);
+      }
+    } else {
+      const int label = ParseCsvLine(line, path_, line_number, &cells);
+      SRDA_CHECK_GE(label, 0)
+          << path_ << ":" << line_number << ": negative label";
+      raw_per_row.push_back(label);
+      if (cols_ == 0) {
+        cols_ = static_cast<int>(cells.size());
+        SRDA_CHECK_GT(cols_, 0) << path_ << ": no feature columns";
+      }
+      SRDA_CHECK_EQ(static_cast<int>(cells.size()), cols_)
+          << path_ << ":" << line_number << ": ragged row";
+    }
+    ++rows_;
+  }
+  BytesStreamed()->Add(static_cast<double>(bytes_streamed_));
+  if (format_ == RowStreamFormat::kLibSvm) {
+    cols_ = options_.num_features > 0 ? options_.num_features : max_column + 1;
+    SRDA_CHECK_GT(cols_, max_column)
+        << path_ << ": feature index " << max_column + 1 << " exceeds width "
+        << cols_;
+  }
+  raw_labels_ = CompactLabelsSorted(&raw_per_row);
+  labels_ = std::move(raw_per_row);
+  num_classes_ = static_cast<int>(raw_labels_.size());
+}
+
+void RowShardReader::ReadBinaryMetadata() {
+  DenseBinaryHeader header = ReadDenseBinaryHeader(&in_, path_);
+  rows_ = header.rows;
+  cols_ = header.cols;
+  num_classes_ = header.num_classes;
+  raw_labels_ = std::move(header.raw_labels);
+  labels_ = std::move(header.labels);
+  data_offset_ = header.data_offset;
+  for (int label : labels_) {
+    SRDA_CHECK(label >= 0 && label < num_classes_)
+        << path_ << ": label " << label << " outside [0, " << num_classes_
+        << ")";
+  }
+  const int64_t header_bytes = data_offset_;
+  bytes_streamed_ += header_bytes;
+  BytesStreamed()->Add(static_cast<double>(header_bytes));
+}
+
+void RowShardReader::RewindText() {
+  in_.clear();
+  in_.seekg(0);
+  SRDA_CHECK(in_.good()) << path_ << ": rewind failed";
+  line_number_ = 0;
+}
+
+void RowShardReader::Reset() {
+  next_row_ = 0;
+  if (format_ != RowStreamFormat::kBinary) RewindText();
+}
+
+bool RowShardReader::Next(RowShard* shard) {
+  if (next_row_ >= rows_) return false;
+  return format_ == RowStreamFormat::kBinary ? NextBinary(shard)
+                                             : NextText(shard);
+}
+
+bool RowShardReader::NextText(RowShard* shard) {
+  const int count = std::min(options_.shard_rows, rows_ - next_row_);
+  TraceSpan span("io.shard_read");
+  int64_t bytes = 0;
+  std::string line;
+  LibSvmLine parsed;
+  std::vector<double> cells;
+  SparseMatrixBuilder builder(format_ == RowStreamFormat::kLibSvm ? count : 0,
+                              format_ == RowStreamFormat::kLibSvm ? cols_ : 0);
+  if (format_ == RowStreamFormat::kCsv) dense_buffer_ = Matrix(count, cols_);
+  int filled = 0;
+  while (filled < count) {
+    SRDA_CHECK(static_cast<bool>(std::getline(in_, line)))
+        << path_ << ": file shrank between passes";
+    ++line_number_;
+    bytes += static_cast<int64_t>(line.size()) + 1;
+    if (line.empty() || line[0] == '#') continue;
+    if (format_ == RowStreamFormat::kLibSvm) {
+      ParseLibSvmLine(line, path_, line_number_, &parsed);
+      for (const LibSvmEntry& entry : parsed.entries) {
+        SRDA_CHECK_LT(entry.column, cols_)
+            << path_ << ":" << line_number_ << ": feature index "
+            << entry.column + 1 << " exceeds width " << cols_;
+        builder.Add(filled, entry.column, entry.value);
+      }
+    } else {
+      ParseCsvLine(line, path_, line_number_, &cells);
+      SRDA_CHECK_EQ(static_cast<int>(cells.size()), cols_)
+          << path_ << ":" << line_number_ << ": ragged row";
+      double* dst = dense_buffer_.RowPtr(filled);
+      for (int j = 0; j < cols_; ++j) dst[j] = cells[static_cast<size_t>(j)];
+    }
+    ++filled;
+  }
+  shard->first_row = next_row_;
+  if (format_ == RowStreamFormat::kLibSvm) {
+    sparse_buffer_ = std::move(builder).Build();
+    shard->sparse = &sparse_buffer_;
+    shard->dense = nullptr;
+    peak_shard_bytes_ = std::max(
+        peak_shard_bytes_,
+        static_cast<int64_t>(sparse_buffer_.NumNonZeros()) * 12 +
+            static_cast<int64_t>(count + 1) * 8);
+  } else {
+    shard->dense = &dense_buffer_;
+    shard->sparse = nullptr;
+    peak_shard_bytes_ =
+        std::max(peak_shard_bytes_, static_cast<int64_t>(count) * cols_ * 8);
+  }
+  next_row_ += count;
+  bytes_streamed_ += bytes;
+  BytesStreamed()->Add(static_cast<double>(bytes));
+  if (span.recording()) {
+    span.AddArg("rows", static_cast<double>(count));
+    span.AddArg("bytes", static_cast<double>(bytes));
+  }
+  return true;
+}
+
+bool RowShardReader::NextBinary(RowShard* shard) {
+  const int count = std::min(options_.shard_rows, rows_ - next_row_);
+  TraceSpan span("io.shard_read");
+  const int64_t row_bytes = static_cast<int64_t>(cols_) * 8;
+  in_.clear();
+  in_.seekg(data_offset_ + static_cast<int64_t>(next_row_) * row_bytes);
+  SRDA_CHECK(in_.good()) << path_ << ": seek failed";
+  dense_buffer_ = Matrix(count, cols_);
+  in_.read(reinterpret_cast<char*>(dense_buffer_.RowPtr(0)),
+           static_cast<std::streamsize>(count * row_bytes));
+  SRDA_CHECK(in_.good()) << path_ << ": truncated binary dataset";
+  shard->first_row = next_row_;
+  shard->dense = &dense_buffer_;
+  shard->sparse = nullptr;
+  const int64_t bytes = count * row_bytes;
+  peak_shard_bytes_ = std::max(peak_shard_bytes_, bytes);
+  next_row_ += count;
+  bytes_streamed_ += bytes;
+  BytesStreamed()->Add(static_cast<double>(bytes));
+  if (span.recording()) {
+    span.AddArg("rows", static_cast<double>(count));
+    span.AddArg("bytes", static_cast<double>(bytes));
+  }
+  return true;
+}
+
+}  // namespace srda

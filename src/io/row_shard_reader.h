@@ -1,0 +1,106 @@
+// Chunked row streaming from dataset files: the out-of-core entry point.
+//
+// RowShardReader is a RowShardSource over a LibSVM, CSV, or SRDB-binary
+// dataset file. Construction makes one validating metadata pass (labels,
+// dimensions, class map — O(m) memory for labels, never the features); after
+// that each Next() materializes only `shard_rows` rows, so peak resident
+// feature memory is bounded by the shard size no matter how large the file
+// is. Iterative consumers (sharded LSQR) Reset() and re-stream the file
+// once per pass — trading re-parse time for memory, which is the out-of-core
+// contract.
+//
+// Text formats re-tokenize on every pass through the strict line_parser
+// grammar (so a malformed byte fails with a located path:line message on the
+// scan, before any numerics run). The binary format seeks straight to the
+// shard's byte range. Labels compact exactly like the one-shot readers in
+// dataset_io (sorted raw value), so an out-of-core fit sees the same class
+// ids as an in-RAM ReadLibSvmFile/ReadDenseCsvFile fit.
+//
+// Observability: every Next() emits an `io.shard_read` span (rows + bytes
+// args) and advances the global `io.bytes_streamed` counter.
+
+#ifndef SRDA_IO_ROW_SHARD_READER_H_
+#define SRDA_IO_ROW_SHARD_READER_H_
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "linalg/sharded_operator.h"
+#include "matrix/matrix.h"
+#include "sparse/sparse_matrix.h"
+
+namespace srda {
+
+enum class RowStreamFormat {
+  kLibSvm,  // sparse shards
+  kCsv,     // dense shards
+  kBinary,  // dense shards, seekable (dataset_io's SRDB container)
+};
+
+struct RowShardReaderOptions {
+  // Rows per shard; the last shard may be smaller.
+  int shard_rows = 4096;
+  // LibSVM only: fixes the feature-space width (0 infers it from the
+  // largest index present, as ReadLibSvmFile does).
+  int num_features = 0;
+};
+
+class RowShardReader final : public RowShardSource {
+ public:
+  RowShardReader(const std::string& path, RowStreamFormat format,
+                 const RowShardReaderOptions& options = {});
+
+  // RowShardSource:
+  int rows() const override { return rows_; }
+  int cols() const override { return cols_; }
+  bool sparse() const override { return format_ == RowStreamFormat::kLibSvm; }
+  void Reset() override;
+  bool Next(RowShard* shard) override;
+
+  // Dataset metadata from the scan pass.
+  int num_classes() const { return num_classes_; }
+  // Compacted labels for all rows (label i belongs to global row i).
+  const std::vector<int>& labels() const { return labels_; }
+  // Compact id -> raw file label, strictly ascending.
+  const std::vector<int>& raw_labels() const { return raw_labels_; }
+
+  // Total bytes this reader has streamed (all passes) and the largest
+  // in-memory footprint of any single shard (features + index structure).
+  int64_t bytes_streamed() const { return bytes_streamed_; }
+  int64_t peak_shard_bytes() const { return peak_shard_bytes_; }
+
+ private:
+  void ScanText();
+  void ReadBinaryMetadata();
+  bool NextText(RowShard* shard);
+  bool NextBinary(RowShard* shard);
+  // Positions the text stream at the first data line.
+  void RewindText();
+
+  std::string path_;
+  RowStreamFormat format_;
+  RowShardReaderOptions options_;
+  std::ifstream in_;
+
+  int rows_ = 0;
+  int cols_ = 0;
+  int num_classes_ = 0;
+  std::vector<int> labels_;
+  std::vector<int> raw_labels_;
+  int64_t data_offset_ = 0;  // binary: first feature byte
+
+  // Streaming cursor.
+  int next_row_ = 0;
+  int line_number_ = 0;
+  Matrix dense_buffer_;
+  SparseMatrix sparse_buffer_;
+
+  int64_t bytes_streamed_ = 0;
+  int64_t peak_shard_bytes_ = 0;
+};
+
+}  // namespace srda
+
+#endif  // SRDA_IO_ROW_SHARD_READER_H_

@@ -91,7 +91,15 @@ Vector Multiply(const Matrix& a, const Vector& x) {
 }
 
 Vector MultiplyTransposed(const Matrix& a, const Vector& x) {
+  Vector y(a.cols());
+  MultiplyTransposedAccumulate(a, x, &y);
+  return y;
+}
+
+void MultiplyTransposedAccumulate(const Matrix& a, const Vector& x,
+                                  Vector* y) {
   SRDA_CHECK_EQ(a.rows(), x.size()) << "A^T*x shape mismatch";
+  SRDA_CHECK_EQ(a.cols(), y->size()) << "A^T*x output size mismatch";
   TraceSpan span("gemv_t");
   if (span.recording()) {
     span.AddArg("flops", 2.0 * a.rows() * a.cols());
@@ -99,15 +107,13 @@ Vector MultiplyTransposed(const Matrix& a, const Vector& x) {
                                a.cols() + a.rows()));
   }
   AddFlops(2.0 * a.rows() * a.cols());
-  Vector y(a.cols());
-  double* py = y.data();
+  double* py = y->data();
   for (int i = 0; i < a.rows(); ++i) {
     const double* row = a.RowPtr(i);
     const double xi = x[i];
     if (xi == 0.0) continue;
     for (int j = 0; j < a.cols(); ++j) py[j] += xi * row[j];
   }
-  return y;
 }
 
 namespace {
@@ -333,6 +339,63 @@ void MirrorUpperToLower(Matrix* c) {
   });
 }
 
+// C += A^T B, blocked. Shared by MultiplyTransposedA (C zeroed) and the
+// streaming accumulate variant (C carries the previous blocks' partial
+// chains); no span/flop accounting here.
+void GemmAtBInto(const Matrix& a, const Matrix& b, Matrix* c) {
+  const int m = a.rows();
+  const int p = a.cols();
+  const int n = b.cols();
+  const BlockConfig& blk = GetBlockConfig();
+  ParallelFor(0, p, [&](int col_begin, int col_end) {
+    std::vector<double> pack(static_cast<size_t>(blk.mc) * blk.kc);
+    for (int i0 = col_begin; i0 < col_end; i0 += blk.mc) {
+      const int i1 = std::min(i0 + blk.mc, col_end);
+      for (int k0 = 0; k0 < m; k0 += blk.kc) {
+        const int kk = std::min(blk.kc, m - k0);
+        PackPanelTransposed(a, k0, kk, i0, i1, pack.data());
+        for (int j0 = 0; j0 < n; j0 += blk.nc) {
+          const int j1 = std::min(j0 + blk.nc, n);
+          GemmTileUpdate(pack.data(), kk, kk, b, k0, i0, i1, j0, j1, c);
+        }
+      }
+    }
+  });
+}
+
+// Upper triangle of C += A^T A, blocked; same sharing as GemmAtBInto.
+void GramUpperInto(const Matrix& a, Matrix* c) {
+  const int m = a.rows();
+  const int n = a.cols();
+  const BlockConfig& blk = GetBlockConfig();
+  ParallelFor(0, n, [&](int row_begin, int row_end) {
+    std::vector<double> pack(static_cast<size_t>(blk.mc) * blk.kc);
+    for (int i0 = row_begin; i0 < row_end; i0 += blk.mc) {
+      const int i1 = std::min(i0 + blk.mc, row_end);
+      for (int k0 = 0; k0 < m; k0 += blk.kc) {
+        const int kk = std::min(blk.kc, m - k0);
+        PackPanelTransposed(a, k0, kk, i0, i1, pack.data());
+        for (int j0 = i0; j0 < n; j0 += blk.nc) {
+          const int j1 = std::min(j0 + blk.nc, n);
+          if (j0 >= i1) {
+            GemmTileUpdate(pack.data(), kk, kk, a, k0, i0, i1, j0, j1, c);
+          } else {
+            // Stripe straddles the diagonal: scalar triangle up to the
+            // tile's last row, fast rectangle for the columns beyond it.
+            const int split = std::min(j1, i1);
+            GemmTileUpdateUpper(pack.data(), kk, a, k0, i0, i1, j0, split,
+                                c);
+            if (split < j1) {
+              GemmTileUpdate(pack.data(), kk, kk, a, k0, i0, i1, split, j1,
+                             c);
+            }
+          }
+        }
+      }
+    }
+  });
+}
+
 }  // namespace
 
 Matrix Multiply(const Matrix& a, const Matrix& b) {
@@ -382,22 +445,27 @@ Matrix MultiplyTransposedA(const Matrix& a, const Matrix& b) {
   }
   AddFlops(2.0 * m * p * n);
   Matrix c(p, n);
-  const BlockConfig& blk = GetBlockConfig();
-  ParallelFor(0, p, [&](int col_begin, int col_end) {
-    std::vector<double> pack(static_cast<size_t>(blk.mc) * blk.kc);
-    for (int i0 = col_begin; i0 < col_end; i0 += blk.mc) {
-      const int i1 = std::min(i0 + blk.mc, col_end);
-      for (int k0 = 0; k0 < m; k0 += blk.kc) {
-        const int kk = std::min(blk.kc, m - k0);
-        PackPanelTransposed(a, k0, kk, i0, i1, pack.data());
-        for (int j0 = 0; j0 < n; j0 += blk.nc) {
-          const int j1 = std::min(j0 + blk.nc, n);
-          GemmTileUpdate(pack.data(), kk, kk, b, k0, i0, i1, j0, j1, &c);
-        }
-      }
-    }
-  });
+  GemmAtBInto(a, b, &c);
   return c;
+}
+
+void MultiplyTransposedAAccumulate(const Matrix& a, const Matrix& b,
+                                   Matrix* c) {
+  SRDA_CHECK_EQ(a.rows(), b.rows()) << "A^T*B shape mismatch";
+  SRDA_CHECK(c->rows() == a.cols() && c->cols() == b.cols())
+      << "A^T*B accumulate output shape mismatch";
+  const int m = a.rows();
+  const int p = a.cols();
+  const int n = b.cols();
+  TraceSpan span("gemm_at_b");
+  if (span.recording()) {
+    span.AddArg("flops", 2.0 * m * p * n);
+    BytesTouched()->Add(8.0 * (static_cast<double>(m) * p +
+                               static_cast<double>(m) * n +
+                               static_cast<double>(p) * n));
+  }
+  AddFlops(2.0 * m * p * n);
+  GemmAtBInto(a, b, c);
 }
 
 Matrix MultiplyTransposedB(const Matrix& a, const Matrix& b) {
@@ -444,35 +512,29 @@ Matrix Gram(const Matrix& a) {
   }
   AddFlops(static_cast<double>(m) * n * (n + 1));
   Matrix c(n, n);
-  const BlockConfig& blk = GetBlockConfig();
-  ParallelFor(0, n, [&](int row_begin, int row_end) {
-    std::vector<double> pack(static_cast<size_t>(blk.mc) * blk.kc);
-    for (int i0 = row_begin; i0 < row_end; i0 += blk.mc) {
-      const int i1 = std::min(i0 + blk.mc, row_end);
-      for (int k0 = 0; k0 < m; k0 += blk.kc) {
-        const int kk = std::min(blk.kc, m - k0);
-        PackPanelTransposed(a, k0, kk, i0, i1, pack.data());
-        for (int j0 = i0; j0 < n; j0 += blk.nc) {
-          const int j1 = std::min(j0 + blk.nc, n);
-          if (j0 >= i1) {
-            GemmTileUpdate(pack.data(), kk, kk, a, k0, i0, i1, j0, j1, &c);
-          } else {
-            // Stripe straddles the diagonal: scalar triangle up to the
-            // tile's last row, fast rectangle for the columns beyond it.
-            const int split = std::min(j1, i1);
-            GemmTileUpdateUpper(pack.data(), kk, a, k0, i0, i1, j0, split,
-                                &c);
-            if (split < j1) {
-              GemmTileUpdate(pack.data(), kk, kk, a, k0, i0, i1, split, j1,
-                             &c);
-            }
-          }
-        }
-      }
-    }
-  });
+  GramUpperInto(a, &c);
   MirrorUpperToLower(&c);
   return c;
+}
+
+void GramAccumulateUpper(const Matrix& a, Matrix* c) {
+  const int m = a.rows();
+  const int n = a.cols();
+  SRDA_CHECK(c->rows() == n && c->cols() == n)
+      << "Gram accumulate output shape mismatch";
+  TraceSpan span("gram");
+  if (span.recording()) {
+    span.AddArg("flops", static_cast<double>(m) * n * (n + 1));
+    BytesTouched()->Add(8.0 * (static_cast<double>(m) * n +
+                               static_cast<double>(n) * n));
+  }
+  AddFlops(static_cast<double>(m) * n * (n + 1));
+  GramUpperInto(a, c);
+}
+
+void SymmetrizeFromUpper(Matrix* c) {
+  SRDA_CHECK_EQ(c->rows(), c->cols()) << "SymmetrizeFromUpper needs square";
+  MirrorUpperToLower(c);
 }
 
 Matrix OuterGram(const Matrix& a) {
@@ -520,14 +582,20 @@ void AddDiagonal(double alpha, Matrix* m) {
 Vector ColumnMeans(const Matrix& a) {
   SRDA_CHECK(a.rows() > 0) << "ColumnMeans of an empty matrix";
   Vector mean(a.cols());
+  ColumnSumsAccumulate(a, &mean);
   double* pm = mean.data();
+  const double inv = 1.0 / a.rows();
+  for (int j = 0; j < a.cols(); ++j) pm[j] *= inv;
+  return mean;
+}
+
+void ColumnSumsAccumulate(const Matrix& a, Vector* sums) {
+  SRDA_CHECK_EQ(a.cols(), sums->size()) << "ColumnSums size mismatch";
+  double* pm = sums->data();
   for (int i = 0; i < a.rows(); ++i) {
     const double* row = a.RowPtr(i);
     for (int j = 0; j < a.cols(); ++j) pm[j] += row[j];
   }
-  const double inv = 1.0 / a.rows();
-  for (int j = 0; j < a.cols(); ++j) pm[j] *= inv;
-  return mean;
 }
 
 void SubtractRowVector(const Vector& center, Matrix* a) {

@@ -55,6 +55,35 @@ Matrix MultiplyTransposedB(const Matrix& a, const Matrix& b);
 // C = A^T * A (n x n, symmetric; both triangles are filled).
 Matrix Gram(const Matrix& a);
 
+// ---- Chain-continuing accumulate kernels (out-of-core streaming) --------
+//
+// Each of these adds into an existing output, seeding every element's
+// running accumulator from the value already stored there — exactly what
+// the blocked kernels do between K-panels. Streaming the row blocks of a
+// tall matrix through them top-to-bottom therefore produces bit-for-bit
+// the same result as one call on the full matrix, at any block size and
+// thread count: pausing and resuming a sequential reduction chain changes
+// no operations.
+
+// C += A^T * B (C is a.cols() x b.cols(), pre-sized by the caller).
+void MultiplyTransposedAAccumulate(const Matrix& a, const Matrix& b,
+                                   Matrix* c);
+
+// Upper triangle of C += A^T * A. Stream all row blocks, then call
+// SymmetrizeFromUpper once; Gram() is exactly that sequence on one block.
+void GramAccumulateUpper(const Matrix& a, Matrix* c);
+
+// Copies the strict upper triangle onto the lower triangle.
+void SymmetrizeFromUpper(Matrix* c);
+
+// y += A^T * x.
+void MultiplyTransposedAccumulate(const Matrix& a, const Vector& x,
+                                  Vector* y);
+
+// sums += per-column sums of A: the ColumnMeans accumulation without the
+// final 1/m scale, so a streamed mean matches the in-RAM one bitwise.
+void ColumnSumsAccumulate(const Matrix& a, Vector* sums);
+
 // C = A * A^T (m x m, symmetric; both triangles are filled).
 Matrix OuterGram(const Matrix& a);
 

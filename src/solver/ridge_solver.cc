@@ -55,6 +55,18 @@ RidgeSolver::RidgeSolver(const LinearOperator* data, RidgeBias bias) {
   bias_mode_ = bias;
 }
 
+RidgeSolver::RidgeSolver(RowShardSource* source) {
+  SRDA_CHECK(source != nullptr);
+  binding_ = Binding::kSharded;
+  source_ = source;
+  sharded_operator_ = std::make_unique<ShardedOperator>(source);
+  // The dual m x m Gram needs all rows at once, so sharded solvers are
+  // primal-only; sparse shard streams additionally skip the Gram entirely
+  // (Solve auto-routes them to LSQR).
+  side_ = GramSide::kPrimal;
+  use_primal_ = true;
+}
+
 RidgeSolver RidgeSolver::FromGram(Matrix gram) {
   SRDA_CHECK_EQ(gram.rows(), gram.cols()) << "Gram base must be square";
   RidgeSolver solver;
@@ -86,6 +98,33 @@ void RidgeSolver::PrepareDense() {
   dense_ready_ = true;
 }
 
+// Streaming pass over dense shards: the column-sum chain is the same
+// serial ascending-row recurrence ColumnMeans runs on the concatenated
+// matrix, so the mean is bitwise identical to the in-RAM one.
+void RidgeSolver::PrepareSharded() {
+  SRDA_CHECK(binding_ == Binding::kSharded)
+      << "sharded data accessor on a non-sharded solver";
+  SRDA_CHECK(!source_->sparse())
+      << "sharded normal equations need dense shards; sparse shard streams "
+         "solve via RidgeMethod::kLsqr";
+  if (dense_ready_) return;
+  TraceSpan span("ridge.prepare_sharded");
+  const int m = source_->rows();
+  Vector sums(source_->cols());
+  source_->Reset();
+  RowShard shard;
+  int next_row = 0;
+  while (source_->Next(&shard)) {
+    SRDA_CHECK_EQ(shard.first_row, next_row) << "shard stream out of order";
+    ColumnSumsAccumulate(*shard.dense, &sums);
+    next_row += shard.rows();
+  }
+  SRDA_CHECK_EQ(next_row, m) << "shard stream ended early";
+  Scale(1.0 / m, &sums);
+  mean_ = std::move(sums);
+  dense_ready_ = true;
+}
+
 const Matrix& RidgeSolver::GramBase() {
   if (gram_ready_) {
     if (TraceEnabled()) RidgeMetrics().gram_hits->Increment();
@@ -93,6 +132,28 @@ const Matrix& RidgeSolver::GramBase() {
   }
   TraceSpan span("ridge.gram_build");
   if (span.recording()) RidgeMetrics().gram_misses->Increment();
+  if (binding_ == Binding::kSharded) {
+    // Primal Gram X̄ᵀX̄ accumulated shard by shard. GramAccumulateUpper
+    // continues each output element's ascending-k dot-product chain from
+    // the values already in gram_, so the sum over shards reproduces the
+    // one-shot Gram(centered_) bit for bit at any shard size.
+    PrepareSharded();
+    gram_ = Matrix(source_->cols(), source_->cols());
+    source_->Reset();
+    RowShard shard;
+    int next_row = 0;
+    while (source_->Next(&shard)) {
+      SRDA_CHECK_EQ(shard.first_row, next_row) << "shard stream out of order";
+      Matrix centered_shard = *shard.dense;
+      SubtractRowVector(mean_, &centered_shard);
+      GramAccumulateUpper(centered_shard, &gram_);
+      next_row += shard.rows();
+    }
+    SRDA_CHECK_EQ(next_row, source_->rows()) << "shard stream ended early";
+    SymmetrizeFromUpper(&gram_);
+    gram_ready_ = true;
+    return gram_;
+  }
   PrepareDense();
   gram_ = use_primal_ ? Gram(centered_) : OuterGram(centered_);
   gram_ready_ = true;
@@ -101,7 +162,7 @@ const Matrix& RidgeSolver::GramBase() {
 
 const Cholesky* RidgeSolver::FactorAt(double alpha) {
   SRDA_CHECK(binding_ != Binding::kOperator)
-      << "FactorAt needs a dense- or Gram-bound solver";
+      << "FactorAt needs a dense-, Gram-, or sharded-bound solver";
   SRDA_CHECK_GE(alpha, 0.0) << "alpha must be non-negative";
   if (factor_ready_ && factor_alpha_ == alpha) {
     if (TraceEnabled()) RidgeMetrics().factor_hits->Increment();
@@ -259,6 +320,10 @@ bool RidgeSolver::TryFoldDowndate(double alpha) {
 }
 
 const Vector& RidgeSolver::mean() {
+  if (binding_ == Binding::kSharded) {
+    PrepareSharded();
+    return mean_;
+  }
   PrepareDense();
   return mean_;
 }
@@ -273,8 +338,11 @@ RidgeSolution RidgeSolver::Solve(const Matrix& responses, double alpha,
   SRDA_CHECK_GE(alpha, 0.0) << "alpha must be non-negative";
   RidgeMethod method = options.method;
   if (method == RidgeMethod::kAuto) {
-    method = binding_ == Binding::kOperator ? RidgeMethod::kLsqr
-                                            : RidgeMethod::kNormalEquations;
+    const bool streaming_only =
+        binding_ == Binding::kOperator ||
+        (binding_ == Binding::kSharded && source_->sparse());
+    method = streaming_only ? RidgeMethod::kLsqr
+                            : RidgeMethod::kNormalEquations;
   }
   if (method == RidgeMethod::kNormalEquations) {
     SRDA_CHECK(binding_ != Binding::kOperator)
@@ -308,6 +376,40 @@ RidgeSolution RidgeSolver::SolveNormalEquations(const Matrix& responses,
   if (span.recording()) {
     span.AddArg("rhs", static_cast<double>(responses.cols()));
     span.AddArg("alpha", alpha);
+  }
+  if (binding_ == Binding::kSharded) {
+    PrepareSharded();
+    SRDA_CHECK_EQ(responses.rows(), source_->rows())
+        << "response count mismatch";
+    RidgeSolution solution;
+    const Cholesky* chol = FactorAt(alpha);
+    if (chol == nullptr) return solution;
+    // Right-hand sides X̄ᵀY streamed shard by shard: each block product
+    // continues the accumulator chains of MultiplyTransposedA on the
+    // concatenated centered matrix, so rhs — and hence the solve — is
+    // bitwise identical to the dense-bound path.
+    Matrix rhs(source_->cols(), responses.cols());
+    source_->Reset();
+    RowShard shard;
+    int next_row = 0;
+    while (source_->Next(&shard)) {
+      SRDA_CHECK_EQ(shard.first_row, next_row) << "shard stream out of order";
+      Matrix centered_shard = *shard.dense;
+      SubtractRowVector(mean_, &centered_shard);
+      MultiplyTransposedAAccumulate(
+          centered_shard,
+          responses.Block(next_row, 0, shard.rows(), responses.cols()), &rhs);
+      next_row += shard.rows();
+    }
+    SRDA_CHECK_EQ(next_row, source_->rows()) << "shard stream ended early";
+    solution.coefficients = chol->SolveMatrix(rhs);
+    const int d = responses.cols();
+    solution.bias = Vector(d);
+    const Vector mean_projected =
+        MultiplyTransposed(solution.coefficients, mean_);
+    for (int j = 0; j < d; ++j) solution.bias[j] = -mean_projected[j];
+    solution.ok = true;
+    return solution;
   }
   PrepareDense();
   SRDA_CHECK_EQ(responses.rows(), x_->rows()) << "response count mismatch";
@@ -348,6 +450,11 @@ RidgeSolution RidgeSolver::SolveLsqr(const Matrix& responses, double alpha,
       dense_operator_ = std::make_unique<DenseOperator>(x_);
     }
     data = dense_operator_.get();
+  } else if (binding_ == Binding::kSharded) {
+    // One streaming pass over the shards per operator product; every
+    // product is bitwise identical to the in-RAM operator on the
+    // concatenated matrix, so the whole LSQR recurrence matches too.
+    data = sharded_operator_.get();
   }
   SRDA_CHECK_EQ(responses.rows(), data->rows()) << "response count mismatch";
 

@@ -27,6 +27,7 @@
 #include "linalg/cholesky.h"
 #include "linalg/linear_operator.h"
 #include "linalg/lsqr.h"
+#include "linalg/sharded_operator.h"
 #include "matrix/matrix.h"
 #include "matrix/vector.h"
 
@@ -111,6 +112,19 @@ class RidgeSolver {
   explicit RidgeSolver(const LinearOperator* data,
                        RidgeBias bias = RidgeBias::kImplicitCentering);
 
+  // Binds an out-of-core shard stream. Dense shard sources solve by
+  // streamed normal equations: the column mean, the primal Gram X̄ᵀX̄, and
+  // the right-hand sides X̄ᵀY accumulate shard by shard through the
+  // chain-continuing blas kernels, bitwise identical to a dense-bound
+  // solver on the concatenated matrix at any shard size (the dual m x m
+  // Gram cannot stream row-wise, so the side is always primal). Sparse
+  // shard sources solve by batched LSQR over a ShardedOperator — one
+  // streaming pass over the shards per iteration, bitwise identical to the
+  // operator-bound in-RAM path. RidgeMethod::kLsqr forces the streaming
+  // LSQR path for dense sources too. The source is not owned, must outlive
+  // the solver, and is exclusively cursored by it during Solve/FactorAt.
+  explicit RidgeSolver(RowShardSource* source);
+
   // Binds a precomputed SPD base matrix G; Solve() returns
   // (G + alpha I)^{-1} Y with G cached across alphas. Used by the kernel
   // trainers (KSRDA: G = K; KDA: G = K K + alpha K, shifted by epsilon).
@@ -149,7 +163,8 @@ class RidgeSolver {
   // with a different alpha.
   const Cholesky* FactorAt(double alpha);
 
-  // Column means of the bound dense data (dense-bound solvers only).
+  // Column means of the bound data (dense-bound solvers, and sharded
+  // solvers over dense shards — computed in one streaming pass).
   const Vector& mean();
 
   // The centered copy X̄ = X - 1 meanᵀ (dense-bound solvers only). RLDA
@@ -157,11 +172,12 @@ class RidgeSolver {
   const Matrix& centered();
 
  private:
-  enum class Binding { kDense, kOperator, kGram };
+  enum class Binding { kDense, kOperator, kGram, kSharded };
 
   RidgeSolver() = default;
 
   void PrepareDense();
+  void PrepareSharded();
   const Matrix& GramBase();
   bool TryFoldDowndate(double alpha);
   RidgeSolution SolveNormalEquations(const Matrix& responses, double alpha);
@@ -171,6 +187,9 @@ class RidgeSolver {
   Binding binding_ = Binding::kGram;
   const Matrix* x_ = nullptr;
   const LinearOperator* operator_ = nullptr;
+  // Sharded binding: the shard stream and its operator view (owned).
+  RowShardSource* source_ = nullptr;
+  std::unique_ptr<ShardedOperator> sharded_operator_;
   RidgeBias bias_mode_ = RidgeBias::kImplicitCentering;
   GramSide side_ = GramSide::kAuto;
 

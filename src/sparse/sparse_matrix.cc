@@ -24,11 +24,9 @@ int SparseMatrix::RowNonZeros(int i) const {
 
 namespace {
 
-// Row-chunk size for the A^T*x reduction. The chunk grid is a function of
-// the matrix shape only — never of the thread count — so folding the
-// per-chunk partials in chunk order yields bitwise identical results
-// whether 1 or N threads ran (see the determinism note in parallel.h).
-constexpr int kTransposeChunkRows = 512;
+// Row-chunk size for the A^T*x reduction: see the determinism note on
+// kSparseTransposeChunkRows in the header and in parallel.h.
+constexpr int kTransposeChunkRows = kSparseTransposeChunkRows;
 
 Counter* SparseBytesTouched() {
   static Counter* counter =
@@ -216,6 +214,25 @@ Matrix SparseMatrix::MultiplyTransposedDense(const Matrix& b) const {
     for (int64_t e = 0; e < total; ++e) py[e] += pp[e];
   }
   return y;
+}
+
+SparseMatrix SparseMatrix::RowSlice(int row_begin, int row_end) const {
+  SRDA_CHECK(row_begin >= 0 && row_begin <= row_end && row_end <= rows_)
+      << "RowSlice [" << row_begin << ", " << row_end << ") out of " << rows_;
+  SparseMatrix slice;
+  slice.rows_ = row_end - row_begin;
+  slice.cols_ = cols_;
+  const int64_t first = row_offsets_[static_cast<size_t>(row_begin)];
+  const int64_t last = row_offsets_[static_cast<size_t>(row_end)];
+  slice.row_offsets_.resize(static_cast<size_t>(slice.rows_) + 1);
+  for (int i = 0; i <= slice.rows_; ++i) {
+    slice.row_offsets_[static_cast<size_t>(i)] =
+        row_offsets_[static_cast<size_t>(row_begin + i)] - first;
+  }
+  slice.col_indices_.assign(col_indices_.begin() + first,
+                            col_indices_.begin() + last);
+  slice.values_.assign(values_.begin() + first, values_.begin() + last);
+  return slice;
 }
 
 Matrix SparseMatrix::ToDense() const {

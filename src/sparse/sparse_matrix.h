@@ -17,6 +17,14 @@ namespace srda {
 
 class SparseMatrixBuilder;
 
+// Row-chunk size of the A^T*x / A^T*B reduction grid. The grid is anchored
+// at global row 0 and depends only on the matrix shape, never on thread
+// count — that is what makes the chunk-order fold deterministic. The
+// out-of-core sharded operator replicates the same grid across shard
+// boundaries (carrying a partial chunk between shards) to stay bitwise
+// identical to the in-RAM kernels.
+inline constexpr int kSparseTransposeChunkRows = 512;
+
 // An immutable CSR matrix of doubles.
 class SparseMatrix {
  public:
@@ -59,6 +67,11 @@ class SparseMatrix {
   // count. This is what lets the batched LSQR path make one pass over the
   // matrix per iteration for all right-hand sides.
   Matrix MultiplyTransposedDense(const Matrix& b) const;
+
+  // Copies rows [row_begin, row_end) into a new CSR matrix with the same
+  // width (column indices unchanged). O(rows + nnz of the slice); used to
+  // present in-RAM data as row shards.
+  SparseMatrix RowSlice(int row_begin, int row_end) const;
 
   // Densifies (tests and small examples only).
   Matrix ToDense() const;

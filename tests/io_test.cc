@@ -70,7 +70,7 @@ TEST(LibSvmIoTest, SkipsCommentsAndBlankLines) {
   std::remove(path.c_str());
 }
 
-TEST(LibSvmIoTest, LabelsCompactedInFirstAppearanceOrder) {
+TEST(LibSvmIoTest, LabelsCompactedBySortedRawValue) {
   const std::string path = TempPath("labels.libsvm");
   {
     std::ofstream out(path);
@@ -78,7 +78,36 @@ TEST(LibSvmIoTest, LabelsCompactedInFirstAppearanceOrder) {
   }
   const SparseDataset loaded = ReadLibSvmFile(path);
   EXPECT_EQ(loaded.num_classes, 3);
-  EXPECT_EQ(loaded.labels, (std::vector<int>{0, 1, 0, 2}));
+  // Compact ids follow ascending raw value {3, 7, 9}, independent of the
+  // order rows appear in the file.
+  EXPECT_EQ(loaded.labels, (std::vector<int>{1, 0, 1, 2}));
+  EXPECT_EQ(loaded.raw_labels, (std::vector<int>{3, 7, 9}));
+  std::remove(path.c_str());
+}
+
+// Regression: first-appearance compaction used to permute class ids on a
+// write -> read round trip whenever row order did not match label order
+// (labels {2, 0, 1} came back as {0, 1, 2}).
+TEST(LibSvmIoTest, RoundTripPreservesLabelIdentities) {
+  const std::string path = TempPath("permuted.libsvm");
+  SparseDataset original;
+  original.num_classes = 3;
+  SparseMatrixBuilder builder(3, 2);
+  builder.Add(0, 0, 1.0);
+  builder.Add(1, 1, 2.0);
+  builder.Add(2, 0, 3.0);
+  original.features = std::move(builder).Build();
+  original.labels = {2, 0, 1};
+  WriteLibSvmFile(original, path);
+  const SparseDataset loaded = ReadLibSvmFile(path, 2);
+  EXPECT_EQ(loaded.labels, original.labels);
+  EXPECT_EQ(loaded.raw_labels, (std::vector<int>{1, 2, 3}));
+
+  // A second round trip (now carrying raw_labels) is a fixed point.
+  WriteLibSvmFile(loaded, path);
+  const SparseDataset again = ReadLibSvmFile(path, 2);
+  EXPECT_EQ(again.labels, original.labels);
+  EXPECT_EQ(again.raw_labels, loaded.raw_labels);
   std::remove(path.c_str());
 }
 
@@ -97,6 +126,63 @@ TEST(LibSvmIoDeathTest, MissingFileAborts) {
                "cannot open");
 }
 
+// Regression: these malformed fields used to escape as uncaught
+// std::invalid_argument / std::out_of_range from std::stoi/std::stod;
+// every one must now die with a located path:line SRDA_CHECK message.
+TEST(LibSvmIoDeathTest, EmptyIndexAborts) {
+  const std::string path = TempPath("empty-index.libsvm");
+  {
+    std::ofstream out(path);
+    out << "1 :3\n";
+  }
+  EXPECT_DEATH(ReadLibSvmFile(path), "empty-index.libsvm:1: malformed "
+                                     "feature index in pair ':3'");
+  std::remove(path.c_str());
+}
+
+TEST(LibSvmIoDeathTest, NonNumericIndexAborts) {
+  const std::string path = TempPath("bad-index.libsvm");
+  {
+    std::ofstream out(path);
+    out << "1 x:1\n";
+  }
+  EXPECT_DEATH(ReadLibSvmFile(path),
+               "bad-index.libsvm:1: malformed feature index in pair 'x:1'");
+  std::remove(path.c_str());
+}
+
+TEST(LibSvmIoDeathTest, NonNumericValueAborts) {
+  const std::string path = TempPath("bad-value.libsvm");
+  {
+    std::ofstream out(path);
+    out << "1 1:1.0\n2 2:abc\n";
+  }
+  EXPECT_DEATH(ReadLibSvmFile(path),
+               "bad-value.libsvm:2: malformed feature value in pair '2:abc'");
+  std::remove(path.c_str());
+}
+
+TEST(LibSvmIoDeathTest, OutOfRangeIndexAborts) {
+  const std::string path = TempPath("overflow.libsvm");
+  {
+    std::ofstream out(path);
+    out << "1 99999999999999999999:1.0\n";
+  }
+  EXPECT_DEATH(ReadLibSvmFile(path), "malformed feature index");
+  std::remove(path.c_str());
+}
+
+TEST(LibSvmIoDeathTest, NonNumericLabelAborts) {
+  const std::string path = TempPath("bad-label.libsvm");
+  {
+    std::ofstream out(path);
+    out << "abc 1:1.0\n";
+  }
+  EXPECT_DEATH(ReadLibSvmFile(path),
+               "bad-label.libsvm:1: malformed label 'abc'");
+  std::remove(path.c_str());
+}
+
 TEST(DenseCsvIoTest, RoundTrip) {
   const std::string path = TempPath("dense.csv");
   DenseDataset original;
@@ -111,6 +197,28 @@ TEST(DenseCsvIoTest, RoundTrip) {
   std::remove(path.c_str());
 }
 
+// Regression: gapped label ids used to fabricate empty classes
+// (num_classes = max_label + 1); they now compact like the LibSVM reader.
+TEST(DenseCsvIoTest, GappedLabelsCompact) {
+  const std::string path = TempPath("gapped.csv");
+  {
+    std::ofstream out(path);
+    out << "0,1.0\n2,2.0\n0,3.0\n";
+  }
+  const DenseDataset loaded = ReadDenseCsvFile(path);
+  EXPECT_EQ(loaded.num_classes, 2);
+  EXPECT_EQ(loaded.labels, (std::vector<int>{0, 1, 0}));
+  EXPECT_EQ(loaded.raw_labels, (std::vector<int>{0, 2}));
+
+  // Writing preserves the raw ids, so the round trip is stable.
+  WriteDenseCsvFile(loaded, path);
+  const DenseDataset again = ReadDenseCsvFile(path);
+  EXPECT_EQ(again.labels, loaded.labels);
+  EXPECT_EQ(again.raw_labels, loaded.raw_labels);
+  EXPECT_EQ(MaxAbsDiff(again.features, loaded.features), 0.0);
+  std::remove(path.c_str());
+}
+
 TEST(DenseCsvIoDeathTest, RaggedRowAborts) {
   const std::string path = TempPath("ragged.csv");
   {
@@ -118,6 +226,58 @@ TEST(DenseCsvIoDeathTest, RaggedRowAborts) {
     out << "0,1.0,2.0\n1,3.0\n";
   }
   EXPECT_DEATH(ReadDenseCsvFile(path), "ragged");
+  std::remove(path.c_str());
+}
+
+// Regression: a non-numeric cell used to raise std::invalid_argument.
+TEST(DenseCsvIoDeathTest, NonNumericCellAborts) {
+  const std::string path = TempPath("bad-cell.csv");
+  {
+    std::ofstream out(path);
+    out << "0,1.0,2.0\n1,abc,4.0\n";
+  }
+  EXPECT_DEATH(ReadDenseCsvFile(path), "bad-cell.csv:2: malformed cell 'abc'");
+  std::remove(path.c_str());
+}
+
+TEST(DenseCsvIoDeathTest, NonNumericLabelAborts) {
+  const std::string path = TempPath("bad-csv-label.csv");
+  {
+    std::ofstream out(path);
+    out << "x,1.0\n";
+  }
+  EXPECT_DEATH(ReadDenseCsvFile(path),
+               "bad-csv-label.csv:1: malformed label 'x'");
+  std::remove(path.c_str());
+}
+
+TEST(DenseBinaryIoTest, RoundTripExact) {
+  const std::string path = TempPath("dense.bin");
+  Rng rng(41);
+  DenseDataset original;
+  original.num_classes = 2;
+  original.raw_labels = {3, 8};
+  original.features = Matrix(5, 3);
+  for (int i = 0; i < 5; ++i) {
+    original.labels.push_back(i % 2);
+    for (int j = 0; j < 3; ++j) original.features(i, j) = rng.NextGaussian();
+  }
+  WriteDenseBinaryFile(original, path);
+  const DenseDataset loaded = ReadDenseBinaryFile(path);
+  EXPECT_EQ(loaded.num_classes, 2);
+  EXPECT_EQ(loaded.labels, original.labels);
+  EXPECT_EQ(loaded.raw_labels, original.raw_labels);
+  EXPECT_EQ(MaxAbsDiff(loaded.features, original.features), 0.0);
+  std::remove(path.c_str());
+}
+
+TEST(DenseBinaryIoDeathTest, WrongMagicAborts) {
+  const std::string path = TempPath("not-binary.bin");
+  {
+    std::ofstream out(path);
+    out << "something else entirely, long enough for a header\n";
+  }
+  EXPECT_DEATH(ReadDenseBinaryFile(path), "not an srda dense-binary file");
   std::remove(path.c_str());
 }
 

@@ -1,14 +1,20 @@
 // srda_train: train a discriminant model on a dataset file and save it.
 //
 // Usage:
-//   srda_train --data=FILE [--format=csv|libsvm] [--algorithm=srda|lda|rlda|
-//              idr_qr|fisherfaces] [--alpha=1.0] [--solver=normal|lsqr]
-//              [--lsqr-iterations=20] --model-out=FILE
+//   srda_train --data=FILE [--format=csv|libsvm|binary]
+//              [--algorithm=srda|lda|rlda|idr_qr|fisherfaces] [--alpha=1.0]
+//              [--solver=normal|lsqr] [--lsqr-iterations=20]
+//              [--shard-rows=N] --model-out=FILE
 //
-// CSV rows are "label,x1,...,xn" (labels 0-based); LibSVM is the standard
-// sparse format. Sparse data always trains SRDA with LSQR. The saved model
-// contains the embedding and the nearest-centroid classifier state, ready
-// for srda_predict.
+// CSV rows are "label,x1,...,xn"; LibSVM is the standard sparse format;
+// binary is the repo's seekable SRDB container (srda_io). Sparse data
+// always trains SRDA with LSQR. The saved model contains the embedding and
+// the nearest-centroid classifier state, ready for srda_predict.
+//
+// --shard-rows=N trains out of core: the dataset streams through a
+// RowShardReader in shards of N rows, the dataset never resides in RAM as
+// a whole, and the resulting model is bitwise identical to the in-RAM fit
+// at any N. SRDA only.
 //
 // --trace-out=FILE writes a Chrome/Perfetto trace of the training run;
 // --metrics prints the phase/metrics summary without writing a trace. Either
@@ -16,6 +22,9 @@
 
 #include <iostream>
 #include <string>
+
+#include <utility>
+#include <vector>
 
 #include "classify/classifiers.h"
 #include "common/arg_parser.h"
@@ -27,6 +36,7 @@
 #include "core/rlda.h"
 #include "core/srda.h"
 #include "io/dataset_io.h"
+#include "io/row_shard_reader.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/trace.h"
@@ -35,11 +45,11 @@ namespace srda {
 namespace {
 
 constexpr char kUsage[] =
-    "usage: srda_train --data=FILE [--format=csv|libsvm]\n"
+    "usage: srda_train --data=FILE [--format=csv|libsvm|binary]\n"
     "                  [--algorithm=srda|lda|rlda|idr_qr|fisherfaces]\n"
     "                  [--alpha=1.0] [--solver=normal|lsqr]\n"
-    "                  [--lsqr-iterations=20] [--trace-out=FILE] [--metrics]\n"
-    "                  --model-out=FILE\n";
+    "                  [--lsqr-iterations=20] [--shard-rows=N]\n"
+    "                  [--trace-out=FILE] [--metrics] --model-out=FILE\n";
 
 void PrintLsqrDiagnostics(const SrdaModel& model);
 
@@ -89,6 +99,73 @@ LinearEmbedding TrainDense(const std::string& algorithm,
   return LinearEmbedding();
 }
 
+// Out-of-core training: SRDA through a RidgeSolver bound to the shard
+// stream (one pass per Gram/RHS build or LSQR iteration), then one more
+// pass fitting the nearest-centroid classifier on the streamed embeddings.
+// The class-sum accumulation visits rows in the same ascending order
+// CentroidClassifier::Fit uses on the full embedded matrix, so the model is
+// bitwise identical to the in-RAM fit at any shard size.
+ClassifierModel TrainSharded(const std::string& data_path,
+                             RowStreamFormat stream_format, int shard_rows,
+                             double alpha, const std::string& solver,
+                             int lsqr_iterations, bool observe) {
+  RowShardReaderOptions reader_options;
+  reader_options.shard_rows = shard_rows;
+  RowShardReader reader(data_path, stream_format, reader_options);
+  std::cout << "streaming " << reader.rows() << " samples, " << reader.cols()
+            << " features, " << reader.num_classes()
+            << " classes in shards of " << shard_rows << " rows\n";
+
+  RidgeSolver ridge(&reader);
+  SrdaOptions options;
+  options.alpha = alpha;
+  options.solver = reader.sparse() || solver == "lsqr"
+                       ? SrdaSolver::kLsqr
+                       : SrdaSolver::kNormalEquations;
+  options.lsqr_iterations = lsqr_iterations;
+  const SrdaModel trained =
+      FitSrda(&ridge, reader.labels(), reader.num_classes(), options);
+  SRDA_CHECK(trained.converged) << "SRDA training failed";
+  if (observe) PrintLsqrDiagnostics(trained);
+
+  ClassifierModel model;
+  model.embedding = trained.embedding;
+
+  const std::vector<int>& labels = reader.labels();
+  const int num_classes = reader.num_classes();
+  const std::vector<int> counts = ClassCounts(labels, num_classes);
+  for (int k = 0; k < num_classes; ++k) {
+    SRDA_CHECK_GT(counts[static_cast<size_t>(k)], 0)
+        << "class " << k << " has no training samples";
+  }
+  Matrix centroids(num_classes, model.embedding.output_dim());
+  reader.Reset();
+  RowShard shard;
+  while (reader.Next(&shard)) {
+    const Matrix embedded = shard.sparse != nullptr
+                                ? model.embedding.Transform(*shard.sparse)
+                                : model.embedding.Transform(*shard.dense);
+    for (int i = 0; i < embedded.rows(); ++i) {
+      const double* row = embedded.RowPtr(i);
+      double* centroid = centroids.RowPtr(
+          labels[static_cast<size_t>(shard.first_row + i)]);
+      for (int j = 0; j < embedded.cols(); ++j) centroid[j] += row[j];
+    }
+  }
+  for (int k = 0; k < num_classes; ++k) {
+    const double inv = 1.0 / counts[static_cast<size_t>(k)];
+    double* centroid = centroids.RowPtr(k);
+    for (int j = 0; j < centroids.cols(); ++j) centroid[j] *= inv;
+  }
+  CentroidClassifier classifier;
+  classifier.SetCentroids(std::move(centroids));
+  model.centroids = classifier.centroids();
+  std::cout << "streamed " << reader.bytes_streamed()
+            << " bytes total, peak shard " << reader.peak_shard_bytes()
+            << " bytes\n";
+  return model;
+}
+
 // Prints one line per regression target summarizing how LSQR stopped
 // (satellite diagnostics surfaced through SrdaModel::lsqr_diagnostics).
 void PrintLsqrDiagnostics(const SrdaModel& model) {
@@ -117,16 +194,18 @@ int Main(int argc, char** argv) {
   const double alpha = args.GetDouble("alpha", 1.0);
   const std::string solver = args.GetString("solver", "normal");
   const int lsqr_iterations = args.GetInt("lsqr-iterations", 20);
+  const int shard_rows = args.GetInt("shard-rows", 0);
   const std::string trace_path = args.GetString("trace-out", "");
   const bool print_metrics = args.GetBool("metrics");
   SRDA_CHECK(args.UnusedFlags().empty())
       << "unknown flag --" << args.UnusedFlags().front() << "\n" << kUsage;
   SRDA_CHECK(!data_path.empty() && !model_path.empty())
       << "--data and --model-out are required\n" << kUsage;
-  SRDA_CHECK(format == "csv" || format == "libsvm")
+  SRDA_CHECK(format == "csv" || format == "libsvm" || format == "binary")
       << "unknown --format=" << format << "\n" << kUsage;
   SRDA_CHECK(solver == "normal" || solver == "lsqr")
       << "unknown --solver=" << solver << "\n" << kUsage;
+  SRDA_CHECK_GE(shard_rows, 0) << "--shard-rows must be non-negative";
 
   const bool observe = !trace_path.empty() || print_metrics || TraceEnabled();
   if (observe) {
@@ -137,7 +216,16 @@ int Main(int argc, char** argv) {
 
   ClassifierModel model;
   Stopwatch watch;
-  if (format == "libsvm") {
+  if (shard_rows > 0) {
+    SRDA_CHECK(algorithm == "srda")
+        << "--shard-rows supports --algorithm=srda only";
+    const RowStreamFormat stream_format =
+        format == "libsvm" ? RowStreamFormat::kLibSvm
+        : format == "csv"  ? RowStreamFormat::kCsv
+                           : RowStreamFormat::kBinary;
+    model = TrainSharded(data_path, stream_format, shard_rows, alpha, solver,
+                         lsqr_iterations, observe);
+  } else if (format == "libsvm") {
     SRDA_CHECK(algorithm == "srda")
         << "sparse data supports --algorithm=srda only";
     const SparseDataset dataset = ReadLibSvmFile(data_path);
@@ -159,7 +247,9 @@ int Main(int argc, char** argv) {
                    dataset.labels, dataset.num_classes);
     model.centroids = classifier.centroids();
   } else {
-    const DenseDataset dataset = ReadDenseCsvFile(data_path);
+    const DenseDataset dataset = format == "binary"
+                                     ? ReadDenseBinaryFile(data_path)
+                                     : ReadDenseCsvFile(data_path);
     std::cout << "loaded " << dataset.features.rows() << " samples, "
               << dataset.features.cols() << " features, "
               << dataset.num_classes << " classes\n";
