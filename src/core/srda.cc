@@ -28,12 +28,16 @@ SrdaModel FitSrda(RidgeSolver* solver, const std::vector<int>& labels,
   model.num_responses = responses.cols();
 
   RidgeSolveOptions solve_options;
-  solve_options.method = options.solver == SrdaSolver::kNormalEquations
-                             ? RidgeMethod::kNormalEquations
-                             : RidgeMethod::kLsqr;
+  // Preconditioning only exists on the LSQR path, so it implies the solver.
+  const bool use_lsqr = options.solver == SrdaSolver::kLsqr ||
+                        options.sketch.mode == SketchMode::kPrecondition;
+  solve_options.method =
+      use_lsqr ? RidgeMethod::kLsqr : RidgeMethod::kNormalEquations;
   solve_options.lsqr_iterations = options.lsqr_iterations;
   solve_options.lsqr_atol = options.lsqr_atol;
   solve_options.lsqr_btol = options.lsqr_btol;
+  // Unconditional so a reused solver drops sketching when the options do.
+  solver->SetSketch(options.sketch);
 
   RidgeSolution solution =
       solver->Solve(responses, options.alpha, solve_options);
@@ -43,6 +47,7 @@ SrdaModel FitSrda(RidgeSolver* solver, const std::vector<int>& labels,
   }
   model.total_lsqr_iterations = solution.total_lsqr_iterations;
   model.lsqr_diagnostics = std::move(solution.lsqr);
+  model.sketch_error_bounds = std::move(solution.sketch_error_bounds);
   model.embedding = LinearEmbedding(std::move(solution.coefficients),
                                     std::move(solution.bias));
   model.converged = true;

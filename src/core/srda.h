@@ -53,6 +53,12 @@ struct SrdaOptions {
   // LSQR early-stopping tolerances.
   double lsqr_atol = 1e-10;
   double lsqr_btol = 1e-10;
+  // Randomized sketching (solver/ridge_solver.h): kOff trains exactly as
+  // before; kPrecondition runs LSQR with the factored sketched Gram as a
+  // right preconditioner (exact solutions, fewer iterations; forces the
+  // LSQR solver); kSolve returns the sketched solution directly with
+  // per-response error bounds (SrdaModel::sketch_error_bounds).
+  SketchConfig sketch;
 };
 
 struct SrdaModel {
@@ -64,6 +70,9 @@ struct SrdaModel {
   // Per-response LSQR convergence record (iterations, final residual, stop
   // reason); empty on the normal-equations path.
   std::vector<RidgeRhsDiagnostics> lsqr_diagnostics;
+  // Upper bounds on the distance from each response's coefficients to the
+  // exact ridge solution; filled by SketchMode::kSolve fits only.
+  std::vector<double> sketch_error_bounds;
   bool converged = false;
 };
 

@@ -1,7 +1,18 @@
 #include "io/row_shard_reader.h"
 
 #include <algorithm>
+#include <cstring>
 #include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define SRDA_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define SRDA_HAVE_MMAP 0
+#endif
 
 #include "common/check.h"
 #include "io/dataset_io.h"
@@ -32,12 +43,42 @@ RowShardReader::RowShardReader(const std::string& path,
   SRDA_CHECK(in_.good()) << "cannot open " << path << " for reading";
   if (format == RowStreamFormat::kBinary) {
     ReadBinaryMetadata();
+    if (options.use_mmap) TryMapBinary();
   } else {
     ScanText();
   }
   SRDA_CHECK_GT(rows_, 0) << path << ": no samples";
   SRDA_CHECK_GT(cols_, 0) << path << ": no features";
   Reset();
+}
+
+RowShardReader::~RowShardReader() {
+#if SRDA_HAVE_MMAP
+  if (mmap_data_ != nullptr) {
+    munmap(const_cast<char*>(mmap_data_), static_cast<size_t>(mmap_size_));
+  }
+#endif
+}
+
+void RowShardReader::TryMapBinary() {
+#if SRDA_HAVE_MMAP
+  const int64_t needed =
+      data_offset_ + static_cast<int64_t>(rows_) * cols_ * 8;
+  const int fd = open(path_.c_str(), O_RDONLY);
+  if (fd < 0) return;
+  struct stat st;
+  if (fstat(fd, &st) != 0 || static_cast<int64_t>(st.st_size) < needed) {
+    close(fd);
+    return;
+  }
+  void* mapped =
+      mmap(nullptr, static_cast<size_t>(st.st_size), PROT_READ, MAP_PRIVATE,
+           fd, 0);
+  close(fd);  // The mapping outlives the descriptor.
+  if (mapped == MAP_FAILED) return;
+  mmap_data_ = static_cast<const char*>(mapped);
+  mmap_size_ = static_cast<std::uint64_t>(st.st_size);
+#endif
 }
 
 void RowShardReader::ScanText() {
@@ -182,13 +223,22 @@ bool RowShardReader::NextBinary(RowShard* shard) {
   const int count = std::min(options_.shard_rows, rows_ - next_row_);
   TraceSpan span("io.shard_read");
   const int64_t row_bytes = static_cast<int64_t>(cols_) * 8;
-  in_.clear();
-  in_.seekg(data_offset_ + static_cast<int64_t>(next_row_) * row_bytes);
-  SRDA_CHECK(in_.good()) << path_ << ": seek failed";
   dense_buffer_ = Matrix(count, cols_);
-  in_.read(reinterpret_cast<char*>(dense_buffer_.RowPtr(0)),
-           static_cast<std::streamsize>(count * row_bytes));
-  SRDA_CHECK(in_.good()) << path_ << ": truncated binary dataset";
+  if (mmap_data_ != nullptr) {
+    // Copy straight out of the mapping: same bytes the read path would
+    // deliver, no seek/read syscalls, and repeat passes hit the page cache.
+    std::memcpy(dense_buffer_.RowPtr(0),
+                mmap_data_ + data_offset_ +
+                    static_cast<int64_t>(next_row_) * row_bytes,
+                static_cast<size_t>(count * row_bytes));
+  } else {
+    in_.clear();
+    in_.seekg(data_offset_ + static_cast<int64_t>(next_row_) * row_bytes);
+    SRDA_CHECK(in_.good()) << path_ << ": seek failed";
+    in_.read(reinterpret_cast<char*>(dense_buffer_.RowPtr(0)),
+             static_cast<std::streamsize>(count * row_bytes));
+    SRDA_CHECK(in_.good()) << path_ << ": truncated binary dataset";
+  }
   shard->first_row = next_row_;
   shard->dense = &dense_buffer_;
   shard->sparse = nullptr;

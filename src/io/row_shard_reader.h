@@ -45,12 +45,21 @@ struct RowShardReaderOptions {
   // LibSVM only: fixes the feature-space width (0 infers it from the
   // largest index present, as ReadLibSvmFile does).
   int num_features = 0;
+  // Binary only: map the file read-only and memcpy shard rows out of the
+  // mapping instead of a seekg+read syscall pair per shard — iterative
+  // consumers re-stream the file once per LSQR pass, so the kernel's page
+  // cache then serves every pass after the first without a copy through a
+  // file descriptor. Shards are bitwise identical either way. Falls back
+  // to the read path automatically when mapping is unavailable (non-unix
+  // build) or fails.
+  bool use_mmap = true;
 };
 
 class RowShardReader final : public RowShardSource {
  public:
   RowShardReader(const std::string& path, RowStreamFormat format,
                  const RowShardReaderOptions& options = {});
+  ~RowShardReader() override;
 
   // RowShardSource:
   int rows() const override { return rows_; }
@@ -71,6 +80,11 @@ class RowShardReader final : public RowShardSource {
   int64_t bytes_streamed() const { return bytes_streamed_; }
   int64_t peak_shard_bytes() const { return peak_shard_bytes_; }
 
+  // True when binary shards are served from an mmap of the file (see
+  // RowShardReaderOptions::use_mmap); false on text formats, with
+  // use_mmap == false, or after a mapping failure fell back to reads.
+  bool mmap_active() const { return mmap_data_ != nullptr; }
+
  private:
   void ScanText();
   void ReadBinaryMetadata();
@@ -78,6 +92,9 @@ class RowShardReader final : public RowShardSource {
   bool NextBinary(RowShard* shard);
   // Positions the text stream at the first data line.
   void RewindText();
+  // Tries to map the binary file read-only; leaves mmap_data_ null (read
+  // fallback) on any failure.
+  void TryMapBinary();
 
   std::string path_;
   RowStreamFormat format_;
@@ -99,6 +116,10 @@ class RowShardReader final : public RowShardSource {
 
   int64_t bytes_streamed_ = 0;
   int64_t peak_shard_bytes_ = 0;
+
+  // Binary mmap state (null when inactive; owned, unmapped in the dtor).
+  const char* mmap_data_ = nullptr;
+  std::uint64_t mmap_size_ = 0;
 };
 
 }  // namespace srda

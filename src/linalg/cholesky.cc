@@ -267,6 +267,60 @@ Vector BackSubstituteTransposed(const Matrix& l, const Vector& b) {
   return x;
 }
 
+Matrix ForwardSubstituteMatrix(const Matrix& l, const Matrix& b) {
+  SRDA_CHECK_EQ(l.rows(), l.cols()) << "triangular solve needs square matrix";
+  SRDA_CHECK_EQ(b.rows(), l.rows()) << "triangular solve shape mismatch";
+  const int n = l.rows();
+  AddFlops(static_cast<double>(n) * n * b.cols());
+  Matrix x = b;
+  // Mirrors the vector ForwardSubstitute per column: same subtraction chain
+  // (no zero-skip) and a per-row division, so each column is bitwise equal
+  // to the vector routine regardless of the stripe partition.
+  ParallelFor(0, b.cols(), [&](int col_begin, int col_end) {
+    const int width = col_end - col_begin;
+    for (int i = 0; i < n; ++i) {
+      const double* lrow = l.RowPtr(i);
+      double* xrow_i = x.RowPtr(i) + col_begin;
+      for (int k = 0; k < i; ++k) {
+        const double lik = lrow[k];
+        const double* xrow_k = x.RowPtr(k) + col_begin;
+        for (int j = 0; j < width; ++j) xrow_i[j] -= lik * xrow_k[j];
+      }
+      SRDA_CHECK_NE(lrow[i], 0.0) << "singular triangular matrix at " << i;
+      const double diag = lrow[i];
+      for (int j = 0; j < width; ++j) xrow_i[j] /= diag;
+    }
+  });
+  return x;
+}
+
+Matrix BackSubstituteTransposedMatrix(const Matrix& l, const Matrix& b) {
+  SRDA_CHECK_EQ(l.rows(), l.cols()) << "triangular solve needs square matrix";
+  SRDA_CHECK_EQ(b.rows(), l.rows()) << "triangular solve shape mismatch";
+  const int n = l.rows();
+  AddFlops(static_cast<double>(n) * n * b.cols());
+  Matrix x = b;
+  // Scatter form per column, matching the vector BackSubstituteTransposed
+  // bit for bit: x_i /= l_ii first, then row i of L is scattered into the
+  // rows above.
+  ParallelFor(0, b.cols(), [&](int col_begin, int col_end) {
+    const int width = col_end - col_begin;
+    for (int i = n - 1; i >= 0; --i) {
+      const double* lrow = l.RowPtr(i);
+      SRDA_CHECK_NE(lrow[i], 0.0) << "singular triangular matrix at " << i;
+      const double diag = lrow[i];
+      double* xrow_i = x.RowPtr(i) + col_begin;
+      for (int j = 0; j < width; ++j) xrow_i[j] /= diag;
+      for (int k = 0; k < i; ++k) {
+        const double lik = lrow[k];
+        double* xrow_k = x.RowPtr(k) + col_begin;
+        for (int j = 0; j < width; ++j) xrow_k[j] -= lik * xrow_i[j];
+      }
+    }
+  });
+  return x;
+}
+
 Vector BackSubstitute(const Matrix& r, const Vector& b) {
   SRDA_CHECK_EQ(r.rows(), r.cols()) << "triangular solve needs square matrix";
   SRDA_CHECK_EQ(b.size(), r.rows()) << "triangular solve shape mismatch";

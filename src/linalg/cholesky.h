@@ -78,6 +78,16 @@ Vector BackSubstituteTransposed(const Matrix& l, const Vector& b);
 // based IDR/QR baseline.
 Vector BackSubstitute(const Matrix& r, const Vector& b);
 
+// Batched forms of ForwardSubstitute / BackSubstituteTransposed: solve
+// L X = B (resp. L^T X = B) for all k columns of B (n x k) at once, column
+// stripes in parallel. Each column's arithmetic is EXACTLY the single-vector
+// routine's (per-row division, no zero-skip), so column j of the result is
+// bitwise identical to ForwardSubstitute(l, B.Col(j)) at any thread count.
+// The preconditioned LSQR path leans on that contract to keep batched and
+// serial preconditioned solves bitwise equal.
+Matrix ForwardSubstituteMatrix(const Matrix& l, const Matrix& b);
+Matrix BackSubstituteTransposedMatrix(const Matrix& l, const Matrix& b);
+
 // Reference implementation: the serial column-by-column factorization the
 // blocked Cholesky replaced. Writes the lower-triangular factor into `l`
 // and returns false on a non-positive pivot, like Cholesky::Factor. Kept

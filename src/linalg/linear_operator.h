@@ -57,6 +57,11 @@ class DenseOperator final : public LinearOperator {
   Matrix ApplyMulti(const Matrix& x) const override;
   Matrix ApplyTransposedMulti(const Matrix& x) const override;
 
+  // The wrapped matrix. Lets row-level consumers (linalg/sketch.h) reach
+  // the concrete storage through a dynamic_cast instead of the generic
+  // operator products.
+  const Matrix* matrix() const { return matrix_; }
+
  private:
   const Matrix* matrix_;
 };
@@ -72,6 +77,9 @@ class SparseOperator final : public LinearOperator {
   Vector ApplyTransposed(const Vector& x) const override;
   Matrix ApplyMulti(const Matrix& x) const override;
   Matrix ApplyTransposedMulti(const Matrix& x) const override;
+
+  // The wrapped CSR matrix (see DenseOperator::matrix()).
+  const SparseMatrix* matrix() const { return matrix_; }
 
  private:
   const SparseMatrix* matrix_;

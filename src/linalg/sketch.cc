@@ -1,0 +1,260 @@
+#include "linalg/sketch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "common/flops.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "matrix/blas.h"
+#include "obs/trace.h"
+
+namespace srda {
+namespace {
+
+void ValidateOptions(const SketchOptions& options) {
+  SRDA_CHECK_GT(options.sketch_rows, 0) << "sketch_rows must be positive";
+}
+
+// Seed of row i's private draw stream. The golden-ratio multiply decorrelates
+// consecutive rows before splitmix64 expands the value into Rng state; the
+// +1 keeps row 0 from colliding with the bare seed.
+uint64_t RowSeed(uint64_t seed, int global_row) {
+  return seed + 0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(global_row + 1);
+}
+
+struct CountSketchDraw {
+  int bucket;
+  double sign;
+};
+
+// Count-sketch hash of one global row: a bucket in [0, s) and a +-1 sign,
+// both pure functions of (seed, row). Rejection-sampled bucket, so every
+// s divides the draw space evenly.
+CountSketchDraw DrawCountSketch(const SketchOptions& options, int global_row) {
+  Rng rng(RowSeed(options.seed, global_row));
+  CountSketchDraw draw;
+  draw.bucket = static_cast<int>(
+      rng.NextUint64Bounded(static_cast<uint64_t>(options.sketch_rows)));
+  draw.sign = (rng.NextUint64() & 1) ? 1.0 : -1.0;
+  return draw;
+}
+
+// Fills `g` with row `global_row` of the Gaussian sketch operator
+// S = G / sqrt(s) (s entries).
+void DrawGaussianRow(const SketchOptions& options, int global_row,
+                     std::vector<double>* g) {
+  Rng rng(RowSeed(options.seed, global_row));
+  const double scale = 1.0 / std::sqrt(static_cast<double>(options.sketch_rows));
+  for (double& value : *g) value = rng.NextGaussian() * scale;
+}
+
+}  // namespace
+
+void SketchAccumulate(const Matrix& x, int row_offset,
+                      const SketchOptions& options, Matrix* sketch) {
+  ValidateOptions(options);
+  SRDA_CHECK(sketch != nullptr);
+  SRDA_CHECK_EQ(sketch->rows(), options.sketch_rows) << "sketch row mismatch";
+  SRDA_CHECK_EQ(sketch->cols(), x.cols()) << "sketch column mismatch";
+  SRDA_CHECK_GE(row_offset, 0);
+  const int m = x.rows();
+  const int n = x.cols();
+  const int s = options.sketch_rows;
+  if (m == 0 || n == 0) return;
+  // Threads own disjoint COLUMN stripes; every thread walks the input rows
+  // in ascending order, so each sketch element's accumulation chain is the
+  // serial ascending-row chain no matter how the stripes land. The per-row
+  // draws are regenerated per stripe — a few splitmix64 steps, cheap next
+  // to the row traffic.
+  if (options.kind == SketchKind::kCountSketch) {
+    AddFlops(2.0 * m * n);
+    ParallelFor(0, n, [&](int col_begin, int col_end) {
+      for (int i = 0; i < m; ++i) {
+        const CountSketchDraw draw = DrawCountSketch(options, row_offset + i);
+        const double* src = x.RowPtr(i);
+        double* out = sketch->RowPtr(draw.bucket);
+        if (draw.sign > 0.0) {
+          for (int j = col_begin; j < col_end; ++j) out[j] += src[j];
+        } else {
+          for (int j = col_begin; j < col_end; ++j) out[j] -= src[j];
+        }
+      }
+    });
+    return;
+  }
+  AddFlops(2.0 * m * static_cast<double>(s) * n);
+  ParallelFor(0, n, [&](int col_begin, int col_end) {
+    std::vector<double> g(static_cast<size_t>(s));
+    for (int i = 0; i < m; ++i) {
+      DrawGaussianRow(options, row_offset + i, &g);
+      const double* src = x.RowPtr(i);
+      for (int t = 0; t < s; ++t) {
+        const double gt = g[static_cast<size_t>(t)];
+        double* out = sketch->RowPtr(t);
+        for (int j = col_begin; j < col_end; ++j) out[j] += gt * src[j];
+      }
+    }
+  });
+}
+
+void SketchAccumulate(const SparseMatrix& x, int row_offset,
+                      const SketchOptions& options, Matrix* sketch) {
+  ValidateOptions(options);
+  SRDA_CHECK(sketch != nullptr);
+  SRDA_CHECK_EQ(sketch->rows(), options.sketch_rows) << "sketch row mismatch";
+  SRDA_CHECK_EQ(sketch->cols(), x.cols()) << "sketch column mismatch";
+  SRDA_CHECK_GE(row_offset, 0);
+  const int m = x.rows();
+  const int n = x.cols();
+  const int s = options.sketch_rows;
+  if (m == 0 || n == 0) return;
+  const bool count_sketch = options.kind == SketchKind::kCountSketch;
+  AddFlops((count_sketch ? 2.0 : 2.0 * s) *
+           static_cast<double>(x.NumNonZeros()));
+  // Same column-stripe partition as the dense kernel; each stripe
+  // binary-searches its entry range inside every row's sorted indices.
+  ParallelFor(0, n, [&](int col_begin, int col_end) {
+    std::vector<double> g;
+    if (!count_sketch) g.resize(static_cast<size_t>(s));
+    for (int i = 0; i < m; ++i) {
+      const int nnz = x.RowNonZeros(i);
+      if (nnz == 0) continue;
+      const int* indices = x.RowIndices(i);
+      const double* values = x.RowValues(i);
+      const int* begin =
+          std::lower_bound(indices, indices + nnz, col_begin);
+      if (count_sketch) {
+        const CountSketchDraw draw = DrawCountSketch(options, row_offset + i);
+        double* out = sketch->RowPtr(draw.bucket);
+        for (const int* p = begin; p != indices + nnz && *p < col_end; ++p) {
+          out[*p] += draw.sign * values[p - indices];
+        }
+      } else {
+        DrawGaussianRow(options, row_offset + i, &g);
+        for (const int* p = begin; p != indices + nnz && *p < col_end; ++p) {
+          const double value = values[p - indices];
+          const int col = *p;
+          for (int t = 0; t < s; ++t) {
+            (*sketch)(t, col) += g[static_cast<size_t>(t)] * value;
+          }
+        }
+      }
+    }
+  });
+}
+
+namespace {
+
+// TraceSpan is scope-bound, so call sites construct it and hand it here for
+// the shared args (a span carries at most two).
+void AddBuildArgs(TraceSpan* span, int rows, const SketchOptions& options) {
+  if (!span->recording()) return;
+  span->AddArg("rows", static_cast<double>(rows));
+  span->AddArg("sketch_rows", static_cast<double>(options.sketch_rows));
+}
+
+}  // namespace
+
+Matrix SketchRows(const Matrix& x, const SketchOptions& options) {
+  ValidateOptions(options);
+  TraceSpan span("sketch.build");
+  AddBuildArgs(&span, x.rows(), options);
+  Matrix sketch(options.sketch_rows, x.cols());
+  SketchAccumulate(x, 0, options, &sketch);
+  return sketch;
+}
+
+Matrix SketchRows(const SparseMatrix& x, const SketchOptions& options) {
+  ValidateOptions(options);
+  TraceSpan span("sketch.build");
+  AddBuildArgs(&span, x.rows(), options);
+  Matrix sketch(options.sketch_rows, x.cols());
+  SketchAccumulate(x, 0, options, &sketch);
+  return sketch;
+}
+
+Matrix SketchShards(RowShardSource* source, const SketchOptions& options) {
+  ValidateOptions(options);
+  SRDA_CHECK(source != nullptr);
+  TraceSpan span("sketch.build");
+  AddBuildArgs(&span, source->rows(), options);
+  Matrix sketch(options.sketch_rows, source->cols());
+  source->Reset();
+  RowShard shard;
+  int next_row = 0;
+  while (source->Next(&shard)) {
+    SRDA_CHECK_EQ(shard.first_row, next_row) << "shard stream out of order";
+    if (shard.sparse != nullptr) {
+      SketchAccumulate(*shard.sparse, next_row, options, &sketch);
+    } else {
+      SketchAccumulate(*shard.dense, next_row, options, &sketch);
+    }
+    next_row += shard.rows();
+  }
+  SRDA_CHECK_EQ(next_row, source->rows()) << "shard stream ended early";
+  return sketch;
+}
+
+Matrix SketchOperator(const LinearOperator& a, const SketchOptions& options) {
+  ValidateOptions(options);
+  TraceSpan span("sketch.build");
+  AddBuildArgs(&span, a.rows(), options);
+  const int m = a.rows();
+  const int s = options.sketch_rows;
+  // Materialize S^T (m x s, dense — the one place this module pays O(m s)
+  // memory) and push it through the operator's batched transposed product.
+  Matrix st(m, s);
+  if (options.kind == SketchKind::kCountSketch) {
+    for (int i = 0; i < m; ++i) {
+      const CountSketchDraw draw = DrawCountSketch(options, i);
+      st(i, draw.bucket) = draw.sign;
+    }
+  } else {
+    std::vector<double> g(static_cast<size_t>(s));
+    for (int i = 0; i < m; ++i) {
+      DrawGaussianRow(options, i, &g);
+      double* row = st.RowPtr(i);
+      for (int t = 0; t < s; ++t) row[t] = g[static_cast<size_t>(t)];
+    }
+  }
+  return a.ApplyTransposedMulti(st).Transposed();
+}
+
+Vector SketchOnes(int rows, const SketchOptions& options) {
+  ValidateOptions(options);
+  SRDA_CHECK_GE(rows, 0);
+  Vector ones(options.sketch_rows);
+  if (options.kind == SketchKind::kCountSketch) {
+    for (int i = 0; i < rows; ++i) {
+      const CountSketchDraw draw = DrawCountSketch(options, i);
+      ones[draw.bucket] += draw.sign;
+    }
+    return ones;
+  }
+  std::vector<double> g(static_cast<size_t>(options.sketch_rows));
+  for (int i = 0; i < rows; ++i) {
+    DrawGaussianRow(options, i, &g);
+    for (int t = 0; t < options.sketch_rows; ++t) {
+      ones[t] += g[static_cast<size_t>(t)];
+    }
+  }
+  return ones;
+}
+
+bool FactorSketchedGram(const Matrix& sketch, double alpha, Cholesky* chol) {
+  SRDA_CHECK(chol != nullptr);
+  SRDA_CHECK_GE(alpha, 0.0) << "alpha must be non-negative";
+  TraceSpan span("sketch.factor");
+  if (span.recording()) {
+    span.AddArg("sketch_rows", static_cast<double>(sketch.rows()));
+    span.AddArg("alpha", alpha);
+  }
+  Matrix gram = Gram(sketch);
+  AddDiagonal(alpha, &gram);
+  return chol->Factor(gram);
+}
+
+}  // namespace srda

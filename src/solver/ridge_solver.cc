@@ -24,6 +24,8 @@ struct RidgeInstruments {
   Counter* factor_misses;
   Counter* fold_downdate_hits;
   Counter* fold_downdate_fallbacks;
+  Counter* sketch_hits;
+  Counter* sketch_misses;
 };
 
 const RidgeInstruments& RidgeMetrics() {
@@ -34,7 +36,9 @@ const RidgeInstruments& RidgeMetrics() {
                             registry.counter("ridge.factor_cache_hits"),
                             registry.counter("ridge.factor_cache_misses"),
                             registry.counter("ridge.fold_downdate_hit"),
-                            registry.counter("ridge.fold_downdate_fallback")};
+                            registry.counter("ridge.fold_downdate_fallback"),
+                            registry.counter("ridge.sketch_cache_hits"),
+                            registry.counter("ridge.sketch_cache_misses")};
   }();
   return instruments;
 }
@@ -319,6 +323,132 @@ bool RidgeSolver::TryFoldDowndate(double alpha) {
   return true;
 }
 
+void RidgeSolver::SetSketch(const SketchConfig& config) {
+  SRDA_CHECK(config.mode == SketchMode::kOff || binding_ != Binding::kGram)
+      << "sketching needs row-level data; Gram-bound solvers have no rows";
+  if (config.sketch_rows != 0) {
+    SRDA_CHECK_GT(config.sketch_rows, 0) << "sketch_rows must be positive";
+  }
+  const bool same_operator =
+      config.sketch_rows == sketch_config_.sketch_rows &&
+      config.kind == sketch_config_.kind && config.seed == sketch_config_.seed;
+  sketch_config_ = config;
+  // The sketch and its factor depend on (rows, kind, seed) but not on the
+  // mode, so a mode flip alone keeps both caches.
+  if (!same_operator) {
+    sketch_ready_ = false;
+    sketch_factor_ready_ = false;
+  }
+}
+
+const LinearOperator* RidgeSolver::ResolveOperator() {
+  switch (binding_) {
+    case Binding::kDense:
+      if (dense_operator_ == nullptr) {
+        dense_operator_ = std::make_unique<DenseOperator>(x_);
+      }
+      return dense_operator_.get();
+    case Binding::kOperator:
+      return operator_;
+    case Binding::kSharded:
+      return sharded_operator_.get();
+    case Binding::kGram:
+      break;
+  }
+  SRDA_CHECK(false) << "no operator view of a Gram-bound solver";
+  return nullptr;
+}
+
+void RidgeSolver::EnsureOperatorMean(const LinearOperator* data) {
+  if (operator_mean_ready_) return;
+  // Column means through the operator itself (A^T 1 / m): works for
+  // dense and sparse data without densifying either.
+  operator_mean_ = data->ApplyTransposed(Vector(data->rows(), 1.0));
+  Scale(1.0 / data->rows(), &operator_mean_);
+  operator_mean_ready_ = true;
+}
+
+void RidgeSolver::EnsureSketch(const LinearOperator* data) {
+  if (sketch_ready_) {
+    if (TraceEnabled()) RidgeMetrics().sketch_hits->Increment();
+    return;
+  }
+  if (TraceEnabled()) RidgeMetrics().sketch_misses->Increment();
+  const int m = data->rows();
+  const int n_effective =
+      data->cols() + (bias_mode_ == RidgeBias::kAugmentedOnes ? 1 : 0);
+  SketchOptions opts;
+  opts.kind = sketch_config_.kind;
+  opts.seed = sketch_config_.seed;
+  opts.sketch_rows = sketch_config_.sketch_rows > 0
+                         ? sketch_config_.sketch_rows
+                         : std::max(1, std::min(m, 4 * n_effective));
+  sketch_options_ = opts;
+  // Sketch the raw rows through the cheapest kernel the binding offers;
+  // the generic operator fallback only fires for operator types without
+  // row access.
+  Matrix base;
+  switch (binding_) {
+    case Binding::kDense:
+      base = SketchRows(*x_, opts);
+      break;
+    case Binding::kOperator: {
+      if (const auto* sparse = dynamic_cast<const SparseOperator*>(operator_)) {
+        base = SketchRows(*sparse->matrix(), opts);
+      } else if (const auto* dense =
+                     dynamic_cast<const DenseOperator*>(operator_)) {
+        base = SketchRows(*dense->matrix(), opts);
+      } else {
+        base = SketchOperator(*operator_, opts);
+      }
+      break;
+    }
+    case Binding::kSharded:
+      base = SketchShards(source_, opts);
+      break;
+    case Binding::kGram:
+      SRDA_CHECK(false) << "sketching needs row-level data";
+  }
+  // Correct for the bias mode so the sketch is of the EFFECTIVE matrix the
+  // LSQR path solves against: S(A - 1 meanᵀ) = SA - (S·1) meanᵀ and
+  // S[A 1] = [SA, S·1], both without a second data pass.
+  if (bias_mode_ == RidgeBias::kImplicitCentering) {
+    EnsureOperatorMean(data);
+    const Vector sketched_ones = SketchOnes(m, opts);
+    for (int t = 0; t < base.rows(); ++t) {
+      const double s1 = sketched_ones[t];
+      if (s1 == 0.0) continue;
+      double* row = base.RowPtr(t);
+      for (int j = 0; j < base.cols(); ++j) row[j] -= s1 * operator_mean_[j];
+    }
+    sketch_ = std::move(base);
+  } else if (bias_mode_ == RidgeBias::kAugmentedOnes) {
+    const Vector sketched_ones = SketchOnes(m, opts);
+    sketch_ = Matrix(opts.sketch_rows, n_effective);
+    for (int t = 0; t < opts.sketch_rows; ++t) {
+      const double* src = base.RowPtr(t);
+      double* dst = sketch_.RowPtr(t);
+      std::copy(src, src + base.cols(), dst);
+      dst[base.cols()] = sketched_ones[t];
+    }
+  } else {
+    sketch_ = std::move(base);
+  }
+  sketch_ready_ = true;
+}
+
+const Cholesky* RidgeSolver::SketchedFactorAt(const LinearOperator* data,
+                                              double alpha) {
+  EnsureSketch(data);
+  if (sketch_factor_ready_ && sketch_factor_alpha_ == alpha) {
+    return sketch_factor_ok_ ? &sketch_chol_ : nullptr;
+  }
+  sketch_factor_ok_ = FactorSketchedGram(sketch_, alpha, &sketch_chol_);
+  sketch_factor_alpha_ = alpha;
+  sketch_factor_ready_ = true;
+  return sketch_factor_ok_ ? &sketch_chol_ : nullptr;
+}
+
 const Vector& RidgeSolver::mean() {
   if (binding_ == Binding::kSharded) {
     PrepareSharded();
@@ -336,6 +466,11 @@ const Matrix& RidgeSolver::centered() {
 RidgeSolution RidgeSolver::Solve(const Matrix& responses, double alpha,
                                  const RidgeSolveOptions& options) {
   SRDA_CHECK_GE(alpha, 0.0) << "alpha must be non-negative";
+  if (sketch_config_.mode == SketchMode::kSolve) {
+    SRDA_CHECK(binding_ != Binding::kGram)
+        << "pure sketch-solve needs row-level data";
+    return SolveSketched(responses, alpha);
+  }
   RidgeMethod method = options.method;
   if (method == RidgeMethod::kAuto) {
     const bool streaming_only =
@@ -444,21 +579,13 @@ RidgeSolution RidgeSolver::SolveLsqr(const Matrix& responses, double alpha,
     span.AddArg("alpha", alpha);
   }
   SRDA_CHECK_GT(options.lsqr_iterations, 0);
-  const LinearOperator* data = operator_;
-  if (binding_ == Binding::kDense) {
-    if (dense_operator_ == nullptr) {
-      dense_operator_ = std::make_unique<DenseOperator>(x_);
-    }
-    data = dense_operator_.get();
-  } else if (binding_ == Binding::kSharded) {
-    // One streaming pass over the shards per operator product; every
-    // product is bitwise identical to the in-RAM operator on the
-    // concatenated matrix, so the whole LSQR recurrence matches too.
-    data = sharded_operator_.get();
-  }
+  // For the sharded binding, one streaming pass over the shards per
+  // operator product; every product is bitwise identical to the in-RAM
+  // operator on the concatenated matrix, so the whole LSQR recurrence
+  // matches too.
+  const LinearOperator* data = ResolveOperator();
   SRDA_CHECK_EQ(responses.rows(), data->rows()) << "response count mismatch";
 
-  const int m = data->rows();
   const int n = data->cols();
   const int d = responses.cols();
 
@@ -467,19 +594,20 @@ RidgeSolution RidgeSolver::SolveLsqr(const Matrix& responses, double alpha,
   lsqr_options.damp = std::sqrt(alpha);
   lsqr_options.atol = options.lsqr_atol;
   lsqr_options.btol = options.lsqr_btol;
+  if (sketch_config_.mode == SketchMode::kPrecondition) {
+    // Factored sketched Gram of the effective matrix as a right
+    // preconditioner; on a factor failure (alpha == 0 with a rank-deficient
+    // sketch) the solve silently falls back to plain LSQR.
+    const Cholesky* precond = SketchedFactorAt(data, alpha);
+    if (precond != nullptr) lsqr_options.right_precond = &precond->factor();
+  }
 
   RidgeSolution solution;
   solution.coefficients = Matrix(n, d);
 
   std::vector<LsqrResult> results;
   if (bias_mode_ == RidgeBias::kImplicitCentering) {
-    if (!operator_mean_ready_) {
-      // Column means through the operator itself (A^T 1 / m): works for
-      // dense and sparse data without densifying either.
-      operator_mean_ = data->ApplyTransposed(Vector(m, 1.0));
-      Scale(1.0 / m, &operator_mean_);
-      operator_mean_ready_ = true;
-    }
+    EnsureOperatorMean(data);
     const CenterColumnsOperator centered(data, &operator_mean_);
     results = LsqrBatch(centered, responses, lsqr_options);
     solution.bias = Vector(d);
@@ -516,6 +644,88 @@ RidgeSolution RidgeSolver::SolveLsqr(const Matrix& responses, double alpha,
     diag.converged = result.converged;
     diag.stop = result.stop;
     solution.lsqr.push_back(diag);
+  }
+  solution.ok = true;
+  return solution;
+}
+
+// Pure sketch-solve (SketchMode::kSolve): the minimizer of the sketched
+// objective min ||S X̄ a - S y||² + alpha ||a||² is
+// (sketchᵀ sketch + alpha I)⁻¹ sketchᵀ (S y) — one cached s-row factor, one
+// sketch of the responses, zero LSQR iterations. The reported error bound
+// uses the exact quadratic identity a* = â - H⁻¹ ∇f(â) for the TRUE
+// objective f (Hessian H = 2(X̄ᵀX̄ + alpha I) ⪰ 2 alpha I):
+// ||â - a*|| <= ||∇f(â)|| / (2 alpha) = ||X̄ᵀ(X̄ â - y) + alpha â|| / alpha,
+// computed with one forward and one transposed pass over the exact operator.
+RidgeSolution RidgeSolver::SolveSketched(const Matrix& responses,
+                                         double alpha) {
+  TraceSpan span("ridge.solve_sketched");
+  if (span.recording()) {
+    span.AddArg("rhs", static_cast<double>(responses.cols()));
+    span.AddArg("alpha", alpha);
+  }
+  SRDA_CHECK_GT(alpha, 0.0)
+      << "pure sketch-solve needs alpha > 0 (the error bound scales as "
+         "1/alpha and the sketched Gram may be singular)";
+  const LinearOperator* data = ResolveOperator();
+  SRDA_CHECK_EQ(responses.rows(), data->rows()) << "response count mismatch";
+
+  RidgeSolution solution;
+  const Cholesky* chol = SketchedFactorAt(data, alpha);
+  if (chol == nullptr) return solution;
+
+  const Matrix sketched_responses = SketchRows(responses, sketch_options_);
+  const Matrix full =
+      chol->SolveMatrix(MultiplyTransposedA(sketch_, sketched_responses));
+
+  const int n = data->cols();
+  const int d = responses.cols();
+
+  // Gradient of the exact objective at the sketched solution, evaluated
+  // through the effective operator of this bias mode.
+  const auto fill_bounds = [&](const LinearOperator& effective) {
+    Matrix residual = effective.ApplyMulti(full);
+    for (int i = 0; i < residual.rows(); ++i) {
+      const double* y = responses.RowPtr(i);
+      double* r = residual.RowPtr(i);
+      for (int j = 0; j < d; ++j) r[j] -= y[j];
+    }
+    Matrix gradient = effective.ApplyTransposedMulti(residual);
+    solution.sketch_error_bounds.assign(static_cast<size_t>(d), 0.0);
+    for (int j = 0; j < d; ++j) {
+      double norm_sq = 0.0;
+      for (int i = 0; i < gradient.rows(); ++i) {
+        const double g = gradient(i, j) + alpha * full(i, j);
+        norm_sq += g * g;
+      }
+      solution.sketch_error_bounds[static_cast<size_t>(j)] =
+          std::sqrt(norm_sq) / alpha;
+    }
+  };
+
+  if (bias_mode_ == RidgeBias::kImplicitCentering) {
+    EnsureOperatorMean(data);
+    const CenterColumnsOperator centered(data, &operator_mean_);
+    fill_bounds(centered);
+    solution.coefficients = full;
+    solution.bias = Vector(d);
+    for (int j = 0; j < d; ++j) {
+      solution.bias[j] = -Dot(operator_mean_, full.Col(j));
+    }
+  } else if (bias_mode_ == RidgeBias::kAugmentedOnes) {
+    const AppendOnesColumnOperator augmented(data);
+    fill_bounds(augmented);
+    solution.coefficients = Matrix(n, d);
+    solution.bias = Vector(d);
+    for (int i = 0; i < n; ++i) {
+      const double* src = full.RowPtr(i);
+      double* dst = solution.coefficients.RowPtr(i);
+      for (int j = 0; j < d; ++j) dst[j] = src[j];
+    }
+    for (int j = 0; j < d; ++j) solution.bias[j] = full(n, j);
+  } else {
+    fill_bounds(*data);
+    solution.coefficients = full;
   }
   solution.ok = true;
   return solution;

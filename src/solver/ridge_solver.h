@@ -28,6 +28,7 @@
 #include "linalg/linear_operator.h"
 #include "linalg/lsqr.h"
 #include "linalg/sharded_operator.h"
+#include "linalg/sketch.h"
 #include "matrix/matrix.h"
 #include "matrix/vector.h"
 
@@ -71,6 +72,36 @@ struct RidgeSolveOptions {
   double lsqr_btol = 1e-10;
 };
 
+// How the solver uses a randomized sketch (linalg/sketch.h) of the bound
+// data. Configured per solver via SetSketch(); the sketch itself is
+// alpha-independent and cached across the alpha grid exactly like the Gram.
+enum class SketchMode {
+  // No sketching (the default).
+  kOff,
+  // LSQR runs with the factored sketched Gram as a right preconditioner
+  // (LsqrOptions::right_precond). Exact solutions, fewer iterations on
+  // ill-conditioned data; if the sketched factor fails (alpha == 0 on a
+  // rank-deficient sketch) the solve falls back to plain LSQR.
+  kPrecondition,
+  // Solve() returns the minimizer of the SKETCHED objective
+  // min ||S(X̄ a - y)||² + alpha ||a||² directly — one s-row factor and no
+  // iterations at all, with a computed per-response error bound vs the
+  // exact path in RidgeSolution::sketch_error_bounds. Requires alpha > 0
+  // and row-level data (not a Gram binding).
+  kSolve,
+};
+
+struct SketchConfig {
+  SketchMode mode = SketchMode::kOff;
+  // Sketch rows s; 0 picks min(rows, 4 * effective columns), the usual
+  // preconditioning regime.
+  int sketch_rows = 0;
+  SketchKind kind = SketchKind::kCountSketch;
+  // Seed of the sketch operator. Same seed + any thread count or shard
+  // size => bitwise-identical sketches, factors, and preconditioned solves.
+  uint64_t seed = 0x5eed5eedULL;
+};
+
 // Convergence record for one LSQR right-hand side, surfaced so trainers
 // can report why each response stopped instead of discarding the solver's
 // diagnostics.
@@ -94,6 +125,13 @@ struct RidgeSolution {
   int total_lsqr_iterations = 0;
   // Per-response convergence diagnostics (empty on the direct paths).
   std::vector<RidgeRhsDiagnostics> lsqr;
+  // Filled by pure sketch solves (SketchMode::kSolve) only: a rigorous
+  // per-response upper bound on ||â_j - a*_j||₂, the distance from the
+  // sketched coefficients to the exact ridge solution. Derived from the
+  // exact quadratic identity a* = â - H⁻¹∇f(â) with H ⪰ 2 alpha I, so
+  // ||â - a*|| <= ||X̄ᵀ(X̄ â - y) + alpha â|| / alpha — computed with two
+  // passes over the (exact) data operator.
+  std::vector<double> sketch_error_bounds;
 };
 
 // One instance per training-data binding. Solve() may be called repeatedly
@@ -152,6 +190,15 @@ class RidgeSolver {
   // which path each factor took (while tracing).
   RidgeSolver ExcludeRows(const std::vector<int>& rows);
 
+  // Configures sketching for subsequent Solve() calls. The sketch operator
+  // (rows/kind/seed) and its factored Gram are cached across calls and
+  // across the alpha grid; changing only the mode keeps both caches (the
+  // operator does not depend on the mode), changing rows/kind/seed drops
+  // them. Row-level bindings only (dense, operator, sharded) — Gram-bound
+  // solvers have no rows to sketch and must stay at SketchMode::kOff.
+  void SetSketch(const SketchConfig& config);
+  const SketchConfig& sketch_config() const { return sketch_config_; }
+
   // Solves the ridge problem for every column of `responses` at `alpha`.
   RidgeSolution Solve(const Matrix& responses, double alpha,
                       const RidgeSolveOptions& options = {});
@@ -183,6 +230,18 @@ class RidgeSolver {
   RidgeSolution SolveNormalEquations(const Matrix& responses, double alpha);
   RidgeSolution SolveLsqr(const Matrix& responses, double alpha,
                           const RidgeSolveOptions& options);
+  RidgeSolution SolveSketched(const Matrix& responses, double alpha);
+  // The operator view of the bound data the LSQR/sketch paths run on
+  // (creates and caches the DenseOperator for dense bindings).
+  const LinearOperator* ResolveOperator();
+  void EnsureOperatorMean(const LinearOperator* data);
+  // Builds (and caches) the sketch of the EFFECTIVE solve matrix — the
+  // base data corrected for the bias mode (implicit centering subtracts
+  // (S·1) meanᵀ, augmented-ones appends the S·1 column).
+  void EnsureSketch(const LinearOperator* data);
+  // Cholesky factor of (sketchᵀ sketch + alpha I), cached per alpha like
+  // FactorAt. nullptr when the factorization fails.
+  const Cholesky* SketchedFactorAt(const LinearOperator* data, double alpha);
 
   Binding binding_ = Binding::kGram;
   const Matrix* x_ = nullptr;
@@ -223,6 +282,19 @@ class RidgeSolver {
   std::unique_ptr<DenseOperator> dense_operator_;
   bool operator_mean_ready_ = false;
   Vector operator_mean_;
+
+  // Sketch caches (SetSketch): the alpha-independent sketch of the
+  // effective solve matrix, the resolved sketch options (rows/kind/seed —
+  // reused to sketch the responses in pure sketch solves), and the last
+  // factored (sketchᵀ sketch + alpha I).
+  SketchConfig sketch_config_;
+  bool sketch_ready_ = false;
+  Matrix sketch_;
+  SketchOptions sketch_options_;
+  bool sketch_factor_ready_ = false;
+  double sketch_factor_alpha_ = 0.0;
+  bool sketch_factor_ok_ = false;
+  Cholesky sketch_chol_;
 };
 
 }  // namespace srda

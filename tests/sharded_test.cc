@@ -355,6 +355,41 @@ TEST(RowShardReaderTest, BinaryShardsReassembleOneShotReader) {
   std::remove(path.c_str());
 }
 
+TEST(RowShardReaderTest, MmapShardsBitwiseEqualReadShards) {
+  // The binary reader serves shards straight out of an mmap by default;
+  // they must be bitwise identical to the seekg+read fallback, at shard
+  // sizes that do and do not divide the row count.
+  const std::string path = TempPath("mmap.srdb");
+  DenseDataset dataset;
+  dataset.features = RandomMatrix(23, 5, 33);
+  dataset.labels = RandomLabels(23, 2, 34);
+  dataset.num_classes = 2;
+  WriteDenseBinaryFile(dataset, path);
+  for (int shard_rows : {1, 7, 23}) {
+    RowShardReaderOptions mapped_options;
+    mapped_options.shard_rows = shard_rows;
+    RowShardReader mapped(path, RowStreamFormat::kBinary, mapped_options);
+    EXPECT_TRUE(mapped.mmap_active());
+    RowShardReaderOptions read_options;
+    read_options.shard_rows = shard_rows;
+    read_options.use_mmap = false;
+    RowShardReader unmapped(path, RowStreamFormat::kBinary, read_options);
+    EXPECT_FALSE(unmapped.mmap_active());
+    RowShard mapped_shard;
+    RowShard unmapped_shard;
+    while (mapped.Next(&mapped_shard)) {
+      ASSERT_TRUE(unmapped.Next(&unmapped_shard));
+      ASSERT_EQ(mapped_shard.first_row, unmapped_shard.first_row);
+      ASSERT_NE(mapped_shard.dense, nullptr);
+      ASSERT_NE(unmapped_shard.dense, nullptr);
+      ExpectBitwiseEqual(*mapped_shard.dense, *unmapped_shard.dense);
+    }
+    EXPECT_FALSE(unmapped.Next(&unmapped_shard));
+    EXPECT_EQ(mapped.bytes_streamed(), unmapped.bytes_streamed());
+  }
+  std::remove(path.c_str());
+}
+
 TEST(RowShardReaderTest, FileStreamTrainsIdenticalToInRamFit) {
   const std::string path = TempPath("train.csv");
   DenseDataset dataset;

@@ -16,6 +16,13 @@
 // a whole, and the resulting model is bitwise identical to the in-RAM fit
 // at any N. SRDA only.
 //
+// --sketch-mode=precond trains SRDA with LSQR right-preconditioned by a
+// factored randomized sketch of the data (same solutions, fewer iterations
+// on ill-conditioned data); --sketch-mode=solve returns the sketched
+// solution directly with per-response error bounds printed. --sketch-size=N
+// sets the sketch rows (0 = auto, 4x the feature count), --sketch-kind
+// picks count-sketch (default) or Gaussian. SRDA only.
+//
 // --trace-out=FILE writes a Chrome/Perfetto trace of the training run;
 // --metrics prints the phase/metrics summary without writing a trace. Either
 // flag (or SRDA_TRACE=1 in the environment) enables the trace recorder.
@@ -49,13 +56,17 @@ constexpr char kUsage[] =
     "                  [--algorithm=srda|lda|rlda|idr_qr|fisherfaces]\n"
     "                  [--alpha=1.0] [--solver=normal|lsqr]\n"
     "                  [--lsqr-iterations=20] [--shard-rows=N]\n"
+    "                  [--sketch-mode=off|precond|solve] [--sketch-size=N]\n"
+    "                  [--sketch-kind=count|gaussian]\n"
     "                  [--trace-out=FILE] [--metrics] --model-out=FILE\n";
 
 void PrintLsqrDiagnostics(const SrdaModel& model);
+void PrintSketchBounds(const SrdaModel& model);
 
 LinearEmbedding TrainDense(const std::string& algorithm,
                            const DenseDataset& dataset, double alpha,
                            const std::string& solver, int lsqr_iterations,
+                           const SketchConfig& sketch,
                            bool print_diagnostics) {
   if (algorithm == "srda") {
     SrdaOptions options;
@@ -63,12 +74,16 @@ LinearEmbedding TrainDense(const std::string& algorithm,
     options.solver =
         solver == "lsqr" ? SrdaSolver::kLsqr : SrdaSolver::kNormalEquations;
     options.lsqr_iterations = lsqr_iterations;
+    options.sketch = sketch;
     const SrdaModel model = FitSrda(dataset.features, dataset.labels,
                                     dataset.num_classes, options);
     SRDA_CHECK(model.converged) << "SRDA training failed";
     if (print_diagnostics) PrintLsqrDiagnostics(model);
+    PrintSketchBounds(model);
     return model.embedding;
   }
+  SRDA_CHECK(sketch.mode == SketchMode::kOff)
+      << "--sketch-mode supports --algorithm=srda only";
   if (algorithm == "lda") {
     const LdaModel model =
         FitLda(dataset.features, dataset.labels, dataset.num_classes);
@@ -108,7 +123,8 @@ LinearEmbedding TrainDense(const std::string& algorithm,
 ClassifierModel TrainSharded(const std::string& data_path,
                              RowStreamFormat stream_format, int shard_rows,
                              double alpha, const std::string& solver,
-                             int lsqr_iterations, bool observe) {
+                             int lsqr_iterations, const SketchConfig& sketch,
+                             bool observe) {
   RowShardReaderOptions reader_options;
   reader_options.shard_rows = shard_rows;
   RowShardReader reader(data_path, stream_format, reader_options);
@@ -123,10 +139,12 @@ ClassifierModel TrainSharded(const std::string& data_path,
                        ? SrdaSolver::kLsqr
                        : SrdaSolver::kNormalEquations;
   options.lsqr_iterations = lsqr_iterations;
+  options.sketch = sketch;
   const SrdaModel trained =
       FitSrda(&ridge, reader.labels(), reader.num_classes(), options);
   SRDA_CHECK(trained.converged) << "SRDA training failed";
   if (observe) PrintLsqrDiagnostics(trained);
+  PrintSketchBounds(trained);
 
   ClassifierModel model;
   model.embedding = trained.embedding;
@@ -181,6 +199,17 @@ void PrintLsqrDiagnostics(const SrdaModel& model) {
   }
 }
 
+// Pure sketch-solve fits carry a per-response bound on the distance to the
+// exact ridge solution; print it so the accuracy tradeoff is visible.
+void PrintSketchBounds(const SrdaModel& model) {
+  if (model.sketch_error_bounds.empty()) return;
+  std::cout << "sketch-solve error bounds (||coeff - exact||):\n";
+  for (size_t i = 0; i < model.sketch_error_bounds.size(); ++i) {
+    std::cout << "  rhs " << i << ": <= " << model.sketch_error_bounds[i]
+              << "\n";
+  }
+}
+
 int Main(int argc, char** argv) {
   const ArgParser args(argc, argv);
   if (args.GetBool("help")) {
@@ -195,6 +224,9 @@ int Main(int argc, char** argv) {
   const std::string solver = args.GetString("solver", "normal");
   const int lsqr_iterations = args.GetInt("lsqr-iterations", 20);
   const int shard_rows = args.GetInt("shard-rows", 0);
+  const std::string sketch_mode = args.GetString("sketch-mode", "off");
+  const int sketch_size = args.GetInt("sketch-size", 0);
+  const std::string sketch_kind = args.GetString("sketch-kind", "count");
   const std::string trace_path = args.GetString("trace-out", "");
   const bool print_metrics = args.GetBool("metrics");
   SRDA_CHECK(args.UnusedFlags().empty())
@@ -206,6 +238,23 @@ int Main(int argc, char** argv) {
   SRDA_CHECK(solver == "normal" || solver == "lsqr")
       << "unknown --solver=" << solver << "\n" << kUsage;
   SRDA_CHECK_GE(shard_rows, 0) << "--shard-rows must be non-negative";
+  SRDA_CHECK(sketch_mode == "off" || sketch_mode == "precond" ||
+             sketch_mode == "solve")
+      << "unknown --sketch-mode=" << sketch_mode << "\n" << kUsage;
+  SRDA_CHECK(sketch_kind == "count" || sketch_kind == "gaussian")
+      << "unknown --sketch-kind=" << sketch_kind << "\n" << kUsage;
+  SRDA_CHECK_GE(sketch_size, 0) << "--sketch-size must be non-negative";
+  SketchConfig sketch;
+  sketch.mode = sketch_mode == "precond" ? SketchMode::kPrecondition
+                : sketch_mode == "solve" ? SketchMode::kSolve
+                                         : SketchMode::kOff;
+  sketch.sketch_rows = sketch_size;
+  sketch.kind = sketch_kind == "gaussian" ? SketchKind::kGaussian
+                                          : SketchKind::kCountSketch;
+  if (sketch.mode != SketchMode::kOff) {
+    SRDA_CHECK(algorithm == "srda")
+        << "--sketch-mode supports --algorithm=srda only";
+  }
 
   const bool observe = !trace_path.empty() || print_metrics || TraceEnabled();
   if (observe) {
@@ -224,7 +273,7 @@ int Main(int argc, char** argv) {
         : format == "csv"  ? RowStreamFormat::kCsv
                            : RowStreamFormat::kBinary;
     model = TrainSharded(data_path, stream_format, shard_rows, alpha, solver,
-                         lsqr_iterations, observe);
+                         lsqr_iterations, sketch, observe);
   } else if (format == "libsvm") {
     SRDA_CHECK(algorithm == "srda")
         << "sparse data supports --algorithm=srda only";
@@ -237,10 +286,12 @@ int Main(int argc, char** argv) {
     options.alpha = alpha;
     options.solver = SrdaSolver::kLsqr;
     options.lsqr_iterations = lsqr_iterations;
+    options.sketch = sketch;
     const SrdaModel trained = FitSrda(dataset.features, dataset.labels,
                                       dataset.num_classes, options);
     SRDA_CHECK(trained.converged) << "SRDA training failed";
     if (observe) PrintLsqrDiagnostics(trained);
+    PrintSketchBounds(trained);
     model.embedding = trained.embedding;
     CentroidClassifier classifier;
     classifier.Fit(model.embedding.Transform(dataset.features),
@@ -254,7 +305,7 @@ int Main(int argc, char** argv) {
               << dataset.features.cols() << " features, "
               << dataset.num_classes << " classes\n";
     model.embedding = TrainDense(algorithm, dataset, alpha, solver,
-                                 lsqr_iterations, observe);
+                                 lsqr_iterations, sketch, observe);
     CentroidClassifier classifier;
     classifier.Fit(model.embedding.Transform(dataset.features),
                    dataset.labels, dataset.num_classes);
