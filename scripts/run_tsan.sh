@@ -12,13 +12,15 @@ cmake -B build-tsan -S . -DSRDA_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInf
 cmake --build build-tsan --target \
   parallel_test matrix_test sparse_test linalg_lsqr_test core_srda_test \
   blocking_test linalg_cholesky_test linalg_cholesky_update_test \
-  solver_test obs_test io_test sharded_test sketch_test
+  solver_test obs_test io_test sharded_test sketch_test classify_test \
+  model_test serving_test
 
 export SRDA_NUM_THREADS=4
 for t in parallel_test matrix_test sparse_test linalg_lsqr_test \
          core_srda_test blocking_test linalg_cholesky_test \
          linalg_cholesky_update_test solver_test obs_test io_test \
-         sharded_test sketch_test; do
+         sharded_test sketch_test classify_test model_test \
+         serving_test; do
   echo "== TSan: $t =="
   ./build-tsan/tests/"$t" --gtest_filter='-*DeathTest*'
 done

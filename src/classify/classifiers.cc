@@ -8,17 +8,23 @@
 
 #include "common/check.h"
 #include "dataset/dataset.h"
+#include "matrix/blas.h"
+#include "obs/trace.h"
 
 namespace srda {
 namespace {
 
-double SquaredDistance(const double* a, const double* b, int dim) {
-  double sum = 0.0;
-  for (int j = 0; j < dim; ++j) {
-    const double diff = a[j] - b[j];
-    sum += diff * diff;
+// |row|^2 per row, precomputed once at fit time so batched scoring only
+// needs the cross products.
+Vector RowSquaredNorms(const Matrix& m) {
+  Vector norms(m.rows());
+  for (int i = 0; i < m.rows(); ++i) {
+    const double* row = m.RowPtr(i);
+    double sum = 0.0;
+    for (int j = 0; j < m.cols(); ++j) sum += row[j] * row[j];
+    norms[i] = sum;
   }
-  return sum;
+  return norms;
 }
 
 }  // namespace
@@ -44,36 +50,45 @@ void CentroidClassifier::Fit(const Matrix& embedded,
     double* centroid = centroids_.RowPtr(k);
     for (int j = 0; j < embedded.cols(); ++j) centroid[j] *= inv;
   }
+  centroid_sq_norms_ = RowSquaredNorms(centroids_);
   fitted_ = true;
 }
 
 void CentroidClassifier::SetCentroids(Matrix centroids) {
   SRDA_CHECK_GT(centroids.rows(), 0) << "need at least one centroid";
   centroids_ = std::move(centroids);
+  centroid_sq_norms_ = RowSquaredNorms(centroids_);
   fitted_ = true;
 }
 
-std::vector<int> CentroidClassifier::Predict(const Matrix& embedded) const {
+std::vector<int> CentroidClassifier::ScoreBatch(const Matrix& embedded) const {
   SRDA_CHECK(fitted_) << "Predict before Fit";
   SRDA_CHECK_EQ(embedded.cols(), centroids_.cols())
       << "embedding dimension mismatch";
-  std::vector<int> predictions;
-  predictions.reserve(static_cast<size_t>(embedded.rows()));
-  for (int i = 0; i < embedded.rows(); ++i) {
-    const double* row = embedded.RowPtr(i);
+  SRDA_TRACE_SCOPE("classify.score");
+  // One blocked GEMM for every query x centroid cross product; row i of the
+  // result depends only on query i, so any sub-batching of the rows scores
+  // identically.
+  const Matrix cross = MultiplyTransposedB(embedded, centroids_);
+  std::vector<int> predictions(static_cast<size_t>(embedded.rows()), 0);
+  for (int i = 0; i < cross.rows(); ++i) {
+    const double* row = cross.RowPtr(i);
     int best_class = 0;
-    double best_distance = std::numeric_limits<double>::infinity();
+    double best_score = std::numeric_limits<double>::infinity();
     for (int k = 0; k < centroids_.rows(); ++k) {
-      const double distance =
-          SquaredDistance(row, centroids_.RowPtr(k), embedded.cols());
-      if (distance < best_distance) {
-        best_distance = distance;
+      const double score = centroid_sq_norms_[k] - 2.0 * row[k];
+      if (score < best_score) {
+        best_score = score;
         best_class = k;
       }
     }
-    predictions.push_back(best_class);
+    predictions[static_cast<size_t>(i)] = best_class;
   }
   return predictions;
+}
+
+std::vector<int> CentroidClassifier::Predict(const Matrix& embedded) const {
+  return ScoreBatch(embedded);
 }
 
 KnnClassifier::KnnClassifier(int k) : k_(k) {
@@ -87,26 +102,31 @@ void KnnClassifier::Fit(const Matrix& embedded, const std::vector<int>& labels,
   SRDA_CHECK_GT(embedded.rows(), 0) << "cannot fit on an empty set";
   ClassCounts(labels, num_classes);  // Validates the labels.
   train_ = embedded;
+  train_sq_norms_ = RowSquaredNorms(train_);
   labels_ = labels;
   num_classes_ = num_classes;
   fitted_ = true;
 }
 
-std::vector<int> KnnClassifier::Predict(const Matrix& embedded) const {
+std::vector<int> KnnClassifier::ScoreBatch(const Matrix& embedded) const {
   SRDA_CHECK(fitted_) << "Predict before Fit";
   SRDA_CHECK_EQ(embedded.cols(), train_.cols())
       << "embedding dimension mismatch";
+  SRDA_TRACE_SCOPE("classify.score");
   const int k = std::min(k_, train_.rows());
+  const Matrix cross = MultiplyTransposedB(embedded, train_);
   std::vector<int> predictions;
   predictions.reserve(static_cast<size_t>(embedded.rows()));
   std::vector<std::pair<double, int>> distances(
       static_cast<size_t>(train_.rows()));
-  for (int i = 0; i < embedded.rows(); ++i) {
-    const double* row = embedded.RowPtr(i);
+  for (int i = 0; i < cross.rows(); ++i) {
+    const double* row = cross.RowPtr(i);
+    // |q - t|^2 shifted by the per-row constant |q|^2: the ranking (and the
+    // equal-distance, lower-label tie rule of std::pair ordering) is
+    // unchanged.
     for (int t = 0; t < train_.rows(); ++t) {
       distances[static_cast<size_t>(t)] = {
-          SquaredDistance(row, train_.RowPtr(t), embedded.cols()),
-          labels_[static_cast<size_t>(t)]};
+          train_sq_norms_[t] - 2.0 * row[t], labels_[static_cast<size_t>(t)]};
     }
     std::partial_sort(distances.begin(), distances.begin() + k,
                       distances.end());
@@ -128,6 +148,10 @@ std::vector<int> KnnClassifier::Predict(const Matrix& embedded) const {
     predictions.push_back(best_class);
   }
   return predictions;
+}
+
+std::vector<int> KnnClassifier::Predict(const Matrix& embedded) const {
+  return ScoreBatch(embedded);
 }
 
 double ErrorRate(const std::vector<int>& predicted,

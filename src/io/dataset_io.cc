@@ -258,71 +258,6 @@ DenseBinaryHeader ReadDenseBinaryHeader(std::ifstream* in,
   return header;
 }
 
-void SaveClassifierModel(const ClassifierModel& model,
-                         const std::string& path) {
-  SRDA_CHECK_EQ(model.centroids.cols(), model.embedding.output_dim())
-      << "centroid dimension must match the embedding output";
-  std::ofstream out = OpenForWrite(path);
-  out << "srda-classifier 1\n";
-  out << model.embedding.input_dim() << ' ' << model.embedding.output_dim()
-      << ' ' << model.centroids.rows() << '\n';
-  const Matrix& projection = model.embedding.projection();
-  for (int i = 0; i < projection.rows(); ++i) {
-    const double* row = projection.RowPtr(i);
-    for (int j = 0; j < projection.cols(); ++j) {
-      out << row[j] << (j + 1 == projection.cols() ? '\n' : ' ');
-    }
-  }
-  const Vector& bias = model.embedding.bias();
-  for (int j = 0; j < bias.size(); ++j) {
-    out << bias[j] << (j + 1 == bias.size() ? '\n' : ' ');
-  }
-  for (int i = 0; i < model.centroids.rows(); ++i) {
-    const double* row = model.centroids.RowPtr(i);
-    for (int j = 0; j < model.centroids.cols(); ++j) {
-      out << row[j] << (j + 1 == model.centroids.cols() ? '\n' : ' ');
-    }
-  }
-  SRDA_CHECK(out.good()) << "write failure on " << path;
-}
-
-ClassifierModel LoadClassifierModel(const std::string& path) {
-  std::ifstream in = OpenForRead(path);
-  std::string magic;
-  int version = 0;
-  SRDA_CHECK(static_cast<bool>(in >> magic >> version) &&
-             magic == "srda-classifier" && version == 1)
-      << path << ": not an srda-classifier v1 file";
-  int input_dim = 0;
-  int output_dim = 0;
-  int num_classes = 0;
-  SRDA_CHECK(static_cast<bool>(in >> input_dim >> output_dim >> num_classes))
-      << path << ": missing dimensions";
-  SRDA_CHECK(input_dim > 0 && output_dim > 0 && num_classes > 1)
-      << path << ": invalid dimensions";
-  Matrix projection(input_dim, output_dim);
-  for (int i = 0; i < input_dim; ++i) {
-    for (int j = 0; j < output_dim; ++j) {
-      SRDA_CHECK(static_cast<bool>(in >> projection(i, j)))
-          << path << ": truncated projection";
-    }
-  }
-  Vector bias(output_dim);
-  for (int j = 0; j < output_dim; ++j) {
-    SRDA_CHECK(static_cast<bool>(in >> bias[j])) << path << ": truncated bias";
-  }
-  ClassifierModel model;
-  model.centroids = Matrix(num_classes, output_dim);
-  for (int i = 0; i < num_classes; ++i) {
-    for (int j = 0; j < output_dim; ++j) {
-      SRDA_CHECK(static_cast<bool>(in >> model.centroids(i, j)))
-          << path << ": truncated centroids";
-    }
-  }
-  model.embedding = LinearEmbedding(std::move(projection), std::move(bias));
-  return model;
-}
-
 void SaveEmbedding(const LinearEmbedding& embedding, const std::string& path) {
   std::ofstream out = OpenForWrite(path);
   out << "srda-embedding 1\n";

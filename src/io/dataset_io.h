@@ -84,22 +84,14 @@ DenseBinaryHeader ReadDenseBinaryHeader(std::ifstream* in,
                                         const std::string& path);
 
 // --- Trained embedding (projection + bias) as a plain-text model file. ---
+//
+// Complete trained models (embedding + classifier head + provenance) live
+// in the versioned model store, src/model/codec.h — including reading the
+// legacy "srda-classifier 1" files this module used to write.
 
 void SaveEmbedding(const LinearEmbedding& embedding, const std::string& path);
 
 LinearEmbedding LoadEmbedding(const std::string& path);
-
-// --- Complete classifier (embedding + class centroids), used by tools/. ---
-
-struct ClassifierModel {
-  LinearEmbedding embedding;
-  Matrix centroids;  // num_classes x output_dim, in the embedded space
-};
-
-void SaveClassifierModel(const ClassifierModel& model,
-                         const std::string& path);
-
-ClassifierModel LoadClassifierModel(const std::string& path);
 
 }  // namespace srda
 

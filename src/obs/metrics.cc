@@ -44,6 +44,34 @@ double Histogram::max() const {
   return count() == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
 }
 
+double Histogram::ApproxQuantile(double q) const {
+  const int64_t n = count();
+  if (n == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  // Rank of the target observation (0-based), then walk buckets until the
+  // cumulative count passes it.
+  const double rank = q * static_cast<double>(n - 1);
+  int64_t seen = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    const int64_t in_bucket = bucket(b);
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(seen + in_bucket) <= rank) {
+      seen += in_bucket;
+      continue;
+    }
+    // Bucket b covers [2^(b-1), 2^b); bucket 0 covers everything below 1.
+    const double lo = b == 0 ? 0.0 : std::ldexp(1.0, b - 1);
+    const double hi = std::ldexp(1.0, b);
+    const double frac = in_bucket == 1
+                            ? 0.5
+                            : (rank - static_cast<double>(seen)) /
+                                  static_cast<double>(in_bucket - 1);
+    const double estimate = lo + frac * (hi - lo);
+    return std::min(max(), std::max(min(), estimate));
+  }
+  return max();
+}
+
 void Histogram::Reset() {
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);

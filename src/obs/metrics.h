@@ -83,6 +83,12 @@ class Histogram {
   // 0 when empty.
   double min() const;
   double max() const;
+  // Approximate quantile (q in [0, 1]) from the power-of-two buckets:
+  // walks the bucket counts to the one holding the q-th observation and
+  // interpolates linearly inside it, clamped to the observed [min, max].
+  // Exact only at the bucket edges — use for p50/p99-style reporting, not
+  // assertions. 0 when empty.
+  double ApproxQuantile(double q) const;
   int64_t bucket(int b) const {
     return buckets_[b].load(std::memory_order_relaxed);
   }

@@ -1,0 +1,125 @@
+// Micro-batching prediction serving: the "millions of users" path.
+//
+// A PredictionService owns a queue of in-flight prediction requests and one
+// dispatcher thread that drains it in micro-batches: a batch closes as soon
+// as `max_batch` queries are pending or the oldest pending query has waited
+// `max_delay_ms`, whichever comes first. Each batch is embedded with one
+// blocked GEMM (LinearEmbedding::Transform) and scored with one batched
+// Scorer call (classify/classifiers.h), so server throughput rides the
+// level-3 kernels and the common/parallel.h pool instead of paying a gemv
+// per query. Because per-row scoring is independent of the batch a row
+// lands in, the service returns exactly the predictions a single-pass
+// srda_predict run produces, regardless of traffic interleaving.
+//
+// Clients are threads calling Predict() with a block of raw feature rows
+// (or one row); the call blocks until every row's raw label is back.
+// Blocks from concurrent clients coalesce into shared batches.
+//
+// Observability: every batch runs under a `serve.batch` span (rows +
+// wait-us args); the registry carries serve.requests / serve.batches
+// counters and serve.batch_size / serve.latency_us histograms, so p50/p99
+// latency and throughput flow through the obs layer into run summaries and
+// BENCH_serving.json.
+
+#ifndef SRDA_SERVE_SERVING_H_
+#define SRDA_SERVE_SERVING_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "classify/classifiers.h"
+#include "matrix/matrix.h"
+#include "model/model.h"
+
+namespace srda {
+namespace serve {
+
+struct ServeOptions {
+  // A batch closes when this many queries are pending...
+  int max_batch = 256;
+  // ...or when the oldest pending query has waited this long.
+  double max_delay_ms = 0.2;
+  // Record one latency sample (enqueue -> completion, microseconds) per
+  // request for exact percentiles. ~8 bytes/request; disable for unbounded
+  // runs (the serve.latency_us histogram still aggregates).
+  bool record_latencies = true;
+};
+
+// Aggregate counters since construction. Latencies are per-request
+// enqueue -> completion times in microseconds, unordered.
+struct ServeStats {
+  int64_t requests = 0;
+  int64_t batches = 0;
+  int max_batch_seen = 0;
+  std::vector<double> latencies_us;
+
+  double mean_batch() const {
+    return batches == 0 ? 0.0
+                        : static_cast<double>(requests) /
+                              static_cast<double>(batches);
+  }
+};
+
+// Quantile of a latency sample (q in [0, 1]; nearest-rank). 0 when empty.
+double LatencyQuantile(std::vector<double> latencies_us, double q);
+
+class PredictionService {
+ public:
+  // `model` must outlive the service. Spawns the dispatcher thread.
+  PredictionService(const model::SrdaModel* model,
+                    const ServeOptions& options = {});
+
+  // Drains outstanding requests, then stops the dispatcher.
+  ~PredictionService();
+
+  PredictionService(const PredictionService&) = delete;
+  PredictionService& operator=(const PredictionService&) = delete;
+
+  // Scores every row of `queries` (raw feature space, one query per row)
+  // through the micro-batcher and returns one RAW label per row (the
+  // model's raw_labels map applied to the predicted class). Blocks until
+  // all rows complete; rows from concurrent Predict calls share batches.
+  std::vector<int> Predict(const Matrix& queries);
+
+  // Single-query convenience: `features` points at input_dim() doubles.
+  int Predict(const double* features);
+
+  int input_dim() const { return model_->input_dim(); }
+
+  // Snapshot of the counters (thread-safe).
+  ServeStats Stats();
+
+ private:
+  struct Request {
+    const double* features = nullptr;  // input_dim doubles, caller-owned
+    int result = 0;                    // raw label, valid once done
+    bool done = false;
+    int64_t enqueue_ns = 0;
+  };
+
+  void DispatcherLoop();
+  // Scores one closed batch outside the lock; returns raw labels.
+  std::vector<int> ScoreBatch(const std::vector<Request*>& batch) const;
+
+  const model::SrdaModel* const model_;
+  const ServeOptions options_;
+  CentroidClassifier scorer_;
+
+  std::mutex mutex_;
+  std::condition_variable pending_cv_;  // dispatcher waits for work
+  std::condition_variable done_cv_;     // clients wait for completion
+  std::vector<Request*> pending_;
+  bool stopping_ = false;
+
+  ServeStats stats_;  // guarded by mutex_
+
+  std::thread dispatcher_;
+};
+
+}  // namespace serve
+}  // namespace srda
+
+#endif  // SRDA_SERVE_SERVING_H_

@@ -1,5 +1,7 @@
 // Tests for classifiers and evaluation helpers.
 
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 #include "classify/classifiers.h"
@@ -130,6 +132,62 @@ TEST(ClassifierAgreementTest, KnnAndCentroidAgreeOnWellSeparatedData) {
     if (a[i] != b[i]) ++disagreements;
   }
   EXPECT_LT(disagreements, 5);
+}
+
+// Batched scoring must be row-decomposable: scoring the block all at once,
+// one row at a time, or in arbitrary sub-blocks yields identical
+// predictions. This is the invariant the serving layer's micro-batching
+// rests on.
+TEST(ScorerBatchTest, BatchCompositionNeverChangesPredictions) {
+  Rng rng(31);
+  const int rows = 57;  // odd, so sub-blocks straddle uneven boundaries
+  Matrix train(40, 4);
+  std::vector<int> labels;
+  for (int i = 0; i < train.rows(); ++i) {
+    labels.push_back(i % 3);
+    for (int j = 0; j < 4; ++j) {
+      train(i, j) = 3.0 * (j == i % 3) + rng.NextGaussian();
+    }
+  }
+  Matrix queries(rows, 4);
+  for (int i = 0; i < rows; ++i) {
+    for (int j = 0; j < 4; ++j) queries(i, j) = rng.NextGaussian();
+  }
+
+  CentroidClassifier centroid;
+  centroid.Fit(train, labels, 3);
+  KnnClassifier knn(3);
+  knn.Fit(train, labels, 3);
+  for (const Scorer* scorer :
+       {static_cast<const Scorer*>(&centroid),
+        static_cast<const Scorer*>(&knn)}) {
+    const std::vector<int> whole = scorer->ScoreBatch(queries);
+    ASSERT_EQ(static_cast<int>(whole.size()), rows);
+    for (const int block_rows : {1, 7, 16}) {
+      std::vector<int> pieced;
+      for (int start = 0; start < rows; start += block_rows) {
+        const int n = std::min(block_rows, rows - start);
+        Matrix block(n, queries.cols());
+        for (int i = 0; i < n; ++i) {
+          for (int j = 0; j < queries.cols(); ++j) {
+            block(i, j) = queries(start + i, j);
+          }
+        }
+        for (int p : scorer->ScoreBatch(block)) pieced.push_back(p);
+      }
+      EXPECT_EQ(pieced, whole);
+    }
+  }
+}
+
+TEST(ScorerBatchTest, ScorerInterfaceReportsDimensions) {
+  CentroidClassifier centroid;
+  centroid.SetCentroids(Matrix::FromRows({{1.0, 0.0}, {0.0, 1.0}}));
+  const Scorer& scorer = centroid;
+  EXPECT_EQ(scorer.embedded_dim(), 2);
+  EXPECT_EQ(scorer.num_classes(), 2);
+  EXPECT_EQ(scorer.ScoreBatch(Matrix::FromRows({{0.9, 0.1}, {0.0, 2.0}})),
+            (std::vector<int>{0, 1}));
 }
 
 }  // namespace

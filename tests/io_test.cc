@@ -324,35 +324,6 @@ TEST(EmbeddingIoTest, TrainedModelSurvivesRoundTrip) {
   std::remove(path.c_str());
 }
 
-TEST(ClassifierModelIoTest, RoundTrip) {
-  const std::string path = TempPath("classifier.txt");
-  Rng rng(3);
-  Matrix projection(5, 2);
-  for (int i = 0; i < 5; ++i) {
-    for (int j = 0; j < 2; ++j) projection(i, j) = rng.NextGaussian();
-  }
-  ClassifierModel original;
-  original.embedding = LinearEmbedding(projection, Vector{0.25, -0.5});
-  original.centroids = Matrix::FromRows({{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}});
-  SaveClassifierModel(original, path);
-  const ClassifierModel loaded = LoadClassifierModel(path);
-  EXPECT_EQ(MaxAbsDiff(loaded.embedding.projection(),
-                       original.embedding.projection()),
-            0.0);
-  EXPECT_EQ(MaxAbsDiff(loaded.embedding.bias(), original.embedding.bias()),
-            0.0);
-  EXPECT_EQ(MaxAbsDiff(loaded.centroids, original.centroids), 0.0);
-  std::remove(path.c_str());
-}
-
-TEST(ClassifierModelIoDeathTest, DimensionMismatchAborts) {
-  ClassifierModel model;
-  model.embedding = LinearEmbedding(Matrix(3, 2), Vector(2));
-  model.centroids = Matrix(4, 3);  // Wrong width.
-  EXPECT_DEATH(SaveClassifierModel(model, TempPath("bad.txt")),
-               "centroid dimension");
-}
-
 TEST(EmbeddingIoDeathTest, WrongMagicAborts) {
   const std::string path = TempPath("not-a-model.txt");
   {

@@ -186,6 +186,35 @@ TEST_F(ObsTest, HistogramTracksCountSumMinMax) {
   EXPECT_EQ(histogram->count(), 0);
 }
 
+TEST_F(ObsTest, HistogramApproxQuantile) {
+  Histogram* histogram = MetricsRegistry::Global().histogram("test.quantile");
+  histogram->Reset();
+  EXPECT_EQ(histogram->ApproxQuantile(0.5), 0.0);  // empty
+
+  // 100 observations spread over [1, 100]: quantiles land in the right
+  // power-of-two bucket and are clamped to the observed range.
+  for (int i = 1; i <= 100; ++i) {
+    histogram->Observe(static_cast<double>(i));
+  }
+  EXPECT_GE(histogram->ApproxQuantile(0.0), 1.0);
+  EXPECT_LE(histogram->ApproxQuantile(1.0), 100.0);
+  const double p50 = histogram->ApproxQuantile(0.5);
+  EXPECT_GE(p50, 32.0);   // true median 50.5 lives in bucket [32, 64)
+  EXPECT_LT(p50, 64.0);
+  const double p99 = histogram->ApproxQuantile(0.99);
+  EXPECT_GE(p99, 64.0);   // rank-99 observation lives in bucket [64, 128)
+  EXPECT_LE(p99, 100.0);  // but never beyond the observed max
+  EXPECT_LE(histogram->ApproxQuantile(0.1), p50);
+  histogram->Reset();
+
+  // A single observation reports itself at every quantile.
+  histogram->Observe(7.0);
+  EXPECT_EQ(histogram->ApproxQuantile(0.0), 7.0);
+  EXPECT_EQ(histogram->ApproxQuantile(0.5), 7.0);
+  EXPECT_EQ(histogram->ApproxQuantile(1.0), 7.0);
+  histogram->Reset();
+}
+
 TEST_F(ObsTest, RegistryResetKeepsPointersValid) {
   Counter* counter = MetricsRegistry::Global().counter("test.reset");
   counter->Add(7.0);

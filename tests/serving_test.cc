@@ -1,0 +1,154 @@
+// Tests for the micro-batching prediction service (src/serve): batched
+// serving must reproduce single-pass scoring exactly under any traffic
+// interleaving, respect the batching policy, and return raw labels.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "classify/classifiers.h"
+#include "common/rng.h"
+#include "core/trainers.h"
+#include "model/model.h"
+#include "serve/serving.h"
+
+namespace srda {
+namespace {
+
+struct Fixture {
+  model::SrdaModel model;
+  Matrix queries;
+  std::vector<int> expected;  // raw labels, single-pass reference
+};
+
+Fixture MakeFixture(int train_rows, int query_rows, int cols, int classes,
+                    std::vector<int> raw_labels) {
+  Fixture f;
+  Rng rng(99);
+  Matrix x(train_rows, cols);
+  std::vector<int> labels;
+  for (int i = 0; i < train_rows; ++i) {
+    const int label = i % classes;
+    labels.push_back(label);
+    for (int j = 0; j < cols; ++j) {
+      x(i, j) = 5.0 * (j % classes == label) + rng.NextGaussian();
+    }
+  }
+  const TrainResult fit = TrainDenseByName("srda", x, labels, classes);
+  f.model = model::BuildModel(fit.embedding, fit.embedding.Transform(x),
+                              labels, classes, std::move(raw_labels), {});
+  f.queries = Matrix(query_rows, cols);
+  for (int i = 0; i < query_rows; ++i) {
+    for (int j = 0; j < cols; ++j) f.queries(i, j) = rng.NextGaussian();
+  }
+  CentroidClassifier reference;
+  reference.SetCentroids(f.model.centroids);
+  f.expected = f.model.ToRawLabels(
+      reference.ScoreBatch(f.model.embedding.Transform(f.queries)));
+  return f;
+}
+
+TEST(ServingTest, SingleClientMatchesDirectScoring) {
+  const Fixture f = MakeFixture(60, 200, 6, 3, {});
+  serve::PredictionService service(&f.model);
+  EXPECT_EQ(service.Predict(f.queries), f.expected);
+}
+
+TEST(ServingTest, SingleQueryPath) {
+  const Fixture f = MakeFixture(40, 10, 5, 2, {});
+  serve::PredictionService service(&f.model);
+  for (int i = 0; i < f.queries.rows(); ++i) {
+    EXPECT_EQ(service.Predict(f.queries.RowPtr(i)),
+              f.expected[static_cast<size_t>(i)]);
+  }
+}
+
+TEST(ServingTest, ConcurrentClientsBatchedScoringIsExact) {
+  // Many clients hammer the service with overlapping blocks; every response
+  // must equal the single-pass reference no matter how rows were batched.
+  const Fixture f = MakeFixture(80, 64, 8, 4, {});
+  serve::ServeOptions options;
+  options.max_batch = 32;
+  options.max_delay_ms = 0.5;
+  serve::PredictionService service(&f.model, options);
+  constexpr int kClients = 8;
+  constexpr int kRounds = 20;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&f, &service, &mismatches, c] {
+      // Each client repeatedly submits a distinct slice of the queries.
+      const int begin = (c * 8) % f.queries.rows();
+      const int rows = 8;
+      Matrix block(rows, f.queries.cols());
+      for (int i = 0; i < rows; ++i) {
+        for (int j = 0; j < f.queries.cols(); ++j) {
+          block(i, j) = f.queries((begin + i) % f.queries.rows(), j);
+        }
+      }
+      for (int round = 0; round < kRounds; ++round) {
+        const std::vector<int> got = service.Predict(block);
+        for (int i = 0; i < rows; ++i) {
+          if (got[static_cast<size_t>(i)] !=
+              f.expected[static_cast<size_t>((begin + i) %
+                                             f.queries.rows())]) {
+            mismatches.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  const serve::ServeStats stats = service.Stats();
+  EXPECT_EQ(stats.requests, static_cast<int64_t>(kClients) * kRounds * 8);
+  EXPECT_GT(stats.batches, 0);
+  EXPECT_LE(stats.max_batch_seen, options.max_batch);
+  EXPECT_EQ(stats.latencies_us.size(),
+            static_cast<size_t>(stats.requests));
+}
+
+TEST(ServingTest, RawLabelsComeBack) {
+  const Fixture f = MakeFixture(60, 30, 6, 3, {10, 20, 30});
+  serve::PredictionService service(&f.model);
+  for (int raw : service.Predict(f.queries)) {
+    EXPECT_TRUE(raw == 10 || raw == 20 || raw == 30);
+  }
+  EXPECT_EQ(service.Predict(f.queries), f.expected);
+}
+
+TEST(ServingTest, MaxBatchRespectedUnderBlockLargerThanBatch) {
+  // A single 100-row block must be split into <=16-row batches.
+  const Fixture f = MakeFixture(40, 100, 5, 2, {});
+  serve::ServeOptions options;
+  options.max_batch = 16;
+  serve::PredictionService service(&f.model, options);
+  EXPECT_EQ(service.Predict(f.queries), f.expected);
+  const serve::ServeStats stats = service.Stats();
+  EXPECT_LE(stats.max_batch_seen, 16);
+  EXPECT_GE(stats.batches, (100 + 15) / 16);
+}
+
+TEST(ServingTest, LatencyQuantileNearestRank) {
+  EXPECT_EQ(serve::LatencyQuantile({}, 0.5), 0.0);
+  EXPECT_EQ(serve::LatencyQuantile({7.0}, 0.5), 7.0);
+  const std::vector<double> v{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_EQ(serve::LatencyQuantile(v, 0.0), 1.0);
+  EXPECT_EQ(serve::LatencyQuantile(v, 0.5), 3.0);
+  EXPECT_EQ(serve::LatencyQuantile(v, 1.0), 5.0);
+}
+
+TEST(ServingDeathTest, QueryWidthMismatchAborts) {
+  const Fixture f = MakeFixture(40, 4, 5, 2, {});
+  serve::PredictionService service(&f.model);
+  Matrix wrong(2, 3);
+  EXPECT_DEATH(service.Predict(wrong), "query width");
+}
+
+}  // namespace
+}  // namespace srda

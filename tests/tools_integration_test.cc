@@ -11,8 +11,13 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dataset/dataset.h"
+#include "io/dataset_io.h"
 
 namespace srda {
 namespace {
@@ -23,6 +28,35 @@ std::string ToolPath(const std::string& name) {
 
 std::string TempPath(const std::string& name) {
   return ::testing::TempDir() + "/" + name;
+}
+
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// Small well-separated blobs with caller-chosen raw class labels, for
+// workflows that don't need a paper-scale dataset.
+DenseDataset MakeBlobsDataset(int rows, int cols,
+                              const std::vector<int>& class_labels,
+                              uint64_t seed) {
+  DenseDataset dataset;
+  const int classes = static_cast<int>(class_labels.size());
+  dataset.num_classes = classes;
+  dataset.raw_labels = class_labels;
+  dataset.features = Matrix(rows, cols);
+  Rng rng(seed);
+  for (int i = 0; i < rows; ++i) {
+    const int label = i % classes;
+    dataset.labels.push_back(label);
+    for (int j = 0; j < cols; ++j) {
+      dataset.features(i, j) = 6.0 * (j % classes == label) +
+                               rng.NextGaussian();
+    }
+  }
+  return dataset;
 }
 
 // Runs a command, returns its exit code, captures stdout+stderr. The
@@ -144,6 +178,211 @@ TEST(ToolsIntegrationTest, HelpAndBadFlagsExitCleanly) {
   // Unknown flags are rejected with a non-zero exit.
   EXPECT_NE(RunCommand(ToolPath("srda_train") + " --banana=1", &output), 0);
   EXPECT_NE(output.find("unknown flag"), std::string::npos);
+}
+
+TEST(ToolsIntegrationTest, SemiSupervisedTrainerTrains) {
+  // semi_srda eigendecomposes an m x m matrix, so it gets a small dataset
+  // instead of riding the digits loop above.
+  const std::string data = TempPath("semi.csv");
+  const std::string model = TempPath("semi.model");
+  WriteDenseCsvFile(MakeBlobsDataset(90, 8, {0, 1, 2}, 5), data);
+  std::string output;
+  ASSERT_EQ(RunCommand(ToolPath("srda_train") + " --data=" + data +
+                    " --algorithm=semi_srda --model-out=" + model,
+                &output),
+            0)
+      << output;
+  EXPECT_NE(output.find("trained semi_srda"), std::string::npos);
+  ASSERT_EQ(RunCommand(ToolPath("srda_predict") + " --model=" + model +
+                    " --data=" + data,
+                &output),
+            0)
+      << output;
+  EXPECT_NE(output.find("error rate"), std::string::npos);
+  std::remove(data.c_str());
+  std::remove(model.c_str());
+}
+
+TEST(ToolsIntegrationTest, BinaryModelFormatMatchesText) {
+  // The same training run saved through both codecs must predict
+  // identically (the binary file is the mmap-served deployment artifact).
+  const std::string data = TempPath("fmt.csv");
+  WriteDenseCsvFile(MakeBlobsDataset(120, 10, {0, 1, 2, 3}, 9), data);
+  const std::string text_model = TempPath("fmt-text.model");
+  const std::string binary_model = TempPath("fmt-binary.model");
+  const std::string text_pred = TempPath("fmt-text.pred");
+  const std::string binary_pred = TempPath("fmt-binary.pred");
+  std::string output;
+  ASSERT_EQ(RunCommand(ToolPath("srda_train") + " --data=" + data +
+                    " --model-format=text --model-out=" + text_model,
+                &output),
+            0)
+      << output;
+  ASSERT_EQ(RunCommand(ToolPath("srda_train") + " --data=" + data +
+                    " --model-format=binary --model-out=" + binary_model,
+                &output),
+            0)
+      << output;
+  EXPECT_NE(output.find("binary model written"), std::string::npos);
+  // The binary file leads with the SRDM magic.
+  {
+    std::ifstream in(binary_model, std::ios::binary);
+    char magic[4] = {};
+    in.read(magic, 4);
+    EXPECT_EQ(std::string(magic, 4), "SRDM");
+  }
+  ASSERT_EQ(RunCommand(ToolPath("srda_predict") + " --model=" + text_model +
+                    " --data=" + data + " --predictions-out=" + text_pred,
+                &output),
+            0)
+      << output;
+  ASSERT_EQ(RunCommand(ToolPath("srda_predict") + " --model=" + binary_model +
+                    " --data=" + data + " --predictions-out=" + binary_pred,
+                &output),
+            0)
+      << output;
+  EXPECT_EQ(Slurp(text_pred), Slurp(binary_pred));
+  for (const std::string& path :
+       {data, text_model, binary_model, text_pred, binary_pred}) {
+    std::remove(path.c_str());
+  }
+}
+
+TEST(ToolsIntegrationTest, PredictReadsSrdbBinaryData) {
+  // Train on CSV, score the SRDB container of the same rows: identical
+  // error rate, no CSV parse on the predict side.
+  const DenseDataset dataset = MakeBlobsDataset(100, 8, {0, 1, 2}, 21);
+  const std::string csv = TempPath("srdb.csv");
+  const std::string srdb = TempPath("srdb.bin");
+  const std::string model = TempPath("srdb.model");
+  WriteDenseCsvFile(dataset, csv);
+  WriteDenseBinaryFile(dataset, srdb);
+  std::string output;
+  ASSERT_EQ(RunCommand(ToolPath("srda_train") + " --data=" + csv +
+                    " --model-out=" + model,
+                &output),
+            0)
+      << output;
+  std::string csv_output;
+  ASSERT_EQ(RunCommand(ToolPath("srda_predict") + " --model=" + model +
+                    " --data=" + csv,
+                &csv_output),
+            0)
+      << csv_output;
+  ASSERT_EQ(RunCommand(ToolPath("srda_predict") + " --model=" + model +
+                    " --data=" + srdb + " --format=binary",
+                &output),
+            0)
+      << output;
+  // Both runs print "... samples; error rate X%"; the rates must agree.
+  EXPECT_EQ(output.substr(output.find("error rate")),
+            csv_output.substr(csv_output.find("error rate")));
+  for (const std::string& path : {csv, srdb, model}) {
+    std::remove(path.c_str());
+  }
+}
+
+TEST(ToolsIntegrationTest, PredictionsComeBackInRawLabelSpace) {
+  // Training labels {3, 7} are compacted internally; the predictions file
+  // must surface the original ids, never the compact {0, 1}.
+  const std::string data = TempPath("gapped.csv");
+  const std::string model = TempPath("gapped.model");
+  const std::string predictions = TempPath("gapped.pred");
+  WriteDenseCsvFile(MakeBlobsDataset(80, 6, {3, 7}, 13), data);
+  std::string output;
+  ASSERT_EQ(RunCommand(ToolPath("srda_train") + " --data=" + data +
+                    " --model-out=" + model,
+                &output),
+            0)
+      << output;
+  ASSERT_EQ(RunCommand(ToolPath("srda_predict") + " --model=" + model +
+                    " --data=" + data + " --predictions-out=" + predictions,
+                &output),
+            0)
+      << output;
+  // Well-separated blobs: raw-vs-raw comparison scores (near) zero error.
+  EXPECT_NE(output.find("error rate 0%"), std::string::npos) << output;
+  std::ifstream pred(predictions);
+  int label = 0;
+  int count = 0;
+  while (pred >> label) {
+    EXPECT_TRUE(label == 3 || label == 7) << "compact label leaked: " << label;
+    ++count;
+  }
+  EXPECT_EQ(count, 80);
+  for (const std::string& path : {data, model, predictions}) {
+    std::remove(path.c_str());
+  }
+}
+
+TEST(ToolsIntegrationTest, ServeMatchesPredictExactly) {
+  // The acceptance gate for micro-batching: the server's ordered pass over
+  // the dataset writes byte-for-byte the predictions file srda_predict
+  // writes, and the load phase reports throughput and latency percentiles.
+  const std::string data = TempPath("serve.csv");
+  const std::string model = TempPath("serve.model");
+  const std::string predict_out = TempPath("serve-predict.pred");
+  const std::string serve_out = TempPath("serve-serve.pred");
+  const std::string json = TempPath("serve.json");
+  WriteDenseCsvFile(MakeBlobsDataset(300, 12, {2, 5, 11}, 17), data);
+  std::string output;
+  ASSERT_EQ(RunCommand(ToolPath("srda_train") + " --data=" + data +
+                    " --model-format=binary --model-out=" + model,
+                &output),
+            0)
+      << output;
+  ASSERT_EQ(RunCommand(ToolPath("srda_predict") + " --model=" + model +
+                    " --data=" + data + " --predictions-out=" + predict_out,
+                &output),
+            0)
+      << output;
+  ASSERT_EQ(RunCommand(ToolPath("srda_serve") + " --model=" + model +
+                    " --data=" + data + " --clients=3 --client-block=17" +
+                    " --requests=5000 --max-batch=64 --max-delay-ms=0.2" +
+                    " --predictions-out=" + serve_out + " --json-out=" + json,
+                &output),
+            0)
+      << output;
+  EXPECT_NE(output.find("predictions/s"), std::string::npos);
+  EXPECT_NE(output.find("latency p50"), std::string::npos);
+  const std::string from_predict = Slurp(predict_out);
+  EXPECT_FALSE(from_predict.empty());
+  EXPECT_EQ(from_predict, Slurp(serve_out));
+  const std::string measurements = Slurp(json);
+  EXPECT_NE(measurements.find("\"predictions_per_s\""), std::string::npos);
+  EXPECT_NE(measurements.find("\"latency_p99_us\""), std::string::npos);
+  for (const std::string& path :
+       {data, model, predict_out, serve_out, json}) {
+    std::remove(path.c_str());
+  }
+}
+
+TEST(ToolsIntegrationTest, ServeTraceCarriesServingSpans) {
+  // The serving observability contract: a traced srda_serve run records
+  // model.load and serve.batch spans that srda_trace_check validates.
+  const std::string data = TempPath("trace.csv");
+  const std::string model = TempPath("trace.model");
+  const std::string trace = TempPath("serve-trace.json");
+  WriteDenseCsvFile(MakeBlobsDataset(90, 8, {0, 1, 2}, 29), data);
+  std::string output;
+  ASSERT_EQ(RunCommand(ToolPath("srda_train") + " --data=" + data +
+                    " --model-out=" + model,
+                &output),
+            0)
+      << output;
+  ASSERT_EQ(RunCommand(ToolPath("srda_serve") + " --model=" + model +
+                    " --data=" + data + " --requests=500 --trace-out=" + trace,
+                &output),
+            0)
+      << output;
+  ASSERT_EQ(RunCommand(ToolPath("srda_trace_check") + " " + trace +
+                    " --require=model.load,serve.batch,classify.score",
+                &output),
+            0)
+      << output;
+  for (const std::string& path : {data, model, trace}) {
+    std::remove(path.c_str());
+  }
 }
 
 }  // namespace

@@ -1,11 +1,17 @@
 // srda_predict: classify a dataset file with a model trained by srda_train.
 //
 // Usage:
-//   srda_predict --model=FILE --data=FILE [--format=csv|libsvm]
+//   srda_predict --model=FILE --data=FILE [--format=csv|libsvm|binary]
 //                [--predictions-out=FILE]
 //
-// Prints the error rate against the labels stored in the data file and
-// optionally writes one predicted label per line.
+// The model file may be either model-store codec (versioned text or SRDM
+// binary — sniffed from the magic) or a legacy "srda-classifier 1" file.
+// "binary" data is the seekable SRDB container (srda_io). Prints the error
+// rate against the labels stored in the data file; --predictions-out writes
+// one predicted label per line in the ORIGINAL raw label space of the
+// training file (the model's raw_labels map applied to each prediction), so
+// gapped ids like {3, 7} come back out as 3 and 7, never 0 and 1. The error
+// rate compares raw against raw for the same reason.
 
 #include <fstream>
 #include <iostream>
@@ -16,13 +22,29 @@
 #include "common/arg_parser.h"
 #include "common/check.h"
 #include "io/dataset_io.h"
+#include "model/codec.h"
+#include "model/model.h"
 
 namespace srda {
 namespace {
 
 constexpr char kUsage[] =
-    "usage: srda_predict --model=FILE --data=FILE [--format=csv|libsvm]\n"
+    "usage: srda_predict --model=FILE --data=FILE "
+    "[--format=csv|libsvm|binary]\n"
     "                    [--predictions-out=FILE]\n";
+
+// The dataset's compact labels mapped back to the raw ids of the file
+// (identity when the dataset carries no map).
+std::vector<int> DatasetRawLabels(const std::vector<int>& labels,
+                                  const std::vector<int>& raw_labels) {
+  std::vector<int> raw(labels.size());
+  for (size_t i = 0; i < labels.size(); ++i) {
+    raw[i] = raw_labels.empty()
+                 ? labels[i]
+                 : raw_labels[static_cast<size_t>(labels[i])];
+  }
+  return raw;
+}
 
 int Main(int argc, char** argv) {
   const ArgParser args(argc, argv);
@@ -38,29 +60,34 @@ int Main(int argc, char** argv) {
       << "unknown flag --" << args.UnusedFlags().front() << "\n" << kUsage;
   SRDA_CHECK(!model_path.empty() && !data_path.empty())
       << "--model and --data are required\n" << kUsage;
+  SRDA_CHECK(format == "csv" || format == "libsvm" || format == "binary")
+      << "unknown --format=" << format << "\n" << kUsage;
 
-  const ClassifierModel model = LoadClassifierModel(model_path);
+  const model::SrdaModel model = model::Load(model_path);
 
   Matrix embedded;
-  std::vector<int> labels;
+  std::vector<int> actual_raw;
   if (format == "libsvm") {
     const SparseDataset dataset =
-        ReadLibSvmFile(data_path, model.embedding.input_dim());
+        ReadLibSvmFile(data_path, model.input_dim());
     embedded = model.embedding.Transform(dataset.features);
-    labels = dataset.labels;
+    actual_raw = DatasetRawLabels(dataset.labels, dataset.raw_labels);
   } else {
-    const DenseDataset dataset = ReadDenseCsvFile(data_path);
-    SRDA_CHECK_EQ(dataset.features.cols(), model.embedding.input_dim())
+    const DenseDataset dataset = format == "binary"
+                                     ? ReadDenseBinaryFile(data_path)
+                                     : ReadDenseCsvFile(data_path);
+    SRDA_CHECK_EQ(dataset.features.cols(), model.input_dim())
         << "data width does not match the model";
     embedded = model.embedding.Transform(dataset.features);
-    labels = dataset.labels;
+    actual_raw = DatasetRawLabels(dataset.labels, dataset.raw_labels);
   }
 
   CentroidClassifier classifier;
   classifier.SetCentroids(model.centroids);
-  const std::vector<int> predictions = classifier.Predict(embedded);
+  const std::vector<int> predictions =
+      model.ToRawLabels(classifier.ScoreBatch(embedded));
   std::cout << "classified " << predictions.size() << " samples; error rate "
-            << 100.0 * ErrorRate(predictions, labels) << "%\n";
+            << 100.0 * ErrorRate(predictions, actual_raw) << "%\n";
 
   if (!predictions_path.empty()) {
     std::ofstream out(predictions_path);

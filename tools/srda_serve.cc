@@ -1,0 +1,214 @@
+// srda_serve: batched prediction serving against a saved model.
+//
+// Usage:
+//   srda_serve --model=FILE --data=FILE [--format=csv|binary]
+//              [--clients=4] [--client-block=64] [--requests=100000]
+//              [--max-batch=256] [--max-delay-ms=0.2]
+//              [--predictions-out=FILE] [--json-out=FILE]
+//              [--trace-out=FILE] [--metrics]
+//
+// Loads a model-store file (text, SRDM binary, or legacy — sniffed), then
+// drives synthetic traffic through the micro-batching PredictionService
+// (serve/serving.h): --clients threads each submit blocks of
+// --client-block query rows drawn from the data file, cycling until
+// --requests total rows are served. Blocks from different clients coalesce
+// into shared batches closed by the --max-batch / --max-delay-ms policy.
+// Reported: sustained predictions/s, p50/p99 request latency (exact, from
+// per-request samples), and the realized batch-size distribution.
+//
+// Because per-row scoring is independent of batch composition, the served
+// predictions are exactly the ones srda_predict produces on the same data.
+// --predictions-out runs one ordered pass through the service and writes
+// one raw label per line — byte-identical to srda_predict's output.
+//
+// --json-out writes the measurements as JSON (the serving bench's format);
+// --trace-out / --metrics record serve.batch / model.load spans and the
+// serve.* counters through the obs layer.
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/arg_parser.h"
+#include "common/check.h"
+#include "common/stopwatch.h"
+#include "io/dataset_io.h"
+#include "model/codec.h"
+#include "model/model.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+#include "serve/serving.h"
+
+namespace srda {
+namespace {
+
+constexpr char kUsage[] =
+    "usage: srda_serve --model=FILE --data=FILE [--format=csv|binary]\n"
+    "                  [--clients=4] [--client-block=64]\n"
+    "                  [--requests=100000] [--max-batch=256]\n"
+    "                  [--max-delay-ms=0.2] [--predictions-out=FILE]\n"
+    "                  [--json-out=FILE] [--trace-out=FILE] [--metrics]\n";
+
+// Slices the dataset into contiguous blocks of `block_rows` query rows
+// (last block may be short). Blocks are what clients submit.
+std::vector<Matrix> SliceBlocks(const Matrix& features, int block_rows) {
+  std::vector<Matrix> blocks;
+  for (int start = 0; start < features.rows(); start += block_rows) {
+    const int rows = std::min(block_rows, features.rows() - start);
+    Matrix block(rows, features.cols());
+    std::memcpy(block.RowPtr(0), features.RowPtr(start),
+                static_cast<size_t>(rows) * features.cols() * sizeof(double));
+    blocks.push_back(std::move(block));
+  }
+  return blocks;
+}
+
+int Main(int argc, char** argv) {
+  const ArgParser args(argc, argv);
+  if (args.GetBool("help")) {
+    std::cout << kUsage;
+    return 0;
+  }
+  const std::string model_path = args.GetString("model", "");
+  const std::string data_path = args.GetString("data", "");
+  const std::string format = args.GetString("format", "csv");
+  const int clients = args.GetInt("clients", 4);
+  const int client_block = args.GetInt("client-block", 64);
+  const int64_t requests = args.GetInt("requests", 100000);
+  const int max_batch = args.GetInt("max-batch", 256);
+  const double max_delay_ms = args.GetDouble("max-delay-ms", 0.2);
+  const std::string predictions_path = args.GetString("predictions-out", "");
+  const std::string json_path = args.GetString("json-out", "");
+  const std::string trace_path = args.GetString("trace-out", "");
+  const bool print_metrics = args.GetBool("metrics");
+  SRDA_CHECK(args.UnusedFlags().empty())
+      << "unknown flag --" << args.UnusedFlags().front() << "\n" << kUsage;
+  SRDA_CHECK(!model_path.empty() && !data_path.empty())
+      << "--model and --data are required\n" << kUsage;
+  SRDA_CHECK(format == "csv" || format == "binary")
+      << "unknown --format=" << format << "\n" << kUsage;
+  SRDA_CHECK_GT(clients, 0) << "--clients must be positive";
+  SRDA_CHECK_GT(client_block, 0) << "--client-block must be positive";
+  SRDA_CHECK_GE(requests, 0) << "--requests must be non-negative";
+
+  const bool observe = !trace_path.empty() || print_metrics || TraceEnabled();
+  if (observe) {
+    TraceRecorder::Global().SetEnabled(true);
+    TraceRecorder::Global().Clear();
+    MetricsRegistry::Global().ResetAll();
+  }
+
+  const model::SrdaModel model = model::Load(model_path);
+  std::cout << "loaded " << model.provenance.trainer << " model: "
+            << model.input_dim() << " -> " << model.output_dim() << ", "
+            << model.num_classes() << " classes\n";
+
+  const DenseDataset dataset = format == "binary"
+                                   ? ReadDenseBinaryFile(data_path)
+                                   : ReadDenseCsvFile(data_path);
+  SRDA_CHECK_EQ(dataset.features.cols(), model.input_dim())
+      << "data width does not match the model";
+  const std::vector<Matrix> blocks =
+      SliceBlocks(dataset.features, client_block);
+
+  serve::ServeOptions options;
+  options.max_batch = max_batch;
+  options.max_delay_ms = max_delay_ms;
+
+  if (!predictions_path.empty()) {
+    // One ordered pass: blocks submitted in dataset order from one client,
+    // so the output lines up row-for-row with srda_predict on this file.
+    serve::PredictionService service(&model, options);
+    std::ofstream out(predictions_path);
+    SRDA_CHECK(out.good()) << "cannot open " << predictions_path;
+    for (const Matrix& block : blocks) {
+      for (int raw : service.Predict(block)) out << raw << '\n';
+    }
+    SRDA_CHECK(out.good()) << "write failure on " << predictions_path;
+    std::cout << "predictions written to " << predictions_path << "\n";
+  }
+
+  double seconds = 0.0;
+  serve::ServeStats stats;
+  if (requests > 0) {
+    serve::PredictionService service(&model, options);
+    // Remaining-row budget shared by every client; a client claims one
+    // block at a time until the budget is gone.
+    std::atomic<int64_t> budget{requests};
+    Stopwatch watch;
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+      workers.emplace_back([&service, &blocks, &budget, c] {
+        size_t next = static_cast<size_t>(c) % blocks.size();
+        while (true) {
+          const Matrix& block = blocks[next];
+          next = (next + 1) % blocks.size();
+          if (budget.fetch_sub(block.rows(), std::memory_order_relaxed) <=
+              0) {
+            return;
+          }
+          service.Predict(block);
+        }
+      });
+    }
+    for (std::thread& worker : workers) worker.join();
+    seconds = watch.ElapsedSeconds();
+    stats = service.Stats();
+  }
+
+  if (stats.requests > 0) {
+    const double throughput = static_cast<double>(stats.requests) / seconds;
+    const double p50 = serve::LatencyQuantile(stats.latencies_us, 0.50);
+    const double p99 = serve::LatencyQuantile(stats.latencies_us, 0.99);
+    std::cout << "served " << stats.requests << " predictions in " << seconds
+              << " s: " << throughput << " predictions/s\n";
+    std::cout << "latency p50 " << p50 << " us, p99 " << p99 << " us; "
+              << stats.batches << " batches, mean " << stats.mean_batch()
+              << " rows, max " << stats.max_batch_seen << "\n";
+    if (!json_path.empty()) {
+      std::ofstream out(json_path);
+      SRDA_CHECK(out.good()) << "cannot open " << json_path;
+      out << "{\n"
+          << "  \"clients\": " << clients << ",\n"
+          << "  \"client_block\": " << client_block << ",\n"
+          << "  \"max_batch\": " << max_batch << ",\n"
+          << "  \"max_delay_ms\": " << max_delay_ms << ",\n"
+          << "  \"requests\": " << stats.requests << ",\n"
+          << "  \"seconds\": " << seconds << ",\n"
+          << "  \"predictions_per_s\": " << throughput << ",\n"
+          << "  \"latency_p50_us\": " << p50 << ",\n"
+          << "  \"latency_p99_us\": " << p99 << ",\n"
+          << "  \"batches\": " << stats.batches << ",\n"
+          << "  \"mean_batch\": " << stats.mean_batch() << ",\n"
+          << "  \"max_batch_seen\": " << stats.max_batch_seen << "\n"
+          << "}\n";
+      SRDA_CHECK(out.good()) << "write failure on " << json_path;
+      std::cout << "measurements written to " << json_path << "\n";
+    }
+  }
+
+  if (observe) {
+    PrintRunSummary(std::cout);
+    if (!trace_path.empty()) {
+      if (TraceRecorder::Global().WriteJsonFile(trace_path)) {
+        std::cout << "wrote trace to " << trace_path << "\n";
+      } else {
+        std::cout << "failed to write trace to " << trace_path << "\n";
+        return 1;
+      }
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace srda
+
+int main(int argc, char** argv) { return srda::Main(argc, argv); }

@@ -2,14 +2,19 @@
 //
 // Usage:
 //   srda_train --data=FILE [--format=csv|libsvm|binary]
-//              [--algorithm=srda|lda|rlda|idr_qr|fisherfaces] [--alpha=1.0]
-//              [--solver=normal|lsqr] [--lsqr-iterations=20]
-//              [--shard-rows=N] --model-out=FILE
+//              [--algorithm=srda|lda|rlda|idr_qr|fisherfaces|semi_srda]
+//              [--alpha=1.0] [--solver=normal|lsqr] [--lsqr-iterations=20]
+//              [--shard-rows=N] [--model-format=text|binary]
+//              --model-out=FILE
 //
 // CSV rows are "label,x1,...,xn"; LibSVM is the standard sparse format;
 // binary is the repo's seekable SRDB container (srda_io). Sparse data
-// always trains SRDA with LSQR. The saved model contains the embedding and
-// the nearest-centroid classifier state, ready for srda_predict.
+// always trains SRDA with LSQR. The saved artifact is a versioned
+// model-store file (src/model): the embedding, the nearest-centroid head,
+// the compact -> raw label map of the training file, and provenance
+// (trainer, alpha, sketch seed). --model-format picks the codec: "text"
+// (default, inspectable, migration-friendly) or "binary" (mmap-able SRDM,
+// zero-parse load for serving). srda_predict and srda_serve read either.
 //
 // --shard-rows=N trains out of core: the dataset streams through a
 // RowShardReader in shards of N rows, the dataset never resides in RAM as
@@ -29,21 +34,18 @@
 
 #include <iostream>
 #include <string>
-
 #include <utility>
 #include <vector>
 
-#include "classify/classifiers.h"
 #include "common/arg_parser.h"
 #include "common/check.h"
 #include "common/stopwatch.h"
-#include "core/fisherfaces.h"
-#include "core/idr_qr.h"
-#include "core/lda.h"
-#include "core/rlda.h"
 #include "core/srda.h"
+#include "core/trainers.h"
 #include "io/dataset_io.h"
 #include "io/row_shard_reader.h"
+#include "model/codec.h"
+#include "model/model.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/trace.h"
@@ -53,78 +55,61 @@ namespace {
 
 constexpr char kUsage[] =
     "usage: srda_train --data=FILE [--format=csv|libsvm|binary]\n"
-    "                  [--algorithm=srda|lda|rlda|idr_qr|fisherfaces]\n"
+    "                  [--algorithm=srda|lda|rlda|idr_qr|fisherfaces|"
+    "semi_srda]\n"
     "                  [--alpha=1.0] [--solver=normal|lsqr]\n"
     "                  [--lsqr-iterations=20] [--shard-rows=N]\n"
     "                  [--sketch-mode=off|precond|solve] [--sketch-size=N]\n"
     "                  [--sketch-kind=count|gaussian]\n"
+    "                  [--model-format=text|binary]\n"
     "                  [--trace-out=FILE] [--metrics] --model-out=FILE\n";
 
-void PrintLsqrDiagnostics(const SrdaModel& model);
-void PrintSketchBounds(const SrdaModel& model);
+// Prints one line per regression target summarizing how LSQR stopped.
+void PrintLsqrDiagnostics(const std::vector<RidgeRhsDiagnostics>& diagnostics,
+                          int total_iterations) {
+  if (diagnostics.empty()) return;
+  std::cout << "LSQR convergence (" << total_iterations
+            << " total iterations):\n";
+  for (size_t i = 0; i < diagnostics.size(); ++i) {
+    const RidgeRhsDiagnostics& diag = diagnostics[i];
+    std::cout << "  rhs " << i << ": " << diag.iterations << " iterations, "
+              << "residual " << diag.residual_norm << ", normal residual "
+              << diag.normal_residual_norm << ", stop "
+              << LsqrStopName(diag.stop) << "\n";
+  }
+}
 
-LinearEmbedding TrainDense(const std::string& algorithm,
-                           const DenseDataset& dataset, double alpha,
-                           const std::string& solver, int lsqr_iterations,
-                           const SketchConfig& sketch,
-                           bool print_diagnostics) {
-  if (algorithm == "srda") {
-    SrdaOptions options;
-    options.alpha = alpha;
-    options.solver =
-        solver == "lsqr" ? SrdaSolver::kLsqr : SrdaSolver::kNormalEquations;
-    options.lsqr_iterations = lsqr_iterations;
-    options.sketch = sketch;
-    const SrdaModel model = FitSrda(dataset.features, dataset.labels,
-                                    dataset.num_classes, options);
-    SRDA_CHECK(model.converged) << "SRDA training failed";
-    if (print_diagnostics) PrintLsqrDiagnostics(model);
-    PrintSketchBounds(model);
-    return model.embedding;
+// Pure sketch-solve fits carry a per-response bound on the distance to the
+// exact ridge solution; print it so the accuracy tradeoff is visible.
+void PrintSketchBounds(const std::vector<double>& bounds) {
+  if (bounds.empty()) return;
+  std::cout << "sketch-solve error bounds (||coeff - exact||):\n";
+  for (size_t i = 0; i < bounds.size(); ++i) {
+    std::cout << "  rhs " << i << ": <= " << bounds[i] << "\n";
   }
-  SRDA_CHECK(sketch.mode == SketchMode::kOff)
-      << "--sketch-mode supports --algorithm=srda only";
-  if (algorithm == "lda") {
-    const LdaModel model =
-        FitLda(dataset.features, dataset.labels, dataset.num_classes);
-    SRDA_CHECK(model.converged) << "LDA training failed";
-    return model.embedding;
-  }
-  if (algorithm == "rlda") {
-    RldaOptions options;
-    options.alpha = alpha;
-    const RldaModel model = FitRlda(dataset.features, dataset.labels,
-                                    dataset.num_classes, options);
-    SRDA_CHECK(model.converged) << "RLDA training failed";
-    return model.embedding;
-  }
-  if (algorithm == "idr_qr") {
-    const IdrQrModel model =
-        FitIdrQr(dataset.features, dataset.labels, dataset.num_classes);
-    SRDA_CHECK(model.converged) << "IDR/QR training failed";
-    return model.embedding;
-  }
-  if (algorithm == "fisherfaces") {
-    const FisherfacesModel model =
-        FitFisherfaces(dataset.features, dataset.labels, dataset.num_classes);
-    SRDA_CHECK(model.converged) << "Fisherfaces training failed";
-    return model.embedding;
-  }
-  SRDA_CHECK(false) << "unknown --algorithm=" << algorithm << "\n" << kUsage;
-  return LinearEmbedding();
+}
+
+// Provenance shared by every training path below.
+model::Provenance MakeProvenance(const std::string& algorithm, double alpha,
+                                 const SketchConfig& sketch) {
+  model::Provenance provenance;
+  provenance.trainer = algorithm;
+  provenance.alpha = alpha;
+  provenance.seed = sketch.mode == SketchMode::kOff ? 0 : sketch.seed;
+  return provenance;
 }
 
 // Out-of-core training: SRDA through a RidgeSolver bound to the shard
 // stream (one pass per Gram/RHS build or LSQR iteration), then one more
-// pass fitting the nearest-centroid classifier on the streamed embeddings.
-// The class-sum accumulation visits rows in the same ascending order
+// pass fitting the nearest-centroid head on the streamed embeddings. The
+// class-sum accumulation visits rows in the same ascending order
 // CentroidClassifier::Fit uses on the full embedded matrix, so the model is
 // bitwise identical to the in-RAM fit at any shard size.
-ClassifierModel TrainSharded(const std::string& data_path,
-                             RowStreamFormat stream_format, int shard_rows,
-                             double alpha, const std::string& solver,
-                             int lsqr_iterations, const SketchConfig& sketch,
-                             bool observe) {
+model::SrdaModel TrainSharded(const std::string& data_path,
+                              RowStreamFormat stream_format, int shard_rows,
+                              double alpha, const std::string& solver,
+                              int lsqr_iterations, const SketchConfig& sketch,
+                              bool observe) {
   RowShardReaderOptions reader_options;
   reader_options.shard_rows = shard_rows;
   RowShardReader reader(data_path, stream_format, reader_options);
@@ -143,11 +128,11 @@ ClassifierModel TrainSharded(const std::string& data_path,
   const SrdaModel trained =
       FitSrda(&ridge, reader.labels(), reader.num_classes(), options);
   SRDA_CHECK(trained.converged) << "SRDA training failed";
-  if (observe) PrintLsqrDiagnostics(trained);
-  PrintSketchBounds(trained);
-
-  ClassifierModel model;
-  model.embedding = trained.embedding;
+  if (observe) {
+    PrintLsqrDiagnostics(trained.lsqr_diagnostics,
+                         trained.total_lsqr_iterations);
+  }
+  PrintSketchBounds(trained.sketch_error_bounds);
 
   const std::vector<int>& labels = reader.labels();
   const int num_classes = reader.num_classes();
@@ -156,13 +141,13 @@ ClassifierModel TrainSharded(const std::string& data_path,
     SRDA_CHECK_GT(counts[static_cast<size_t>(k)], 0)
         << "class " << k << " has no training samples";
   }
-  Matrix centroids(num_classes, model.embedding.output_dim());
+  Matrix centroids(num_classes, trained.embedding.output_dim());
   reader.Reset();
   RowShard shard;
   while (reader.Next(&shard)) {
     const Matrix embedded = shard.sparse != nullptr
-                                ? model.embedding.Transform(*shard.sparse)
-                                : model.embedding.Transform(*shard.dense);
+                                ? trained.embedding.Transform(*shard.sparse)
+                                : trained.embedding.Transform(*shard.dense);
     for (int i = 0; i < embedded.rows(); ++i) {
       const double* row = embedded.RowPtr(i);
       double* centroid = centroids.RowPtr(
@@ -175,39 +160,12 @@ ClassifierModel TrainSharded(const std::string& data_path,
     double* centroid = centroids.RowPtr(k);
     for (int j = 0; j < centroids.cols(); ++j) centroid[j] *= inv;
   }
-  CentroidClassifier classifier;
-  classifier.SetCentroids(std::move(centroids));
-  model.centroids = classifier.centroids();
   std::cout << "streamed " << reader.bytes_streamed()
             << " bytes total, peak shard " << reader.peak_shard_bytes()
             << " bytes\n";
-  return model;
-}
-
-// Prints one line per regression target summarizing how LSQR stopped
-// (satellite diagnostics surfaced through SrdaModel::lsqr_diagnostics).
-void PrintLsqrDiagnostics(const SrdaModel& model) {
-  if (model.lsqr_diagnostics.empty()) return;
-  std::cout << "LSQR convergence (" << model.total_lsqr_iterations
-            << " total iterations):\n";
-  for (size_t i = 0; i < model.lsqr_diagnostics.size(); ++i) {
-    const RidgeRhsDiagnostics& diag = model.lsqr_diagnostics[i];
-    std::cout << "  rhs " << i << ": " << diag.iterations << " iterations, "
-              << "residual " << diag.residual_norm << ", normal residual "
-              << diag.normal_residual_norm << ", stop "
-              << LsqrStopName(diag.stop) << "\n";
-  }
-}
-
-// Pure sketch-solve fits carry a per-response bound on the distance to the
-// exact ridge solution; print it so the accuracy tradeoff is visible.
-void PrintSketchBounds(const SrdaModel& model) {
-  if (model.sketch_error_bounds.empty()) return;
-  std::cout << "sketch-solve error bounds (||coeff - exact||):\n";
-  for (size_t i = 0; i < model.sketch_error_bounds.size(); ++i) {
-    std::cout << "  rhs " << i << ": <= " << model.sketch_error_bounds[i]
-              << "\n";
-  }
+  return model::BuildModelFromCentroids(
+      trained.embedding, std::move(centroids), reader.raw_labels(),
+      MakeProvenance("srda", alpha, sketch));
 }
 
 int Main(int argc, char** argv) {
@@ -227,6 +185,7 @@ int Main(int argc, char** argv) {
   const std::string sketch_mode = args.GetString("sketch-mode", "off");
   const int sketch_size = args.GetInt("sketch-size", 0);
   const std::string sketch_kind = args.GetString("sketch-kind", "count");
+  const std::string model_format = args.GetString("model-format", "text");
   const std::string trace_path = args.GetString("trace-out", "");
   const bool print_metrics = args.GetBool("metrics");
   SRDA_CHECK(args.UnusedFlags().empty())
@@ -235,8 +194,12 @@ int Main(int argc, char** argv) {
       << "--data and --model-out are required\n" << kUsage;
   SRDA_CHECK(format == "csv" || format == "libsvm" || format == "binary")
       << "unknown --format=" << format << "\n" << kUsage;
+  SRDA_CHECK(IsDenseTrainer(algorithm))
+      << "unknown --algorithm=" << algorithm << "\n" << kUsage;
   SRDA_CHECK(solver == "normal" || solver == "lsqr")
       << "unknown --solver=" << solver << "\n" << kUsage;
+  SRDA_CHECK(model_format == "text" || model_format == "binary")
+      << "unknown --model-format=" << model_format << "\n" << kUsage;
   SRDA_CHECK_GE(shard_rows, 0) << "--shard-rows must be non-negative";
   SRDA_CHECK(sketch_mode == "off" || sketch_mode == "precond" ||
              sketch_mode == "solve")
@@ -263,7 +226,7 @@ int Main(int argc, char** argv) {
     MetricsRegistry::Global().ResetAll();
   }
 
-  ClassifierModel model;
+  model::SrdaModel model;
   Stopwatch watch;
   if (shard_rows > 0) {
     SRDA_CHECK(algorithm == "srda")
@@ -290,13 +253,16 @@ int Main(int argc, char** argv) {
     const SrdaModel trained = FitSrda(dataset.features, dataset.labels,
                                       dataset.num_classes, options);
     SRDA_CHECK(trained.converged) << "SRDA training failed";
-    if (observe) PrintLsqrDiagnostics(trained);
-    PrintSketchBounds(trained);
-    model.embedding = trained.embedding;
-    CentroidClassifier classifier;
-    classifier.Fit(model.embedding.Transform(dataset.features),
-                   dataset.labels, dataset.num_classes);
-    model.centroids = classifier.centroids();
+    if (observe) {
+      PrintLsqrDiagnostics(trained.lsqr_diagnostics,
+                           trained.total_lsqr_iterations);
+    }
+    PrintSketchBounds(trained.sketch_error_bounds);
+    model = model::BuildModel(trained.embedding,
+                              trained.embedding.Transform(dataset.features),
+                              dataset.labels, dataset.num_classes,
+                              dataset.raw_labels,
+                              MakeProvenance(algorithm, alpha, sketch));
   } else {
     const DenseDataset dataset = format == "binary"
                                      ? ReadDenseBinaryFile(data_path)
@@ -304,18 +270,33 @@ int Main(int argc, char** argv) {
     std::cout << "loaded " << dataset.features.rows() << " samples, "
               << dataset.features.cols() << " features, "
               << dataset.num_classes << " classes\n";
-    model.embedding = TrainDense(algorithm, dataset, alpha, solver,
-                                 lsqr_iterations, sketch, observe);
-    CentroidClassifier classifier;
-    classifier.Fit(model.embedding.Transform(dataset.features),
-                   dataset.labels, dataset.num_classes);
-    model.centroids = classifier.centroids();
+    TrainerOptions options;
+    options.alpha = alpha;
+    options.solver =
+        solver == "lsqr" ? SrdaSolver::kLsqr : SrdaSolver::kNormalEquations;
+    options.lsqr_iterations = lsqr_iterations;
+    options.sketch = sketch;
+    const TrainResult trained =
+        TrainDenseByName(algorithm, dataset.features, dataset.labels,
+                         dataset.num_classes, options);
+    if (observe) {
+      PrintLsqrDiagnostics(trained.lsqr_diagnostics,
+                           trained.total_lsqr_iterations);
+    }
+    PrintSketchBounds(trained.sketch_error_bounds);
+    model = model::BuildModel(trained.embedding,
+                              trained.embedding.Transform(dataset.features),
+                              dataset.labels, dataset.num_classes,
+                              dataset.raw_labels,
+                              MakeProvenance(algorithm, alpha, sketch));
   }
   const double seconds = watch.ElapsedSeconds();
-  SaveClassifierModel(model, model_path);
-  std::cout << "trained " << algorithm << " ("
-            << model.embedding.output_dim() << " directions) in " << seconds
-            << " s; model written to " << model_path << "\n";
+  model::Save(model, model_path,
+              model_format == "binary" ? model::Codec::kBinary
+                                       : model::Codec::kText);
+  std::cout << "trained " << algorithm << " (" << model.output_dim()
+            << " directions) in " << seconds << " s; " << model_format
+            << " model written to " << model_path << "\n";
   if (observe) {
     PrintRunSummary(std::cout);
     if (!trace_path.empty()) {
