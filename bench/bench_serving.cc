@@ -19,7 +19,11 @@
 //
 // Full mode writes BENCH_serving.json and asserts the headline shape
 // checks (>100k predictions/s, binary load faster than text, served ==
-// direct). Pass --smoke for a seconds-long run without shape checks.
+// direct). Pass --smoke for a seconds-long run without shape checks;
+// --json-out=FILE writes the measurement JSON in either mode (the smoke
+// JSON feeds the srda_bench_diff regression gate under ctest).
+
+#include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
@@ -183,8 +187,12 @@ int Main(int argc, char** argv) {
       blobs.labels, num_classes, {}, provenance);
 
   // --- Model-store load cost: text parse vs binary mmap. ---
-  const std::string text_path = "bench_serving_model.txt";
-  const std::string binary_path = "bench_serving_model.srdm";
+  // Paths embed the pid: ctest runs several of this binary's smoke
+  // variants concurrently in one directory, and a shared name races.
+  const std::string stem =
+      "bench_serving_model." + std::to_string(::getpid());
+  const std::string text_path = stem + ".txt";
+  const std::string binary_path = stem + ".srdm";
   model::SaveText(model, text_path);
   model::SaveBinary(model, binary_path);
   const bool text_bitwise = BitwiseEqual(model, model::LoadText(text_path));
@@ -247,17 +255,20 @@ int Main(int argc, char** argv) {
   std::remove(text_path.c_str());
   std::remove(binary_path.c_str());
 
-  if (smoke) {
-    std::cout << "\n[SMOKE] shape checks skipped\n";
-    return 0;
-  }
-
   double best_throughput = 0.0;
   for (const ServeRun& run : runs) {
     best_throughput = std::max(best_throughput, run.predictions_per_s);
   }
 
-  std::ofstream json("BENCH_serving.json");
+  const std::string json_out = GetFlagValue(argc, argv, "--json-out");
+  const std::string json_path =
+      !json_out.empty() ? json_out : std::string("BENCH_serving.json");
+  if (smoke && json_out.empty()) {
+    std::cout << "\n[SMOKE] shape checks skipped\n";
+    return 0;
+  }
+
+  std::ofstream json(json_path);
   json << "{\n  \"experiment\": \"model_store_and_serving\",\n"
        << "  \"rows\": " << rows << ",\n"
        << "  \"cols\": " << cols << ",\n"
@@ -290,7 +301,12 @@ int Main(int argc, char** argv) {
   }
   json << "  ],\n"
        << "  \"best_predictions_per_s\": " << best_throughput << "\n}\n";
-  std::cout << "wrote BENCH_serving.json\n";
+  std::cout << "wrote " << json_path << "\n";
+
+  if (smoke) {
+    std::cout << "\n[SMOKE] shape checks skipped\n";
+    return 0;
+  }
 
   bool ok = true;
   ok &= ShapeCheck(text_bitwise && binary_bitwise,

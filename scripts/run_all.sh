@@ -1,11 +1,39 @@
 #!/bin/sh
-# Builds everything, runs the full test suite and every benchmark, and
-# records the outputs the repository's deliverables reference.
+# Builds everything, runs the full test suite and every benchmark, records
+# the outputs the repository's deliverables reference, and finishes with a
+# perf-regression summary: every BENCH_*.json the benches rewrote is diffed
+# against the committed baseline with srda_bench_diff, and a regression in
+# any gated metric fails the script.
 set -e
 cd "$(dirname "$0")/.."
+
+# Snapshot the committed bench baselines before the benches overwrite them.
+baseline_dir=$(mktemp -d)
+for f in BENCH_*.json; do
+  [ -f "$f" ] && cp "$f" "$baseline_dir/"
+done
+
 cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build 2>&1 | tee test_output.txt
 for b in build/bench/*; do
   [ -x "$b" ] && [ -f "$b" ] && "$b"
 done 2>&1 | tee bench_output.txt
+
+# Perf-regression summary table (lower/higher-is-better metrics gated at
+# the default threshold; shape fields are informational only).
+echo ""
+echo "== Bench regression summary (vs committed baselines) =="
+status=0
+for f in BENCH_*.json; do
+  [ -f "$baseline_dir/$f" ] || continue
+  echo "--- $f"
+  if ! build/tools/srda_bench_diff "$baseline_dir/$f" "$f"; then
+    status=1
+  fi
+done
+rm -rf "$baseline_dir"
+if [ "$status" -ne 0 ]; then
+  echo "PERF REGRESSION detected (see tables above)"
+fi
+exit "$status"

@@ -17,6 +17,7 @@
 #include "common/check.h"
 #include "io/dataset_io.h"
 #include "io/line_parser.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -61,23 +62,37 @@ RowShardReader::~RowShardReader() {
 }
 
 void RowShardReader::TryMapBinary() {
+  // Each early return below lands on the seek+read path; the event log
+  // records which gate failed (the counters cannot tell these apart).
+  const auto fallback = [this](const char* reason) {
+    obs::Event("io.mmap_fallback").Str("path", path_).Str("reason", reason);
+  };
 #if SRDA_HAVE_MMAP
   const int64_t needed =
       data_offset_ + static_cast<int64_t>(rows_) * cols_ * 8;
   const int fd = open(path_.c_str(), O_RDONLY);
-  if (fd < 0) return;
+  if (fd < 0) {
+    fallback("open");
+    return;
+  }
   struct stat st;
   if (fstat(fd, &st) != 0 || static_cast<int64_t>(st.st_size) < needed) {
     close(fd);
+    fallback("stat_or_short_file");
     return;
   }
   void* mapped =
       mmap(nullptr, static_cast<size_t>(st.st_size), PROT_READ, MAP_PRIVATE,
            fd, 0);
   close(fd);  // The mapping outlives the descriptor.
-  if (mapped == MAP_FAILED) return;
+  if (mapped == MAP_FAILED) {
+    fallback("mmap");
+    return;
+  }
   mmap_data_ = static_cast<const char*>(mapped);
   mmap_size_ = static_cast<std::uint64_t>(st.st_size);
+#else
+  fallback("no_mmap_support");
 #endif
 }
 
@@ -152,10 +167,26 @@ void RowShardReader::RewindText() {
 void RowShardReader::Reset() {
   next_row_ = 0;
   if (format_ != RowStreamFormat::kBinary) RewindText();
+  ++pass_index_;
+  pass_open_ = true;
+  obs::Event("io.shard_pass_start")
+      .Str("path", path_)
+      .Num("pass", static_cast<double>(pass_index_))
+      .Num("rows", rows_)
+      .Num("cols", cols_);
 }
 
 bool RowShardReader::Next(RowShard* shard) {
-  if (next_row_ >= rows_) return false;
+  if (next_row_ >= rows_) {
+    if (pass_open_) {
+      pass_open_ = false;
+      obs::Event("io.shard_pass_end")
+          .Str("path", path_)
+          .Num("pass", static_cast<double>(pass_index_))
+          .Num("bytes_streamed", static_cast<double>(bytes_streamed_));
+    }
+    return false;
+  }
   return format_ == RowStreamFormat::kBinary ? NextBinary(shard)
                                              : NextText(shard);
 }

@@ -17,7 +17,11 @@
 // ids as an in-RAM ReadLibSvmFile/ReadDenseCsvFile fit.
 //
 // Observability: every Next() emits an `io.shard_read` span (rows + bytes
-// args) and advances the global `io.bytes_streamed` counter.
+// args) and advances the global `io.bytes_streamed` counter. With the
+// event log enabled (obs/event_log.h), each streaming pass brackets itself
+// with `io.shard_pass_start` / `io.shard_pass_end` events, and a failed
+// binary mapping logs `io.mmap_fallback` with the reason before the reader
+// silently drops to the seek+read path.
 
 #ifndef SRDA_IO_ROW_SHARD_READER_H_
 #define SRDA_IO_ROW_SHARD_READER_H_
@@ -111,6 +115,8 @@ class RowShardReader final : public RowShardSource {
   // Streaming cursor.
   int next_row_ = 0;
   int line_number_ = 0;
+  int64_t pass_index_ = -1;  // increments on each Reset()
+  bool pass_open_ = false;   // guards the one io.shard_pass_end per pass
   Matrix dense_buffer_;
   SparseMatrix sparse_buffer_;
 

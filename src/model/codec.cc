@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "obs/event_log.h"
 #include "obs/trace.h"
 
 namespace srda {
@@ -401,6 +402,9 @@ SrdaModel LoadBinary(const std::string& path) {
   if (mapping == MAP_FAILED) {
     // Mapping can fail on exotic filesystems; the read path parses the same
     // bytes (SlurpFile rejects anything unreadable, including empty files).
+    obs::Event("model.mmap_fallback")
+        .Str("path", path)
+        .Num("bytes", static_cast<double>(size));
     const std::vector<unsigned char> buffer = SlurpFile(path);
     return ParseBinary(buffer.data(), static_cast<int64_t>(buffer.size()),
                        path);
@@ -441,6 +445,12 @@ SrdaModel Load(const std::string& path) {
     span.AddArg("coeffs", static_cast<double>(coeffs));
     span.AddArg("binary", codec == Codec::kBinary ? 1.0 : 0.0);
   }
+  obs::Event("model.load")
+      .Str("path", path)
+      .Str("codec", codec == Codec::kBinary ? "binary" : "text")
+      .Num("input_dim", m.input_dim())
+      .Num("output_dim", m.output_dim())
+      .Num("classes", m.num_classes());
   return m;
 }
 

@@ -1,0 +1,107 @@
+#include "obs/event_log.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "obs/json_check.h"
+#include "obs/metrics.h"
+
+namespace srda {
+namespace obs {
+
+EventLog& EventLog::Global() {
+  // Leaked like the other obs singletons: events can fire from thread
+  // destructors during static teardown.
+  static EventLog* log = [] {
+    EventLog* created = new EventLog();
+    const char* path = std::getenv("SRDA_EVENT_LOG");
+    if (path != nullptr && *path != '\0') created->Open(path);
+    return created;
+  }();
+  return *log;
+}
+
+bool EventLog::Open(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::FILE* file = std::fopen(path.c_str(), "a");
+  if (file == nullptr) return false;
+  if (file_ != nullptr) std::fclose(file_);
+  file_ = file;
+  enabled_.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+void EventLog::Close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  enabled_.store(false, std::memory_order_relaxed);
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+void EventLog::Write(int64_t ts_us, const std::string& body) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ == nullptr) return;  // closed between the enabled check and here
+  std::fprintf(file_, "{\"ts_us\":%lld,\"seq\":%lld,%s}\n",
+               static_cast<long long>(ts_us),
+               static_cast<long long>(next_seq_++), body.c_str());
+  // Per-line flush: events are rare and an aborting process must keep the
+  // fallback that preceded the abort.
+  std::fflush(file_);
+  events_written_.fetch_add(1, std::memory_order_relaxed);
+}
+
+Event::Event(const char* name) {
+  if (!EventLogEnabled()) return;
+  active_ = true;
+  ts_us_ = EpochMicros();
+  body_ = "\"event\":\"";
+  body_ += JsonEscape(name);
+  body_ += '"';
+}
+
+Event& Event::Num(const char* key, double value) {
+  if (!active_) return *this;
+  body_ += has_args_ ? "," : ",\"args\":{";
+  has_args_ = true;
+  body_ += '"';
+  body_ += JsonEscape(key);
+  body_ += "\":";
+  if (!std::isfinite(value)) {
+    body_ += "null";  // JSON has no NaN/Inf literal
+    return *this;
+  }
+  char buffer[32];
+  // %.17g round-trips doubles; integral values print without a point.
+  if (value >= -9.0e18 && value <= 9.0e18 &&
+      value == static_cast<double>(static_cast<long long>(value))) {
+    std::snprintf(buffer, sizeof(buffer), "%lld",
+                  static_cast<long long>(value));
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  }
+  body_ += buffer;
+  return *this;
+}
+
+Event& Event::Str(const char* key, const std::string& value) {
+  if (!active_) return *this;
+  body_ += has_args_ ? "," : ",\"args\":{";
+  has_args_ = true;
+  body_ += '"';
+  body_ += JsonEscape(key);
+  body_ += "\":\"";
+  body_ += JsonEscape(value);
+  body_ += '"';
+  return *this;
+}
+
+Event::~Event() {
+  if (!active_) return;
+  if (has_args_) body_ += '}';
+  EventLog::Global().Write(ts_us_, body_);
+}
+
+}  // namespace obs
+}  // namespace srda

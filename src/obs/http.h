@@ -1,0 +1,90 @@
+// Minimal embedded HTTP server for the telemetry endpoints.
+//
+// Just enough HTTP/1.0-style plumbing to let a Prometheus scraper or a
+// curl-wielding operator GET /metrics, /healthz, and /buildz from a live
+// srda_serve process: a blocking listen socket, one background accept
+// thread, and registered path handlers. Connections are handled serially
+// (scrapes arrive at ~1 Hz; this is telemetry, not a web framework),
+// requests are read up to the end of the headers and only the request
+// line is parsed, and every response is Connection: close.
+//
+// Built from scratch on POSIX sockets — no external dependency, matching
+// the repo rule. Start(0) binds an ephemeral port and port() reports the
+// kernel's choice, which is how the tests run servers concurrently.
+
+#ifndef SRDA_OBS_HTTP_H_
+#define SRDA_OBS_HTTP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace srda {
+namespace obs {
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+// Fetches `path` from 127.0.0.1:`port` with a blocking GET and returns the
+// raw response (status line, headers, body). Empty string on connect or
+// read failure. The client half of the tests' scrape loop; also handy for
+// tools that want to poke a running server.
+std::string HttpGet(int port, const std::string& path, double timeout_s = 5.0);
+
+// Splits a raw HTTP response into (status, body); returns false when the
+// status line is malformed.
+bool ParseHttpResponse(const std::string& raw, int* status, std::string* body);
+
+class HttpServer {
+ public:
+  // Handler for one GET; invoked on the server thread with the request
+  // path (query string stripped). Handlers must be registered before
+  // Start().
+  using Handler = std::function<HttpResponse(const std::string& path)>;
+
+  HttpServer() = default;
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  void Handle(const std::string& path, Handler handler);
+
+  // Binds 127.0.0.1:`port` (0 = ephemeral), starts the accept thread.
+  // Returns false on socket/bind/listen failure.
+  bool Start(int port);
+
+  // Closes the listen socket and joins the thread. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_relaxed); }
+  // The bound port (the kernel's pick under Start(0)); 0 before Start.
+  int port() const { return port_; }
+  int64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Loop();
+  void ServeConnection(int fd);
+
+  std::map<std::string, Handler> handlers_;
+  std::atomic<bool> running_{false};
+  std::atomic<int64_t> requests_served_{0};
+  std::atomic<bool> stop_requested_{false};
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread thread_;
+};
+
+}  // namespace obs
+}  // namespace srda
+
+#endif  // SRDA_OBS_HTTP_H_

@@ -1,8 +1,10 @@
 #include "obs/json_check.h"
 
 #include <cctype>
+#include <cstdio>
 #include <cstdlib>
 #include <set>
+#include <sstream>
 
 namespace srda {
 namespace {
@@ -310,6 +312,257 @@ bool ValidateTraceJson(const std::string& text,
     }
   }
   return true;
+}
+
+namespace {
+
+bool IsMetricNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+         c == ':';
+}
+
+bool IsMetricNameChar(char c) {
+  return IsMetricNameStart(c) ||
+         std::isdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+bool IsLabelNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// Consumes a metric name at `pos`; empty result means no legal name there.
+std::string TakeMetricName(const std::string& line, size_t* pos) {
+  std::string name;
+  if (*pos >= line.size() || !IsMetricNameStart(line[*pos])) return name;
+  while (*pos < line.size() && IsMetricNameChar(line[*pos])) {
+    name += line[(*pos)++];
+  }
+  return name;
+}
+
+// Validates a Prometheus float token: strtod-parseable in full, or one of
+// the exposition-format specials.
+bool ValidPrometheusValue(const std::string& token) {
+  if (token.empty()) return false;
+  if (token == "+Inf" || token == "-Inf" || token == "Inf" || token == "NaN") {
+    return true;
+  }
+  char* end = nullptr;
+  std::strtod(token.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+// Validates the {name="value",...} label block, advancing *pos past '}'.
+bool ValidLabelBlock(const std::string& line, size_t* pos) {
+  ++*pos;  // '{'
+  if (*pos < line.size() && line[*pos] == '}') {
+    ++*pos;
+    return true;
+  }
+  while (true) {
+    if (*pos >= line.size() || !IsLabelNameChar(line[*pos])) return false;
+    while (*pos < line.size() && IsLabelNameChar(line[*pos])) ++*pos;
+    if (*pos >= line.size() || line[*pos] != '=') return false;
+    ++*pos;
+    if (*pos >= line.size() || line[*pos] != '"') return false;
+    ++*pos;
+    while (*pos < line.size() && line[*pos] != '"') {
+      if (line[*pos] == '\\') {
+        ++*pos;
+        if (*pos >= line.size() ||
+            (line[*pos] != '\\' && line[*pos] != '"' && line[*pos] != 'n')) {
+          return false;
+        }
+      }
+      ++*pos;
+    }
+    if (*pos >= line.size()) return false;  // unterminated value
+    ++*pos;                                 // closing '"'
+    if (*pos < line.size() && line[*pos] == ',') {
+      ++*pos;
+      continue;
+    }
+    if (*pos < line.size() && line[*pos] == '}') {
+      ++*pos;
+      return true;
+    }
+    return false;
+  }
+}
+
+}  // namespace
+
+bool ValidatePrometheusText(const std::string& text,
+                            const std::vector<std::string>& required_names,
+                            std::string* error) {
+  auto fail = [error](int line_number, const std::string& message) {
+    if (error != nullptr) {
+      *error = "line " + std::to_string(line_number) + ": " + message;
+    }
+    return false;
+  };
+  std::set<std::string> sampled;
+  std::istringstream stream(text);
+  std::string line;
+  int line_number = 0;
+  while (std::getline(stream, line)) {
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // Only HELP and TYPE comments are emitted; anything else is a bug.
+      size_t pos = 1;
+      while (pos < line.size() && line[pos] == ' ') ++pos;
+      const bool is_help = line.compare(pos, 5, "HELP ") == 0;
+      const bool is_type = line.compare(pos, 5, "TYPE ") == 0;
+      if (!is_help && !is_type) {
+        return fail(line_number, "comment is neither # HELP nor # TYPE");
+      }
+      pos += 5;
+      const std::string name = TakeMetricName(line, &pos);
+      if (name.empty()) {
+        return fail(line_number, "comment missing a metric name");
+      }
+      if (is_type) {
+        if (pos >= line.size() || line[pos] != ' ') {
+          return fail(line_number, "# TYPE missing the type word");
+        }
+        const std::string type = line.substr(pos + 1);
+        if (type != "counter" && type != "gauge" && type != "histogram" &&
+            type != "summary" && type != "untyped") {
+          return fail(line_number, "unknown metric type '" + type + "'");
+        }
+      }
+      continue;
+    }
+    // Sample line: name[{labels}] value
+    size_t pos = 0;
+    const std::string name = TakeMetricName(line, &pos);
+    if (name.empty()) return fail(line_number, "illegal metric name");
+    if (pos < line.size() && line[pos] == '{') {
+      if (!ValidLabelBlock(line, &pos)) {
+        return fail(line_number, "malformed label block");
+      }
+    }
+    if (pos >= line.size() || line[pos] != ' ') {
+      return fail(line_number, "missing value separator");
+    }
+    ++pos;
+    // Optional trailing timestamp is not emitted by our exporter; treat the
+    // remainder as the value token alone.
+    const std::string value = line.substr(pos);
+    if (!ValidPrometheusValue(value)) {
+      return fail(line_number, "malformed sample value '" + value + "'");
+    }
+    sampled.insert(name);
+  }
+  if (sampled.empty()) return fail(line_number, "no sample lines");
+  for (const std::string& required : required_names) {
+    if (sampled.count(required) == 0) {
+      if (error != nullptr) {
+        *error = "required metric \"" + required + "\" not found";
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ValidateJsonlEvents(const std::string& text,
+                         const std::vector<std::string>& required_events,
+                         std::string* error) {
+  auto fail = [error](int line_number, const std::string& message) {
+    if (error != nullptr) {
+      *error = "line " + std::to_string(line_number) + ": " + message;
+    }
+    return false;
+  };
+  std::set<std::string> names;
+  std::istringstream stream(text);
+  std::string line;
+  int line_number = 0;
+  int64_t events = 0;
+  double last_seq = -1.0;
+  while (std::getline(stream, line)) {
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    JsonValue event;
+    std::string parse_error;
+    if (!ParseJson(line, &event, &parse_error)) {
+      return fail(line_number, parse_error);
+    }
+    if (event.type != JsonValue::Type::kObject) {
+      return fail(line_number, "event is not an object");
+    }
+    const JsonValue* ts = event.Find("ts_us");
+    if (ts == nullptr || ts->type != JsonValue::Type::kNumber) {
+      return fail(line_number, "missing numeric \"ts_us\"");
+    }
+    const JsonValue* seq = event.Find("seq");
+    if (seq == nullptr || seq->type != JsonValue::Type::kNumber) {
+      return fail(line_number, "missing numeric \"seq\"");
+    }
+    if (seq->number <= last_seq) {
+      return fail(line_number, "sequence numbers not strictly increasing");
+    }
+    last_seq = seq->number;
+    const JsonValue* name = event.Find("event");
+    if (name == nullptr || name->type != JsonValue::Type::kString ||
+        name->string.empty()) {
+      return fail(line_number, "missing string \"event\"");
+    }
+    const JsonValue* args = event.Find("args");
+    if (args != nullptr && args->type != JsonValue::Type::kObject) {
+      return fail(line_number, "\"args\" is not an object");
+    }
+    names.insert(name->string);
+    ++events;
+  }
+  if (events == 0) return fail(line_number, "no events");
+  for (const std::string& required : required_events) {
+    if (names.count(required) == 0) {
+      if (error != nullptr) {
+        *error = "required event \"" + required + "\" not found";
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
 }
 
 }  // namespace srda

@@ -1,10 +1,13 @@
-// Minimal JSON parser and Chrome trace schema validator.
+// Minimal JSON parser and schema validators for the obs emitters.
 //
 // Backs the tools/srda_trace_check CLI and the obs unit tests: parses a
 // whole document into a small DOM (no external dependency) and checks the
-// structure emitted by TraceRecorder::WriteJson — a top-level object with a
-// "traceEvents" array of complete events carrying name/ph/ts/dur/pid/tid.
-// This is a validator for our own emitter, not a general JSON library.
+// structures our own emitters produce — the Chrome trace JSON written by
+// TraceRecorder::WriteJson (a top-level object with a "traceEvents" array
+// of complete events carrying name/ph/ts/dur/pid/tid), the Prometheus text
+// exposition written by obs/exporter.h, and the JSONL event stream written
+// by obs/event_log.h. These are validators for our own emitters, not
+// general format libraries.
 
 #ifndef SRDA_OBS_JSON_CHECK_H_
 #define SRDA_OBS_JSON_CHECK_H_
@@ -42,6 +45,35 @@ bool ParseJson(const std::string& text, JsonValue* out, std::string* error);
 bool ValidateTraceJson(const std::string& text,
                        const std::vector<std::string>& required_names,
                        std::string* error);
+
+// Validates a Prometheus text exposition document (what obs/exporter.h and
+// the /metrics endpoint emit): every line is blank, a "# HELP name ..." /
+// "# TYPE name counter|gauge|histogram|untyped" comment, or a sample
+// "name{labels} value" with a legal metric name ([a-zA-Z_:] then
+// [a-zA-Z0-9_:]*), well-formed label pairs (quoted values, \\ \" \n
+// escapes), and a parseable value (float, +Inf, -Inf, or NaN). At least
+// one sample line must be present, and every name in `required_names`
+// must appear as a sample (label/suffix-insensitive prefix match is NOT
+// applied — names match the sample's metric name exactly). Returns false
+// and sets *error with the offending line number.
+bool ValidatePrometheusText(const std::string& text,
+                            const std::vector<std::string>& required_names,
+                            std::string* error);
+
+// Validates a JSONL event stream (what obs/event_log.h emits): every
+// non-empty line parses as one JSON object with a numeric "ts_us", a
+// numeric "seq", and a non-empty string "event"; "args", when present,
+// must be an object. Sequence numbers must be strictly increasing. Every
+// name in `required_events` must appear among the events. An empty
+// document (zero events) is rejected. Returns false and sets *error with
+// the offending line number.
+bool ValidateJsonlEvents(const std::string& text,
+                         const std::vector<std::string>& required_events,
+                         std::string* error);
+
+// Escapes a string for embedding inside a JSON string literal (the shared
+// helper behind the event log and exporter emitters).
+std::string JsonEscape(const std::string& text);
 
 }  // namespace srda
 

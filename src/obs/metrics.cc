@@ -1,12 +1,41 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
 
 namespace srda {
+namespace obs {
+
+namespace {
+
+// Anchored on first use; windowed slots and event timestamps only ever
+// compare values from this one clock, so the anchor point is arbitrary.
+std::chrono::steady_clock::time_point MetricsEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+}  // namespace
+
+int64_t EpochSeconds() {
+  return std::chrono::duration_cast<std::chrono::seconds>(
+             std::chrono::steady_clock::now() - MetricsEpoch())
+      .count();
+}
+
+int64_t EpochMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - MetricsEpoch())
+      .count();
+}
+
+}  // namespace obs
+
 namespace {
 
 // Relaxed CAS "update towards" for atomic min/max.
@@ -24,6 +53,40 @@ int BucketIndex(double value) {
   const int exponent = std::ilogb(value) + 1;
   return exponent >= Histogram::kNumBuckets ? Histogram::kNumBuckets - 1
                                             : exponent;
+}
+
+// Shared quantile walk over a power-of-two bucket array (cumulative and
+// windowed histograms use the same layout). Interpolates inside the bucket
+// holding the rank-q observation and clamps to [clamp_lo, clamp_hi]. NaN
+// when n == 0.
+double QuantileFromBuckets(const int64_t* buckets, int num_buckets, int64_t n,
+                           double q, double clamp_lo, double clamp_hi) {
+  if (n == 0) return std::numeric_limits<double>::quiet_NaN();
+  q = std::min(1.0, std::max(0.0, q));
+  // Rank of the target observation (0-based), then walk buckets until the
+  // cumulative count passes it.
+  const double rank = q * static_cast<double>(n - 1);
+  int64_t seen = 0;
+  for (int b = 0; b < num_buckets; ++b) {
+    const int64_t in_bucket = buckets[b];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(seen + in_bucket) <= rank) {
+      seen += in_bucket;
+      continue;
+    }
+    // Bucket b covers [2^(b-1), 2^b); bucket 0 covers everything below 1.
+    const double lo = b == 0 ? 0.0 : std::ldexp(1.0, b - 1);
+    const double hi = std::ldexp(1.0, b);
+    const double frac = in_bucket == 1
+                            ? 0.5
+                            : (rank - static_cast<double>(seen)) /
+                                  static_cast<double>(in_bucket - 1);
+    const double estimate = lo + frac * (hi - lo);
+    return std::min(clamp_hi, std::max(clamp_lo, estimate));
+  }
+  // Concurrent observers can make the bucket array lag the count; report
+  // the clamp ceiling rather than fabricating a value.
+  return clamp_hi;
 }
 
 }  // namespace
@@ -46,30 +109,10 @@ double Histogram::max() const {
 
 double Histogram::ApproxQuantile(double q) const {
   const int64_t n = count();
-  if (n == 0) return 0.0;
-  q = std::min(1.0, std::max(0.0, q));
-  // Rank of the target observation (0-based), then walk buckets until the
-  // cumulative count passes it.
-  const double rank = q * static_cast<double>(n - 1);
-  int64_t seen = 0;
-  for (int b = 0; b < kNumBuckets; ++b) {
-    const int64_t in_bucket = bucket(b);
-    if (in_bucket == 0) continue;
-    if (static_cast<double>(seen + in_bucket) <= rank) {
-      seen += in_bucket;
-      continue;
-    }
-    // Bucket b covers [2^(b-1), 2^b); bucket 0 covers everything below 1.
-    const double lo = b == 0 ? 0.0 : std::ldexp(1.0, b - 1);
-    const double hi = std::ldexp(1.0, b);
-    const double frac = in_bucket == 1
-                            ? 0.5
-                            : (rank - static_cast<double>(seen)) /
-                                  static_cast<double>(in_bucket - 1);
-    const double estimate = lo + frac * (hi - lo);
-    return std::min(max(), std::max(min(), estimate));
-  }
-  return max();
+  if (n == 0) return std::numeric_limits<double>::quiet_NaN();
+  int64_t buckets[kNumBuckets];
+  for (int b = 0; b < kNumBuckets; ++b) buckets[b] = bucket(b);
+  return QuantileFromBuckets(buckets, kNumBuckets, n, q, min(), max());
 }
 
 void Histogram::Reset() {
@@ -80,6 +123,142 @@ void Histogram::Reset() {
   max_.store(-std::numeric_limits<double>::infinity(),
              std::memory_order_relaxed);
   for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+}
+
+void WindowedCounter::AddAt(int64_t epoch_s, double delta) {
+  Slot& slot = slots_[static_cast<size_t>(epoch_s % kSlots)];
+  for (;;) {
+    int64_t tag = slot.epoch.load(std::memory_order_acquire);
+    if (tag == kBusy) continue;  // another thread is recycling; spin briefly
+    if (tag >= epoch_s) break;   // current (or a racing newer second: the
+                                 // observation lands one slot late, which a
+                                 // one-second-granular window tolerates)
+    if (slot.epoch.compare_exchange_weak(tag, kBusy,
+                                         std::memory_order_acq_rel)) {
+      slot.value.store(0.0, std::memory_order_relaxed);
+      slot.epoch.store(epoch_s, std::memory_order_release);
+      break;
+    }
+  }
+  obs::AtomicAdd(&slot.value, delta);
+}
+
+double WindowedCounter::SumOverAt(int window_s, int64_t now_s) const {
+  window_s = std::min(std::max(window_s, 1), kMaxWindowSeconds);
+  double sum = 0.0;
+  for (const Slot& slot : slots_) {
+    const int64_t tag = slot.epoch.load(std::memory_order_acquire);
+    if (tag > now_s - window_s && tag <= now_s) {
+      sum += slot.value.load(std::memory_order_relaxed);
+    }
+  }
+  return sum;
+}
+
+double WindowedCounter::RateOverAt(int window_s, int64_t now_s) const {
+  window_s = std::min(std::max(window_s, 1), kMaxWindowSeconds);
+  return SumOverAt(window_s, now_s) / static_cast<double>(window_s);
+}
+
+void WindowedCounter::Reset() {
+  for (Slot& slot : slots_) {
+    slot.epoch.store(-1, std::memory_order_relaxed);
+    slot.value.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+void WindowedHistogram::EnsureSlot(Slot* slot, int64_t epoch_s) {
+  for (;;) {
+    int64_t tag = slot->epoch.load(std::memory_order_acquire);
+    if (tag == kBusy) continue;
+    if (tag >= epoch_s) return;
+    if (slot->epoch.compare_exchange_weak(tag, kBusy,
+                                          std::memory_order_acq_rel)) {
+      slot->count.store(0, std::memory_order_relaxed);
+      slot->sum.store(0.0, std::memory_order_relaxed);
+      for (auto& bucket : slot->buckets) {
+        bucket.store(0, std::memory_order_relaxed);
+      }
+      slot->epoch.store(epoch_s, std::memory_order_release);
+      return;
+    }
+  }
+}
+
+void WindowedHistogram::ObserveAt(int64_t epoch_s, double value) {
+  Slot& slot = slots_[static_cast<size_t>(epoch_s % kSlots)];
+  EnsureSlot(&slot, epoch_s);
+  slot.count.fetch_add(1, std::memory_order_relaxed);
+  obs::AtomicAdd(&slot.sum, value);
+  slot.buckets[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+}
+
+int64_t WindowedHistogram::MergeWindow(int window_s, int64_t now_s,
+                                       int64_t merged[kNumBuckets],
+                                       double* sum) const {
+  window_s = std::min(std::max(window_s, 1), kMaxWindowSeconds);
+  std::fill(merged, merged + kNumBuckets, 0);
+  *sum = 0.0;
+  int64_t count = 0;
+  for (const Slot& slot : slots_) {
+    const int64_t tag = slot.epoch.load(std::memory_order_acquire);
+    if (tag <= now_s - window_s || tag > now_s) continue;
+    count += slot.count.load(std::memory_order_relaxed);
+    *sum += slot.sum.load(std::memory_order_relaxed);
+    for (int b = 0; b < kNumBuckets; ++b) {
+      merged[b] += slot.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  return count;
+}
+
+int64_t WindowedHistogram::CountOverAt(int window_s, int64_t now_s) const {
+  int64_t merged[kNumBuckets];
+  double sum = 0.0;
+  return MergeWindow(window_s, now_s, merged, &sum);
+}
+
+double WindowedHistogram::SumOverAt(int window_s, int64_t now_s) const {
+  int64_t merged[kNumBuckets];
+  double sum = 0.0;
+  MergeWindow(window_s, now_s, merged, &sum);
+  return sum;
+}
+
+double WindowedHistogram::QuantileOverAt(int window_s, double q,
+                                         int64_t now_s) const {
+  int64_t merged[kNumBuckets];
+  double sum = 0.0;
+  const int64_t n = MergeWindow(window_s, now_s, merged, &sum);
+  if (n == 0) return std::numeric_limits<double>::quiet_NaN();
+  // No per-slot min/max is kept, so clamp to the merged buckets' bounds:
+  // the lowest non-empty bucket's floor and the highest's ceiling.
+  double lo = 0.0;
+  double hi = std::ldexp(1.0, kNumBuckets);
+  for (int b = 0; b < kNumBuckets; ++b) {
+    if (merged[b] != 0) {
+      lo = b == 0 ? 0.0 : std::ldexp(1.0, b - 1);
+      break;
+    }
+  }
+  for (int b = kNumBuckets - 1; b >= 0; --b) {
+    if (merged[b] != 0) {
+      hi = std::ldexp(1.0, b);
+      break;
+    }
+  }
+  return QuantileFromBuckets(merged, kNumBuckets, n, q, lo, hi);
+}
+
+void WindowedHistogram::Reset() {
+  for (Slot& slot : slots_) {
+    slot.epoch.store(-1, std::memory_order_relaxed);
+    slot.count.store(0, std::memory_order_relaxed);
+    slot.sum.store(0.0, std::memory_order_relaxed);
+    for (auto& bucket : slot.buckets) {
+      bucket.store(0, std::memory_order_relaxed);
+    }
+  }
 }
 
 MetricsRegistry& MetricsRegistry::Global() {
@@ -125,11 +304,40 @@ Histogram* MetricsRegistry::histogram(const std::string& name) {
   return slot.get();
 }
 
+WindowedCounter* MetricsRegistry::windowed_counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (windowed_histograms_.count(name) != 0) {
+    std::fprintf(stderr,
+                 "windowed metric '%s' already registered with another kind\n",
+                 name.c_str());
+    std::abort();
+  }
+  std::unique_ptr<WindowedCounter>& slot = windowed_counters_[name];
+  if (slot == nullptr) slot = std::make_unique<WindowedCounter>();
+  return slot.get();
+}
+
+WindowedHistogram* MetricsRegistry::windowed_histogram(
+    const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (windowed_counters_.count(name) != 0) {
+    std::fprintf(stderr,
+                 "windowed metric '%s' already registered with another kind\n",
+                 name.c_str());
+    std::abort();
+  }
+  std::unique_ptr<WindowedHistogram>& slot = windowed_histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<WindowedHistogram>();
+  return slot.get();
+}
+
 void MetricsRegistry::ResetAll() {
   std::lock_guard<std::mutex> lock(mutex_);
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, histogram] : histograms_) histogram->Reset();
+  for (auto& [name, windowed] : windowed_counters_) windowed->Reset();
+  for (auto& [name, windowed] : windowed_histograms_) windowed->Reset();
 }
 
 std::vector<MetricSnapshot> MetricsRegistry::Snapshot() const {
@@ -158,6 +366,8 @@ std::vector<MetricSnapshot> MetricsRegistry::Snapshot() const {
     row.mean = histogram->mean();
     row.min = histogram->min();
     row.max = histogram->max();
+    row.p50 = histogram->ApproxQuantile(0.5);
+    row.p99 = histogram->ApproxQuantile(0.99);
     rows.push_back(row);
   }
   // std::map iteration is sorted within each kind; interleave by name.
@@ -165,6 +375,41 @@ std::vector<MetricSnapshot> MetricsRegistry::Snapshot() const {
             [](const MetricSnapshot& a, const MetricSnapshot& b) {
               return a.name < b.name;
             });
+  return rows;
+}
+
+std::vector<WindowedMetricSnapshot> MetricsRegistry::WindowedSnapshot(
+    int window_s) const {
+  return WindowedSnapshotAt(window_s, obs::EpochSeconds());
+}
+
+std::vector<WindowedMetricSnapshot> MetricsRegistry::WindowedSnapshotAt(
+    int window_s, int64_t now_s) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<WindowedMetricSnapshot> rows;
+  for (const auto& [name, counter] : windowed_counters_) {
+    WindowedMetricSnapshot row;
+    row.name = name;
+    row.kind = WindowedMetricSnapshot::Kind::kCounter;
+    row.window_s = window_s;
+    row.sum = counter->SumOverAt(window_s, now_s);
+    row.rate = counter->RateOverAt(window_s, now_s);
+    rows.push_back(row);
+  }
+  for (const auto& [name, histogram] : windowed_histograms_) {
+    WindowedMetricSnapshot row;
+    row.name = name;
+    row.kind = WindowedMetricSnapshot::Kind::kHistogram;
+    row.window_s = window_s;
+    row.count = histogram->CountOverAt(window_s, now_s);
+    row.sum = histogram->SumOverAt(window_s, now_s);
+    row.p50 = histogram->QuantileOverAt(window_s, 0.50, now_s);
+    row.p99 = histogram->QuantileOverAt(window_s, 0.99, now_s);
+    rows.push_back(row);
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const WindowedMetricSnapshot& a,
+               const WindowedMetricSnapshot& b) { return a.name < b.name; });
   return rows;
 }
 

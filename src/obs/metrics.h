@@ -10,6 +10,13 @@
 // one relaxed atomic update per event; ResetAll() zeroes values without
 // invalidating pointers.
 //
+// Alongside the cumulative instruments, the registry carries *windowed*
+// counters and histograms: a ring of per-second slots so QPS, batch size,
+// and latency quantiles are queryable over the trailing N seconds while
+// the process runs (the live read path behind obs/exporter.h and the
+// /metrics endpoint), not just at exit. Observing is lock-free; a slot is
+// recycled with a short CAS claim the first time a new second touches it.
+//
 // Like obs/trace.h, this sits below src/common and depends only on the
 // standard library.
 
@@ -38,6 +45,14 @@ inline void AtomicAdd(std::atomic<double>* target, double delta) {
                                         std::memory_order_relaxed)) {
   }
 }
+
+// Whole seconds since the process-wide metrics epoch (steady clock,
+// anchored on first use). Windowed instruments slot observations by this
+// clock; tests inject explicit epochs instead.
+int64_t EpochSeconds();
+
+// Microseconds on the same clock (event-log timestamps).
+int64_t EpochMicros();
 
 }  // namespace obs
 
@@ -83,11 +98,17 @@ class Histogram {
   // 0 when empty.
   double min() const;
   double max() const;
-  // Approximate quantile (q in [0, 1]) from the power-of-two buckets:
-  // walks the bucket counts to the one holding the q-th observation and
-  // interpolates linearly inside it, clamped to the observed [min, max].
-  // Exact only at the bucket edges — use for p50/p99-style reporting, not
-  // assertions. 0 when empty.
+  // Approximate quantile from the power-of-two buckets: walks the bucket
+  // counts to the one holding the q-th observation and interpolates
+  // linearly inside it, clamped to the observed [min, max]. Exact contract:
+  //   - empty histogram: quiet NaN — callers must check count() before
+  //     printing (a report must never invent a quantile from zero samples);
+  //   - exactly one observation: that observation, at every q;
+  //   - all observations in one bucket: a value inside [min, max], exact
+  //     when min == max;
+  //   - q outside [0, 1] is clamped into it.
+  // Otherwise exact only at bucket edges — use for p50/p99-style
+  // reporting, not assertions.
   double ApproxQuantile(double q) const;
   int64_t bucket(int b) const {
     return buckets_[b].load(std::memory_order_relaxed);
@@ -105,6 +126,101 @@ class Histogram {
   std::atomic<int64_t> buckets_[kNumBuckets] = {};
 };
 
+// Sliding-window counter: a ring of per-second slots. Add() lands in the
+// slot of the current epoch second; SumOver(window_s) folds the slots whose
+// second lies in (now - window_s, now], so stale slots age out without a
+// sweeper thread. Adding is one relaxed atomic add once the slot is
+// current; the first touch of a new second recycles the slot behind a CAS
+// claim (concurrent adders briefly spin on the claim, never block).
+// Windows longer than kMaxWindowSeconds are clamped.
+class WindowedCounter {
+ public:
+  static constexpr int kSlots = 128;
+  // One guard slot: the slot being recycled for the new second must never
+  // also be inside the queryable window.
+  static constexpr int kMaxWindowSeconds = kSlots - 1;
+
+  void Add(double delta) { AddAt(obs::EpochSeconds(), delta); }
+  void Increment() { Add(1.0); }
+  // Test seam: observe as-of an explicit epoch second.
+  void AddAt(int64_t epoch_s, double delta);
+
+  // Sum of observations in the trailing `window_s` seconds (including the
+  // in-progress second). 0 when nothing was observed in the window.
+  double SumOver(int window_s) const {
+    return SumOverAt(window_s, obs::EpochSeconds());
+  }
+  double SumOverAt(int window_s, int64_t now_s) const;
+
+  // Observations per second over the window: SumOver / window_s.
+  double RateOver(int window_s) const {
+    return RateOverAt(window_s, obs::EpochSeconds());
+  }
+  double RateOverAt(int window_s, int64_t now_s) const;
+
+  void Reset();
+
+ private:
+  struct Slot {
+    // Epoch second this slot currently represents; kUnclaimed when empty,
+    // kBusy while a recycling thread zeroes it.
+    std::atomic<int64_t> epoch{-1};
+    std::atomic<double> value{0.0};
+  };
+  static constexpr int64_t kBusy = -2;
+
+  Slot slots_[kSlots];
+};
+
+// Sliding-window histogram: per-second slots each holding the same
+// power-of-two bucket layout as Histogram, merged at query time so
+// CountOver / QuantileOver report the distribution of the trailing
+// window_s seconds only. Quantiles interpolate inside the merged buckets
+// (no per-slot min/max, so the clamp is to bucket bounds, not observed
+// extremes); the empty-window contract matches Histogram::ApproxQuantile
+// (quiet NaN).
+class WindowedHistogram {
+ public:
+  static constexpr int kSlots = 128;
+  static constexpr int kMaxWindowSeconds = kSlots - 1;
+  static constexpr int kNumBuckets = Histogram::kNumBuckets;
+
+  void Observe(double value) { ObserveAt(obs::EpochSeconds(), value); }
+  void ObserveAt(int64_t epoch_s, double value);
+
+  int64_t CountOver(int window_s) const {
+    return CountOverAt(window_s, obs::EpochSeconds());
+  }
+  int64_t CountOverAt(int window_s, int64_t now_s) const;
+  double SumOver(int window_s) const {
+    return SumOverAt(window_s, obs::EpochSeconds());
+  }
+  double SumOverAt(int window_s, int64_t now_s) const;
+  double QuantileOver(int window_s, double q) const {
+    return QuantileOverAt(window_s, q, obs::EpochSeconds());
+  }
+  double QuantileOverAt(int window_s, double q, int64_t now_s) const;
+
+  void Reset();
+
+ private:
+  struct Slot {
+    std::atomic<int64_t> epoch{-1};
+    std::atomic<int64_t> count{0};
+    std::atomic<double> sum{0.0};
+    std::atomic<int64_t> buckets[kNumBuckets] = {};
+  };
+  static constexpr int64_t kBusy = -2;
+
+  // Claims `slot` for `epoch_s` (zeroing it) unless already current.
+  static void EnsureSlot(Slot* slot, int64_t epoch_s);
+  // Folds the window's buckets into `merged`; returns the total count.
+  int64_t MergeWindow(int window_s, int64_t now_s,
+                      int64_t merged[kNumBuckets], double* sum) const;
+
+  Slot slots_[kSlots];
+};
+
 // One row of a metrics snapshot, for programmatic consumers and tests.
 struct MetricSnapshot {
   std::string name;
@@ -114,6 +230,21 @@ struct MetricSnapshot {
   double mean = 0.0;      // histogram mean
   double min = 0.0;
   double max = 0.0;
+  double p50 = 0.0;       // histogram quantiles; NaN when count == 0
+  double p99 = 0.0;
+};
+
+// One row of a windowed snapshot: the trailing-window view of a windowed
+// counter (sum + rate) or histogram (count/sum + interpolated quantiles).
+struct WindowedMetricSnapshot {
+  std::string name;
+  enum class Kind { kCounter, kHistogram } kind;
+  int window_s = 0;
+  double sum = 0.0;
+  int64_t count = 0;   // histogram observations (counter: 0)
+  double rate = 0.0;   // counter: sum / window_s
+  double p50 = 0.0;    // histogram quantiles; NaN when count == 0
+  double p99 = 0.0;
 };
 
 // Process-wide registry. Lookup is mutex-protected (cache the pointer at
@@ -124,10 +255,14 @@ class MetricsRegistry {
 
   // Create-on-demand; returned pointers are stable for the process
   // lifetime. A name maps to exactly one instrument kind — looking the
-  // same name up as a different kind aborts.
+  // same name up as a different kind aborts. Windowed instruments live in
+  // their own namespace: a windowed counter may share its name with a
+  // cumulative one (the serving layer feeds both from one site).
   Counter* counter(const std::string& name);
   Gauge* gauge(const std::string& name);
   Histogram* histogram(const std::string& name);
+  WindowedCounter* windowed_counter(const std::string& name);
+  WindowedHistogram* windowed_histogram(const std::string& name);
 
   // Zeroes every instrument; registered pointers stay valid.
   void ResetAll();
@@ -136,6 +271,12 @@ class MetricsRegistry {
   std::vector<MetricSnapshot> Snapshot() const;
   void Print(std::ostream& os) const;
 
+  // Trailing-window view of every windowed instrument, sorted by name.
+  // The *At overload injects the clock for tests.
+  std::vector<WindowedMetricSnapshot> WindowedSnapshot(int window_s) const;
+  std::vector<WindowedMetricSnapshot> WindowedSnapshotAt(int window_s,
+                                                         int64_t now_s) const;
+
  private:
   MetricsRegistry() = default;
 
@@ -143,6 +284,9 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<WindowedCounter>> windowed_counters_;
+  std::map<std::string, std::unique_ptr<WindowedHistogram>>
+      windowed_histograms_;
 };
 
 }  // namespace srda

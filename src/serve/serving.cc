@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -43,6 +44,10 @@ PredictionService::PredictionService(const model::SrdaModel* model,
   SRDA_CHECK_GE(options_.max_delay_ms, 0.0)
       << "max_delay_ms must be non-negative";
   scorer_.SetCentroids(model_->centroids);
+  obs::Event("serve.start")
+      .Num("max_batch", options_.max_batch)
+      .Num("max_delay_ms", options_.max_delay_ms)
+      .Num("input_dim", model_->input_dim());
   dispatcher_ = std::thread([this] { DispatcherLoop(); });
 }
 
@@ -53,6 +58,9 @@ PredictionService::~PredictionService() {
   }
   pending_cv_.notify_all();
   dispatcher_.join();
+  obs::Event("serve.stop")
+      .Num("requests", stats_.requests)
+      .Num("batches", stats_.batches);
 }
 
 std::vector<int> PredictionService::ScoreBatch(
@@ -75,6 +83,14 @@ void PredictionService::DispatcherLoop() {
       MetricsRegistry::Global().histogram("serve.batch_size");
   static Histogram* const latency_hist =
       MetricsRegistry::Global().histogram("serve.latency_us");
+  // Windowed twins of the cumulative instruments (same names, separate
+  // registry namespace): the live-scrape view behind /metrics.
+  static WindowedCounter* const requests_window =
+      MetricsRegistry::Global().windowed_counter("serve.requests");
+  static WindowedHistogram* const batch_size_window =
+      MetricsRegistry::Global().windowed_histogram("serve.batch_size");
+  static WindowedHistogram* const latency_window =
+      MetricsRegistry::Global().windowed_histogram("serve.latency_us");
 
   const auto max_delay = std::chrono::nanoseconds(
       static_cast<int64_t>(options_.max_delay_ms * 1e6));
@@ -119,6 +135,8 @@ void PredictionService::DispatcherLoop() {
     requests_counter->Add(static_cast<double>(batch.size()));
     batches_counter->Increment();
     batch_size_hist->Observe(static_cast<double>(batch.size()));
+    requests_window->Add(static_cast<double>(batch.size()));
+    batch_size_window->Observe(static_cast<double>(batch.size()));
 
     lock.lock();
     stats_.requests += static_cast<int64_t>(batch.size());
@@ -129,6 +147,7 @@ void PredictionService::DispatcherLoop() {
       const double latency_us =
           static_cast<double>(done_ns - batch[i]->enqueue_ns) * 1e-3;
       latency_hist->Observe(latency_us);
+      latency_window->Observe(latency_us);
       if (options_.record_latencies) {
         stats_.latencies_us.push_back(latency_us);
       }

@@ -9,6 +9,7 @@
 #include "linalg/cholesky_update.h"
 #include "linalg/lsqr.h"
 #include "matrix/blas.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -26,6 +27,7 @@ struct RidgeInstruments {
   Counter* fold_downdate_fallbacks;
   Counter* sketch_hits;
   Counter* sketch_misses;
+  Counter* sketch_precond_fallbacks;
 };
 
 const RidgeInstruments& RidgeMetrics() {
@@ -38,7 +40,8 @@ const RidgeInstruments& RidgeMetrics() {
                             registry.counter("ridge.fold_downdate_hit"),
                             registry.counter("ridge.fold_downdate_fallback"),
                             registry.counter("ridge.sketch_cache_hits"),
-                            registry.counter("ridge.sketch_cache_misses")};
+                            registry.counter("ridge.sketch_cache_misses"),
+                            registry.counter("ridge.sketch_precond_fallback")};
   }();
   return instruments;
 }
@@ -183,9 +186,13 @@ const Cholesky* RidgeSolver::FactorAt(double alpha) {
   if (span.recording()) {
     span.AddArg("alpha", alpha);
     RidgeMetrics().factor_misses->Increment();
-    if (parent_ != nullptr) {
-      RidgeMetrics().fold_downdate_fallbacks->Increment();
-    }
+  }
+  if (parent_ != nullptr) {
+    // The fold/downdate shortcut declined (condition trip or unsupported
+    // shape) and we are paying for a fresh factor: count it whether or not
+    // a trace is recording, and log the alpha it happened at.
+    RidgeMetrics().fold_downdate_fallbacks->Increment();
+    obs::Event("ridge.downdate_fallback").Num("alpha", alpha);
   }
   Matrix shifted = GramBase();
   AddDiagonal(alpha, &shifted);
@@ -597,9 +604,17 @@ RidgeSolution RidgeSolver::SolveLsqr(const Matrix& responses, double alpha,
   if (sketch_config_.mode == SketchMode::kPrecondition) {
     // Factored sketched Gram of the effective matrix as a right
     // preconditioner; on a factor failure (alpha == 0 with a rank-deficient
-    // sketch) the solve silently falls back to plain LSQR.
+    // sketch) the solve falls back to plain LSQR — counted and logged, no
+    // longer silent.
     const Cholesky* precond = SketchedFactorAt(data, alpha);
-    if (precond != nullptr) lsqr_options.right_precond = &precond->factor();
+    if (precond != nullptr) {
+      lsqr_options.right_precond = &precond->factor();
+    } else {
+      RidgeMetrics().sketch_precond_fallbacks->Increment();
+      obs::Event("ridge.sketch_fallback")
+          .Num("alpha", alpha)
+          .Num("rhs", responses.cols());
+    }
   }
 
   RidgeSolution solution;
@@ -637,6 +652,12 @@ RidgeSolution RidgeSolver::SolveLsqr(const Matrix& responses, double alpha,
   for (int j = 0; j < d; ++j) {
     const LsqrResult& result = results[static_cast<size_t>(j)];
     solution.total_lsqr_iterations += result.iterations;
+    if (!result.converged) {
+      obs::Event("lsqr.nonconverged")
+          .Num("rhs", j)
+          .Num("iterations", result.iterations)
+          .Num("residual_norm", result.residual_norm);
+    }
     RidgeRhsDiagnostics diag;
     diag.iterations = result.iterations;
     diag.residual_norm = result.residual_norm;

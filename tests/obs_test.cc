@@ -8,6 +8,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -19,6 +21,9 @@
 #include "common/parallel.h"
 #include "gtest/gtest.h"
 #include "linalg/lsqr.h"
+#include "obs/event_log.h"
+#include "obs/exporter.h"
+#include "obs/http.h"
 #include "obs/json_check.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
@@ -189,7 +194,11 @@ TEST_F(ObsTest, HistogramTracksCountSumMinMax) {
 TEST_F(ObsTest, HistogramApproxQuantile) {
   Histogram* histogram = MetricsRegistry::Global().histogram("test.quantile");
   histogram->Reset();
-  EXPECT_EQ(histogram->ApproxQuantile(0.5), 0.0);  // empty
+  // Empty histogram: NaN at every q — a quantile must never be invented
+  // from zero samples (callers check count() before printing).
+  EXPECT_TRUE(std::isnan(histogram->ApproxQuantile(0.5)));
+  EXPECT_TRUE(std::isnan(histogram->ApproxQuantile(0.0)));
+  EXPECT_TRUE(std::isnan(histogram->ApproxQuantile(1.0)));
 
   // 100 observations spread over [1, 100]: quantiles land in the right
   // power-of-two bucket and are clamped to the observed range.
@@ -332,6 +341,391 @@ TEST_F(ObsTest, LsqrStopNamesAreStable) {
   EXPECT_STREQ(LsqrStopName(LsqrStop::kNormalResidualTol),
                "normal_residual_tol");
   EXPECT_STREQ(LsqrStopName(LsqrStop::kBreakdown), "breakdown");
+}
+
+// ---- Windowed instruments (the live-scrape read path). ----
+
+TEST_F(ObsTest, WindowedCounterSlidesAndAges) {
+  WindowedCounter counter;
+  // Observations at explicit epoch seconds (the test seam): three seconds
+  // of traffic, then a query clock that moves past them.
+  counter.AddAt(100, 10.0);
+  counter.AddAt(101, 20.0);
+  counter.AddAt(102, 30.0);
+  EXPECT_DOUBLE_EQ(counter.SumOverAt(3, 102), 60.0);
+  EXPECT_DOUBLE_EQ(counter.SumOverAt(1, 102), 30.0);   // current second only
+  EXPECT_DOUBLE_EQ(counter.SumOverAt(2, 102), 50.0);
+  EXPECT_DOUBLE_EQ(counter.RateOverAt(2, 102), 25.0);  // 50 / 2
+  // The window slides: at t=104 the first second has aged out of a
+  // 3-second window, and at t=200 everything has.
+  EXPECT_DOUBLE_EQ(counter.SumOverAt(3, 104), 30.0);
+  EXPECT_DOUBLE_EQ(counter.SumOverAt(3, 200), 0.0);
+  // Slot reuse: second 228 recycles the ring slot second 100 used
+  // (128-slot ring), and the old value must not bleed through.
+  counter.AddAt(228, 7.0);
+  EXPECT_DOUBLE_EQ(counter.SumOverAt(1, 228), 7.0);
+  counter.Reset();
+  EXPECT_DOUBLE_EQ(counter.SumOverAt(WindowedCounter::kMaxWindowSeconds, 228),
+                   0.0);
+}
+
+TEST_F(ObsTest, WindowedCounterConcurrentAdds) {
+  WindowedCounter counter;
+  constexpr int kThreads = 8;
+  constexpr int kAdds = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kAdds; ++i) counter.AddAt(500 + (i % 3), 1.0);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_DOUBLE_EQ(counter.SumOverAt(3, 502),
+                   static_cast<double>(kThreads * kAdds));
+}
+
+TEST_F(ObsTest, WindowedHistogramQuantilesAndEmptyWindow) {
+  WindowedHistogram histogram;
+  // Empty window: NaN quantiles, zero count (same contract as the
+  // cumulative histogram).
+  EXPECT_EQ(histogram.CountOverAt(10, 100), 0);
+  EXPECT_TRUE(std::isnan(histogram.QuantileOverAt(10, 0.5, 100)));
+
+  for (int i = 1; i <= 100; ++i) {
+    histogram.ObserveAt(100 + (i % 5), static_cast<double>(i));
+  }
+  EXPECT_EQ(histogram.CountOverAt(10, 104), 100);
+  EXPECT_DOUBLE_EQ(histogram.SumOverAt(10, 104), 5050.0);
+  const double p50 = histogram.QuantileOverAt(10, 0.5, 104);
+  EXPECT_GE(p50, 32.0);  // median 50.5 lives in bucket [32, 64)
+  EXPECT_LT(p50, 64.0);
+  const double p99 = histogram.QuantileOverAt(10, 0.99, 104);
+  EXPECT_GE(p99, 64.0);
+  EXPECT_LE(p99, 128.0);  // clamped to merged bucket bounds, not min/max
+  // A narrow window sees only its seconds' observations.
+  EXPECT_LT(histogram.CountOverAt(1, 104), 100);
+  // Everything ages out.
+  EXPECT_EQ(histogram.CountOverAt(10, 300), 0);
+  EXPECT_TRUE(std::isnan(histogram.QuantileOverAt(10, 0.5, 300)));
+}
+
+TEST_F(ObsTest, RegistryWindowedSnapshot) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  WindowedCounter* counter = registry.windowed_counter("test.win_requests");
+  WindowedHistogram* histogram =
+      registry.windowed_histogram("test.win_latency");
+  counter->Reset();
+  histogram->Reset();
+  // Same name as a different kind in the cumulative namespace must be
+  // legal (serving feeds both from one site).
+  registry.counter("test.win_requests")->Add(5.0);
+  counter->AddAt(1000, 40.0);
+  histogram->ObserveAt(1000, 3.0);
+  histogram->ObserveAt(1000, 5.0);
+
+  const std::vector<WindowedMetricSnapshot> rows =
+      registry.WindowedSnapshotAt(10, 1000);
+  const WindowedMetricSnapshot* counter_row = nullptr;
+  const WindowedMetricSnapshot* histogram_row = nullptr;
+  for (const WindowedMetricSnapshot& row : rows) {
+    if (row.name == "test.win_requests") counter_row = &row;
+    if (row.name == "test.win_latency") histogram_row = &row;
+  }
+  ASSERT_NE(counter_row, nullptr);
+  EXPECT_EQ(counter_row->kind, WindowedMetricSnapshot::Kind::kCounter);
+  EXPECT_DOUBLE_EQ(counter_row->sum, 40.0);
+  EXPECT_DOUBLE_EQ(counter_row->rate, 4.0);
+  ASSERT_NE(histogram_row, nullptr);
+  EXPECT_EQ(histogram_row->count, 2);
+  EXPECT_DOUBLE_EQ(histogram_row->sum, 8.0);
+  EXPECT_FALSE(std::isnan(histogram_row->p50));
+  counter->Reset();
+  histogram->Reset();
+}
+
+// ---- Format validators (srda_trace_check --format=prom|events). ----
+
+TEST_F(ObsTest, ValidatePrometheusTextAcceptsWellFormed) {
+  const std::string text =
+      "# HELP srda_requests Total requests.\n"
+      "# TYPE srda_requests counter\n"
+      "srda_requests 42\n"
+      "# TYPE srda_latency_us summary\n"
+      "srda_latency_us{quantile=\"0.5\"} 12.5\n"
+      "srda_latency_us_sum 1250\n"
+      "srda_latency_us_count 100\n"
+      "srda_rate_window{window=\"10\"} 3.2\n"
+      "srda_weird_value NaN\n"
+      "srda_inf_value +Inf\n";
+  std::string error;
+  EXPECT_TRUE(ValidatePrometheusText(text, {}, &error)) << error;
+  EXPECT_TRUE(ValidatePrometheusText(
+      text, {"srda_requests", "srda_latency_us_count"}, &error))
+      << error;
+}
+
+TEST_F(ObsTest, ValidatePrometheusTextRejectsMalformed) {
+  std::string error;
+  // Zero samples.
+  EXPECT_FALSE(ValidatePrometheusText("# HELP a b\n", {}, &error));
+  // Bad metric name (leading digit).
+  EXPECT_FALSE(ValidatePrometheusText("9bad 1\n", {}, &error));
+  EXPECT_NE(error.find("line 1"), std::string::npos) << error;
+  // Unparseable value.
+  EXPECT_FALSE(ValidatePrometheusText("srda_x pancake\n", {}, &error));
+  // Unterminated label block.
+  EXPECT_FALSE(
+      ValidatePrometheusText("srda_x{window=\"10\" 1\n", {}, &error));
+  // Unknown TYPE keyword.
+  EXPECT_FALSE(
+      ValidatePrometheusText("# TYPE srda_x pie\nsrda_x 1\n", {}, &error));
+  // Required name absent (suffix does not count as a match).
+  EXPECT_FALSE(ValidatePrometheusText("srda_x_count 1\n", {"srda_x"}, &error));
+  EXPECT_NE(error.find("srda_x"), std::string::npos) << error;
+}
+
+TEST_F(ObsTest, ValidateJsonlEventsAcceptsAndRejects) {
+  std::string error;
+  const std::string good =
+      "{\"ts_us\":10,\"seq\":0,\"event\":\"model.load\","
+      "\"args\":{\"path\":\"m.bin\"}}\n"
+      "{\"ts_us\":20,\"seq\":1,\"event\":\"serve.start\"}\n";
+  EXPECT_TRUE(ValidateJsonlEvents(good, {}, &error)) << error;
+  EXPECT_TRUE(ValidateJsonlEvents(good, {"model.load", "serve.start"}, &error))
+      << error;
+  // Missing required event.
+  EXPECT_FALSE(ValidateJsonlEvents(good, {"train.start"}, &error));
+  // Empty stream.
+  EXPECT_FALSE(ValidateJsonlEvents("", {}, &error));
+  EXPECT_NE(error.find("no events"), std::string::npos) << error;
+  // Non-monotone sequence numbers.
+  EXPECT_FALSE(ValidateJsonlEvents(
+      "{\"ts_us\":1,\"seq\":5,\"event\":\"a\"}\n"
+      "{\"ts_us\":2,\"seq\":5,\"event\":\"b\"}\n",
+      {}, &error));
+  // Missing "event" field.
+  EXPECT_FALSE(
+      ValidateJsonlEvents("{\"ts_us\":1,\"seq\":0}\n", {}, &error));
+  // args must be an object when present.
+  EXPECT_FALSE(ValidateJsonlEvents(
+      "{\"ts_us\":1,\"seq\":0,\"event\":\"a\",\"args\":3}\n", {}, &error));
+  // Malformed JSON line.
+  EXPECT_FALSE(ValidateJsonlEvents("{not json}\n", {}, &error));
+  EXPECT_NE(error.find("line 1"), std::string::npos) << error;
+}
+
+// ---- Event log. ----
+
+TEST_F(ObsTest, EventLogWritesValidJsonl) {
+  const std::string path = ::testing::TempDir() + "/obs_test_events.jsonl";
+  std::remove(path.c_str());
+  ASSERT_TRUE(obs::EventLog::Global().Open(path));
+  EXPECT_TRUE(obs::EventLogEnabled());
+  {
+    obs::Event("model.load")
+        .Str("path", "weights \"v2\"\n")  // needs escaping
+        .Num("rows", 1024);
+  }
+  { obs::Event("serve.start").Num("alpha", 0.5); }
+  {
+    obs::Event("edge.cases")
+        .Num("nan", std::nan(""))  // non-finite -> null
+        .Num("big", 1e30);
+  }
+  obs::EventLog::Global().Close();
+  EXPECT_FALSE(obs::EventLogEnabled());
+
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::string error;
+  EXPECT_TRUE(ValidateJsonlEvents(
+      buffer.str(), {"model.load", "serve.start", "edge.cases"}, &error))
+      << error << "\n" << buffer.str();
+  EXPECT_NE(buffer.str().find("\\\"v2\\\"\\n"), std::string::npos);
+  EXPECT_NE(buffer.str().find("\"nan\":null"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(ObsTest, EventLogDisabledIsNoop) {
+  ASSERT_FALSE(obs::EventLogEnabled());
+  const int64_t before = obs::EventLog::Global().events_written();
+  { obs::Event("never.written").Num("x", 1.0); }
+  EXPECT_EQ(obs::EventLog::Global().events_written(), before);
+}
+
+TEST_F(ObsTest, EventLogOpenFailureStaysDisabled) {
+  EXPECT_FALSE(obs::EventLog::Global().Open("/nonexistent_dir/e.jsonl"));
+  EXPECT_FALSE(obs::EventLogEnabled());
+}
+
+// ---- Exporter serializers: must satisfy our own validators. ----
+
+TEST_F(ObsTest, PrometheusNameSanitizes) {
+  EXPECT_EQ(obs::PrometheusName("serve.latency_us"), "srda_serve_latency_us");
+  EXPECT_EQ(obs::PrometheusName("a-b c"), "srda_a_b_c");
+}
+
+TEST_F(ObsTest, PrometheusTextValidatesAndOmitsEmptyQuantiles) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.counter("export.requests")->Add(17.0);
+  Histogram* empty = registry.histogram("export.empty_hist");
+  empty->Reset();
+  Histogram* filled = registry.histogram("export.filled_hist");
+  filled->Reset();
+  filled->Observe(5.0);
+  filled->Observe(9.0);
+  registry.windowed_counter("export.win")->AddAt(50, 8.0);
+
+  const std::string text = obs::PrometheusTextAt(registry, 10, 50);
+  std::string error;
+  EXPECT_TRUE(ValidatePrometheusText(
+      text,
+      {"srda_up", "srda_export_requests", "srda_export_filled_hist_count",
+       "srda_export_win_window_sum", "srda_export_win_window_rate"},
+      &error))
+      << error << "\n" << text;
+  // The empty histogram must not advertise quantiles...
+  EXPECT_EQ(text.find("srda_export_empty_hist{quantile"), std::string::npos);
+  // ...but the filled one must.
+  EXPECT_NE(text.find("srda_export_filled_hist{quantile=\"0.5\"}"),
+            std::string::npos);
+  // Windowed rows carry the window label.
+  EXPECT_NE(text.find("srda_export_win_window_sum{window=\"10\"} 8"),
+            std::string::npos);
+}
+
+TEST_F(ObsTest, MetricsJsonParsesAndCarriesWindowedRows) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.windowed_histogram("export.win_lat")->ObserveAt(70, 4.0);
+
+  const std::string text = obs::MetricsJsonAt(registry, 10, 70);
+  JsonValue root;
+  std::string error;
+  ASSERT_TRUE(ParseJson(text, &root, &error)) << error << "\n" << text;
+  const JsonValue* window_s = root.Find("window_s");
+  ASSERT_NE(window_s, nullptr);
+  EXPECT_DOUBLE_EQ(window_s->number, 10.0);
+  const JsonValue* cumulative = root.Find("cumulative");
+  ASSERT_NE(cumulative, nullptr);
+  EXPECT_EQ(cumulative->type, JsonValue::Type::kArray);
+  const JsonValue* windowed = root.Find("windowed");
+  ASSERT_NE(windowed, nullptr);
+  bool found = false;
+  for (const JsonValue& row : windowed->array) {
+    const JsonValue* name = row.Find("name");
+    if (name != nullptr && name->string == "export.win_lat") {
+      found = true;
+      const JsonValue* count = row.Find("count");
+      ASSERT_NE(count, nullptr);
+      EXPECT_DOUBLE_EQ(count->number, 1.0);
+    }
+  }
+  EXPECT_TRUE(found) << text;
+}
+
+TEST_F(ObsTest, ExporterWritesSnapshotsAtomically) {
+  MetricsRegistry::Global().counter("export.alive")->Add(1.0);
+  obs::ExporterOptions options;
+  options.path = ::testing::TempDir() + "/obs_test_metrics.prom";
+  options.interval_s = 0.02;
+  obs::Exporter exporter(options);
+  ASSERT_TRUE(exporter.Start());
+  EXPECT_TRUE(exporter.running());
+  // First snapshot is synchronous, so the file exists right now.
+  {
+    std::ifstream in(options.path);
+    ASSERT_TRUE(in.good());
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    std::string error;
+    EXPECT_TRUE(ValidatePrometheusText(buffer.str(),
+                                       {"srda_up", "srda_export_alive"},
+                                       &error))
+        << error;
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  exporter.Stop();
+  EXPECT_FALSE(exporter.running());
+  EXPECT_GE(exporter.snapshots_written(), 2);  // first + final at least
+  // No torn temp file left behind.
+  std::ifstream tmp(options.path + ".tmp");
+  EXPECT_FALSE(tmp.good());
+  std::remove(options.path.c_str());
+}
+
+TEST_F(ObsTest, ExporterJsonFormat) {
+  obs::ExporterOptions options;
+  options.path = ::testing::TempDir() + "/obs_test_metrics.json";
+  options.format = obs::ExporterOptions::Format::kJson;
+  obs::Exporter exporter(options);
+  ASSERT_TRUE(exporter.WriteSnapshot());
+  std::ifstream in(options.path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  JsonValue root;
+  std::string error;
+  EXPECT_TRUE(ParseJson(buffer.str(), &root, &error)) << error;
+  std::remove(options.path.c_str());
+}
+
+TEST_F(ObsTest, ExporterUnwritablePathFailsStart) {
+  obs::ExporterOptions options;
+  options.path = "/nonexistent_dir/metrics.prom";
+  obs::Exporter exporter(options);
+  EXPECT_FALSE(exporter.Start());
+  EXPECT_FALSE(exporter.running());
+}
+
+// ---- HTTP server (the /metrics transport). ----
+
+TEST_F(ObsTest, HttpServerServesAndRoutes) {
+  obs::HttpServer server;
+  server.Handle("/ping", [](const std::string&) {
+    obs::HttpResponse response;
+    response.content_type = "text/plain";
+    response.body = "pong";
+    return response;
+  });
+  server.Handle("/echo", [](const std::string& path) {
+    obs::HttpResponse response;
+    response.body = path;
+    return response;
+  });
+  ASSERT_TRUE(server.Start(0));  // ephemeral port
+  ASSERT_GT(server.port(), 0);
+
+  int status = 0;
+  std::string body;
+  ASSERT_TRUE(obs::ParseHttpResponse(obs::HttpGet(server.port(), "/ping"),
+                                     &status, &body));
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(body, "pong");
+  // Query strings are stripped before routing.
+  ASSERT_TRUE(obs::ParseHttpResponse(
+      obs::HttpGet(server.port(), "/echo?verbose=1"), &status, &body));
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(body, "/echo");
+  // Unknown path -> 404.
+  ASSERT_TRUE(obs::ParseHttpResponse(obs::HttpGet(server.port(), "/missing"),
+                                     &status, &body));
+  EXPECT_EQ(status, 404);
+  EXPECT_EQ(server.requests_served(), 3);
+  server.Stop();
+  EXPECT_FALSE(server.running());
+  // After Stop, connections fail cleanly (empty raw response).
+  EXPECT_TRUE(obs::HttpGet(server.port(), "/ping", 0.5).empty());
+}
+
+TEST_F(ObsTest, ParseHttpResponseHandlesStatusAndBody) {
+  int status = 0;
+  std::string body;
+  EXPECT_TRUE(obs::ParseHttpResponse(
+      "HTTP/1.0 503 Service Unavailable\r\nContent-Length: 3\r\n\r\nnot",
+      &status, &body));
+  EXPECT_EQ(status, 503);
+  EXPECT_EQ(body, "not");
+  EXPECT_FALSE(obs::ParseHttpResponse("garbage", &status, &body));
 }
 
 }  // namespace

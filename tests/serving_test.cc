@@ -3,7 +3,10 @@
 // interleaving, respect the batching policy, and return raw labels.
 
 #include <atomic>
+#include <cmath>
 #include <cstdint>
+#include <cstdlib>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -14,7 +17,11 @@
 #include "common/rng.h"
 #include "core/trainers.h"
 #include "model/model.h"
+#include "obs/http.h"
+#include "obs/json_check.h"
+#include "obs/metrics.h"
 #include "serve/serving.h"
+#include "serve/telemetry.h"
 
 namespace srda {
 namespace {
@@ -141,6 +148,129 @@ TEST(ServingTest, LatencyQuantileNearestRank) {
   EXPECT_EQ(serve::LatencyQuantile(v, 0.0), 1.0);
   EXPECT_EQ(serve::LatencyQuantile(v, 0.5), 3.0);
   EXPECT_EQ(serve::LatencyQuantile(v, 1.0), 5.0);
+}
+
+// Pulls the value of the sample line that starts with `name_and_labels`
+// (exact prefix up to the value separator) out of a Prometheus text page.
+// NaN when absent.
+double ScrapeValue(const std::string& text,
+                   const std::string& name_and_labels) {
+  std::istringstream in(text);
+  std::string line;
+  const std::string prefix = name_and_labels + " ";
+  while (std::getline(in, line)) {
+    if (line.rfind(prefix, 0) == 0) {
+      return std::strtod(line.c_str() + prefix.size(), nullptr);
+    }
+  }
+  return std::nan("");
+}
+
+// Acceptance: a live scrape during serving must return valid Prometheus
+// text whose windowed request count and latency quantiles agree with the
+// service's own end-of-run stats (the window spans the whole run, so the
+// windowed view and the cumulative view see the same traffic).
+TEST(ServingTest, TelemetryScrapeMatchesServingStats) {
+  // The serving instruments are process-wide; clear anything earlier
+  // tests in this binary fed into the windowed twins.
+  MetricsRegistry::Global().windowed_counter("serve.requests")->Reset();
+  MetricsRegistry::Global().windowed_histogram("serve.batch_size")->Reset();
+  MetricsRegistry::Global().windowed_histogram("serve.latency_us")->Reset();
+
+  constexpr int kWindow = 120;  // >> run length: nothing ages out
+  serve::TelemetryServer telemetry(kWindow);
+  ASSERT_TRUE(telemetry.Start(0));
+  ASSERT_GT(telemetry.port(), 0);
+
+  // /healthz is 503 until the model is declared loaded.
+  int status = 0;
+  std::string body;
+  ASSERT_TRUE(obs::ParseHttpResponse(
+      obs::HttpGet(telemetry.port(), "/healthz"), &status, &body));
+  EXPECT_EQ(status, 503);
+
+  const Fixture f = MakeFixture(80, 64, 6, 3, {});
+  telemetry.SetReady(true);
+  telemetry.SetBuildInfo("model", "in-memory-fixture");
+  ASSERT_TRUE(obs::ParseHttpResponse(
+      obs::HttpGet(telemetry.port(), "/healthz"), &status, &body));
+  EXPECT_EQ(status, 200);
+
+  serve::ServeOptions options;
+  options.max_batch = 16;
+  serve::PredictionService service(&f.model, options);
+  constexpr int kRounds = 25;
+  for (int round = 0; round < kRounds; ++round) {
+    EXPECT_EQ(service.Predict(f.queries), f.expected);
+  }
+  const serve::ServeStats stats = service.Stats();
+  ASSERT_EQ(stats.requests, static_cast<int64_t>(kRounds) * 64);
+
+  // Live scrape while the service (and its dispatcher thread) is up.
+  std::string raw = obs::HttpGet(telemetry.port(), "/metrics");
+  ASSERT_TRUE(obs::ParseHttpResponse(raw, &status, &body));
+  EXPECT_EQ(status, 200);
+  std::string error;
+  EXPECT_TRUE(ValidatePrometheusText(
+      body,
+      {"srda_up", "srda_serve_requests", "srda_serve_requests_window_sum",
+       "srda_serve_latency_us_window_count"},
+      &error))
+      << error;
+
+  const std::string window_label = "{window=\"" + std::to_string(kWindow) +
+                                   "\"}";
+  // Windowed request count == the service's own request count (the window
+  // covers the whole run).
+  EXPECT_DOUBLE_EQ(
+      ScrapeValue(body, "srda_serve_requests_window_sum" + window_label),
+      static_cast<double>(stats.requests));
+  EXPECT_DOUBLE_EQ(
+      ScrapeValue(body, "srda_serve_latency_us_window_count" + window_label),
+      static_cast<double>(stats.requests));
+  // The windowed QPS gauge exists and is positive under live traffic.
+  EXPECT_GT(
+      ScrapeValue(body, "srda_serve_requests_window_rate" + window_label),
+      0.0);
+
+  // Windowed quantiles come from power-of-two buckets, so they match the
+  // exact nearest-rank quantiles within a bucket (factor-of-two bracket,
+  // with slack for boundary rounding).
+  const double exact_p50 = serve::LatencyQuantile(stats.latencies_us, 0.5);
+  const double exact_p99 = serve::LatencyQuantile(stats.latencies_us, 0.99);
+  const double scraped_p50 = ScrapeValue(
+      body, "srda_serve_latency_us_window{window=\"" +
+                std::to_string(kWindow) + "\",quantile=\"0.5\"}");
+  const double scraped_p99 = ScrapeValue(
+      body, "srda_serve_latency_us_window{window=\"" +
+                std::to_string(kWindow) + "\",quantile=\"0.99\"}");
+  ASSERT_FALSE(std::isnan(scraped_p50));
+  ASSERT_FALSE(std::isnan(scraped_p99));
+  EXPECT_GT(scraped_p50, 0.0);
+  EXPECT_GE(scraped_p50, exact_p50 / 4.0);
+  EXPECT_LE(scraped_p50, exact_p50 * 4.0 + 1.0);
+  EXPECT_GE(scraped_p99, exact_p99 / 4.0);
+  EXPECT_LE(scraped_p99, exact_p99 * 4.0 + 1.0);
+  EXPECT_GE(scraped_p99, scraped_p50);
+
+  // /metrics.json is one parseable object; /buildz carries the row we set.
+  ASSERT_TRUE(obs::ParseHttpResponse(
+      obs::HttpGet(telemetry.port(), "/metrics.json"), &status, &body));
+  EXPECT_EQ(status, 200);
+  JsonValue root;
+  EXPECT_TRUE(ParseJson(body, &root, &error)) << error;
+  ASSERT_TRUE(obs::ParseHttpResponse(
+      obs::HttpGet(telemetry.port(), "/buildz"), &status, &body));
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(body.find("in-memory-fixture"), std::string::npos);
+
+  // Readiness can be withdrawn.
+  telemetry.SetReady(false);
+  ASSERT_TRUE(obs::ParseHttpResponse(
+      obs::HttpGet(telemetry.port(), "/healthz"), &status, &body));
+  EXPECT_EQ(status, 503);
+  EXPECT_GE(telemetry.scrapes(), 6);
+  telemetry.Stop();
 }
 
 TEST(ServingDeathTest, QueryWidthMismatchAborts) {

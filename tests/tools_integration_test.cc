@@ -4,6 +4,7 @@
 //
 // The tool binaries' directory is injected by CMake as SRDA_TOOLS_DIR.
 
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <cstdio>
@@ -381,6 +382,182 @@ TEST(ToolsIntegrationTest, ServeTraceCarriesServingSpans) {
             0)
       << output;
   for (const std::string& path : {data, model, trace}) {
+    std::remove(path.c_str());
+  }
+}
+
+void WriteTextFile(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  out << text;
+}
+
+TEST(ToolsIntegrationTest, BenchDiffGatePassesAndCatchesRegressions) {
+  // The perf gate's contract: green on an unchanged rerun, red on a real
+  // regression, and a distinct exit code for garbage input.
+  const std::string baseline = TempPath("bench-baseline.json");
+  const std::string same = TempPath("bench-same.json");
+  const std::string slower = TempPath("bench-slower.json");
+  const std::string faster = TempPath("bench-faster.json");
+  const std::string garbage = TempPath("bench-garbage.json");
+  WriteTextFile(baseline,
+                "{\"serving\":{\"latency_p50_us\":100.0,"
+                "\"throughput_per_s\":5000.0},\"rows\":1000}\n");
+  WriteTextFile(same,
+                "{\"serving\":{\"latency_p50_us\":101.0,"
+                "\"throughput_per_s\":4980.0},\"rows\":1000}\n");
+  // Fabricated regression: latency doubled, throughput halved.
+  WriteTextFile(slower,
+                "{\"serving\":{\"latency_p50_us\":200.0,"
+                "\"throughput_per_s\":2500.0},\"rows\":1000}\n");
+  // Improvement must never trip the gate.
+  WriteTextFile(faster,
+                "{\"serving\":{\"latency_p50_us\":50.0,"
+                "\"throughput_per_s\":9000.0},\"rows\":1000}\n");
+  WriteTextFile(garbage, "{not json at all\n");
+
+  const std::string tool = ToolPath("srda_bench_diff");
+  std::string output;
+  // Identical files: always green.
+  EXPECT_EQ(RunCommand(tool + " " + baseline + " " + baseline, &output), 0)
+      << output;
+  // Within-noise rerun: green at the default threshold.
+  EXPECT_EQ(RunCommand(tool + " " + baseline + " " + same, &output), 0)
+      << output;
+  // 2x-slower fabricated run: red (exit 1), and the table names the
+  // regressed metrics.
+  int code = RunCommand(tool + " " + baseline + " " + slower, &output);
+  ASSERT_TRUE(WIFEXITED(code));
+  EXPECT_EQ(WEXITSTATUS(code), 1) << output;
+  EXPECT_NE(output.find("latency_p50_us"), std::string::npos) << output;
+  EXPECT_NE(output.find("REGRESSED"), std::string::npos) << output;
+  // Strictly-better run: green.
+  EXPECT_EQ(RunCommand(tool + " " + baseline + " " + faster, &output), 0)
+      << output;
+  // Malformed input: exit 2, not a silent pass or a crash.
+  code = RunCommand(tool + " " + baseline + " " + garbage, &output);
+  ASSERT_TRUE(WIFEXITED(code));
+  EXPECT_EQ(WEXITSTATUS(code), 2) << output;
+  // A tightened threshold flips the within-noise pair red.
+  code = RunCommand(tool + " " + baseline + " " + same + " --threshold=0.1",
+                    &output);
+  ASSERT_TRUE(WIFEXITED(code));
+  EXPECT_EQ(WEXITSTATUS(code), 1) << output;
+  for (const std::string& path : {baseline, same, slower, faster, garbage}) {
+    std::remove(path.c_str());
+  }
+}
+
+TEST(ToolsIntegrationTest, PredictMetricsAndEventLogValidate) {
+  // srda_predict --metrics-out/--event-log outputs must satisfy the
+  // format validators behind srda_trace_check.
+  const std::string data = TempPath("obs-pred.csv");
+  const std::string model = TempPath("obs-pred.model");
+  const std::string metrics = TempPath("obs-pred.prom");
+  const std::string metrics_json = TempPath("obs-pred-metrics.json");
+  const std::string events = TempPath("obs-pred-events.jsonl");
+  WriteDenseCsvFile(MakeBlobsDataset(90, 8, {0, 1, 2}, 31), data);
+  std::string output;
+  ASSERT_EQ(RunCommand(ToolPath("srda_train") + " --data=" + data +
+                    " --model-out=" + model,
+                &output),
+            0)
+      << output;
+  ASSERT_EQ(RunCommand(ToolPath("srda_predict") + " --model=" + model +
+                    " --data=" + data + " --metrics-out=" + metrics +
+                    " --event-log=" + events,
+                &output),
+            0)
+      << output;
+  // The Prometheus snapshot validates and carries the always-on liveness
+  // sample.
+  EXPECT_EQ(RunCommand(ToolPath("srda_trace_check") + " " + metrics +
+                    " --format=prom --require=srda_up",
+                &output),
+            0)
+      << output;
+  // The event log validates and records the model load (the acceptance
+  // criterion: every load is visible in the structured log).
+  EXPECT_EQ(RunCommand(ToolPath("srda_trace_check") + " " + events +
+                    " --format=events --require=model.load",
+                &output),
+            0)
+      << output;
+  // JSON metrics flavor parses too (extension selects the format).
+  ASSERT_EQ(RunCommand(ToolPath("srda_predict") + " --model=" + model +
+                    " --data=" + data + " --metrics-out=" + metrics_json,
+                &output),
+            0)
+      << output;
+  std::ifstream in(metrics_json);
+  EXPECT_TRUE(in.good());
+  // Events file fed to the wrong validator must be rejected.
+  EXPECT_NE(RunCommand(ToolPath("srda_trace_check") + " " + events +
+                    " --format=prom",
+                &output),
+            0);
+  for (const std::string& path :
+       {data, model, metrics, metrics_json, events}) {
+    std::remove(path.c_str());
+  }
+}
+
+TEST(ToolsIntegrationTest, ServeEventLogAndMetricsRecordLifecycle) {
+  // A served run leaves a structured event trail (model.load,
+  // serve.start, serve.stop) and a final metrics snapshot with the
+  // serving instruments.
+  const std::string data = TempPath("obs-serve.csv");
+  const std::string model = TempPath("obs-serve.model");
+  const std::string events = TempPath("obs-serve-events.jsonl");
+  const std::string metrics = TempPath("obs-serve.prom");
+  WriteDenseCsvFile(MakeBlobsDataset(90, 8, {0, 1, 2}, 37), data);
+  std::string output;
+  ASSERT_EQ(RunCommand(ToolPath("srda_train") + " --data=" + data +
+                    " --model-out=" + model,
+                &output),
+            0)
+      << output;
+  ASSERT_EQ(RunCommand(ToolPath("srda_serve") + " --model=" + model +
+                    " --data=" + data + " --requests=300 --event-log=" +
+                    events + " --metrics-out=" + metrics,
+                &output),
+            0)
+      << output;
+  EXPECT_EQ(RunCommand(ToolPath("srda_trace_check") + " " + events +
+                    " --format=events"
+                    " --require=model.load,serve.start,serve.stop",
+                &output),
+            0)
+      << output;
+  EXPECT_EQ(RunCommand(ToolPath("srda_trace_check") + " " + metrics +
+                    " --format=prom --require=srda_up,srda_serve_requests",
+                &output),
+            0)
+      << output;
+  for (const std::string& path : {data, model, events, metrics}) {
+    std::remove(path.c_str());
+  }
+}
+
+TEST(ToolsIntegrationTest, TrainEventLogViaEnvironmentVariable) {
+  // SRDA_EVENT_LOG enables the log without a flag — the zero-code-change
+  // path for instrumenting an existing pipeline.
+  const std::string data = TempPath("obs-env.csv");
+  const std::string model = TempPath("obs-env.model");
+  const std::string events = TempPath("obs-env-events.jsonl");
+  WriteDenseCsvFile(MakeBlobsDataset(90, 8, {0, 1, 2}, 41), data);
+  std::string output;
+  ASSERT_EQ(RunCommand("SRDA_EVENT_LOG=" + events + " " +
+                    ToolPath("srda_train") + " --data=" + data +
+                    " --model-out=" + model,
+                &output),
+            0)
+      << output;
+  EXPECT_EQ(RunCommand(ToolPath("srda_trace_check") + " " + events +
+                    " --format=events --require=train.start,train.end",
+                &output),
+            0)
+      << output;
+  for (const std::string& path : {data, model, events}) {
     std::remove(path.c_str());
   }
 }

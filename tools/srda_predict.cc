@@ -2,7 +2,13 @@
 //
 // Usage:
 //   srda_predict --model=FILE --data=FILE [--format=csv|libsvm|binary]
-//                [--predictions-out=FILE]
+//                [--predictions-out=FILE] [--trace-out=FILE] [--metrics]
+//                [--metrics-out=FILE] [--event-log=FILE]
+//
+// --trace-out writes a Chrome trace of the load/transform/score phases;
+// --metrics prints the run summary; --metrics-out writes a final registry
+// snapshot (Prometheus text, or JSON with a .json extension); --event-log
+// appends lifecycle events (model.load and any fallbacks) as JSONL.
 //
 // The model file may be either model-store codec (versioned text or SRDM
 // binary — sniffed from the magic) or a legacy "srda-classifier 1" file.
@@ -24,6 +30,11 @@
 #include "io/dataset_io.h"
 #include "model/codec.h"
 #include "model/model.h"
+#include "obs/event_log.h"
+#include "obs/exporter.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 
 namespace srda {
 namespace {
@@ -31,7 +42,9 @@ namespace {
 constexpr char kUsage[] =
     "usage: srda_predict --model=FILE --data=FILE "
     "[--format=csv|libsvm|binary]\n"
-    "                    [--predictions-out=FILE]\n";
+    "                    [--predictions-out=FILE] [--trace-out=FILE]\n"
+    "                    [--metrics] [--metrics-out=FILE] "
+    "[--event-log=FILE]\n";
 
 // The dataset's compact labels mapped back to the raw ids of the file
 // (identity when the dataset carries no map).
@@ -56,6 +69,10 @@ int Main(int argc, char** argv) {
   const std::string data_path = args.GetString("data", "");
   const std::string format = args.GetString("format", "csv");
   const std::string predictions_path = args.GetString("predictions-out", "");
+  const std::string trace_path = args.GetString("trace-out", "");
+  const bool print_metrics = args.GetBool("metrics");
+  const std::string metrics_out = args.GetString("metrics-out", "");
+  const std::string event_log_path = args.GetString("event-log", "");
   SRDA_CHECK(args.UnusedFlags().empty())
       << "unknown flag --" << args.UnusedFlags().front() << "\n" << kUsage;
   SRDA_CHECK(!model_path.empty() && !data_path.empty())
@@ -63,29 +80,49 @@ int Main(int argc, char** argv) {
   SRDA_CHECK(format == "csv" || format == "libsvm" || format == "binary")
       << "unknown --format=" << format << "\n" << kUsage;
 
+  const bool observe = !trace_path.empty() || print_metrics || TraceEnabled();
+  if (observe) {
+    TraceRecorder::Global().SetEnabled(true);
+    TraceRecorder::Global().Clear();
+    MetricsRegistry::Global().ResetAll();
+  }
+  if (!event_log_path.empty()) {
+    SRDA_CHECK(obs::EventLog::Global().Open(event_log_path))
+        << "cannot open --event-log=" << event_log_path;
+  }
+
   const model::SrdaModel model = model::Load(model_path);
 
   Matrix embedded;
   std::vector<int> actual_raw;
-  if (format == "libsvm") {
-    const SparseDataset dataset =
-        ReadLibSvmFile(data_path, model.input_dim());
-    embedded = model.embedding.Transform(dataset.features);
-    actual_raw = DatasetRawLabels(dataset.labels, dataset.raw_labels);
-  } else {
-    const DenseDataset dataset = format == "binary"
-                                     ? ReadDenseBinaryFile(data_path)
-                                     : ReadDenseCsvFile(data_path);
-    SRDA_CHECK_EQ(dataset.features.cols(), model.input_dim())
-        << "data width does not match the model";
-    embedded = model.embedding.Transform(dataset.features);
-    actual_raw = DatasetRawLabels(dataset.labels, dataset.raw_labels);
+  {
+    TraceSpan span("predict.load_and_embed");
+    if (format == "libsvm") {
+      const SparseDataset dataset =
+          ReadLibSvmFile(data_path, model.input_dim());
+      embedded = model.embedding.Transform(dataset.features);
+      actual_raw = DatasetRawLabels(dataset.labels, dataset.raw_labels);
+    } else {
+      const DenseDataset dataset = format == "binary"
+                                       ? ReadDenseBinaryFile(data_path)
+                                       : ReadDenseCsvFile(data_path);
+      SRDA_CHECK_EQ(dataset.features.cols(), model.input_dim())
+          << "data width does not match the model";
+      embedded = model.embedding.Transform(dataset.features);
+      actual_raw = DatasetRawLabels(dataset.labels, dataset.raw_labels);
+    }
   }
 
   CentroidClassifier classifier;
   classifier.SetCentroids(model.centroids);
-  const std::vector<int> predictions =
-      model.ToRawLabels(classifier.ScoreBatch(embedded));
+  std::vector<int> predictions;
+  {
+    TraceSpan span("predict.score");
+    if (span.recording()) {
+      span.AddArg("rows", static_cast<double>(embedded.rows()));
+    }
+    predictions = model.ToRawLabels(classifier.ScoreBatch(embedded));
+  }
   std::cout << "classified " << predictions.size() << " samples; error rate "
             << 100.0 * ErrorRate(predictions, actual_raw) << "%\n";
 
@@ -94,6 +131,31 @@ int Main(int argc, char** argv) {
     SRDA_CHECK(out.good()) << "cannot open " << predictions_path;
     for (int prediction : predictions) out << prediction << '\n';
     std::cout << "predictions written to " << predictions_path << "\n";
+  }
+  if (!metrics_out.empty()) {
+    // One-shot run: a single exit snapshot, no background thread.
+    obs::ExporterOptions exporter_options;
+    exporter_options.path = metrics_out;
+    exporter_options.format =
+        metrics_out.size() >= 5 &&
+                metrics_out.compare(metrics_out.size() - 5, 5, ".json") == 0
+            ? obs::ExporterOptions::Format::kJson
+            : obs::ExporterOptions::Format::kPrometheus;
+    obs::Exporter exporter(exporter_options);
+    SRDA_CHECK(exporter.WriteSnapshot())
+        << "cannot write --metrics-out=" << metrics_out;
+    std::cout << "wrote metrics to " << metrics_out << "\n";
+  }
+  if (observe) {
+    PrintRunSummary(std::cout);
+    if (!trace_path.empty()) {
+      if (TraceRecorder::Global().WriteJsonFile(trace_path)) {
+        std::cout << "wrote trace to " << trace_path << "\n";
+      } else {
+        std::cout << "failed to write trace to " << trace_path << "\n";
+        return 1;
+      }
+    }
   }
   return 0;
 }

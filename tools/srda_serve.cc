@@ -6,6 +6,9 @@
 //              [--max-batch=256] [--max-delay-ms=0.2]
 //              [--predictions-out=FILE] [--json-out=FILE]
 //              [--trace-out=FILE] [--metrics]
+//              [--http-port=N] [--metrics-window=10]
+//              [--metrics-out=FILE] [--metrics-interval=SEC]
+//              [--event-log=FILE] [--linger=SEC]
 //
 // Loads a model-store file (text, SRDM binary, or legacy — sniffed), then
 // drives synthetic traffic through the micro-batching PredictionService
@@ -24,9 +27,20 @@
 // --json-out writes the measurements as JSON (the serving bench's format);
 // --trace-out / --metrics record serve.batch / model.load spans and the
 // serve.* counters through the obs layer.
+//
+// Live telemetry (serve/telemetry.h): --http-port binds an embedded
+// loopback HTTP listener (0 = ephemeral; the chosen port is printed as
+// "telemetry listening on PORT") exposing /metrics (Prometheus text with
+// windowed QPS and latency quantiles over --metrics-window seconds),
+// /metrics.json, /healthz (503 until the model is loaded), and /buildz.
+// --linger keeps the process (and the endpoint) alive that many seconds
+// after the traffic drains, so a scraper can observe a quiescing server.
+// --metrics-out snapshots the registry to a file every --metrics-interval
+// seconds; --event-log appends lifecycle events as JSONL.
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -40,10 +54,13 @@
 #include "io/dataset_io.h"
 #include "model/codec.h"
 #include "model/model.h"
+#include "obs/event_log.h"
+#include "obs/exporter.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/trace.h"
 #include "serve/serving.h"
+#include "serve/telemetry.h"
 
 namespace srda {
 namespace {
@@ -53,7 +70,10 @@ constexpr char kUsage[] =
     "                  [--clients=4] [--client-block=64]\n"
     "                  [--requests=100000] [--max-batch=256]\n"
     "                  [--max-delay-ms=0.2] [--predictions-out=FILE]\n"
-    "                  [--json-out=FILE] [--trace-out=FILE] [--metrics]\n";
+    "                  [--json-out=FILE] [--trace-out=FILE] [--metrics]\n"
+    "                  [--http-port=N] [--metrics-window=10]\n"
+    "                  [--metrics-out=FILE] [--metrics-interval=SEC]\n"
+    "                  [--event-log=FILE] [--linger=SEC]\n";
 
 // Slices the dataset into contiguous blocks of `block_rows` query rows
 // (last block may be short). Blocks are what clients submit.
@@ -87,6 +107,13 @@ int Main(int argc, char** argv) {
   const std::string json_path = args.GetString("json-out", "");
   const std::string trace_path = args.GetString("trace-out", "");
   const bool print_metrics = args.GetBool("metrics");
+  const bool http_port_set = args.Has("http-port");
+  const int http_port = args.GetInt("http-port", 0);
+  const int metrics_window = args.GetInt("metrics-window", 10);
+  const std::string metrics_out = args.GetString("metrics-out", "");
+  const double metrics_interval = args.GetDouble("metrics-interval", 1.0);
+  const std::string event_log_path = args.GetString("event-log", "");
+  const double linger_s = args.GetDouble("linger", 0.0);
   SRDA_CHECK(args.UnusedFlags().empty())
       << "unknown flag --" << args.UnusedFlags().front() << "\n" << kUsage;
   SRDA_CHECK(!model_path.empty() && !data_path.empty())
@@ -96,6 +123,8 @@ int Main(int argc, char** argv) {
   SRDA_CHECK_GT(clients, 0) << "--clients must be positive";
   SRDA_CHECK_GT(client_block, 0) << "--client-block must be positive";
   SRDA_CHECK_GE(requests, 0) << "--requests must be non-negative";
+  SRDA_CHECK_GT(metrics_window, 0) << "--metrics-window must be positive";
+  SRDA_CHECK_GE(linger_s, 0.0) << "--linger must be non-negative";
 
   const bool observe = !trace_path.empty() || print_metrics || TraceEnabled();
   if (observe) {
@@ -103,11 +132,45 @@ int Main(int argc, char** argv) {
     TraceRecorder::Global().Clear();
     MetricsRegistry::Global().ResetAll();
   }
+  if (!event_log_path.empty()) {
+    SRDA_CHECK(obs::EventLog::Global().Open(event_log_path))
+        << "cannot open --event-log=" << event_log_path;
+  }
+
+  // Telemetry comes up BEFORE the model loads so /healthz honestly reports
+  // the not-ready window; it flips ready only once serving can answer.
+  serve::TelemetryServer telemetry(metrics_window);
+  if (http_port_set) {
+    SRDA_CHECK(telemetry.Start(http_port))
+        << "cannot bind --http-port=" << http_port;
+    // Flushed immediately: orchestrators parse this line to find the
+    // ephemeral port while the process is still running.
+    std::cout << "telemetry listening on " << telemetry.port() << std::endl;
+  }
+  obs::ExporterOptions exporter_options;
+  exporter_options.path = metrics_out;
+  exporter_options.interval_s = metrics_interval;
+  exporter_options.window_s = metrics_window;
+  exporter_options.format = metrics_out.size() >= 5 &&
+                                    metrics_out.compare(metrics_out.size() - 5,
+                                                        5, ".json") == 0
+                                ? obs::ExporterOptions::Format::kJson
+                                : obs::ExporterOptions::Format::kPrometheus;
+  obs::Exporter exporter(exporter_options);
+  if (!metrics_out.empty()) {
+    SRDA_CHECK(exporter.Start())
+        << "cannot write --metrics-out=" << metrics_out;
+  }
 
   const model::SrdaModel model = model::Load(model_path);
   std::cout << "loaded " << model.provenance.trainer << " model: "
             << model.input_dim() << " -> " << model.output_dim() << ", "
             << model.num_classes() << " classes\n";
+  telemetry.SetBuildInfo("model", model_path);
+  telemetry.SetBuildInfo("trainer", model.provenance.trainer);
+  telemetry.SetBuildInfo("input_dim", std::to_string(model.input_dim()));
+  telemetry.SetBuildInfo("classes", std::to_string(model.num_classes()));
+  telemetry.SetReady(true);
 
   const DenseDataset dataset = format == "binary"
                                    ? ReadDenseBinaryFile(data_path)
@@ -192,6 +255,22 @@ int Main(int argc, char** argv) {
       SRDA_CHECK(out.good()) << "write failure on " << json_path;
       std::cout << "measurements written to " << json_path << "\n";
     }
+  }
+
+  if (linger_s > 0.0 && telemetry.running()) {
+    // Keep the endpoint answering after the traffic drains (scrapers poll
+    // on their own schedule, not ours).
+    std::cout << "lingering " << linger_s << " s for scrapers\n";
+    std::this_thread::sleep_for(std::chrono::duration<double>(linger_s));
+  }
+  if (!metrics_out.empty()) {
+    exporter.Stop();
+    std::cout << "wrote metrics to " << metrics_out << " ("
+              << exporter.snapshots_written() << " snapshots)\n";
+  }
+  if (telemetry.running()) {
+    telemetry.SetReady(false);
+    telemetry.Stop();
   }
 
   if (observe) {

@@ -1,11 +1,18 @@
-// srda_trace_check: validate a Chrome trace JSON file written by
-// --trace-out (TraceRecorder::WriteJsonFile).
+// srda_trace_check: validate the files the obs layer emits.
 //
 // Usage:
-//   srda_trace_check FILE [--require=name1,name2,...]
+//   srda_trace_check FILE [--format=trace|prom|events] [--require=a,b,...]
 //
-// Exits 0 when FILE parses as a Chrome trace_event document whose events all
-// carry the required fields and every --require'd span name appears at least
+// Formats:
+//   trace   (default) Chrome trace JSON written by --trace-out
+//           (TraceRecorder::WriteJsonFile); --require names spans.
+//   prom    Prometheus text exposition written by --metrics-out or scraped
+//           from /metrics; --require names metrics (post-sanitization,
+//           e.g. srda_serve_requests).
+//   events  JSONL event log written by --event-log / SRDA_EVENT_LOG;
+//           --require names events (e.g. model.load).
+//
+// Exits 0 when FILE validates and every --require'd name appears at least
 // once; prints the first violation to stderr and exits 1 otherwise. Used as
 // the second half of the bench_smoke_trace / trace_schema_check ctest pair.
 
@@ -21,7 +28,8 @@ namespace srda {
 namespace {
 
 constexpr char kUsage[] =
-    "usage: srda_trace_check FILE [--require=name1,name2,...]\n";
+    "usage: srda_trace_check FILE [--format=trace|prom|events] "
+    "[--require=name1,name2,...]\n";
 
 std::vector<std::string> SplitCommaList(const std::string& list) {
   std::vector<std::string> names;
@@ -35,6 +43,7 @@ std::vector<std::string> SplitCommaList(const std::string& list) {
 
 int Main(int argc, char** argv) {
   std::string path;
+  std::string format = "trace";
   std::vector<std::string> required_names;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -47,6 +56,16 @@ int Main(int argc, char** argv) {
       const std::vector<std::string> names =
           SplitCommaList(arg.substr(require_prefix.size()));
       required_names.insert(required_names.end(), names.begin(), names.end());
+      continue;
+    }
+    const std::string format_prefix = "--format=";
+    if (arg.compare(0, format_prefix.size(), format_prefix) == 0) {
+      format = arg.substr(format_prefix.size());
+      if (format != "trace" && format != "prom" && format != "events") {
+        std::cerr << "srda_trace_check: unknown format " << format << "\n"
+                  << kUsage;
+        return 1;
+      }
       continue;
     }
     if (!path.empty()) {
@@ -70,7 +89,15 @@ int Main(int argc, char** argv) {
   contents << input.rdbuf();
 
   std::string error;
-  if (!ValidateTraceJson(contents.str(), required_names, &error)) {
+  bool ok;
+  if (format == "prom") {
+    ok = ValidatePrometheusText(contents.str(), required_names, &error);
+  } else if (format == "events") {
+    ok = ValidateJsonlEvents(contents.str(), required_names, &error);
+  } else {
+    ok = ValidateTraceJson(contents.str(), required_names, &error);
+  }
+  if (!ok) {
     std::cerr << "srda_trace_check: " << path << ": " << error << "\n";
     return 1;
   }

@@ -46,6 +46,8 @@
 #include "io/row_shard_reader.h"
 #include "model/codec.h"
 #include "model/model.h"
+#include "obs/event_log.h"
+#include "obs/exporter.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/trace.h"
@@ -62,7 +64,9 @@ constexpr char kUsage[] =
     "                  [--sketch-mode=off|precond|solve] [--sketch-size=N]\n"
     "                  [--sketch-kind=count|gaussian]\n"
     "                  [--model-format=text|binary]\n"
-    "                  [--trace-out=FILE] [--metrics] --model-out=FILE\n";
+    "                  [--trace-out=FILE] [--metrics]\n"
+    "                  [--metrics-out=FILE] [--metrics-interval=SEC]\n"
+    "                  [--event-log=FILE] --model-out=FILE\n";
 
 // Prints one line per regression target summarizing how LSQR stopped.
 void PrintLsqrDiagnostics(const std::vector<RidgeRhsDiagnostics>& diagnostics,
@@ -188,6 +192,9 @@ int Main(int argc, char** argv) {
   const std::string model_format = args.GetString("model-format", "text");
   const std::string trace_path = args.GetString("trace-out", "");
   const bool print_metrics = args.GetBool("metrics");
+  const std::string metrics_out = args.GetString("metrics-out", "");
+  const double metrics_interval = args.GetDouble("metrics-interval", 1.0);
+  const std::string event_log_path = args.GetString("event-log", "");
   SRDA_CHECK(args.UnusedFlags().empty())
       << "unknown flag --" << args.UnusedFlags().front() << "\n" << kUsage;
   SRDA_CHECK(!data_path.empty() && !model_path.empty())
@@ -225,8 +232,33 @@ int Main(int argc, char** argv) {
     TraceRecorder::Global().Clear();
     MetricsRegistry::Global().ResetAll();
   }
+  if (!event_log_path.empty()) {
+    SRDA_CHECK(obs::EventLog::Global().Open(event_log_path))
+        << "cannot open --event-log=" << event_log_path;
+  }
+  // Periodic registry snapshots while training runs; format follows the
+  // extension (.json -> JSON, anything else -> Prometheus text). Stop()
+  // writes a final snapshot, so short runs still leave a complete file.
+  obs::ExporterOptions exporter_options;
+  exporter_options.path = metrics_out;
+  exporter_options.interval_s = metrics_interval;
+  exporter_options.format = metrics_out.size() >= 5 &&
+                                    metrics_out.compare(metrics_out.size() - 5,
+                                                        5, ".json") == 0
+                                ? obs::ExporterOptions::Format::kJson
+                                : obs::ExporterOptions::Format::kPrometheus;
+  obs::Exporter exporter(exporter_options);
+  if (!metrics_out.empty()) {
+    SRDA_CHECK(exporter.Start())
+        << "cannot write --metrics-out=" << metrics_out;
+  }
 
   model::SrdaModel model;
+  obs::Event("train.start")
+      .Str("data", data_path)
+      .Str("algorithm", algorithm)
+      .Num("alpha", alpha)
+      .Num("shard_rows", shard_rows);
   Stopwatch watch;
   if (shard_rows > 0) {
     SRDA_CHECK(algorithm == "srda")
@@ -291,12 +323,20 @@ int Main(int argc, char** argv) {
                               MakeProvenance(algorithm, alpha, sketch));
   }
   const double seconds = watch.ElapsedSeconds();
+  obs::Event("train.end")
+      .Num("seconds", seconds)
+      .Num("directions", model.output_dim());
   model::Save(model, model_path,
               model_format == "binary" ? model::Codec::kBinary
                                        : model::Codec::kText);
   std::cout << "trained " << algorithm << " (" << model.output_dim()
             << " directions) in " << seconds << " s; " << model_format
             << " model written to " << model_path << "\n";
+  if (!metrics_out.empty()) {
+    exporter.Stop();
+    std::cout << "wrote metrics to " << metrics_out << " ("
+              << exporter.snapshots_written() << " snapshots)\n";
+  }
   if (observe) {
     PrintRunSummary(std::cout);
     if (!trace_path.empty()) {
