@@ -13,9 +13,12 @@
 // times so the predicted 9x ratio can be compared with the observed one.
 
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <limits>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -30,8 +33,11 @@
 #include "core/srda.h"
 #include "dataset/dataset.h"
 #include "linalg/cholesky.h"
+#include "linalg/cholesky_update.h"
 #include "matrix/blas.h"
 #include "matrix/blocking.h"
+#include "matrix/simd/simd.h"
+#include "select/model_selection.h"
 #include "sparse/sparse_matrix.h"
 
 namespace srda {
@@ -118,50 +124,103 @@ KernelTiming TimeKernel(Fn&& fn, int reps) {
   return best;
 }
 
-// One blocked-vs-naive comparison point of the kernel-blocking experiment.
+// One comparison point of the kernel-blocking experiment: the reference
+// loops (`naive`), the blocked kernel on the scalar/autovec table
+// (`autovec`), and the blocked kernel on the best dispatch level
+// (`blocked`). naive/blocked isolates blocking + SIMD together;
+// autovec/blocked isolates the explicit vector kernels alone.
 struct KernelRow {
   const char* kernel;
   int n;
   KernelTiming naive;
+  KernelTiming autovec;
   KernelTiming blocked;
 };
 
-// Measures the three blocked kernels (Gram, gemm, Cholesky) against their
-// naive counterparts at one size, under whatever BlockConfig is active.
+// Times `fn` under a forced dispatch level, restoring the previous level.
+template <typename Fn>
+KernelTiming TimeKernelAtLevel(simd::CpuLevel level, Fn&& fn, int reps) {
+  const simd::CpuLevel previous = simd::ActiveLevel();
+  simd::SetDispatchLevel(level);
+  const KernelTiming timing = TimeKernel(fn, reps);
+  simd::SetDispatchLevel(previous);
+  return timing;
+}
+
+// Measures the blocked kernels (Gram, gemm, Cholesky, rank-8 downdate)
+// against their unblocked counterparts at one size, under whatever
+// BlockConfig is active, at both the scalar and the best dispatch level.
 std::vector<KernelRow> MeasureKernelRows(int n, int reps, Rng* rng) {
+  const simd::CpuLevel best = simd::ActiveLevel();
   const Matrix a = RandomMatrix(n, n, rng);
   const Matrix b = RandomMatrix(n, n, rng);
   Matrix spd = naive::Gram(a);
   for (int i = 0; i < n; ++i) spd(i, i) += n;
 
-  KernelRow gram_row{"gram", n, TimeKernel([&] { naive::Gram(a); }, reps),
-                     TimeKernel([&] { Gram(a); }, reps)};
-  KernelRow gemm_row{"gemm", n,
-                     TimeKernel([&] { naive::Multiply(a, b); }, reps),
-                     TimeKernel([&] { Multiply(a, b); }, reps)};
-  KernelRow chol_row{"cholesky", n,
-                     TimeKernel(
-                         [&] {
-                           Matrix l;
-                           naive::CholeskyFactor(spd, &l);
-                         },
-                         reps),
-                     TimeKernel(
-                         [&] {
-                           Cholesky chol;
-                           chol.Factor(spd);
-                         },
-                         reps)};
-  return {gram_row, gemm_row, chol_row};
+  const auto measure = [&](const char* name, auto&& reference,
+                           auto&& blocked_fn) {
+    return KernelRow{name, n, TimeKernel(reference, reps),
+                     TimeKernelAtLevel(simd::CpuLevel::kScalar, blocked_fn,
+                                       reps),
+                     TimeKernelAtLevel(best, blocked_fn, reps)};
+  };
+
+  KernelRow gram_row = measure(
+      "gram", [&] { naive::Gram(a); }, [&] { Gram(a); });
+  KernelRow gemm_row = measure(
+      "gemm", [&] { naive::Multiply(a, b); }, [&] { Multiply(a, b); });
+  KernelRow chol_row = measure(
+      "cholesky",
+      [&] {
+        Matrix l;
+        naive::CholeskyFactor(spd, &l);
+      },
+      [&] {
+        Cholesky chol;
+        chol.Factor(spd);
+      });
+
+  // Downdate sweep: rank-8 removed in one lane-interleaved pass (blocked)
+  // vs one rank at a time (the unblocked per-rank sweep). Both sides pay
+  // the same factor copy; the small v keeps every downdate well-posed.
+  Cholesky chol;
+  chol.Factor(spd);
+  const Matrix l0 = chol.factor();
+  Matrix v = RandomMatrix(8, n, rng);
+  for (int i = 0; i < v.rows(); ++i) {
+    for (int j = 0; j < v.cols(); ++j) v(i, j) *= 0.01;
+  }
+  KernelRow downdate_row = measure(
+      "downdate",
+      [&] {
+        Matrix l = l0;
+        for (int r = 0; r < v.rows(); ++r) {
+          CholeskyRankKDowndate(&l, v.Block(r, 0, 1, n));
+        }
+      },
+      [&] {
+        Matrix l = l0;
+        CholeskyRankKDowndate(&l, v);
+      });
+
+  return {gram_row, gemm_row, chol_row, downdate_row};
 }
 
 void AppendKernelRow(const KernelRow& row, TablePrinter* table) {
   table->AddRow({row.kernel, std::to_string(row.n),
                  FormatDouble(row.naive.seconds, 4),
+                 FormatDouble(row.autovec.seconds, 4),
                  FormatDouble(row.blocked.seconds, 4),
                  FormatRatio(row.naive.seconds, row.blocked.seconds, 2),
-                 FormatGflops(row.naive.gflops, 2),
+                 FormatRatio(row.autovec.seconds, row.blocked.seconds, 2),
                  FormatGflops(row.blocked.gflops, 2)});
+}
+
+const std::vector<std::string>& KernelTableHeader() {
+  static const std::vector<std::string> header{
+      "kernel", "n",       "naive s",      "autovec s",
+      "simd s", "speedup", "simd speedup", "simd GFLOP/s"};
+  return header;
 }
 
 void WriteKernelBlockingJson(const BlockConfig& blk,
@@ -170,6 +229,8 @@ void WriteKernelBlockingJson(const BlockConfig& blk,
   json << "{\n  \"experiment\": \"kernel_blocking\",\n"
        << "  \"block_config\": {\"kc\": " << blk.kc << ", \"mc\": " << blk.mc
        << ", \"nc\": " << blk.nc << ", \"nb\": " << blk.nb << "},\n"
+       << "  \"simd_level\": \"" << simd::CpuLevelName(simd::ActiveLevel())
+       << "\",\n"
        << "  \"num_threads\": 1,\n  \"rows\": [\n";
   for (size_t i = 0; i < kernel_rows.size(); ++i) {
     const KernelRow& row = kernel_rows[i];
@@ -178,10 +239,15 @@ void WriteKernelBlockingJson(const BlockConfig& blk,
     const double speedup = row.blocked.seconds > 0.0
                                ? row.naive.seconds / row.blocked.seconds
                                : 0.0;
+    const double simd_speedup = row.blocked.seconds > 0.0
+                                    ? row.autovec.seconds / row.blocked.seconds
+                                    : 0.0;
     json << "    {\"kernel\": \"" << row.kernel << "\", \"n\": " << row.n
          << ", \"naive_seconds\": " << row.naive.seconds
+         << ", \"autovec_seconds\": " << row.autovec.seconds
          << ", \"blocked_seconds\": " << row.blocked.seconds
          << ", \"speedup\": " << speedup
+         << ", \"simd_speedup\": " << simd_speedup
          << ", \"naive_gflops\": " << row.naive.gflops
          << ", \"blocked_gflops\": " << row.blocked.gflops << "}"
          << (i + 1 < kernel_rows.size() ? "," : "") << "\n";
@@ -283,13 +349,82 @@ int SweepBlocks(bool smoke, bool full, Rng* rng) {
   // recorded experiment.
   std::cout << "\n== Blocked vs naive kernels (tuned config, 1 thread) ==\n";
   const std::vector<KernelRow> rows = MeasureKernelRows(n, reps, rng);
-  TablePrinter kernel_table({"kernel", "n", "naive s", "blocked s", "speedup",
-                             "naive GFLOP/s", "blocked GFLOP/s"});
+  TablePrinter kernel_table(KernelTableHeader());
   for (const KernelRow& row : rows) AppendKernelRow(row, &kernel_table);
   kernel_table.Print(std::cout);
   if (!smoke) WriteKernelBlockingJson(best, rows);
   SetGlobalThreadCount(0);  // Restore the env/hardware default.
   return 0;
+}
+
+// --digest-out: a bitwise fingerprint of the library's deterministic
+// outputs, for the ctest gate that runs this binary under
+// SRDA_CPU_LEVEL=scalar and under the detected best level and compares the
+// two files byte-for-byte. The digest covers a dense normal-equations fit,
+// a sparse LSQR fit, a cross-validated alpha search, and a rank-k
+// downdated factor — each at 1 and at 4 threads — so any dispatch level or
+// thread count changing any output bit changes the file.
+uint64_t Fnv1a(const double* values, size_t count, uint64_t hash) {
+  const unsigned char* bytes = reinterpret_cast<const unsigned char*>(values);
+  for (size_t i = 0; i < count * sizeof(double); ++i) {
+    hash ^= bytes[i];
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+uint64_t HashMatrix(const Matrix& m, uint64_t hash) {
+  return Fnv1a(m.data(),
+               static_cast<size_t>(m.rows()) * static_cast<size_t>(m.cols()),
+               hash);
+}
+
+int WriteDigest(const std::string& path, Rng* rng) {
+  uint64_t hash = 1469598103934665603ULL;  // FNV offset basis
+  const DenseDataset dense = RandomDense(120, 48, rng);
+  const SparseDataset sparse = RandomSparse(240, 500, 20, rng);
+  const std::vector<double> alphas = {0.01, 1.0, 100.0};
+
+  Matrix spd = Gram(dense.features);
+  AddDiagonal(static_cast<double>(spd.rows()), &spd);
+  Matrix v = RandomMatrix(6, spd.cols(), rng);
+  for (int i = 0; i < v.rows(); ++i) {
+    for (int j = 0; j < v.cols(); ++j) v(i, j) *= 0.01;
+  }
+
+  for (int threads : {1, 4}) {
+    SetGlobalThreadCount(threads);
+    const SrdaModel dense_model =
+        FitSrda(dense.features, dense.labels, kNumClasses);
+    SrdaOptions lsqr_options;
+    lsqr_options.solver = SrdaSolver::kLsqr;
+    lsqr_options.lsqr_iterations = 10;
+    const SrdaModel sparse_model = FitSrda(sparse.features, sparse.labels,
+                                           kNumClasses, lsqr_options);
+    const AlphaSearchResult search =
+        SelectSrdaAlpha(dense, alphas, /*num_folds=*/3, /*seed=*/17);
+    Cholesky chol;
+    chol.Factor(spd);
+    Matrix l = chol.factor();
+    CholeskyRankKDowndate(&l, v);
+
+    hash = HashMatrix(dense_model.embedding.projection(), hash);
+    hash = HashMatrix(sparse_model.embedding.projection(), hash);
+    hash = Fnv1a(search.errors.data(), search.errors.size(), hash);
+    hash = HashMatrix(l, hash);
+  }
+  SetGlobalThreadCount(0);
+
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write " << path << "\n";
+    return 1;
+  }
+  out << std::hex << hash << "\n";
+  std::cout << "digest " << std::hex << hash << std::dec << " -> " << path
+            << " (simd_level=" << simd::CpuLevelName(simd::ActiveLevel())
+            << ")\n";
+  return out ? 0 : 1;
 }
 
 // Least-squares slope of log(time) vs log(size).
@@ -313,6 +448,13 @@ int Main(int argc, char** argv) {
   const bool full = HasFlag(argc, argv, "--full");
   const bool smoke = HasFlag(argc, argv, "--smoke");
   Rng rng(606);
+
+  const std::string digest_path = GetFlagValue(argc, argv, "--digest-out");
+  if (!digest_path.empty()) {
+    // Digest mode: deterministic outputs only, no timing. Honors
+    // SRDA_CPU_LEVEL via the normal one-time dispatch.
+    return WriteDigest(digest_path, &rng);
+  }
 
   if (HasFlag(argc, argv, "--sweep-blocks")) {
     // Autotune mode (scripts/autotune_blocks.sh): sweep the SRDA_BLOCK_*
@@ -469,8 +611,7 @@ int Main(int argc, char** argv) {
             : (full ? std::vector<int>{256, 512, 1024, 1536}
                     : std::vector<int>{256, 1024});
   std::vector<KernelRow> kernel_rows;
-  TablePrinter kernel_table({"kernel", "n", "naive s", "blocked s", "speedup",
-                             "naive GFLOP/s", "blocked GFLOP/s"});
+  TablePrinter kernel_table(KernelTableHeader());
   for (int n : kernel_sizes) {
     const int reps = smoke ? 1 : (n >= 1024 ? 2 : 3);
     for (const KernelRow& row : MeasureKernelRows(n, reps, &rng)) {
@@ -500,14 +641,19 @@ int Main(int argc, char** argv) {
                    "(Table I predicts up to 9x)");
   ok &= ShapeCheck(sparse_exponent < 1.3,
                    "sparse SRDA-LSQR ~linear in m (the paper's title claim)");
-  if (hardware >= 4) {
-    // Only meaningful on a machine with real cores; scaling.at(2) is the
-    // 4-thread row.
+  // Thread-scaling checks compare the 1-thread row against the 4-thread
+  // row looked up by num_threads (a positional index silently broke — and
+  // never fired — whenever the sweep's thread ladder changed).
+  const ScalingRow* four_threads = nullptr;
+  for (const ScalingRow& row : scaling) {
+    if (row.num_threads == 4) four_threads = &row;
+  }
+  if (hardware >= 4 && four_threads != nullptr) {
     ok &= ShapeCheck(
-        scaling.front().gram_seconds / scaling.at(2).gram_seconds > 2.0,
+        scaling.front().gram_seconds / four_threads->gram_seconds > 2.0,
         "Gram speeds up >2x from 1 to 4 threads");
     ok &= ShapeCheck(
-        scaling.front().fit_seconds / scaling.at(2).fit_seconds > 1.5,
+        scaling.front().fit_seconds / four_threads->fit_seconds > 1.5,
         "sparse LSQR fit speeds up >1.5x from 1 to 4 threads");
   } else {
     std::cout << "[SKIP] thread-scaling speedup checks (only " << hardware
@@ -522,6 +668,27 @@ int Main(int argc, char** argv) {
                      std::string("blocked ") + row.kernel + " faster than "
                          "naive at n=" + std::to_string(row.n) +
                          " (single thread)");
+  }
+  // The explicit vector kernels must beat the autovec table on most of the
+  // hot kernels at n=1024 — the one-time dispatch is pointless otherwise.
+  if (simd::ActiveLevel() != simd::CpuLevel::kScalar) {
+    int fast = 0;
+    int measured = 0;
+    for (const KernelRow& row : kernel_rows) {
+      if (row.n < 1024 || row.n != kernel_sizes.back()) continue;
+      ++measured;
+      if (row.blocked.seconds > 0.0 &&
+          row.autovec.seconds / row.blocked.seconds >= 1.3) {
+        ++fast;
+      }
+    }
+    ok &= ShapeCheck(
+        measured >= 2 && fast >= 2,
+        std::string("simd (") + simd::CpuLevelName(simd::ActiveLevel()) +
+            ") >=1.3x over autovec on >=2 kernels at n=" +
+            std::to_string(kernel_sizes.back()));
+  } else {
+    std::cout << "[SKIP] simd speedup check (no vector level available)\n";
   }
   return ok ? 0 : 1;
 }

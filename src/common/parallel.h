@@ -23,6 +23,17 @@
 // calls issued from inside a pool worker also run inline, so nested
 // parallel kernels (e.g. a sparse product inside a pooled LSQR solve)
 // neither deadlock nor oversubscribe.
+//
+// Pinning (SRDA_PIN_THREADS=1, or ThreadPoolOptions.pin_threads): worker
+// threads are pinned round-robin over the process's allowed CPUs, and
+// chunk assignment switches from the first-come atomic cursor to a fixed
+// residue mapping — chunk c always runs on participant c mod N (the
+// caller is participant 0 and stays unpinned). Combined with the
+// first-touch allocation of packed panels (matrix::PanelScratch inside
+// chunk lambdas), repeated kernels touch the same pages from the same
+// CPU, which keeps panels node-local on NUMA hosts. Chunk *boundaries*
+// are identical in both modes, and the kernels are partition-invariant,
+// so pinning never changes results — only placement.
 
 #ifndef SRDA_COMMON_PARALLEL_H_
 #define SRDA_COMMON_PARALLEL_H_
@@ -41,10 +52,16 @@ struct ThreadPoolOptions {
   // Number of worker threads. 0 resolves SRDA_NUM_THREADS from the
   // environment and falls back to the hardware concurrency.
   int num_threads = 0;
+  // Chunk→thread pinning: 1 on, 0 off, -1 resolves SRDA_PIN_THREADS from
+  // the environment (off unless the variable is exactly "1").
+  int pin_threads = -1;
 };
 
 // Resolves ThreadPoolOptions to a concrete thread count (>= 1).
 int ResolveThreadCount(const ThreadPoolOptions& options);
+
+// Resolves ThreadPoolOptions.pin_threads (consulting SRDA_PIN_THREADS).
+bool ResolvePinning(const ThreadPoolOptions& options);
 
 // A persistent pool of worker threads executing ParallelFor chunks.
 // ParallelFor blocks until every chunk has run; the calling thread
@@ -61,6 +78,9 @@ class ThreadPool {
 
   int num_threads() const { return num_threads_; }
 
+  // True when this pool runs with chunk→thread pinning.
+  bool pinned() const { return pinned_; }
+
   // Invokes fn(chunk_begin, chunk_end) over contiguous chunks covering
   // [begin, end) exactly once. Chunk boundaries are deterministic for a
   // given (range, num_threads). Runs fn(begin, end) inline when the pool
@@ -72,9 +92,12 @@ class ThreadPool {
  private:
   struct Job;
 
-  void WorkerLoop();
+  void WorkerLoop(int worker_index);
+  // Removes `job` from the queue if still present. Requires mutex_ held.
+  void EraseJob(const std::shared_ptr<Job>& job);
 
   const int num_threads_;
+  const bool pinned_;
   std::vector<std::thread> workers_;
   std::mutex mutex_;
   std::condition_variable work_cv_;

@@ -9,6 +9,7 @@
 #include "common/flops.h"
 #include "common/parallel.h"
 #include "matrix/blocking.h"
+#include "matrix/simd/simd.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -72,6 +73,7 @@ bool Cholesky::Factor(const Matrix& a) {
     }
   });
   const BlockConfig& blk = GetBlockConfig();
+  const simd::KernelTable& kt = simd::Dispatch();
   for (int p0 = 0; p0 < n; p0 += blk.nb) {
     const int p1 = std::min(p0 + blk.nb, n);
     const int kk = p1 - p0;
@@ -81,17 +83,14 @@ bool Cholesky::Factor(const Matrix& a) {
     for (int j = 0; j < kk; ++j) inv_diag[j] = 1.0 / l_(p0 + j, p0 + j);
     // TRSM: finish the panel's columns in the rows below the block. Row i
     // only reads rows < p1 (final) and its own earlier columns, so rows
-    // are independent.
+    // are independent. The kernel scratch is chunk-local, allocated and
+    // first-touched by the worker that uses it.
     ParallelFor(p1, n, [&](int row_begin, int row_end) {
-      for (int i = row_begin; i < row_end; ++i) {
-        double* lrow_i = l_.RowPtr(i);
-        for (int j = p0; j < p1; ++j) {
-          const double* lrow_j = l_.RowPtr(j);
-          double sum = lrow_i[j];
-          for (int k = p0; k < j; ++k) sum -= lrow_i[k] * lrow_j[k];
-          lrow_i[j] = sum * inv_diag[j - p0];
-        }
-      }
+      PanelScratch scratch;
+      double* s = scratch.Acquire(
+          static_cast<size_t>(simd::kTrsmMaxLanes) * kk);
+      kt.trsm_rows(l_.data(), n, p0, p1, inv_diag.data(), row_begin,
+                   row_end - row_begin, s);
     });
     // SYRK: subtract the panel's outer product from the trailing lower
     // triangle. Row i writes columns [p1, i] and reads only panel columns
@@ -105,29 +104,7 @@ bool Cholesky::Factor(const Matrix& a) {
         for (int j0 = p1; j0 < i1; j0 += blk.nc) {
           const int j1 = std::min(j0 + blk.nc, i1);
           for (int i = std::max(i0, j0); i < i1; ++i) {
-            const double* rowi = l_.RowPtr(i) + p0;
-            double* crow = l_.RowPtr(i);
-            const int jend = std::min(j1, i + 1);
-            int j = j0;
-            for (; j + 2 <= jend; j += 2) {
-              const double* rj0 = l_.RowPtr(j) + p0;
-              const double* rj1 = l_.RowPtr(j + 1) + p0;
-              double s0 = 0.0;
-              double s1 = 0.0;
-              for (int k = 0; k < kk; ++k) {
-                const double v = rowi[k];
-                s0 += v * rj0[k];
-                s1 += v * rj1[k];
-              }
-              crow[j] -= s0;
-              crow[j + 1] -= s1;
-            }
-            for (; j < jend; ++j) {
-              const double* rowj = l_.RowPtr(j) + p0;
-              double sum = 0.0;
-              for (int k = 0; k < kk; ++k) sum += rowi[k] * rowj[k];
-              crow[j] -= sum;
-            }
+            kt.syrk_row(l_.data(), n, i, p0, kk, j0, std::min(j1, i + 1));
           }
         }
       }

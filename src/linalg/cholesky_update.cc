@@ -7,6 +7,7 @@
 #include "common/check.h"
 #include "common/flops.h"
 #include "common/parallel.h"
+#include "matrix/simd/simd.h"
 #include "matrix/vector.h"
 #include "obs/trace.h"
 
@@ -31,9 +32,10 @@ constexpr int kPanelColumns = 16;
 
 // Rows of the workspace are grouped into tiles of kLanes rows stored
 // lane-interleaved ([tile][r][lane]), so the tile kernel's inner step is a
-// contiguous kLanes-wide data-parallel operation the compiler can pack
-// into SIMD registers.
-constexpr int kLanes = 8;
+// contiguous kLanes-wide data-parallel operation. The lane count is owned
+// by the simd layer (one zmm register at AVX-512), which supplies the
+// full-tile kernel through simd::Dispatch().
+constexpr int kLanes = simd::kDowndateLanes;
 
 // Applies one panel's scaled rotations (columns [0, width) of the
 // coefficient tables) to a single row of the unit-lower factor: `lseg` is
@@ -60,34 +62,10 @@ inline void ApplyPanelRow(double* SRDA_RESTRICT lseg,
   }
 }
 
-// Full-tile variant: applies the panel to kLanes rows at once. `wtile` is
-// the tile's lane-interleaved workspace (k * kLanes doubles, L1-resident
-// across the column loop) and `lrows` the kLanes factor-row segments. Per
-// rotation step the kLanes chains advance in lockstep — all lanes are
-// independent, so the step is a contiguous SIMD-width operation, and each
-// lane computes exactly the ApplyPanelRow arithmetic.
-inline void ApplyPanelTile(double* SRDA_RESTRICT const* lrows,
-                           double* SRDA_RESTRICT wtile,
-                           const double* SRDA_RESTRICT p,
-                           const double* SRDA_RESTRICT g, int width, int k) {
-  for (int j = 0; j < width; ++j) {
-    const double* pj = p + j * k;
-    const double* gj = g + j * k;
-    double lv[kLanes];
-    for (int q = 0; q < kLanes; ++q) lv[q] = lrows[q][j];
-    for (int r = 0; r < k; ++r) {
-      const double pr = pj[r];
-      const double gr = gj[r];
-      double* wr = wtile + r * kLanes;
-      for (int q = 0; q < kLanes; ++q) {
-        const double wq = wr[q] - pr * lv[q];
-        lv[q] += gr * wq;
-        wr[q] = wq;
-      }
-    }
-    for (int q = 0; q < kLanes; ++q) lrows[q][j] = lv[q];
-  }
-}
+// The full-tile variant (apply the panel to kLanes rows at once, all
+// lanes advancing in lockstep) is the dispatch table's downdate_tile
+// kernel: each lane computes exactly the ApplyPanelRow arithmetic, so
+// every dispatch level produces the bits of the scalar sweep.
 
 // Blocked one-pass rank-k sweep over the factor in LDLᵀ form, shared by
 // the update (sigma = +1) and downdate (sigma = −1). This is method C1 of
@@ -163,14 +141,16 @@ bool RankKSweep(Matrix* l, std::vector<double>* w, int k,
       ApplyPanelRow(factor.RowPtr(i) + p0, lane_ptr(i), p.data(), g.data(),
                     width, k);
     }
+    const simd::KernelTable& kt = simd::Dispatch();
     ParallelFor(full_begin, full_end, [&](int tile_begin, int tile_end) {
       for (int t = tile_begin; t < tile_end; ++t) {
         double* lrows[kLanes];
         for (int q = 0; q < kLanes; ++q) {
           lrows[q] = factor.RowPtr(t * kLanes + q) + p0;
         }
-        ApplyPanelTile(lrows, w->data() + static_cast<size_t>(t) * k * kLanes,
-                       p.data(), g.data(), width, k);
+        kt.downdate_tile(lrows,
+                         w->data() + static_cast<size_t>(t) * k * kLanes,
+                         p.data(), g.data(), width, k);
       }
     });
     for (int i = std::max(p1, full_end * kLanes); i < n; ++i) {

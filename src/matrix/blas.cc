@@ -8,6 +8,7 @@
 #include "common/flops.h"
 #include "common/parallel.h"
 #include "matrix/blocking.h"
+#include "matrix/simd/simd.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -122,10 +123,10 @@ namespace {
 //
 // Two micro-kernel shapes cover all five products:
 //
-//  * axpy form (GemmTileUpdate): the output tile's rows are updated with
+//  * axpy form (gemm_tile): the output tile's rows are updated with
 //    scaled operand rows, j as the vector axis — used when B's k-rows are
 //    contiguous (Multiply, MultiplyTransposedA, Gram);
-//  * dot form (DotTileUpdate): each output element is a dot product of two
+//  * dot form (dot_tile): each output element is a dot product of two
 //    row segments — used when both operands index k along rows
 //    (MultiplyTransposedB, OuterGram).
 //
@@ -136,97 +137,12 @@ namespace {
 // the result bits — is independent of tile shapes, unroll cleanup paths,
 // and the ParallelFor partition. That preserves PR 1's guarantee: any
 // thread count produces identical bits.
-
-// C[i0:i1, j0:j1] += P * B[k0:k0+kk, j0:j1], where row r = i - i0 of the
-// panel P starts at `panel + r * stride` and holds the kk values for
-// k = k0 .. k0+kk-1.
 //
-// The body is a 4x4 outer-product register tile: sixteen accumulators are
-// seeded from C, folded over the whole K-panel, and stored back once.
-// Seeding from C and folding k ascending produces exactly the same
-// addition chain per element as updating C in memory each step — the
-// loads/stores just move out of the k loop — so register blocking changes
-// no bits, only the C-row traffic (once per panel instead of once per k).
-void GemmTileUpdate(const double* panel, int stride, int kk, const Matrix& b,
-                    int k0, int i0, int i1, int j0, int j1, Matrix* c) {
-  int i = i0;
-  for (; i + 4 <= i1; i += 4) {
-    const double* p0 = panel + static_cast<size_t>(i - i0) * stride;
-    const double* p1 = p0 + stride;
-    const double* p2 = p1 + stride;
-    const double* p3 = p2 + stride;
-    double* c0 = c->RowPtr(i);
-    double* c1 = c->RowPtr(i + 1);
-    double* c2 = c->RowPtr(i + 2);
-    double* c3 = c->RowPtr(i + 3);
-    int j = j0;
-    for (; j + 4 <= j1; j += 4) {
-      double a00 = c0[j], a01 = c0[j + 1], a02 = c0[j + 2], a03 = c0[j + 3];
-      double a10 = c1[j], a11 = c1[j + 1], a12 = c1[j + 2], a13 = c1[j + 3];
-      double a20 = c2[j], a21 = c2[j + 1], a22 = c2[j + 2], a23 = c2[j + 3];
-      double a30 = c3[j], a31 = c3[j + 1], a32 = c3[j + 2], a33 = c3[j + 3];
-      for (int k = 0; k < kk; ++k) {
-        const double* brow = b.RowPtr(k0 + k) + j;
-        const double b0 = brow[0];
-        const double b1 = brow[1];
-        const double b2 = brow[2];
-        const double b3 = brow[3];
-        const double v0 = p0[k];
-        const double v1 = p1[k];
-        const double v2 = p2[k];
-        const double v3 = p3[k];
-        a00 += v0 * b0; a01 += v0 * b1; a02 += v0 * b2; a03 += v0 * b3;
-        a10 += v1 * b0; a11 += v1 * b1; a12 += v1 * b2; a13 += v1 * b3;
-        a20 += v2 * b0; a21 += v2 * b1; a22 += v2 * b2; a23 += v2 * b3;
-        a30 += v3 * b0; a31 += v3 * b1; a32 += v3 * b2; a33 += v3 * b3;
-      }
-      c0[j] = a00; c0[j + 1] = a01; c0[j + 2] = a02; c0[j + 3] = a03;
-      c1[j] = a10; c1[j + 1] = a11; c1[j + 2] = a12; c1[j + 3] = a13;
-      c2[j] = a20; c2[j + 1] = a21; c2[j + 2] = a22; c2[j + 3] = a23;
-      c3[j] = a30; c3[j + 1] = a31; c3[j + 2] = a32; c3[j + 3] = a33;
-    }
-    for (; j < j1; ++j) {
-      double a0 = c0[j], a1 = c1[j], a2 = c2[j], a3 = c3[j];
-      for (int k = 0; k < kk; ++k) {
-        const double bv = b.RowPtr(k0 + k)[j];
-        a0 += p0[k] * bv;
-        a1 += p1[k] * bv;
-        a2 += p2[k] * bv;
-        a3 += p3[k] * bv;
-      }
-      c0[j] = a0;
-      c1[j] = a1;
-      c2[j] = a2;
-      c3[j] = a3;
-    }
-  }
-  for (; i < i1; ++i) {
-    const double* prow = panel + static_cast<size_t>(i - i0) * stride;
-    double* crow = c->RowPtr(i);
-    int j = j0;
-    for (; j + 4 <= j1; j += 4) {
-      double a0 = crow[j], a1 = crow[j + 1], a2 = crow[j + 2],
-             a3 = crow[j + 3];
-      for (int k = 0; k < kk; ++k) {
-        const double* brow = b.RowPtr(k0 + k) + j;
-        const double v = prow[k];
-        a0 += v * brow[0];
-        a1 += v * brow[1];
-        a2 += v * brow[2];
-        a3 += v * brow[3];
-      }
-      crow[j] = a0;
-      crow[j + 1] = a1;
-      crow[j + 2] = a2;
-      crow[j + 3] = a3;
-    }
-    for (; j < j1; ++j) {
-      double acc = crow[j];
-      for (int k = 0; k < kk; ++k) acc += prow[k] * b.RowPtr(k0 + k)[j];
-      crow[j] = acc;
-    }
-  }
-}
+// The kernel bodies live in matrix/simd/ behind runtime CPU dispatch
+// (matrix/simd/simd.h): simd::Dispatch() returns scalar, AVX2, AVX-512,
+// or NEON implementations of the same chains — bitwise identical at every
+// level. Only the triangular diagonal-straddle variants below stay scalar
+// here; they touch a vanishing fraction of the work.
 
 // Triangular variant for the stripes straddling the diagonal of a
 // symmetric product: row i starts at column max(j0, i).
@@ -240,62 +156,6 @@ void GemmTileUpdateUpper(const double* panel, int kk, const Matrix& b,
       const double v = prow[k];
       const double* brow = b.RowPtr(k0 + k);
       for (int j = jstart; j < j1; ++j) crow[j] += v * brow[j];
-    }
-  }
-}
-
-// C[i0:i1, j0:j1] += A[i0:i1, k0:k0+kk] * B[j0:j1, k0:k0+kk]^T as dot
-// products of row segments, 2x2-unrolled (four independent accumulator
-// chains, one per output element).
-void DotTileUpdate(const Matrix& a, const Matrix& b, int k0, int kk,
-                   int i0, int i1, int j0, int j1, Matrix* c) {
-  int i = i0;
-  for (; i + 2 <= i1; i += 2) {
-    const double* a0 = a.RowPtr(i) + k0;
-    const double* a1 = a.RowPtr(i + 1) + k0;
-    double* c0 = c->RowPtr(i);
-    double* c1 = c->RowPtr(i + 1);
-    int j = j0;
-    for (; j + 2 <= j1; j += 2) {
-      const double* b0 = b.RowPtr(j) + k0;
-      const double* b1 = b.RowPtr(j + 1) + k0;
-      double s00 = c0[j];
-      double s01 = c0[j + 1];
-      double s10 = c1[j];
-      double s11 = c1[j + 1];
-      for (int k = 0; k < kk; ++k) {
-        const double av0 = a0[k];
-        const double av1 = a1[k];
-        s00 += av0 * b0[k];
-        s01 += av0 * b1[k];
-        s10 += av1 * b0[k];
-        s11 += av1 * b1[k];
-      }
-      c0[j] = s00;
-      c0[j + 1] = s01;
-      c1[j] = s10;
-      c1[j + 1] = s11;
-    }
-    for (; j < j1; ++j) {
-      const double* brow = b.RowPtr(j) + k0;
-      double s0 = c0[j];
-      double s1 = c1[j];
-      for (int k = 0; k < kk; ++k) {
-        s0 += a0[k] * brow[k];
-        s1 += a1[k] * brow[k];
-      }
-      c0[j] = s0;
-      c1[j] = s1;
-    }
-  }
-  for (; i < i1; ++i) {
-    const double* arow = a.RowPtr(i) + k0;
-    double* crow = c->RowPtr(i);
-    for (int j = j0; j < j1; ++j) {
-      const double* brow = b.RowPtr(j) + k0;
-      double sum = crow[j];
-      for (int k = 0; k < kk; ++k) sum += arow[k] * brow[k];
-      crow[j] = sum;
     }
   }
 }
@@ -347,16 +207,21 @@ void GemmAtBInto(const Matrix& a, const Matrix& b, Matrix* c) {
   const int p = a.cols();
   const int n = b.cols();
   const BlockConfig& blk = GetBlockConfig();
+  const simd::KernelTable& kt = simd::Dispatch();
   ParallelFor(0, p, [&](int col_begin, int col_end) {
-    std::vector<double> pack(static_cast<size_t>(blk.mc) * blk.kc);
+    // Chunk-local scratch: the packed panel is allocated and first-touched
+    // by the worker that streams it (NUMA-local under pinning).
+    PanelScratch scratch;
+    double* pack = scratch.Acquire(static_cast<size_t>(blk.mc) * blk.kc);
     for (int i0 = col_begin; i0 < col_end; i0 += blk.mc) {
       const int i1 = std::min(i0 + blk.mc, col_end);
       for (int k0 = 0; k0 < m; k0 += blk.kc) {
         const int kk = std::min(blk.kc, m - k0);
-        PackPanelTransposed(a, k0, kk, i0, i1, pack.data());
+        PackPanelTransposed(a, k0, kk, i0, i1, pack);
         for (int j0 = 0; j0 < n; j0 += blk.nc) {
           const int j1 = std::min(j0 + blk.nc, n);
-          GemmTileUpdate(pack.data(), kk, kk, b, k0, i0, i1, j0, j1, c);
+          kt.gemm_tile(pack, kk, kk, b.data(), b.cols(), k0, c->data(),
+                       c->cols(), i0, i1, j0, j1);
         }
       }
     }
@@ -368,26 +233,28 @@ void GramUpperInto(const Matrix& a, Matrix* c) {
   const int m = a.rows();
   const int n = a.cols();
   const BlockConfig& blk = GetBlockConfig();
+  const simd::KernelTable& kt = simd::Dispatch();
   ParallelFor(0, n, [&](int row_begin, int row_end) {
-    std::vector<double> pack(static_cast<size_t>(blk.mc) * blk.kc);
+    PanelScratch scratch;
+    double* pack = scratch.Acquire(static_cast<size_t>(blk.mc) * blk.kc);
     for (int i0 = row_begin; i0 < row_end; i0 += blk.mc) {
       const int i1 = std::min(i0 + blk.mc, row_end);
       for (int k0 = 0; k0 < m; k0 += blk.kc) {
         const int kk = std::min(blk.kc, m - k0);
-        PackPanelTransposed(a, k0, kk, i0, i1, pack.data());
+        PackPanelTransposed(a, k0, kk, i0, i1, pack);
         for (int j0 = i0; j0 < n; j0 += blk.nc) {
           const int j1 = std::min(j0 + blk.nc, n);
           if (j0 >= i1) {
-            GemmTileUpdate(pack.data(), kk, kk, a, k0, i0, i1, j0, j1, c);
+            kt.gemm_tile(pack, kk, kk, a.data(), a.cols(), k0, c->data(),
+                         c->cols(), i0, i1, j0, j1);
           } else {
             // Stripe straddles the diagonal: scalar triangle up to the
             // tile's last row, fast rectangle for the columns beyond it.
             const int split = std::min(j1, i1);
-            GemmTileUpdateUpper(pack.data(), kk, a, k0, i0, i1, j0, split,
-                                c);
+            GemmTileUpdateUpper(pack, kk, a, k0, i0, i1, j0, split, c);
             if (split < j1) {
-              GemmTileUpdate(pack.data(), kk, kk, a, k0, i0, i1, split, j1,
-                             c);
+              kt.gemm_tile(pack, kk, kk, a.data(), a.cols(), k0, c->data(),
+                           c->cols(), i0, i1, split, j1);
             }
           }
         }
@@ -413,6 +280,7 @@ Matrix Multiply(const Matrix& a, const Matrix& b) {
   AddFlops(2.0 * m * kdim * n);
   Matrix c(m, n);
   const BlockConfig& blk = GetBlockConfig();
+  const simd::KernelTable& kt = simd::Dispatch();
   ParallelFor(0, m, [&](int row_begin, int row_end) {
     for (int i0 = row_begin; i0 < row_end; i0 += blk.mc) {
       const int i1 = std::min(i0 + blk.mc, row_end);
@@ -422,8 +290,8 @@ Matrix Multiply(const Matrix& a, const Matrix& b) {
           const int j1 = std::min(j0 + blk.nc, n);
           // A's k-segment is contiguous within each row: no packing needed,
           // the row stride stands in for a packed panel.
-          GemmTileUpdate(a.RowPtr(i0) + k0, a.cols(), kk, b, k0, i0, i1, j0,
-                         j1, &c);
+          kt.gemm_tile(a.RowPtr(i0) + k0, a.cols(), kk, b.data(), b.cols(),
+                       k0, c.data(), c.cols(), i0, i1, j0, j1);
         }
       }
     }
@@ -483,6 +351,7 @@ Matrix MultiplyTransposedB(const Matrix& a, const Matrix& b) {
   AddFlops(2.0 * m * n * kdim);
   Matrix c(m, n);
   const BlockConfig& blk = GetBlockConfig();
+  const simd::KernelTable& kt = simd::Dispatch();
   ParallelFor(0, m, [&](int row_begin, int row_end) {
     for (int i0 = row_begin; i0 < row_end; i0 += blk.mc) {
       const int i1 = std::min(i0 + blk.mc, row_end);
@@ -490,7 +359,8 @@ Matrix MultiplyTransposedB(const Matrix& a, const Matrix& b) {
         const int kk = std::min(blk.kc, kdim - k0);
         for (int j0 = 0; j0 < n; j0 += blk.nc) {
           const int j1 = std::min(j0 + blk.nc, n);
-          DotTileUpdate(a, b, k0, kk, i0, i1, j0, j1, &c);
+          kt.dot_tile(a.data(), a.cols(), b.data(), b.cols(), k0, kk,
+                      c.data(), c.cols(), i0, i1, j0, j1);
         }
       }
     }
@@ -549,6 +419,7 @@ Matrix OuterGram(const Matrix& a) {
   AddFlops(static_cast<double>(n) * m * (m + 1));
   Matrix c(m, m);
   const BlockConfig& blk = GetBlockConfig();
+  const simd::KernelTable& kt = simd::Dispatch();
   ParallelFor(0, m, [&](int row_begin, int row_end) {
     for (int i0 = row_begin; i0 < row_end; i0 += blk.mc) {
       const int i1 = std::min(i0 + blk.mc, row_end);
@@ -557,12 +428,14 @@ Matrix OuterGram(const Matrix& a) {
         for (int j0 = i0; j0 < m; j0 += blk.nc) {
           const int j1 = std::min(j0 + blk.nc, m);
           if (j0 >= i1) {
-            DotTileUpdate(a, a, k0, kk, i0, i1, j0, j1, &c);
+            kt.dot_tile(a.data(), a.cols(), a.data(), a.cols(), k0, kk,
+                        c.data(), c.cols(), i0, i1, j0, j1);
           } else {
             const int split = std::min(j1, i1);
             DotTileUpdateUpper(a, a, k0, kk, i0, i1, j0, split, &c);
             if (split < j1) {
-              DotTileUpdate(a, a, k0, kk, i0, i1, split, j1, &c);
+              kt.dot_tile(a.data(), a.cols(), a.data(), a.cols(), k0, kk,
+                          c.data(), c.cols(), i0, i1, split, j1);
             }
           }
         }

@@ -1,6 +1,8 @@
 #include "matrix/blocking.h"
 
+#include <algorithm>
 #include <cstdlib>
+#include <new>
 
 namespace srda {
 namespace {
@@ -36,6 +38,26 @@ BlockConfig& ActiveConfig() {
 }  // namespace
 
 const BlockConfig& GetBlockConfig() { return ActiveConfig(); }
+
+PanelScratch::~PanelScratch() {
+  if (data_ != nullptr) {
+    ::operator delete(data_, std::align_val_t{64});
+  }
+}
+
+double* PanelScratch::Acquire(size_t count) {
+  if (count > capacity_) {
+    if (data_ != nullptr) {
+      ::operator delete(data_, std::align_val_t{64});
+    }
+    data_ = static_cast<double*>(
+        ::operator new(count * sizeof(double), std::align_val_t{64}));
+    capacity_ = count;
+    // First touch: commit the pages from the calling thread.
+    std::fill(data_, data_ + count, 0.0);
+  }
+  return data_;
+}
 
 void SetBlockConfig(const BlockConfig& config) {
   const BlockConfig defaults;

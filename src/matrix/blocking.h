@@ -14,6 +14,8 @@
 #ifndef SRDA_MATRIX_BLOCKING_H_
 #define SRDA_MATRIX_BLOCKING_H_
 
+#include <cstddef>
+
 namespace srda {
 
 struct BlockConfig {
@@ -41,6 +43,30 @@ const BlockConfig& GetBlockConfig();
 // Not safe to call concurrently with running kernels — intended for tests
 // and benchmark sweeps, mirroring SetGlobalThreadCount.
 void SetBlockConfig(const BlockConfig& config);
+
+// Scratch buffer for packed K-panels and kernel workspaces, owned by the
+// thread that consumes it. Acquire() allocates 64-byte-aligned storage
+// (full-cacheline vector loads) and zero-fills it on growth — the
+// zero-fill is the first touch, so under the first-touch NUMA policy the
+// pages land on the node of the worker that will stream the panel. With
+// chunk→thread pinning (SRDA_PIN_THREADS=1) the same worker re-touches
+// the same panels on every pass, keeping them node-local. Declare one
+// inside each ParallelFor chunk lambda.
+class PanelScratch {
+ public:
+  PanelScratch() = default;
+  ~PanelScratch();
+  PanelScratch(const PanelScratch&) = delete;
+  PanelScratch& operator=(const PanelScratch&) = delete;
+
+  // A buffer of at least `count` doubles; contents unspecified after a
+  // growth reallocation, zeroed on first use.
+  double* Acquire(size_t count);
+
+ private:
+  double* data_ = nullptr;
+  size_t capacity_ = 0;
+};
 
 }  // namespace srda
 

@@ -1,0 +1,280 @@
+// 256-bit (ymm) kernel bodies, included by kernels_avx2.cc and — for the
+// kernels where 512-bit registers buy nothing extra — kernels_avx512.cc.
+// Each including TU wraps these in its own anonymous namespace and is
+// compiled with AVX2-capable flags plus -ffp-contract=off.
+//
+// Lane discipline (the whole determinism argument in one paragraph): a
+// ymm register always holds FOUR DIFFERENT OUTPUT ELEMENTS, never four
+// partial terms of one element. Every k step broadcasts one scalar,
+// multiplies with _mm256_mul_pd and accumulates with _mm256_add_pd —
+// separate instructions, no FMA — so lane q executes exactly the scalar
+// sequence `acc += a[k] * b[k]` in ascending k. Horizontal operations
+// never appear. Remainder rows/columns delegate to the generic:: kernels
+// on the leftover rectangle, which compute the same per-element chains.
+//
+// IEEE-754 multiplication is commutative bit-for-bit, so kernels may swap
+// mul operand order relative to the scalar text when a broadcast is
+// cheaper on the other operand.
+
+// Transposes a 4x4 block held as four row registers into four column
+// registers: out0 = {r0[0], r1[0], r2[0], r3[0]}, etc. Pure data
+// movement — no arithmetic, no effect on chains.
+inline void Transpose4x4(__m256d r0, __m256d r1, __m256d r2, __m256d r3,
+                         __m256d* out0, __m256d* out1, __m256d* out2,
+                         __m256d* out3) {
+  const __m256d lo01 = _mm256_unpacklo_pd(r0, r1);
+  const __m256d hi01 = _mm256_unpackhi_pd(r0, r1);
+  const __m256d lo23 = _mm256_unpacklo_pd(r2, r3);
+  const __m256d hi23 = _mm256_unpackhi_pd(r2, r3);
+  *out0 = _mm256_permute2f128_pd(lo01, lo23, 0x20);
+  *out1 = _mm256_permute2f128_pd(hi01, hi23, 0x20);
+  *out2 = _mm256_permute2f128_pd(lo01, lo23, 0x31);
+  *out3 = _mm256_permute2f128_pd(hi01, hi23, 0x31);
+}
+
+// gemm_tile, 4 rows x 8 columns per iteration (8 ymm accumulators = 32
+// C elements in flight).
+inline void GemmTileYmm(const double* panel, int panel_stride, int kk,
+                        const double* b, int b_stride, int k0, double* c,
+                        int c_stride, int i0, int i1, int j0, int j1) {
+  const double* bbase = b + static_cast<size_t>(k0) * b_stride;
+  int i = i0;
+  for (; i + 4 <= i1; i += 4) {
+    const double* p0 = panel + static_cast<size_t>(i - i0) * panel_stride;
+    const double* p1 = p0 + panel_stride;
+    const double* p2 = p1 + panel_stride;
+    const double* p3 = p2 + panel_stride;
+    double* c0 = c + static_cast<size_t>(i) * c_stride;
+    double* c1 = c0 + c_stride;
+    double* c2 = c1 + c_stride;
+    double* c3 = c2 + c_stride;
+    int j = j0;
+    for (; j + 8 <= j1; j += 8) {
+      __m256d a00 = _mm256_loadu_pd(c0 + j);
+      __m256d a01 = _mm256_loadu_pd(c0 + j + 4);
+      __m256d a10 = _mm256_loadu_pd(c1 + j);
+      __m256d a11 = _mm256_loadu_pd(c1 + j + 4);
+      __m256d a20 = _mm256_loadu_pd(c2 + j);
+      __m256d a21 = _mm256_loadu_pd(c2 + j + 4);
+      __m256d a30 = _mm256_loadu_pd(c3 + j);
+      __m256d a31 = _mm256_loadu_pd(c3 + j + 4);
+      const double* brow = bbase + j;
+      for (int k = 0; k < kk; ++k, brow += b_stride) {
+        const __m256d b0 = _mm256_loadu_pd(brow);
+        const __m256d b1 = _mm256_loadu_pd(brow + 4);
+        __m256d v = _mm256_set1_pd(p0[k]);
+        a00 = _mm256_add_pd(a00, _mm256_mul_pd(v, b0));
+        a01 = _mm256_add_pd(a01, _mm256_mul_pd(v, b1));
+        v = _mm256_set1_pd(p1[k]);
+        a10 = _mm256_add_pd(a10, _mm256_mul_pd(v, b0));
+        a11 = _mm256_add_pd(a11, _mm256_mul_pd(v, b1));
+        v = _mm256_set1_pd(p2[k]);
+        a20 = _mm256_add_pd(a20, _mm256_mul_pd(v, b0));
+        a21 = _mm256_add_pd(a21, _mm256_mul_pd(v, b1));
+        v = _mm256_set1_pd(p3[k]);
+        a30 = _mm256_add_pd(a30, _mm256_mul_pd(v, b0));
+        a31 = _mm256_add_pd(a31, _mm256_mul_pd(v, b1));
+      }
+      _mm256_storeu_pd(c0 + j, a00);
+      _mm256_storeu_pd(c0 + j + 4, a01);
+      _mm256_storeu_pd(c1 + j, a10);
+      _mm256_storeu_pd(c1 + j + 4, a11);
+      _mm256_storeu_pd(c2 + j, a20);
+      _mm256_storeu_pd(c2 + j + 4, a21);
+      _mm256_storeu_pd(c3 + j, a30);
+      _mm256_storeu_pd(c3 + j + 4, a31);
+    }
+    for (; j + 4 <= j1; j += 4) {
+      __m256d a0 = _mm256_loadu_pd(c0 + j);
+      __m256d a1 = _mm256_loadu_pd(c1 + j);
+      __m256d a2 = _mm256_loadu_pd(c2 + j);
+      __m256d a3 = _mm256_loadu_pd(c3 + j);
+      const double* brow = bbase + j;
+      for (int k = 0; k < kk; ++k, brow += b_stride) {
+        const __m256d bv = _mm256_loadu_pd(brow);
+        a0 = _mm256_add_pd(a0, _mm256_mul_pd(_mm256_set1_pd(p0[k]), bv));
+        a1 = _mm256_add_pd(a1, _mm256_mul_pd(_mm256_set1_pd(p1[k]), bv));
+        a2 = _mm256_add_pd(a2, _mm256_mul_pd(_mm256_set1_pd(p2[k]), bv));
+        a3 = _mm256_add_pd(a3, _mm256_mul_pd(_mm256_set1_pd(p3[k]), bv));
+      }
+      _mm256_storeu_pd(c0 + j, a0);
+      _mm256_storeu_pd(c1 + j, a1);
+      _mm256_storeu_pd(c2 + j, a2);
+      _mm256_storeu_pd(c3 + j, a3);
+    }
+    if (j < j1) {
+      srda::simd::generic::GemmTile(p0, panel_stride, kk, b, b_stride, k0, c,
+                                    c_stride, i, i + 4, j, j1);
+    }
+  }
+  if (i < i1) {
+    srda::simd::generic::GemmTile(
+        panel + static_cast<size_t>(i - i0) * panel_stride, panel_stride, kk,
+        b, b_stride, k0, c, c_stride, i, i1, j0, j1);
+  }
+}
+
+// dot_tile, 2 rows x 4 columns: B's four row segments are transposed 4x4
+// so each k step is a broadcast-mul-add across four output columns. The
+// k remainder gathers the column with set_pd — still one mul+add per
+// element per k.
+inline void DotTileYmm(const double* a, int a_stride, const double* b,
+                       int b_stride, int k0, int kk, double* c, int c_stride,
+                       int i0, int i1, int j0, int j1) {
+  int i = i0;
+  for (; i + 2 <= i1; i += 2) {
+    const double* a0 = a + static_cast<size_t>(i) * a_stride + k0;
+    const double* a1 = a0 + a_stride;
+    double* c0 = c + static_cast<size_t>(i) * c_stride;
+    double* c1 = c0 + c_stride;
+    int j = j0;
+    for (; j + 4 <= j1; j += 4) {
+      const double* b0 = b + static_cast<size_t>(j) * b_stride + k0;
+      const double* b1 = b0 + b_stride;
+      const double* b2 = b1 + b_stride;
+      const double* b3 = b2 + b_stride;
+      __m256d s0 = _mm256_loadu_pd(c0 + j);
+      __m256d s1 = _mm256_loadu_pd(c1 + j);
+      int k = 0;
+      for (; k + 4 <= kk; k += 4) {
+        __m256d t0, t1, t2, t3;
+        Transpose4x4(_mm256_loadu_pd(b0 + k), _mm256_loadu_pd(b1 + k),
+                     _mm256_loadu_pd(b2 + k), _mm256_loadu_pd(b3 + k), &t0,
+                     &t1, &t2, &t3);
+        s0 = _mm256_add_pd(s0, _mm256_mul_pd(_mm256_set1_pd(a0[k]), t0));
+        s0 = _mm256_add_pd(s0, _mm256_mul_pd(_mm256_set1_pd(a0[k + 1]), t1));
+        s0 = _mm256_add_pd(s0, _mm256_mul_pd(_mm256_set1_pd(a0[k + 2]), t2));
+        s0 = _mm256_add_pd(s0, _mm256_mul_pd(_mm256_set1_pd(a0[k + 3]), t3));
+        s1 = _mm256_add_pd(s1, _mm256_mul_pd(_mm256_set1_pd(a1[k]), t0));
+        s1 = _mm256_add_pd(s1, _mm256_mul_pd(_mm256_set1_pd(a1[k + 1]), t1));
+        s1 = _mm256_add_pd(s1, _mm256_mul_pd(_mm256_set1_pd(a1[k + 2]), t2));
+        s1 = _mm256_add_pd(s1, _mm256_mul_pd(_mm256_set1_pd(a1[k + 3]), t3));
+      }
+      for (; k < kk; ++k) {
+        const __m256d t = _mm256_set_pd(b3[k], b2[k], b1[k], b0[k]);
+        s0 = _mm256_add_pd(s0, _mm256_mul_pd(_mm256_set1_pd(a0[k]), t));
+        s1 = _mm256_add_pd(s1, _mm256_mul_pd(_mm256_set1_pd(a1[k]), t));
+      }
+      _mm256_storeu_pd(c0 + j, s0);
+      _mm256_storeu_pd(c1 + j, s1);
+    }
+    if (j < j1) {
+      srda::simd::generic::DotTile(a, a_stride, b, b_stride, k0, kk, c,
+                                   c_stride, i, i + 2, j, j1);
+    }
+  }
+  if (i < i1) {
+    srda::simd::generic::DotTile(a, a_stride, b, b_stride, k0, kk, c,
+                                 c_stride, i, i1, j0, j1);
+  }
+}
+
+// syrk_row: four output columns per iteration, same transpose trick as
+// DotTileYmm; each column's dot is a fresh ascending-k chain folded into
+// one subtraction, exactly the scalar shape.
+inline void SyrkRowYmm(double* l, int stride, int i, int p0, int kk, int j0,
+                       int jend) {
+  const double* rowi = l + static_cast<size_t>(i) * stride + p0;
+  double* crow = l + static_cast<size_t>(i) * stride;
+  int j = j0;
+  for (; j + 4 <= jend; j += 4) {
+    const double* r0 = l + static_cast<size_t>(j) * stride + p0;
+    const double* r1 = r0 + stride;
+    const double* r2 = r1 + stride;
+    const double* r3 = r2 + stride;
+    __m256d s = _mm256_setzero_pd();
+    int k = 0;
+    for (; k + 4 <= kk; k += 4) {
+      __m256d t0, t1, t2, t3;
+      Transpose4x4(_mm256_loadu_pd(r0 + k), _mm256_loadu_pd(r1 + k),
+                   _mm256_loadu_pd(r2 + k), _mm256_loadu_pd(r3 + k), &t0, &t1,
+                   &t2, &t3);
+      s = _mm256_add_pd(s, _mm256_mul_pd(_mm256_set1_pd(rowi[k]), t0));
+      s = _mm256_add_pd(s, _mm256_mul_pd(_mm256_set1_pd(rowi[k + 1]), t1));
+      s = _mm256_add_pd(s, _mm256_mul_pd(_mm256_set1_pd(rowi[k + 2]), t2));
+      s = _mm256_add_pd(s, _mm256_mul_pd(_mm256_set1_pd(rowi[k + 3]), t3));
+    }
+    for (; k < kk; ++k) {
+      const __m256d t = _mm256_set_pd(r3[k], r2[k], r1[k], r0[k]);
+      s = _mm256_add_pd(s, _mm256_mul_pd(_mm256_set1_pd(rowi[k]), t));
+    }
+    _mm256_storeu_pd(crow + j, _mm256_sub_pd(_mm256_loadu_pd(crow + j), s));
+  }
+  if (j < jend) {
+    srda::simd::generic::SyrkRow(l, stride, i, p0, kk, j, jend);
+  }
+}
+
+// trsm_rows: four factor rows advance in lockstep through the panel
+// columns. As column j completes, its four row values are parked
+// lane-interleaved in `scratch` (scratch[4 * jj + lane]) so later
+// columns' subtractions read them as one vector — the same final values
+// the scalar code re-reads from the factor.
+inline void TrsmRowsYmm(double* l, int stride, int p0, int p1,
+                        const double* inv_diag, int i, int rows,
+                        double* scratch) {
+  int r = 0;
+  for (; r + 4 <= rows; r += 4) {
+    double* l0 = l + static_cast<size_t>(i + r) * stride;
+    double* l1 = l0 + stride;
+    double* l2 = l1 + stride;
+    double* l3 = l2 + stride;
+    for (int j = p0; j < p1; ++j) {
+      const int jj = j - p0;
+      const double* lrow_j = l + static_cast<size_t>(j) * stride + p0;
+      __m256d acc = _mm256_set_pd(l3[j], l2[j], l1[j], l0[j]);
+      for (int k = 0; k < jj; ++k) {
+        const __m256d prev = _mm256_loadu_pd(scratch + 4 * k);
+        acc = _mm256_sub_pd(
+            acc, _mm256_mul_pd(_mm256_set1_pd(lrow_j[k]), prev));
+      }
+      acc = _mm256_mul_pd(acc, _mm256_set1_pd(inv_diag[jj]));
+      _mm256_storeu_pd(scratch + 4 * jj, acc);
+      double out[4];
+      _mm256_storeu_pd(out, acc);
+      l0[j] = out[0];
+      l1[j] = out[1];
+      l2[j] = out[2];
+      l3[j] = out[3];
+    }
+  }
+  if (r < rows) {
+    srda::simd::generic::TrsmRows(l, stride, p0, p1, inv_diag, i + r,
+                                  rows - r, scratch);
+  }
+}
+
+// downdate_tile: the 8 workspace lanes are two ymm registers; each
+// rotation step is the two-op recurrence w ← w − p·l, l ← l + γ·w with
+// explicit mul/sub/add — identical to the scalar lane arithmetic.
+inline void DowndateTileYmm(double* const* lrows, double* wtile,
+                            const double* p, const double* g, int width,
+                            int k) {
+  static_assert(srda::simd::kDowndateLanes == 8,
+                "ymm downdate kernel assumes 8 lanes");
+  for (int j = 0; j < width; ++j) {
+    const double* pj = p + static_cast<size_t>(j) * k;
+    const double* gj = g + static_cast<size_t>(j) * k;
+    __m256d lv0 =
+        _mm256_set_pd(lrows[3][j], lrows[2][j], lrows[1][j], lrows[0][j]);
+    __m256d lv1 =
+        _mm256_set_pd(lrows[7][j], lrows[6][j], lrows[5][j], lrows[4][j]);
+    for (int r = 0; r < k; ++r) {
+      const __m256d pr = _mm256_set1_pd(pj[r]);
+      const __m256d gr = _mm256_set1_pd(gj[r]);
+      double* wr = wtile + r * 8;
+      __m256d w0 = _mm256_loadu_pd(wr);
+      __m256d w1 = _mm256_loadu_pd(wr + 4);
+      w0 = _mm256_sub_pd(w0, _mm256_mul_pd(pr, lv0));
+      w1 = _mm256_sub_pd(w1, _mm256_mul_pd(pr, lv1));
+      lv0 = _mm256_add_pd(lv0, _mm256_mul_pd(gr, w0));
+      lv1 = _mm256_add_pd(lv1, _mm256_mul_pd(gr, w1));
+      _mm256_storeu_pd(wr, w0);
+      _mm256_storeu_pd(wr + 4, w1);
+    }
+    double out[8];
+    _mm256_storeu_pd(out, lv0);
+    _mm256_storeu_pd(out + 4, lv1);
+    for (int q = 0; q < 8; ++q) lrows[q][j] = out[q];
+  }
+}

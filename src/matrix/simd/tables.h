@@ -1,0 +1,33 @@
+// Internal: per-level kernel tables, one per translation unit so each can
+// be compiled with its own ISA flags. Only dispatch.cc includes this; the
+// SRDA_SIMD_HAVE_* macros are target-private compile definitions set by
+// src/matrix/CMakeLists.txt when the matching TU is built.
+
+#ifndef SRDA_MATRIX_SIMD_TABLES_H_
+#define SRDA_MATRIX_SIMD_TABLES_H_
+
+#include "matrix/simd/simd.h"
+
+namespace srda {
+namespace simd {
+namespace internal {
+
+const KernelTable& ScalarTable();
+
+#ifdef SRDA_SIMD_HAVE_AVX2
+const KernelTable& Avx2Table();
+#endif
+
+#ifdef SRDA_SIMD_HAVE_AVX512
+const KernelTable& Avx512Table();
+#endif
+
+#ifdef SRDA_SIMD_HAVE_NEON
+const KernelTable& NeonTable();
+#endif
+
+}  // namespace internal
+}  // namespace simd
+}  // namespace srda
+
+#endif  // SRDA_MATRIX_SIMD_TABLES_H_

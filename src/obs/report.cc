@@ -6,6 +6,7 @@
 #include <string_view>
 
 #include "obs/metrics.h"
+#include "obs/runtime_info.h"
 
 namespace srda {
 namespace {
@@ -92,6 +93,15 @@ void PrintRunSummary(std::ostream& os) {
   char line[256];
   if (!phases.empty()) {
     os << "\n== Phase summary (from trace spans) ==\n";
+    // Runtime facts published by the layers that decide them (simd
+    // dispatch, the thread pool) — the numbers below are meaningless
+    // without knowing which kernels and scheduler produced them.
+    const std::string simd_level = obs::GetRuntimeInfo("simd.level");
+    const std::string pinning = obs::GetRuntimeInfo("pool.pinning");
+    if (!simd_level.empty() || !pinning.empty()) {
+      os << "  runtime: simd=" << (simd_level.empty() ? "?" : simd_level)
+         << "  pool=" << (pinning.empty() ? "?" : pinning) << "\n";
+    }
     std::snprintf(line, sizeof(line), "  %-24s %8s %11s %11s %10s %9s\n",
                   "phase", "count", "wall ms", "self ms", "GFLOP",
                   "GFLOP/s");

@@ -50,8 +50,10 @@
 
 #include "common/arg_parser.h"
 #include "common/check.h"
+#include "common/parallel.h"
 #include "common/stopwatch.h"
 #include "io/dataset_io.h"
+#include "matrix/simd/simd.h"
 #include "model/codec.h"
 #include "model/model.h"
 #include "obs/event_log.h"
@@ -170,6 +172,16 @@ int Main(int argc, char** argv) {
   telemetry.SetBuildInfo("trainer", model.provenance.trainer);
   telemetry.SetBuildInfo("input_dim", std::to_string(model.input_dim()));
   telemetry.SetBuildInfo("classes", std::to_string(model.num_classes()));
+  // Dispatch is resolved here, not lazily on the first batch, so /buildz
+  // is truthful from the moment the server flips ready.
+  const char* simd_level = simd::CpuLevelName(simd::ActiveLevel());
+  const char* pool_pinning = GlobalThreadPool().pinned() ? "pinned" : "free";
+  telemetry.SetBuildInfo("simd_level", simd_level);
+  telemetry.SetBuildInfo("pool_pinning", pool_pinning);
+  obs::Event("serve.start")
+      .Str("model", model_path)
+      .Str("simd_level", simd_level)
+      .Str("pool_pinning", pool_pinning);
   telemetry.SetReady(true);
 
   const DenseDataset dataset = format == "binary"

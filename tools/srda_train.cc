@@ -39,8 +39,10 @@
 
 #include "common/arg_parser.h"
 #include "common/check.h"
+#include "common/parallel.h"
 #include "common/stopwatch.h"
 #include "core/srda.h"
+#include "matrix/simd/simd.h"
 #include "core/trainers.h"
 #include "io/dataset_io.h"
 #include "io/row_shard_reader.h"
@@ -257,6 +259,8 @@ int Main(int argc, char** argv) {
   obs::Event("train.start")
       .Str("data", data_path)
       .Str("algorithm", algorithm)
+      .Str("simd_level", simd::CpuLevelName(simd::ActiveLevel()))
+      .Str("pool_pinning", GlobalThreadPool().pinned() ? "pinned" : "free")
       .Num("alpha", alpha)
       .Num("shard_rows", shard_rows);
   Stopwatch watch;
